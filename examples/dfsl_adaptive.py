@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Case study II in miniature: DFSL adapting the work-tile size.
+
+Renders an animated teapot on the standalone GPU, first with the two
+static extremes (maximum load balance WT=1, maximum locality WT=6), then
+with DFSL dynamically picking the WT size per frame (Algorithm 1).  Prints
+each frame's fragment-shading time and the final comparison.
+
+Run:  python examples/dfsl_adaptive.py
+"""
+
+from repro.harness.case_study2 import CS2Config, run_dfsl, run_static
+
+FRAMES = 8
+WORKLOAD = "W6"        # teapot
+
+
+def main() -> None:
+    config = CS2Config(width=128, height=96, texture_size=128)
+
+    print(f"workload {WORKLOAD}, {FRAMES} frames, "
+          f"{config.width}x{config.height}")
+    static_times = {}
+    for wt in (1, 3, 6):
+        results = run_static(WORKLOAD, wt, FRAMES, config)
+        mean = sum(r.time for r in results) / len(results)
+        static_times[wt] = mean
+        print(f"  static WT={wt}: mean fragment-shading time "
+              f"{mean:8.0f} cycles")
+
+    results, controller = run_dfsl(
+        WORKLOAD, frames=FRAMES + 5, config=config,
+        eval_min=1, eval_max=7, run_frames=32)
+    print("\nDFSL trace (frame, WT, time, phase):")
+    for frame_index, wt, time, mode in controller.history:
+        print(f"  frame {frame_index:2d}  WT={wt}  {time:8.0f}  {mode}")
+    run_phase = [t for _, _, t, mode in controller.history if mode == "run"]
+    if run_phase:
+        dfsl_mean = sum(run_phase) / len(run_phase)
+        best_static = min(static_times.values())
+        print(f"\nDFSL run-phase mean : {dfsl_mean:8.0f} cycles "
+              f"(chose WT={controller.wt_best})")
+        print(f"best static mean    : {best_static:8.0f} cycles")
+        print(f"DFSL vs worst static: "
+              f"{max(static_times.values()) / dfsl_mean:5.2f}x speedup")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``render``      — render a workload frame on the GPU timing model
+* ``accuracy``    — run the §3.4 accuracy study
+* ``cs1``         — one case-study-I full-system run
+* ``cs2``         — a case-study-II WT sweep
+* ``dfsl``        — run DFSL on a workload
+* ``models``      — list the workload model zoo
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.report import format_table
+
+
+def _cmd_models(args) -> int:
+    from repro.geometry.models import MODEL_NAMES, model_by_name
+    from repro.harness.scenes import CASE_STUDY1_SCENES, CASE_STUDY2_SCENES
+    keys = {name: [] for name in MODEL_NAMES}
+    for key, name in {**CASE_STUDY1_SCENES, **CASE_STUDY2_SCENES}.items():
+        keys.setdefault(name, []).append(key)
+    rows = []
+    for name in MODEL_NAMES:
+        mesh = model_by_name(name)
+        rows.append([name, ",".join(keys.get(name, [])) or "-",
+                     mesh.num_vertices, mesh.num_primitives])
+    print(format_table(["model", "paper id", "vertices", "triangles"], rows,
+                       title="Workload model zoo"))
+    return 0
+
+
+def _cmd_render(args) -> int:
+    from repro.common.config import DRAMConfig, GPUConfig
+    from repro.common.events import EventQueue
+    from repro.gpu.energy import measure_frame_energy
+    from repro.gpu.gpu import EmeraldGPU
+    from repro.harness.scenes import SceneSession
+    from repro.memory.builders import build_baseline_memory
+
+    session = SceneSession(args.model, args.width, args.height)
+    events = EventQueue()
+    memory = build_baseline_memory(events, DRAMConfig(channels=2))
+    gpu = EmeraldGPU(events, GPUConfig(num_clusters=args.clusters),
+                     args.width, args.height, memory=memory)
+    gpu.work_tile_size = args.wt
+    stats, energy = measure_frame_energy(gpu, session.frame(args.frame))
+    print(f"{args.model} frame {args.frame} @ {args.width}x{args.height}, "
+          f"WT={args.wt}:")
+    print(f"  cycles={stats.cycles} fragment_cycles={stats.fragment_cycles}")
+    print(f"  prims={stats.prims_rasterized} fragments={stats.fragments} "
+          f"tc_tiles={stats.tc_tiles}")
+    print(f"  l1_misses={stats.l1_misses} l2={stats.l2_misses} "
+          f"dram_bytes={stats.dram_bytes}")
+    print(f"  energy={energy.total_uj:.3f} uJ "
+          f"(leakage {energy.leakage * 1e-6:.3f} uJ)")
+    if args.output:
+        gpu.fb.save_ppm(args.output)
+        print(f"  image -> {args.output}")
+    return 0
+
+
+def _cmd_accuracy(args) -> int:
+    from repro.validation.reference import accuracy_study
+    result = accuracy_study(seed=args.seed)
+    rows = list(zip(result.names,
+                    [f"{t:.0f}" for t in result.sim_time],
+                    [f"{t:.0f}" for t in result.ref_time]))
+    print(format_table(["microbench", "sim_cycles", "ref_cycles"], rows,
+                       title="Section 3.4 accuracy study"))
+    print(f"draw time: corr={result.draw_time_correlation:.3f} "
+          f"MARE={result.draw_time_error:.3f}")
+    print(f"fill rate: corr={result.fill_rate_correlation:.3f} "
+          f"MARE={result.fill_rate_error:.3f}")
+    return 0
+
+
+def _cmd_cs1(args) -> int:
+    from repro.harness.case_study1 import CS1Config, run_cs1
+    config = CS1Config(num_frames=args.frames)
+    results = run_cs1(args.model, args.config, args.load, config)
+    print(f"{args.model} {args.config} ({args.load} load):")
+    print(f"  mean GPU frame time   : {results.mean_gpu_time:10.0f} ticks")
+    print(f"  mean total frame time : {results.mean_total_time:10.0f} ticks")
+    print(f"  frames meeting period : {results.fps_fraction * 100:.0f}%")
+    print(f"  display served/aborted: {results.display_completed}/"
+          f"{results.display_aborted}")
+    print(f"  DRAM row-hit rate     : {results.row_hit_rate:.3f}")
+    print(f"  mean DRAM latency     : "
+          f"{ {k: round(v) for k, v in results.mean_latency.items()} }")
+    return 0
+
+
+def _cmd_cs2(args) -> int:
+    from repro.harness.case_study2 import CS2Config, wt_sweep
+    config = CS2Config()
+    sweep = wt_sweep(args.workload, wt_sizes=range(args.min_wt,
+                                                   args.max_wt + 1),
+                     config=config)
+    rows = [[wt, r.time, sum(r.stats.l1_misses.values())]
+            for wt, r in sweep.items()]
+    print(format_table(["WT", "fragment_cycles", "L1_misses"], rows,
+                       title=f"WT sweep — {args.workload}"))
+    best = min(sweep, key=lambda wt: sweep[wt].time)
+    print(f"best WT: {best}")
+    return 0
+
+
+def _cmd_dfsl(args) -> int:
+    from repro.harness.case_study2 import CS2Config, run_dfsl
+    results, controller = run_dfsl(args.workload, frames=args.frames,
+                                   config=CS2Config(),
+                                   eval_max=args.max_wt,
+                                   run_frames=args.run_frames)
+    rows = [[f, wt, t, mode] for f, wt, t, mode in controller.history]
+    print(format_table(["frame", "WT", "time", "phase"], rows,
+                       title=f"DFSL — {args.workload}"))
+    print(f"locked-in WT: {controller.wt_best}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Emerald reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("models", help="list workload models")
+    p.set_defaults(func=_cmd_models)
+
+    p = sub.add_parser("render", help="render one frame on the GPU model")
+    p.add_argument("model", help="model name (see `repro models`)")
+    p.add_argument("--width", type=int, default=160)
+    p.add_argument("--height", type=int, default=120)
+    p.add_argument("--frame", type=int, default=0)
+    p.add_argument("--clusters", type=int, default=4)
+    p.add_argument("--wt", type=int, default=1)
+    p.add_argument("--output", help="write the image as PPM")
+    p.set_defaults(func=_cmd_render)
+
+    p = sub.add_parser("accuracy", help="run the Sec. 3.4 accuracy study")
+    p.add_argument("--seed", type=int, default=62)
+    p.set_defaults(func=_cmd_accuracy)
+
+    p = sub.add_parser("cs1", help="case study I full-system run")
+    p.add_argument("model", choices=["M1", "M2", "M3", "M4"])
+    p.add_argument("config", choices=["BAS", "DCB", "DTB", "HMC"])
+    p.add_argument("--load", choices=["regular", "high"], default="regular")
+    p.add_argument("--frames", type=int, default=5)
+    p.set_defaults(func=_cmd_cs1)
+
+    p = sub.add_parser("cs2", help="case study II WT sweep")
+    p.add_argument("workload", help="W1..W6 or a model name")
+    p.add_argument("--min-wt", type=int, default=1)
+    p.add_argument("--max-wt", type=int, default=10)
+    p.set_defaults(func=_cmd_cs2)
+
+    p = sub.add_parser("dfsl", help="run DFSL on a workload")
+    p.add_argument("workload", help="W1..W6 or a model name")
+    p.add_argument("--frames", type=int, default=12)
+    p.add_argument("--max-wt", type=int, default=6)
+    p.add_argument("--run-frames", type=int, default=20)
+    p.set_defaults(func=_cmd_dfsl)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,26 @@
+"""Shared simulation infrastructure: event kernel, statistics, configuration.
+
+This package is the gem5-analog substrate of the reproduction: a
+discrete-event kernel (:mod:`repro.common.events`), statistics machinery
+(:mod:`repro.common.stats`) and the configuration presets used by both case
+studies (:mod:`repro.common.config`).
+"""
+
+from repro.common.events import EventQueue, Event
+from repro.common.stats import (
+    Counter,
+    RateStat,
+    TimeSeries,
+    Histogram,
+    StatGroup,
+)
+
+__all__ = [
+    "EventQueue",
+    "Event",
+    "Counter",
+    "RateStat",
+    "TimeSeries",
+    "Histogram",
+    "StatGroup",
+]

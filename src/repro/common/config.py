@@ -1,0 +1,250 @@
+"""Configuration dataclasses and the paper's configuration presets.
+
+Two presets mirror the paper's tables:
+
+* :func:`case_study1_config` — Table 5 (full-system SoC: 4 CPUs, 4 SIMT
+  cores, 2-channel LPDDR3).
+* :func:`case_study2_gpu_config` — Table 7 (standalone GPU: 6 SIMT clusters,
+  192 lanes, 4-channel LPDDR3-1600).
+
+Both presets also come in ``scaled()`` form: identical structure with a
+smaller framebuffer and cache sizes reduced proportionally, so tests and CI
+benchmarks finish in seconds.  The scaling knob is explicit and documented —
+the paper's absolute sizes remain the default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a set-associative cache."""
+
+    size_bytes: int
+    line_bytes: int = 128
+    ways: int = 4
+    hit_latency: int = 1
+    mshr_entries: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.ways) != 0:
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible into "
+                f"{self.ways}-way sets of {self.line_bytes}B lines"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(frozen=True)
+class SIMTCoreConfig:
+    """One SIMT core (shader core), Table 2 components."""
+
+    warp_size: int = 32
+    max_warps: int = 64
+    num_schedulers: int = 2
+    alu_latency: int = 4
+    sfu_latency: int = 16
+    max_threads: int = 2048
+    registers: int = 65536
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(4 * 1024, ways=4))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(16 * 1024, ways=4))
+    l1t: CacheConfig = field(default_factory=lambda: CacheConfig(64 * 1024, ways=4))
+    l1z: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, ways=4))
+    l1c: CacheConfig = field(default_factory=lambda: CacheConfig(8 * 1024, ways=4))
+
+
+@dataclass(frozen=True)
+class RasterConfig:
+    """Fixed-function raster pipeline parameters (Table 7)."""
+
+    raster_tile_px: int = 4          # raster tile is NxN pixels
+    tc_tile_raster_tiles: int = 2    # TC tile is NxN raster tiles
+    tc_engines_per_cluster: int = 2
+    tc_bins_per_engine: int = 4
+    coarse_tiles_per_cycle: int = 1
+    fine_tiles_per_cycle: int = 1
+    hiz_tiles_per_cycle: int = 1
+    hiz_enabled: bool = True
+    tc_flush_timeout: int = 32       # cycles without new raster tiles
+
+    @property
+    def tc_tile_px(self) -> int:
+        return self.raster_tile_px * self.tc_tile_raster_tiles
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """The Emerald GPU: clusters of SIMT cores plus shared L2/AOU."""
+
+    num_clusters: int = 4
+    cores_per_cluster: int = 1
+    core: SIMTCoreConfig = field(default_factory=SIMTCoreConfig)
+    raster: RasterConfig = field(default_factory=RasterConfig)
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(128 * 1024, ways=8, hit_latency=20))
+    noc_latency: int = 8             # cluster <-> L2 interconnect latency
+    vertex_batch_warps: int = 2      # vertex warps launched per core per pass
+    output_vertex_buffer_vertices: int = 9 * 1024
+    pmrb_entries: int = 64           # primitive-mask reorder buffer per cluster
+    work_tile_size: int = 1          # WT: round-robin granularity in TC tiles
+    clock_ghz: float = 1.0
+
+    @property
+    def num_cores(self) -> int:
+        return self.num_clusters * self.cores_per_cluster
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """Simplified LPDDR timing (in controller cycles)."""
+
+    t_rcd: int = 15     # activate -> column command
+    t_rp: int = 15      # precharge
+    t_cas: int = 15     # column access strobe
+    t_burst: int = 4    # data burst occupancy per access
+    t_wr: int = 12      # write recovery
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """Channels/ranks/banks geometry + data rate."""
+
+    channels: int = 2
+    ranks: int = 1
+    banks: int = 8
+    row_bytes: int = 2048
+    bus_bytes: int = 4              # 32-bit wide channel
+    data_rate_mbps: int = 1333      # per pin
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+    queue_depth: int = 64
+
+    @property
+    def peak_bytes_per_ctrl_cycle(self) -> float:
+        # double data rate bus: 2 transfers per controller cycle
+        return self.bus_bytes * 2
+
+
+@dataclass(frozen=True)
+class DisplayConfig:
+    """Display controller: resolution, refresh deadline, burst size."""
+
+    width: int = 1024
+    height: int = 768
+    bytes_per_pixel: int = 4
+    refresh_fps: int = 60
+    burst_bytes: int = 256
+    abort_fraction: float = 0.5     # abort a scanout this far behind schedule
+
+    @property
+    def frame_bytes(self) -> int:
+        return self.width * self.height * self.bytes_per_pixel
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """CPU cluster model for the full-system mode."""
+
+    num_cores: int = 4
+    clock_ghz: float = 2.0
+    l2_kb_per_core: int = 1024
+    # Mean outstanding-miss traffic intensity per phase, requests per 1000
+    # GPU-clock ticks (the workload model modulates around these).
+    busy_intensity: float = 24.0
+    idle_intensity: float = 1.0
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """Full-system assembly used by case study I."""
+
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    display: DisplayConfig = field(default_factory=DisplayConfig)
+    framebuffer_width: int = 1024
+    framebuffer_height: int = 768
+    gpu_frame_period_ms: float = 33.0   # Table 3: GPU frame period (30 FPS)
+    display_frame_period_ms: float = 16.0
+    system_noc_latency: int = 12
+
+
+def case_study1_config() -> SoCConfig:
+    """Table 5: the full-system configuration of case study I."""
+    core = SIMTCoreConfig(
+        warp_size=32,
+        l1d=CacheConfig(16 * 1024, ways=4),
+        l1t=CacheConfig(64 * 1024, ways=4),
+        l1z=CacheConfig(32 * 1024, ways=4),
+    )
+    gpu = GPUConfig(
+        num_clusters=4,
+        cores_per_cluster=1,
+        core=core,
+        l2=CacheConfig(128 * 1024, ways=8, hit_latency=20),
+        clock_ghz=0.95,
+    )
+    return SoCConfig(
+        gpu=gpu,
+        cpu=CPUConfig(num_cores=4, clock_ghz=2.0),
+        dram=DRAMConfig(channels=2, data_rate_mbps=1333),
+        display=DisplayConfig(width=1024, height=768),
+        framebuffer_width=1024,
+        framebuffer_height=768,
+    )
+
+
+def case_study2_gpu_config() -> GPUConfig:
+    """Table 7: the standalone GPU configuration of case study II."""
+    core = SIMTCoreConfig(
+        warp_size=32,
+        max_threads=2048,
+        registers=65536,
+        l1d=CacheConfig(32 * 1024, ways=8),
+        l1t=CacheConfig(48 * 1024, line_bytes=128, ways=24),
+        l1z=CacheConfig(32 * 1024, ways=8),
+    )
+    raster = RasterConfig(
+        raster_tile_px=4,
+        tc_tile_raster_tiles=2,      # TC tile = 2x2 raster tiles (8x8 px)
+        tc_engines_per_cluster=2,
+        tc_bins_per_engine=4,
+    )
+    return GPUConfig(
+        num_clusters=6,
+        cores_per_cluster=1,
+        core=core,
+        raster=raster,
+        l2=CacheConfig(2 * 1024 * 1024, ways=32, hit_latency=20),
+        clock_ghz=1.0,
+    )
+
+
+def scaled(config: SoCConfig, width: int = 192, height: int = 144) -> SoCConfig:
+    """A structurally identical SoC config with a smaller framebuffer.
+
+    Cache and DRAM geometry are unchanged; only the rendered resolution and
+    display resolution shrink so a full frame simulates in seconds.
+    """
+    return replace(
+        config,
+        display=replace(config.display, width=width, height=height),
+        framebuffer_width=width,
+        framebuffer_height=height,
+    )
+
+
+def scaled_gpu(config: GPUConfig) -> GPUConfig:
+    """A smaller-cache variant of a GPU config for fast unit tests."""
+    core = replace(
+        config.core,
+        l1d=CacheConfig(4 * 1024, ways=4),
+        l1t=CacheConfig(8 * 1024, ways=4),
+        l1z=CacheConfig(4 * 1024, ways=4),
+        l1c=CacheConfig(2 * 1024, ways=2),
+        l1i=CacheConfig(2 * 1024, ways=2),
+    )
+    return replace(config, core=core, l2=CacheConfig(64 * 1024, ways=8, hit_latency=20))

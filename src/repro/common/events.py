@@ -1,0 +1,193 @@
+"""Discrete-event simulation kernel.
+
+The whole simulator is driven by a single event heap, in the style of gem5's
+event queue: components never busy-wait on cycles, they schedule callbacks at
+future times.  Simulation time is an integer number of *ticks*; each model
+decides its own tick <-> cycle mapping (the GPU model uses one tick per GPU
+cycle, the SoC model converts component clocks into GPU-cycle ticks).
+
+Events scheduled at the same tick fire in FIFO scheduling order, which keeps
+runs deterministic regardless of heap tie-breaking.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass
+class Event:
+    """A scheduled callback.
+
+    The queue orders events by (time, sequence number) so simultaneous
+    events fire in the order they were scheduled; the ordering lives in
+    the heap entries (plain tuples, compared at C speed), not here.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[..., Any]
+    args: tuple = ()
+    cancelled: bool = False
+
+    def cancel(self) -> None:
+        """Deschedule this event; a cancelled event's callback never runs."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic discrete-event scheduler.
+
+    >>> q = EventQueue()
+    >>> fired = []
+    >>> _ = q.schedule(5, fired.append, "a")
+    >>> _ = q.schedule(3, fired.append, "b")
+    >>> q.run()
+    >>> fired
+    ['b', 'a']
+    """
+
+    def __init__(self) -> None:
+        # Heap entries are (time, seq, event) tuples: tuple comparison runs
+        # in C, which matters at millions of events per simulated frame.
+        self._heap: list[tuple[int, int, Event]] = []
+        self._now: int = 0
+        self._seq: int = 0
+        self._events_fired: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in ticks."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (for debugging/limits)."""
+        return self._events_fired
+
+    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + int(delay), callback, *args)
+
+    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute tick ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        event = Event(int(time), self._seq, callback, args)
+        heapq.heappush(self._heap, (event.time, self._seq, event))
+        self._seq += 1
+        return event
+
+    def empty(self) -> bool:
+        """True when no live events remain."""
+        self._drop_cancelled_head()
+        return not self._heap
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the next live event, or ``None`` when the queue is empty."""
+        self._drop_cancelled_head()
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        _, __, event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._events_fired += 1
+        event.callback(*event.args)
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns the number of events executed.
+        """
+        count = 0
+        while max_events is None or count < max_events:
+            if not self.step():
+                break
+            count += 1
+        return count
+
+    def run_until(self, time: int, max_events: Optional[int] = None) -> int:
+        """Run all events scheduled strictly before-or-at ``time``.
+
+        Advances ``now`` to ``time`` even if the queue drains earlier.
+        Returns the number of events executed.
+        """
+        count = 0
+        while max_events is None or count < max_events:
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                break
+            self.step()
+            count += 1
+        if self._now < time:
+            self._now = time
+        return count
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+
+
+class Ticker:
+    """Helper that re-schedules a callback at a fixed period while active.
+
+    Components with a natural service rate (e.g. a DRAM controller draining
+    its queue, a raster unit at one tile per cycle) use a :class:`Ticker` to
+    wake up only while they have work, instead of being ticked every cycle.
+    """
+
+    def __init__(self, queue: EventQueue, period: int, callback: Callable[[], bool]):
+        """``callback`` returns True to keep ticking, False to go idle."""
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._queue = queue
+        self._period = period
+        self._callback = callback
+        self._pending: Optional[Event] = None
+        self._firing = False
+        self._kick_requested = False
+
+    @property
+    def active(self) -> bool:
+        return (self._firing
+                or (self._pending is not None and not self._pending.cancelled))
+
+    def kick(self, delay: int = 0) -> None:
+        """Ensure the ticker is running; no-op when already scheduled.
+
+        A kick from inside the ticker's own callback (work submitted during
+        the current cycle) resumes at the *next* period, never re-firing in
+        the same tick.
+        """
+        if self._firing:
+            self._kick_requested = True
+            return
+        if self.active:
+            return
+        self._pending = self._queue.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self._kick_requested = False
+
+    def _fire(self) -> None:
+        self._pending = None
+        self._firing = True
+        self._kick_requested = False
+        keep_going = self._callback()
+        self._firing = False
+        if keep_going or self._kick_requested:
+            self._pending = self._queue.schedule(self._period, self._fire)

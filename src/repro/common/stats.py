@@ -1,0 +1,237 @@
+"""Statistics primitives used across the simulator.
+
+Every model publishes its measurements through these containers so the
+benchmark harness can pull uniform numbers out of any component: hit rates,
+bandwidth-vs-time series (Figs. 10 and 14), row-buffer locality (Fig. 11),
+display service counts (Fig. 13) and so on.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Optional
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value: int = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class RateStat:
+    """A numerator/denominator pair, e.g. cache hits over accesses."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.hits: int = 0
+        self.total: int = 0
+
+    def record(self, hit: bool) -> None:
+        self.total += 1
+        if hit:
+            self.hits += 1
+
+    @property
+    def rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    @property
+    def misses(self) -> int:
+        return self.total - self.hits
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.total = 0
+
+    def __repr__(self) -> str:
+        return f"RateStat({self.name}: {self.hits}/{self.total})"
+
+
+class TimeSeries:
+    """Accumulates (time, value) samples binned into fixed windows.
+
+    Used for bandwidth-over-time plots: callers ``add(now, bytes)`` and the
+    series accumulates per-window sums which :meth:`series` returns as
+    (window_start, sum) pairs.
+    """
+
+    def __init__(self, window: int, name: str = "") -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.name = name
+        self.window = window
+        self._bins: dict[int, float] = defaultdict(float)
+
+    def add(self, time: int, value: float) -> None:
+        self._bins[time // self.window] += value
+
+    def series(self, until: Optional[int] = None) -> list[tuple[int, float]]:
+        """Dense (window_start_time, sum) pairs from t=0 through the data."""
+        if not self._bins:
+            return []
+        last_bin = max(self._bins)
+        if until is not None:
+            last_bin = max(last_bin, until // self.window)
+        return [(b * self.window, self._bins.get(b, 0.0)) for b in range(last_bin + 1)]
+
+    def total(self) -> float:
+        return sum(self._bins.values())
+
+    def reset(self) -> None:
+        self._bins.clear()
+
+
+class Histogram:
+    """A simple value histogram with mean/percentile helpers."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._values: list[float] = []
+
+    def record(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self._values) / len(self._values) if self._values else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self._values) if self._values else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self._values) if self._values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        if not (0.0 <= p <= 100.0):
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = max(0, math.ceil(p / 100.0 * len(ordered)) - 1)
+        return ordered[rank]
+
+    def values(self) -> list[float]:
+        return list(self._values)
+
+    def reset(self) -> None:
+        self._values.clear()
+
+
+class StatGroup:
+    """A named bag of statistics; models expose one per component.
+
+    >>> g = StatGroup("l1d")
+    >>> g.counter("accesses").add()
+    >>> g.dump()["accesses"]
+    1
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counters: dict[str, Counter] = {}
+        self._rates: dict[str, RateStat] = {}
+        self._series: dict[str, TimeSeries] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(f"{self.name}.{name}")
+        return self._counters[name]
+
+    def rate(self, name: str) -> RateStat:
+        if name not in self._rates:
+            self._rates[name] = RateStat(f"{self.name}.{name}")
+        return self._rates[name]
+
+    def time_series(self, name: str, window: int = 1000) -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(window, f"{self.name}.{name}")
+        return self._series[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(f"{self.name}.{name}")
+        return self._histograms[name]
+
+    def dump(self) -> dict[str, float]:
+        """Flatten all scalars (counters, rates, histogram means) to a dict."""
+        out: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, rate in self._rates.items():
+            out[f"{name}.rate"] = rate.rate
+            out[f"{name}.total"] = rate.total
+        for name, hist in self._histograms.items():
+            out[f"{name}.mean"] = hist.mean
+            out[f"{name}.count"] = hist.count
+        return out
+
+    def reset(self) -> None:
+        for stat in (
+            list(self._counters.values())
+            + list(self._rates.values())
+            + list(self._series.values())
+            + list(self._histograms.values())
+        ):
+            stat.reset()
+
+
+def pearson(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences.
+
+    Used by the Section 3.4 accuracy study to report simulator-vs-reference
+    correlation, exactly as the paper does.
+    """
+    x = list(xs)
+    y = list(ys)
+    if len(x) != len(y):
+        raise ValueError("sequences must have equal length")
+    n = len(x)
+    if n < 2:
+        raise ValueError("need at least two samples")
+    mean_x = sum(x) / n
+    mean_y = sum(y) / n
+    cov = sum((a - mean_x) * (b - mean_y) for a, b in zip(x, y))
+    var_x = sum((a - mean_x) ** 2 for a in x)
+    var_y = sum((b - mean_y) ** 2 for b in y)
+    # sqrt each variance separately (their product can underflow to 0 for
+    # denormal inputs) and clamp against floating-point excursions.
+    denominator = math.sqrt(var_x) * math.sqrt(var_y)
+    if denominator == 0.0:
+        return 0.0
+    return max(-1.0, min(1.0, cov / denominator))
+
+
+def mean_abs_relative_error(reference: Iterable[float], measured: Iterable[float]) -> float:
+    """Mean of |reference - measured| / reference (the paper's error metric)."""
+    ref = list(reference)
+    mes = list(measured)
+    if len(ref) != len(mes):
+        raise ValueError("sequences must have equal length")
+    if not ref:
+        raise ValueError("need at least one sample")
+    errors = []
+    for r, m in zip(ref, mes):
+        if r == 0:
+            raise ValueError("reference value of zero makes relative error undefined")
+        errors.append(abs(r - m) / abs(r))
+    return sum(errors) / len(errors)

@@ -1,0 +1,11 @@
+"""Geometry substrate: vector math, transforms, meshes and procedural models.
+
+Stands in for the 3D assets the paper renders (Sibenik, Spot, Suzanne,
+Teapot, plus the case-study-I Android app models) — see DESIGN.md §1 for the
+substitution rationale.
+"""
+
+from repro.geometry.mesh import Mesh, PrimitiveMode
+from repro.geometry.models import model_by_name, MODEL_NAMES
+
+__all__ = ["Mesh", "PrimitiveMode", "model_by_name", "MODEL_NAMES"]

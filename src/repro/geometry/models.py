@@ -1,0 +1,396 @@
+"""Procedural model zoo standing in for the paper's 3D assets.
+
+Case study I (Table 6) renders an Android app displaying *Chair*, *Cube*,
+*Mask* and *Triangles*; case study II (Table 8) renders *Sibenik*, *Spot*,
+*Cube*, *Suzanne*, *Suzanne-transparent* and *Teapot*.  The original assets
+are external downloads; these procedural stand-ins give the same graded
+complexity knobs (vertex count, screen coverage, texture use, translucency)
+fully deterministically.  See DESIGN.md §1.
+
+All builders take a ``detail`` factor so tests can use tiny meshes and
+benchmarks denser ones.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.geometry.mesh import Mesh, PrimitiveMode
+
+
+def parametric_surface(
+    fn: Callable[[float, float], tuple[float, float, float]],
+    nu: int,
+    nv: int,
+    name: str = "surface",
+    wrap_u: bool = False,
+) -> Mesh:
+    """Tessellate ``fn(u, v) -> (x, y, z)`` over the unit square.
+
+    ``nu`` x ``nv`` quads, each split into two triangles.  When ``wrap_u``
+    the u=1 column reuses the u=0 vertices (closed surfaces of revolution).
+    """
+    if nu < 1 or nv < 1:
+        raise ValueError("need at least one quad in each direction")
+    cols = nu if wrap_u else nu + 1
+    rows = nv + 1
+    positions = np.zeros((cols * rows, 3))
+    uvs = np.zeros((cols * rows, 2))
+    for j in range(rows):
+        v = j / nv
+        for i in range(cols):
+            u = i / nu
+            positions[j * cols + i] = fn(u, v)
+            uvs[j * cols + i] = (u, v)
+    indices = []
+    for j in range(nv):
+        for i in range(nu):
+            i_next = (i + 1) % cols if wrap_u else i + 1
+            a = j * cols + i
+            b = j * cols + i_next
+            c = (j + 1) * cols + i
+            d = (j + 1) * cols + i_next
+            indices.extend([a, c, b, b, c, d])
+    mesh = Mesh(
+        positions=positions,
+        indices=np.array(indices, dtype=np.int64),
+        uvs=uvs,
+        name=name,
+    )
+    return mesh.with_computed_normals()
+
+
+def box(width: float = 1.0, height: float = 1.0, depth: float = 1.0,
+        name: str = "box", inward: bool = False) -> Mesh:
+    """Axis-aligned box centered at the origin, per-face uv in [0, 1].
+
+    ``inward=True`` flips winding (and normals) so the *inside* faces the
+    camera — used for room interiors (the Sibenik stand-in).
+    """
+    hw, hh, hd = width / 2, height / 2, depth / 2
+    # Each face: 4 vertices, 2 triangles; normals are face-constant.
+    faces = [
+        # (normal, origin, u-axis, v-axis)
+        ((0, 0, 1), (-hw, -hh, hd), (width, 0, 0), (0, height, 0)),    # front
+        ((0, 0, -1), (hw, -hh, -hd), (-width, 0, 0), (0, height, 0)),  # back
+        ((1, 0, 0), (hw, -hh, hd), (0, 0, -depth), (0, height, 0)),    # right
+        ((-1, 0, 0), (-hw, -hh, -hd), (0, 0, depth), (0, height, 0)),  # left
+        ((0, 1, 0), (-hw, hh, hd), (width, 0, 0), (0, 0, -depth)),     # top
+        ((0, -1, 0), (-hw, -hh, -hd), (width, 0, 0), (0, 0, depth)),   # bottom
+    ]
+    positions, normals, uvs, indices = [], [], [], []
+    for normal, origin, u_axis, v_axis in faces:
+        base = len(positions)
+        o = np.array(origin, dtype=np.float64)
+        u = np.array(u_axis, dtype=np.float64)
+        v = np.array(v_axis, dtype=np.float64)
+        n = np.array(normal, dtype=np.float64)
+        if inward:
+            n = -n
+        for du, dv in ((0, 0), (1, 0), (0, 1), (1, 1)):
+            positions.append(o + du * u + dv * v)
+            normals.append(n)
+            uvs.append((du, dv))
+        tri = [base, base + 1, base + 2, base + 1, base + 3, base + 2]
+        if inward:
+            tri = [base, base + 2, base + 1, base + 1, base + 2, base + 3]
+        indices.extend(tri)
+    return Mesh(
+        positions=np.array(positions),
+        indices=np.array(indices, dtype=np.int64),
+        normals=np.array(normals),
+        uvs=np.array(uvs),
+        name=name,
+    )
+
+
+def sphere(radius: float = 1.0, detail: int = 8, name: str = "sphere") -> Mesh:
+    """Lat-long sphere; ``detail`` sets meridian count (2*detail parallels)."""
+
+    def fn(u: float, v: float) -> tuple[float, float, float]:
+        theta = v * math.pi          # 0 at north pole
+        phi = u * 2.0 * math.pi
+        return (
+            radius * math.sin(theta) * math.cos(phi),
+            radius * math.cos(theta),
+            radius * math.sin(theta) * math.sin(phi),
+        )
+
+    return parametric_surface(fn, nu=2 * detail, nv=detail, name=name, wrap_u=True)
+
+
+def displaced_sphere(
+    radius: float,
+    detail: int,
+    displacement: Callable[[float, float], float],
+    name: str,
+) -> Mesh:
+    """Sphere whose radius is modulated by ``displacement(u, v)``."""
+
+    def fn(u: float, v: float) -> tuple[float, float, float]:
+        theta = v * math.pi
+        phi = u * 2.0 * math.pi
+        r = radius * (1.0 + displacement(u, v))
+        return (
+            r * math.sin(theta) * math.cos(phi),
+            r * math.cos(theta),
+            r * math.sin(theta) * math.sin(phi),
+        )
+
+    return parametric_surface(fn, nu=2 * detail, nv=detail, name=name, wrap_u=True)
+
+
+def torus(major: float = 1.0, minor: float = 0.3, detail: int = 8,
+          name: str = "torus") -> Mesh:
+    def fn(u: float, v: float) -> tuple[float, float, float]:
+        phi = u * 2.0 * math.pi
+        theta = v * 2.0 * math.pi
+        r = major + minor * math.cos(theta)
+        return (r * math.cos(phi), minor * math.sin(theta), r * math.sin(phi))
+
+    return parametric_surface(fn, nu=2 * detail, nv=detail, name=name, wrap_u=True)
+
+
+def surface_of_revolution(profile: list[tuple[float, float]], detail: int = 12,
+                          name: str = "revolution") -> Mesh:
+    """Revolve an (r, y) profile polyline around the Y axis."""
+    if len(profile) < 2:
+        raise ValueError("profile needs at least two points")
+
+    def fn(u: float, v: float) -> tuple[float, float, float]:
+        phi = u * 2.0 * math.pi
+        t = v * (len(profile) - 1)
+        seg = min(int(t), len(profile) - 2)
+        frac = t - seg
+        r = profile[seg][0] * (1 - frac) + profile[seg + 1][0] * frac
+        y = profile[seg][1] * (1 - frac) + profile[seg + 1][1] * frac
+        return (r * math.cos(phi), y, r * math.sin(phi))
+
+    return parametric_surface(fn, nu=2 * detail, nv=len(profile) * 2,
+                              name=name, wrap_u=True)
+
+
+# ---------------------------------------------------------------------------
+# Case study I models (Table 6): an Android app showing simple 3D content.
+# ---------------------------------------------------------------------------
+
+def chair(detail: int = 1) -> Mesh:
+    """M1 *Chair*: seat + back + four legs; the largest CS1 model."""
+    seat = box(1.0, 0.12, 1.0, name="seat").transformed(_t(0.0, 0.5, 0.0))
+    back = box(1.0, 1.0, 0.12, name="back").transformed(_t(0.0, 1.05, -0.44))
+    legs = []
+    for sx in (-0.42, 0.42):
+        for sz in (-0.42, 0.42):
+            legs.append(box(0.1, 0.5, 0.1).transformed(_t(sx, 0.22, sz)))
+    mesh = seat
+    for part in [back] + legs:
+        mesh = mesh.merged_with(part)
+    # Extra tessellated cushion adds vertex weight proportional to detail.
+    cushion = parametric_surface(
+        lambda u, v: ((u - 0.5) * 0.9,
+                      0.58 + 0.05 * math.sin(u * math.pi) * math.sin(v * math.pi),
+                      (v - 0.5) * 0.9),
+        nu=6 * detail, nv=6 * detail, name="cushion")
+    mesh = mesh.merged_with(cushion)
+    mesh.name = "chair"
+    return mesh
+
+
+def cube(detail: int = 1) -> Mesh:
+    """M2/W3 *Cube*."""
+    mesh = box(1.4, 1.4, 1.4, name="cube")
+    return mesh
+
+
+def mask(detail: int = 2) -> Mesh:
+    """M3 *Mask*: a dense displaced half-shell (face-like), heavy geometry."""
+
+    def features(u: float, v: float) -> float:
+        # Nose ridge + brows + cheeks: smooth bumps over the front half.
+        nose = 0.18 * math.exp(-(((u - 0.5) * 8) ** 2 + ((v - 0.55) * 6) ** 2))
+        brow = 0.08 * math.exp(-(((u - 0.35) * 10) ** 2 + ((v - 0.35) * 12) ** 2))
+        brow2 = 0.08 * math.exp(-(((u - 0.65) * 10) ** 2 + ((v - 0.35) * 12) ** 2))
+        chin = 0.10 * math.exp(-(((u - 0.5) * 6) ** 2 + ((v - 0.85) * 8) ** 2))
+        return nose + brow + brow2 + chin
+
+    def fn(u: float, v: float) -> tuple[float, float, float]:
+        theta = v * math.pi
+        phi = (u - 0.5) * math.pi          # half shell facing +Z
+        r = 1.0 + features(u, v)
+        return (
+            r * math.sin(theta) * math.sin(phi),
+            r * math.cos(theta),
+            r * math.sin(theta) * math.cos(phi),
+        )
+
+    return parametric_surface(fn, nu=10 * detail, nv=10 * detail, name="mask")
+
+
+def triangles(detail: int = 1) -> Mesh:
+    """M4 *Triangles*: a flat triangle fan, the simplest CS1 model."""
+    n = 6 * detail
+    positions = [(0.0, 0.0, 0.0)]
+    uvs = [(0.5, 0.5)]
+    for i in range(n + 1):
+        a = 2.0 * math.pi * i / n
+        positions.append((math.cos(a), math.sin(a), 0.0))
+        uvs.append((0.5 + 0.5 * math.cos(a), 0.5 + 0.5 * math.sin(a)))
+    indices = list(range(n + 2))
+    mesh = Mesh(
+        positions=np.array(positions),
+        indices=np.array(indices, dtype=np.int64),
+        uvs=np.array(uvs),
+        normals=np.tile(np.array([0.0, 0.0, 1.0]), (n + 2, 1)),
+        mode=PrimitiveMode.TRIANGLE_FAN,
+        name="triangles",
+    )
+    return mesh
+
+
+# ---------------------------------------------------------------------------
+# Case study II workloads (Table 8).
+# ---------------------------------------------------------------------------
+
+def sibenik(detail: int = 2) -> Mesh:
+    """W1 *Sibenik* stand-in: a cathedral-like interior.
+
+    An inward-facing hall with two rows of columns and a vaulted ceiling
+    strip — like the original, fragments cover essentially the whole screen
+    and depth complexity is moderate.
+    """
+    hall = box(8.0, 4.0, 16.0, name="hall", inward=True)
+    mesh = hall
+    for z in np.linspace(-6.0, 6.0, 2 + 2 * detail):
+        for x in (-2.5, 2.5):
+            column = surface_of_revolution(
+                [(0.45, 0.0), (0.3, 0.4), (0.3, 3.2), (0.5, 3.8)],
+                detail=3 + detail, name="column",
+            ).transformed(_t(x, -2.0, z))
+            mesh = mesh.merged_with(column)
+    vault = parametric_surface(
+        lambda u, v: ((u - 0.5) * 7.0,
+                      1.4 + 0.55 * math.sin(u * math.pi),
+                      (v - 0.5) * 15.0),
+        nu=6 * detail, nv=8 * detail, name="vault")
+    mesh = mesh.merged_with(vault)
+    mesh.name = "sibenik"
+    return mesh
+
+
+def spot(detail: int = 6) -> Mesh:
+    """W2 *Spot* stand-in: a cow-like blob (stretched sphere + head bump)."""
+
+    def disp(u: float, v: float) -> float:
+        head = 0.45 * math.exp(-(((u - 0.25) * 5) ** 2 + ((v - 0.4) * 4) ** 2))
+        body = 0.25 * math.sin(v * math.pi)
+        return head + body
+
+    mesh = displaced_sphere(0.8, detail, disp, name="spot")
+    mesh.positions[:, 2] *= 1.4      # stretch along z
+    return mesh.with_computed_normals()
+
+
+def suzanne(detail: int = 6, translucent: bool = False) -> Mesh:
+    """W4/W5 *Suzanne* stand-in: a monkey-head-like displaced sphere.
+
+    ``translucent=True`` builds W5: same geometry with alpha 0.55 vertex
+    color, rendered with blending enabled.
+    """
+
+    def disp(u: float, v: float) -> float:
+        ear1 = 0.5 * math.exp(-(((u - 0.08) * 9) ** 2 + ((v - 0.35) * 7) ** 2))
+        ear2 = 0.5 * math.exp(-(((u - 0.92) * 9) ** 2 + ((v - 0.35) * 7) ** 2))
+        muzzle = 0.35 * math.exp(-(((u - 0.5) * 4) ** 2 + ((v - 0.62) * 5) ** 2))
+        brow = 0.15 * math.sin(u * 2 * math.pi) * math.exp(-((v - 0.3) * 6) ** 2)
+        return ear1 + ear2 + muzzle + brow
+
+    name = "suzanne_transparent" if translucent else "suzanne"
+    mesh = displaced_sphere(0.9, detail, disp, name=name)
+    alpha = 0.55 if translucent else 1.0
+    mesh.colors = np.tile(np.array([1.0, 1.0, 1.0, alpha]), (mesh.num_vertices, 1))
+    return mesh
+
+
+def teapot(detail: int = 6) -> Mesh:
+    """W6 *Teapot* stand-in: body of revolution + spout + handle + lid."""
+    body_profile = [
+        (0.01, 0.0), (0.7, 0.05), (0.95, 0.45), (1.0, 0.9),
+        (0.85, 1.35), (0.6, 1.55), (0.01, 1.6),
+    ]
+    body = surface_of_revolution(body_profile, detail=detail, name="body")
+    lid = surface_of_revolution(
+        [(0.01, 1.58), (0.3, 1.62), (0.12, 1.78), (0.18, 1.9), (0.01, 1.98)],
+        detail=max(3, detail // 2), name="lid")
+    handle = torus(0.55, 0.09, detail=max(3, detail // 2), name="handle")
+    handle = handle.transformed(
+        _t(-1.25, 0.9, 0.0) @ _rz(math.pi / 2) @ _rx(math.pi / 2))
+
+    def spout_fn(u: float, v: float) -> tuple[float, float, float]:
+        # A bent cone from the body wall outward.
+        t = v
+        radius = 0.16 * (1.0 - 0.55 * t)
+        angle = u * 2.0 * math.pi
+        cx = 0.9 + 0.75 * t
+        cy = 0.55 + 0.75 * t * t
+        return (
+            cx + radius * math.cos(angle) * 0.4,
+            cy + radius * math.sin(angle),
+            radius * math.cos(angle) * 0.9,
+        )
+
+    spout = parametric_surface(spout_fn, nu=max(4, detail), nv=max(4, detail),
+                               name="spout", wrap_u=True)
+    mesh = body
+    for part in (lid, handle, spout):
+        mesh = mesh.merged_with(part)
+    mesh.name = "teapot"
+    return mesh
+
+
+def _t(x: float, y: float, z: float) -> np.ndarray:
+    from repro.geometry.transforms import translate
+    return translate(x, y, z)
+
+
+def _rx(a: float) -> np.ndarray:
+    from repro.geometry.transforms import rotate_x
+    return rotate_x(a)
+
+
+def _rz(a: float) -> np.ndarray:
+    from repro.geometry.transforms import rotate_z
+    return rotate_z(a)
+
+
+# Name -> builder registry used by the harness and benchmarks.
+_BUILDERS: dict[str, Callable[..., Mesh]] = {
+    # Case study I (Table 6)
+    "chair": chair,            # M1
+    "cube": cube,              # M2 / W3
+    "mask": mask,              # M3
+    "triangles": triangles,    # M4
+    # Case study II (Table 8)
+    "sibenik": sibenik,        # W1
+    "spot": spot,              # W2
+    "suzanne": suzanne,        # W4
+    "suzanne_transparent": lambda detail=6: suzanne(detail, translucent=True),  # W5
+    "teapot": teapot,          # W6
+}
+
+MODEL_NAMES = tuple(sorted(_BUILDERS))
+
+CASE_STUDY1_MODELS = ("chair", "cube", "mask", "triangles")          # M1-M4
+CASE_STUDY2_MODELS = ("sibenik", "spot", "cube", "suzanne",
+                      "suzanne_transparent", "teapot")               # W1-W6
+
+
+def model_by_name(name: str, detail: int | None = None) -> Mesh:
+    """Build a registered model; ``detail`` overrides the default density."""
+    if name not in _BUILDERS:
+        raise KeyError(f"unknown model {name!r}; known: {MODEL_NAMES}")
+    if detail is None:
+        return _BUILDERS[name]()
+    return _BUILDERS[name](detail=detail)

@@ -1,0 +1,111 @@
+"""4x4 transform matrices: model/view/projection/viewport.
+
+Conventions match OpenGL: right-handed eye space looking down -Z, clip space
+with w-divide to NDC in [-1, 1]^3, column-vector matrices (``M @ v``).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.vec import cross, normalize
+
+
+def identity() -> np.ndarray:
+    return np.eye(4, dtype=np.float64)
+
+
+def translate(x: float, y: float, z: float) -> np.ndarray:
+    m = identity()
+    m[:3, 3] = (x, y, z)
+    return m
+
+
+def scale(x: float, y: float, z: float) -> np.ndarray:
+    m = identity()
+    m[0, 0], m[1, 1], m[2, 2] = x, y, z
+    return m
+
+
+def rotate_x(radians: float) -> np.ndarray:
+    c, s = math.cos(radians), math.sin(radians)
+    m = identity()
+    m[1, 1], m[1, 2] = c, -s
+    m[2, 1], m[2, 2] = s, c
+    return m
+
+
+def rotate_y(radians: float) -> np.ndarray:
+    c, s = math.cos(radians), math.sin(radians)
+    m = identity()
+    m[0, 0], m[0, 2] = c, s
+    m[2, 0], m[2, 2] = -s, c
+    return m
+
+
+def rotate_z(radians: float) -> np.ndarray:
+    c, s = math.cos(radians), math.sin(radians)
+    m = identity()
+    m[0, 0], m[0, 1] = c, -s
+    m[1, 0], m[1, 1] = s, c
+    return m
+
+
+def perspective(fov_y_radians: float, aspect: float, near: float, far: float) -> np.ndarray:
+    """Standard OpenGL perspective projection matrix."""
+    if near <= 0 or far <= near:
+        raise ValueError(f"need 0 < near < far, got near={near}, far={far}")
+    if aspect <= 0:
+        raise ValueError(f"aspect must be positive, got {aspect}")
+    f = 1.0 / math.tan(fov_y_radians / 2.0)
+    m = np.zeros((4, 4), dtype=np.float64)
+    m[0, 0] = f / aspect
+    m[1, 1] = f
+    m[2, 2] = (far + near) / (near - far)
+    m[2, 3] = 2.0 * far * near / (near - far)
+    m[3, 2] = -1.0
+    return m
+
+
+def orthographic(left: float, right: float, bottom: float, top: float,
+                 near: float, far: float) -> np.ndarray:
+    """Standard OpenGL orthographic projection matrix."""
+    if right == left or top == bottom or far == near:
+        raise ValueError("degenerate orthographic volume")
+    m = identity()
+    m[0, 0] = 2.0 / (right - left)
+    m[1, 1] = 2.0 / (top - bottom)
+    m[2, 2] = -2.0 / (far - near)
+    m[0, 3] = -(right + left) / (right - left)
+    m[1, 3] = -(top + bottom) / (top - bottom)
+    m[2, 3] = -(far + near) / (far - near)
+    return m
+
+
+def look_at(eye: np.ndarray, target: np.ndarray, up: np.ndarray) -> np.ndarray:
+    """View matrix placing the camera at ``eye`` looking at ``target``."""
+    forward = normalize(np.asarray(target, dtype=np.float64) - eye)
+    side = normalize(cross(forward, np.asarray(up, dtype=np.float64)))
+    true_up = cross(side, forward)
+    m = identity()
+    m[0, :3] = side
+    m[1, :3] = true_up
+    m[2, :3] = -forward
+    m[0, 3] = -np.dot(side, eye)
+    m[1, 3] = -np.dot(true_up, eye)
+    m[2, 3] = np.dot(forward, eye)
+    return m
+
+
+def viewport_transform(ndc_x: float, ndc_y: float, width: int, height: int) -> tuple[float, float]:
+    """Map NDC [-1, 1] to pixel coordinates with y=0 at the top row."""
+    px = (ndc_x + 1.0) * 0.5 * width
+    py = (1.0 - ndc_y) * 0.5 * height
+    return px, py
+
+
+def normal_matrix(model: np.ndarray) -> np.ndarray:
+    """3x3 inverse-transpose of the model matrix's linear part."""
+    return np.linalg.inv(model[:3, :3]).T

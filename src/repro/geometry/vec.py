@@ -1,0 +1,55 @@
+"""Small-vector helpers on top of numpy.
+
+All vectors are plain float64 numpy arrays; these helpers just make intent
+explicit (``vec3(1, 2, 3)``) and centralize the few operations the pipeline
+needs (normalize, cross products, homogeneous extension).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def vec2(x: float, y: float) -> np.ndarray:
+    return np.array([x, y], dtype=np.float64)
+
+
+def vec3(x: float, y: float, z: float) -> np.ndarray:
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def vec4(x: float, y: float, z: float, w: float) -> np.ndarray:
+    return np.array([x, y, z, w], dtype=np.float64)
+
+
+def normalize(v: np.ndarray) -> np.ndarray:
+    """Unit vector along ``v``; zero vectors are returned unchanged."""
+    norm = np.linalg.norm(v)
+    if norm == 0.0:
+        return v.copy()
+    return v / norm
+
+
+def cross(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.cross(a, b)
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> float:
+    return float(np.dot(a, b))
+
+
+def to_homogeneous(v: np.ndarray, w: float = 1.0) -> np.ndarray:
+    """Extend a 3-vector to homogeneous coordinates."""
+    if v.shape != (3,):
+        raise ValueError(f"expected a 3-vector, got shape {v.shape}")
+    return np.array([v[0], v[1], v[2], w], dtype=np.float64)
+
+
+def from_homogeneous(v: np.ndarray) -> np.ndarray:
+    """Perspective-divide a clip-space 4-vector down to 3D (NDC)."""
+    if v.shape != (4,):
+        raise ValueError(f"expected a 4-vector, got shape {v.shape}")
+    w = v[3]
+    if w == 0.0:
+        raise ZeroDivisionError("w=0 in perspective divide")
+    return v[:3] / w

@@ -1,0 +1,24 @@
+"""OpenGL-ES-like API surface: state machine, resources, draw-call traces.
+
+This package plays the role Mesa3D plays for Emerald (DESIGN.md §1): it owns
+API state and resources and hands fully-resolved draw calls to either the
+pure-software reference renderer (:mod:`repro.pipeline.renderer`) or the GPU
+timing model (:mod:`repro.gpu`).
+"""
+
+from repro.gl.state import GLState, DepthFunc, BlendFactor, CullMode
+from repro.gl.textures import Texture2D
+from repro.gl.buffers import VertexBuffer, IndexBuffer
+from repro.gl.context import GLContext, DrawCall
+
+__all__ = [
+    "GLState",
+    "DepthFunc",
+    "BlendFactor",
+    "CullMode",
+    "Texture2D",
+    "VertexBuffer",
+    "IndexBuffer",
+    "GLContext",
+    "DrawCall",
+]

@@ -1,0 +1,101 @@
+"""Vertex and index buffer objects with byte-accurate addressing.
+
+Buffers know their layout so the timing model can derive the exact byte
+addresses a vertex fetch touches — vertex data traffic goes through the
+L1C (constant & vertex) cache per Table 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+FLOAT_BYTES = 4
+INDEX_BYTES = 4
+
+
+class VertexBuffer:
+    """Interleaved per-vertex attribute storage.
+
+    ``arrays`` maps attribute name -> (N, width) float array.  The
+    interleaved layout packs each vertex's attributes in declaration order,
+    so vertex ``i`` spans ``[i * stride, (i+1) * stride)`` bytes.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray], name: str = "vbo") -> None:
+        if not arrays:
+            raise ValueError("vertex buffer needs at least one attribute")
+        self.name = name
+        self.base_address: int = 0
+        self._layout: list[tuple[str, int, int]] = []   # (name, offset_floats, width)
+        lengths = {len(np.asarray(a)) for a in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError(f"attribute arrays disagree on vertex count: {lengths}")
+        self.num_vertices = lengths.pop()
+        offset = 0
+        parts = []
+        for attr_name, array in arrays.items():
+            array = np.asarray(array, dtype=np.float64)
+            if array.ndim != 2:
+                raise ValueError(f"attribute {attr_name} must be 2-D")
+            width = array.shape[1]
+            self._layout.append((attr_name, offset, width))
+            offset += width
+            parts.append(array)
+        self.stride_floats = offset
+        self.data = np.hstack(parts)    # (N, stride_floats)
+
+    @property
+    def stride_bytes(self) -> int:
+        return self.stride_floats * FLOAT_BYTES
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_vertices * self.stride_bytes
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return [name for name, _, _ in self._layout]
+
+    def attribute_offset(self, name: str) -> tuple[int, int]:
+        """(float offset within vertex, width) for an attribute."""
+        for attr_name, offset, width in self._layout:
+            if attr_name == name:
+                return offset, width
+        raise KeyError(f"no attribute {name!r} in {self.attribute_names}")
+
+    def fetch(self, name: str, vertex_indices: np.ndarray) -> np.ndarray:
+        """Attribute values for a set of vertices, shape (len(idx), width)."""
+        offset, width = self.attribute_offset(name)
+        return self.data[np.asarray(vertex_indices, dtype=np.int64),
+                         offset:offset + width]
+
+    def vertex_addresses(self, vertex_index: int) -> tuple[int, int]:
+        """(start byte address, byte length) of one vertex's record."""
+        if not (0 <= vertex_index < self.num_vertices):
+            raise IndexError(f"vertex {vertex_index} out of range")
+        start = self.base_address + vertex_index * self.stride_bytes
+        return start, self.stride_bytes
+
+
+class IndexBuffer:
+    """Primitive index storage (32-bit indices)."""
+
+    def __init__(self, indices: np.ndarray, name: str = "ibo") -> None:
+        self.indices = np.asarray(indices, dtype=np.int64)
+        if self.indices.ndim != 1:
+            raise ValueError("indices must be 1-D")
+        self.name = name
+        self.base_address: int = 0
+
+    @property
+    def count(self) -> int:
+        return len(self.indices)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.count * INDEX_BYTES
+
+    def address_of(self, position: int) -> int:
+        if not (0 <= position < self.count):
+            raise IndexError(f"index position {position} out of range")
+        return self.base_address + position * INDEX_BYTES

@@ -1,0 +1,208 @@
+"""The GL context: resource and state management plus draw-call assembly.
+
+:class:`GLContext` is the reproduction's Mesa: applications (examples, the
+Android-like app model, trace replay) talk to it, and it emits fully
+resolved :class:`DrawCall` records that either the reference renderer or the
+GPU timing model consume.  It also owns a bump allocator that gives every
+buffer, texture and framebuffer a unique byte address range, so downstream
+timing models see a consistent address space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.mesh import Mesh, PrimitiveMode
+from repro.gl.buffers import IndexBuffer, VertexBuffer
+from repro.gl.state import GLState
+from repro.gl.textures import Texture2D
+
+ALIGN = 128     # allocate on cache-line boundaries
+
+
+@dataclass
+class DrawCall:
+    """Everything needed to render one glDrawElements-equivalent call.
+
+    ``uniform_base`` is the byte address of this call's uniform block in the
+    GPU address space; constant-cache traffic is derived from it.
+    """
+
+    name: str
+    vbo: VertexBuffer
+    ibo: IndexBuffer
+    mode: PrimitiveMode
+    vs_source: str
+    fs_source: str
+    uniforms: dict[str, np.ndarray]
+    textures: dict[str, Texture2D]
+    state: GLState
+    uniform_base: int = 0
+
+    @property
+    def num_primitives(self) -> int:
+        if self.mode is PrimitiveMode.TRIANGLES:
+            return self.ibo.count // 3
+        return max(0, self.ibo.count - 2)
+
+    def flat_uniform(self, name: str) -> np.ndarray:
+        """A uniform's value flattened to a 1-D float array (row-major)."""
+        if name not in self.uniforms:
+            raise KeyError(
+                f"draw call {self.name!r} has no uniform {name!r}; "
+                f"known: {sorted(self.uniforms)}")
+        return np.asarray(self.uniforms[name], dtype=np.float64).reshape(-1)
+
+
+@dataclass
+class Frame:
+    """One rendered frame: ordered draw calls plus clear state."""
+
+    width: int
+    height: int
+    draw_calls: list[DrawCall] = field(default_factory=list)
+    clear_color: tuple[float, float, float, float] = (0.0, 0.0, 0.0, 1.0)
+    clear_depth: float = 1.0
+    clear_stencil: int = 0
+    index: int = 0
+    # GPU-visible buffer addresses (from the owning context's allocator);
+    # the display controller scans ``color_base``.
+    color_base: int = 0
+    depth_base: int = 0
+    stencil_base: int = 0
+
+    @property
+    def num_primitives(self) -> int:
+        return sum(dc.num_primitives for dc in self.draw_calls)
+
+
+class AddressAllocator:
+    """Deterministic bump allocator for the GPU-visible address space."""
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        self._next = base
+
+    def allocate(self, size_bytes: int) -> int:
+        if size_bytes <= 0:
+            raise ValueError(f"allocation size must be positive, got {size_bytes}")
+        address = self._next
+        self._next += (size_bytes + ALIGN - 1) // ALIGN * ALIGN
+        return address
+
+
+class GLContext:
+    """API state machine and draw-call recorder.
+
+    Typical use::
+
+        ctx = GLContext(256, 192)
+        ctx.use_program(vs_src, fs_src)
+        ctx.set_uniform("mvp", mvp)
+        ctx.bind_texture("albedo", checkerboard())
+        ctx.draw_mesh(mesh)
+        frame = ctx.end_frame()
+    """
+
+    def __init__(self, width: int, height: int) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("framebuffer dimensions must be positive")
+        self.width = width
+        self.height = height
+        self.state = GLState(viewport=(width, height))
+        self.allocator = AddressAllocator()
+        self.framebuffer_address = self.allocator.allocate(width * height * 4)
+        self.depthbuffer_address = self.allocator.allocate(width * height * 4)
+        self.stencilbuffer_address = self.allocator.allocate(width * height)
+        self._vs_source: Optional[str] = None
+        self._fs_source: Optional[str] = None
+        self._uniforms: dict[str, np.ndarray] = {}
+        self._textures: dict[str, Texture2D] = {}
+        self._draw_calls: list[DrawCall] = []
+        self._frame_index = 0
+        # Keyed by id(mesh); the mesh itself is kept in the value so the id
+        # stays valid (a collected mesh would let Python reuse its id and
+        # silently alias another mesh to the wrong buffers).
+        self._buffer_cache: dict[int, tuple[Mesh, VertexBuffer, IndexBuffer]] = {}
+
+    # -- state ------------------------------------------------------------
+
+    def set_state(self, **changes) -> None:
+        """Update render state, e.g. ``set_state(blend=True)``."""
+        self.state = self.state.with_(**changes)
+
+    def use_program(self, vs_source: str, fs_source: str) -> None:
+        self._vs_source = vs_source
+        self._fs_source = fs_source
+
+    def set_uniform(self, name: str, value) -> None:
+        self._uniforms[name] = np.asarray(value, dtype=np.float64)
+
+    def bind_texture(self, name: str, texture: Texture2D) -> None:
+        if texture.base_address == 0:
+            texture.base_address = self.allocator.allocate(texture.size_bytes)
+        self._textures[name] = texture
+
+    # -- drawing ----------------------------------------------------------
+
+    def buffers_for_mesh(self, mesh: Mesh) -> tuple[VertexBuffer, IndexBuffer]:
+        """VBO/IBO for a mesh, cached so repeat frames reuse addresses."""
+        key = id(mesh)
+        if key not in self._buffer_cache:
+            arrays: dict[str, np.ndarray] = {"position": mesh.positions}
+            if mesh.normals is not None:
+                arrays["normal"] = mesh.normals
+            if mesh.uvs is not None:
+                arrays["uv"] = mesh.uvs
+            if mesh.colors is not None:
+                arrays["color"] = mesh.colors
+            vbo = VertexBuffer(arrays, name=f"{mesh.name}_vbo")
+            vbo.base_address = self.allocator.allocate(vbo.size_bytes)
+            ibo = IndexBuffer(mesh.indices, name=f"{mesh.name}_ibo")
+            ibo.base_address = self.allocator.allocate(ibo.size_bytes)
+            self._buffer_cache[key] = (mesh, vbo, ibo)
+        _, vbo, ibo = self._buffer_cache[key]
+        return vbo, ibo
+
+    def draw_mesh(self, mesh: Mesh, name: Optional[str] = None) -> DrawCall:
+        """Record a draw call for a mesh with the current state/program."""
+        if self._vs_source is None or self._fs_source is None:
+            raise RuntimeError("no shader program bound; call use_program() first")
+        vbo, ibo = self.buffers_for_mesh(mesh)
+        uniform_floats = sum(
+            np.asarray(v).size for v in self._uniforms.values())
+        uniform_base = self.allocator.allocate(max(uniform_floats, 1) * 4)
+        call = DrawCall(
+            uniform_base=uniform_base,
+            name=name or mesh.name,
+            vbo=vbo,
+            ibo=ibo,
+            mode=mesh.mode,
+            vs_source=self._vs_source,
+            fs_source=self._fs_source,
+            uniforms=dict(self._uniforms),
+            textures=dict(self._textures),
+            state=self.state,
+        )
+        self._draw_calls.append(call)
+        return call
+
+    def end_frame(self) -> Frame:
+        """Finish the current frame and return it; clears the call list."""
+        frame = Frame(
+            width=self.width,
+            height=self.height,
+            draw_calls=self._draw_calls,
+            clear_color=self.state.clear_color,
+            clear_depth=self.state.clear_depth,
+            clear_stencil=self.state.clear_stencil,
+            index=self._frame_index,
+            color_base=self.framebuffer_address,
+            depth_base=self.depthbuffer_address,
+            stencil_base=self.stencilbuffer_address,
+        )
+        self._draw_calls = []
+        self._frame_index += 1
+        return frame

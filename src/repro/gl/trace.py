@@ -1,0 +1,194 @@
+"""Draw-call trace record/replay — the APITrace substitute (DESIGN.md §1).
+
+Emerald's standalone mode replays API traces recorded with APITrace; here a
+:class:`TraceRecorder` captures every draw call a :class:`GLContext` frame
+contains into a JSON document, and :func:`replay` reconstructs frames
+through a fresh context.  A region of interest (frame range, draw range)
+can be selected at replay time, mirroring Emerald's frame/draw-call ROI
+support (§4.1).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.mesh import Mesh, PrimitiveMode
+from repro.gl.context import DrawCall, Frame, GLContext
+from repro.gl.state import (BlendFactor, CullMode, DepthFunc, GLState,
+                            StencilOp)
+from repro.gl.textures import Texture2D
+
+
+def _state_to_dict(state: GLState) -> dict:
+    return {
+        "depth_test": state.depth_test,
+        "depth_write": state.depth_write,
+        "depth_func": state.depth_func.value,
+        "blend": state.blend,
+        "blend_src": state.blend_src.value,
+        "blend_dst": state.blend_dst.value,
+        "cull": state.cull.value,
+        "stencil_test": state.stencil_test,
+        "stencil_func": state.stencil_func.value,
+        "stencil_ref": state.stencil_ref,
+        "stencil_pass_op": state.stencil_pass_op.value,
+        "clear_color": list(state.clear_color),
+        "clear_depth": state.clear_depth,
+        "clear_stencil": state.clear_stencil,
+        "viewport": list(state.viewport),
+    }
+
+
+def _state_from_dict(d: dict) -> GLState:
+    return GLState(
+        depth_test=d["depth_test"],
+        depth_write=d["depth_write"],
+        depth_func=DepthFunc(d["depth_func"]),
+        blend=d["blend"],
+        blend_src=BlendFactor(d["blend_src"]),
+        blend_dst=BlendFactor(d["blend_dst"]),
+        cull=CullMode(d["cull"]),
+        stencil_test=d.get("stencil_test", False),
+        stencil_func=DepthFunc(d.get("stencil_func", "always")),
+        stencil_ref=d.get("stencil_ref", 0),
+        stencil_pass_op=StencilOp(d.get("stencil_pass_op", "keep")),
+        clear_color=tuple(d["clear_color"]),
+        clear_depth=d["clear_depth"],
+        clear_stencil=d.get("clear_stencil", 0),
+        viewport=tuple(d["viewport"]),
+    )
+
+
+def _draw_call_to_dict(call: DrawCall) -> dict:
+    vbo = call.vbo
+    mesh_arrays = {}
+    for attr in vbo.attribute_names:
+        offset, width = vbo.attribute_offset(attr)
+        mesh_arrays[attr] = vbo.data[:, offset:offset + width].tolist()
+    return {
+        "name": call.name,
+        "mode": call.mode.value,
+        "attributes": mesh_arrays,
+        "indices": call.ibo.indices.tolist(),
+        "vs_source": call.vs_source,
+        "fs_source": call.fs_source,
+        "uniforms": {k: np.asarray(v).tolist() for k, v in call.uniforms.items()},
+        "textures": {
+            k: {"name": t.name, "data": t.data.tolist()}
+            for k, t in call.textures.items()
+        },
+        "state": _state_to_dict(call.state),
+    }
+
+
+class TraceRecorder:
+    """Accumulates frames and serializes them to a JSON trace."""
+
+    def __init__(self) -> None:
+        self._frames: list[Frame] = []
+
+    def record_frame(self, frame: Frame) -> None:
+        self._frames.append(frame)
+
+    def to_json(self) -> str:
+        doc = {
+            "version": 1,
+            "frames": [
+                {
+                    "width": f.width,
+                    "height": f.height,
+                    "clear_color": list(f.clear_color),
+                    "clear_depth": f.clear_depth,
+                    "clear_stencil": f.clear_stencil,
+                    "draw_calls": [_draw_call_to_dict(dc) for dc in f.draw_calls],
+                }
+                for f in self._frames
+            ],
+        }
+        return json.dumps(doc)
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+
+@dataclass
+class RegionOfInterest:
+    """Frame/draw-call window to replay (None bounds = unbounded)."""
+
+    first_frame: int = 0
+    last_frame: Optional[int] = None
+    first_draw: int = 0
+    last_draw: Optional[int] = None
+
+    def includes_frame(self, index: int) -> bool:
+        if index < self.first_frame:
+            return False
+        return self.last_frame is None or index <= self.last_frame
+
+    def includes_draw(self, index: int) -> bool:
+        if index < self.first_draw:
+            return False
+        return self.last_draw is None or index <= self.last_draw
+
+
+def replay(trace_json: str, roi: Optional[RegionOfInterest] = None) -> list[Frame]:
+    """Reconstruct frames from a JSON trace through a fresh GLContext."""
+    doc = json.loads(trace_json)
+    if doc.get("version") != 1:
+        raise ValueError(f"unsupported trace version {doc.get('version')!r}")
+    roi = roi or RegionOfInterest()
+    frames: list[Frame] = []
+    context: Optional[GLContext] = None
+    mesh_cache: dict[str, Mesh] = {}
+    texture_cache: dict[str, Texture2D] = {}
+    for frame_index, frame_doc in enumerate(doc["frames"]):
+        if not roi.includes_frame(frame_index):
+            continue
+        if context is None:
+            context = GLContext(frame_doc["width"], frame_doc["height"])
+        for draw_index, call_doc in enumerate(frame_doc["draw_calls"]):
+            if not roi.includes_draw(draw_index):
+                continue
+            attrs = {k: np.asarray(v) for k, v in call_doc["attributes"].items()}
+            # Key on content (not call name) so repeated meshes share
+            # buffers — and therefore addresses — across frames.
+            mesh_key = json.dumps(
+                {"i": call_doc["indices"], "m": call_doc["mode"],
+                 "a": call_doc["attributes"]}, sort_keys=True)
+            if mesh_key not in mesh_cache:
+                mesh_cache[mesh_key] = Mesh(
+                    positions=attrs["position"],
+                    indices=np.asarray(call_doc["indices"], dtype=np.int64),
+                    normals=attrs.get("normal"),
+                    uvs=attrs.get("uv"),
+                    colors=attrs.get("color"),
+                    mode=PrimitiveMode(call_doc["mode"]),
+                    name=call_doc["name"],
+                )
+            context.state = _state_from_dict(call_doc["state"])
+            context.use_program(call_doc["vs_source"], call_doc["fs_source"])
+            context._uniforms = {
+                k: np.asarray(v) for k, v in call_doc["uniforms"].items()
+            }
+            for tex_name, tex_doc in call_doc["textures"].items():
+                if tex_doc["name"] not in texture_cache:
+                    texture_cache[tex_doc["name"]] = Texture2D(
+                        np.asarray(tex_doc["data"]), name=tex_doc["name"])
+                context.bind_texture(tex_name, texture_cache[tex_doc["name"]])
+            context.draw_mesh(mesh_cache[mesh_key], name=call_doc["name"])
+        frame = context.end_frame()
+        frame.clear_color = tuple(frame_doc["clear_color"])
+        frame.clear_depth = frame_doc["clear_depth"]
+        frame.clear_stencil = frame_doc.get("clear_stencil", 0)
+        frames.append(frame)
+    return frames
+
+
+def load(path: str, roi: Optional[RegionOfInterest] = None) -> list[Frame]:
+    with open(path) as handle:
+        return replay(handle.read(), roi)

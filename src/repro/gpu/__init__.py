@@ -1,0 +1,12 @@
+"""The Emerald GPU timing model (the paper's contribution, §3).
+
+SIMT cores with per-type L1 caches, the vertex launcher, the VPO primitive
+distribution unit with its reorder buffers, setup/coarse/fine raster, the
+Hi-Z stage, the tile-coalescing (TC) stage with its work-tile mapping knob,
+in-shader raster operations, a shared L2 behind an interconnect, and the
+DFSL dynamic load balancer of case study II.
+"""
+
+from repro.gpu.gpu import EmeraldGPU, GPUFrameStats, DRAMPort
+
+__all__ = ["EmeraldGPU", "GPUFrameStats", "DRAMPort"]

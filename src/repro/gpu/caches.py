@@ -1,0 +1,162 @@
+"""Set-associative caches with MSHRs, event-driven.
+
+Write-back, write-allocate, true-LRU.  Misses allocate an MSHR; secondary
+misses to an in-flight line merge into it.  Fills may evict a dirty line,
+which emits a writeback to the next level.  The next level is anything with
+an ``access(address, size, write, callback)`` method — another cache, a
+latency adapter, or the DRAM-backed memory port.
+
+Simplifications vs. GPGPU-Sim, by design (documented per DESIGN.md §4):
+no port-contention modeling inside a cache (the DRAM bus and core issue
+slots are the modeled bottlenecks) and MSHR occupancy is tracked
+statistically rather than back-pressuring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from repro.common.config import CacheConfig
+from repro.common.events import EventQueue
+from repro.common.stats import StatGroup
+
+
+class MemoryLevel(Protocol):
+    def access(self, address: int, size: int, write: bool,
+               callback: Optional[Callable[[], None]]) -> None:
+        ...
+
+
+class LatencyPort:
+    """Fixed-latency hop (an interconnect link) in front of another level."""
+
+    def __init__(self, events: EventQueue, latency: int,
+                 next_level: MemoryLevel) -> None:
+        self.events = events
+        self.latency = latency
+        self.next_level = next_level
+
+    def access(self, address, size, write, callback):
+        self.events.schedule(self.latency, self.next_level.access,
+                             address, size, write, callback)
+
+
+class PerfectMemory:
+    """A fixed-latency backstop used by unit tests and microbenchmarks."""
+
+    def __init__(self, events: EventQueue, latency: int = 100) -> None:
+        self.events = events
+        self.latency = latency
+        self.accesses = 0
+        self.bytes = 0
+
+    def access(self, address, size, write, callback):
+        self.accesses += 1
+        self.bytes += size
+        if callback is not None:
+            self.events.schedule(self.latency, callback)
+
+
+@dataclass
+class _MSHREntry:
+    callbacks: list = field(default_factory=list)
+    write: bool = False
+
+
+class Cache:
+    """One cache level; see module docstring."""
+
+    def __init__(self, events: EventQueue, config: CacheConfig, name: str,
+                 next_level: MemoryLevel,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.events = events
+        self.config = config
+        self.name = name
+        self.next_level = next_level
+        self.stats = stats or StatGroup(name)
+        # sets: list of OrderedDict tag -> dirty flag (LRU order: oldest first)
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(config.num_sets)]
+        self._mshrs: dict[int, _MSHREntry] = {}
+
+    # -- address helpers --------------------------------------------------------
+
+    def line_of(self, address: int) -> int:
+        return address // self.config.line_bytes
+
+    def _set_index(self, line: int) -> int:
+        return line % self.config.num_sets
+
+    # -- main entry ---------------------------------------------------------------
+
+    def access(self, address: int, size: int, write: bool,
+               callback: Optional[Callable[[], None]] = None) -> None:
+        """Access one line (callers must split multi-line requests)."""
+        line = self.line_of(address)
+        cache_set = self._sets[self._set_index(line)]
+        self.stats.counter("accesses").add()
+        if line in cache_set:
+            self.stats.rate("hit").record(True)
+            dirty = cache_set.pop(line)
+            cache_set[line] = dirty or write
+            if callback is not None:
+                self.events.schedule(self.config.hit_latency, callback)
+            return
+        self.stats.rate("hit").record(False)
+        if line in self._mshrs:
+            self.stats.counter("mshr_merges").add()
+            if callback is not None:
+                self._mshrs[line].callbacks.append(callback)
+            self._mshrs[line].write |= write
+            return
+        entry = _MSHREntry(write=write)
+        if callback is not None:
+            entry.callbacks.append(callback)
+        self._mshrs[line] = entry
+        self.stats.histogram("mshr_occupancy").record(len(self._mshrs))
+        line_address = line * self.config.line_bytes
+        self.next_level.access(line_address, self.config.line_bytes, False,
+                               lambda: self._fill(line))
+
+    def _fill(self, line: int) -> None:
+        entry = self._mshrs.pop(line)
+        cache_set = self._sets[self._set_index(line)]
+        if len(cache_set) >= self.config.ways:
+            victim_line, victim_dirty = cache_set.popitem(last=False)
+            self.stats.counter("evictions").add()
+            if victim_dirty:
+                self.stats.counter("writebacks").add()
+                self.next_level.access(
+                    victim_line * self.config.line_bytes,
+                    self.config.line_bytes, True, None)
+        cache_set[line] = entry.write
+        for callback in entry.callbacks:
+            self.events.schedule(self.config.hit_latency, callback)
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def miss_count(self) -> int:
+        return self.stats.rate("hit").misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats.rate("hit").rate
+
+    def contains(self, address: int) -> bool:
+        line = self.line_of(address)
+        return line in self._sets[self._set_index(line)]
+
+    def flush_dirty(self) -> int:
+        """Write back all dirty lines (end-of-frame); returns count."""
+        count = 0
+        for cache_set in self._sets:
+            for line, dirty in list(cache_set.items()):
+                if dirty:
+                    self.next_level.access(line * self.config.line_bytes,
+                                           self.config.line_bytes, True, None)
+                    cache_set[line] = False
+                    count += 1
+        return count

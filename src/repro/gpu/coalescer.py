@@ -1,0 +1,50 @@
+"""Warp memory-access coalescing (Table 2's coalescing logic).
+
+Lane-level accesses from one warp instruction are merged into cache-line-
+sized transactions per memory space — the classic GPGPU coalescer.  A warp
+reading 32 consecutive floats produces one 128B transaction; a scattered
+read produces up to 32.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.shader.interpreter import MemAccess
+from repro.shader.isa import MemSpace
+
+
+@dataclass(frozen=True)
+class CoalescedAccess:
+    """One line-aligned transaction produced by the coalescer."""
+
+    space: MemSpace
+    line_address: int
+    write: bool
+
+
+def coalesce(accesses: list[MemAccess], line_bytes: int = 128) -> list[CoalescedAccess]:
+    """Merge lane accesses into unique line transactions.
+
+    Reads and writes to the same line stay distinct transactions (a write
+    transaction also fetches the line under write-allocate, so merging them
+    would hide traffic).
+    """
+    if line_bytes <= 0:
+        raise ValueError("line_bytes must be positive")
+    seen: dict[tuple[MemSpace, int, bool], None] = {}
+    for access in accesses:
+        first_line = access.address // line_bytes
+        last_line = (access.address + max(access.size, 1) - 1) // line_bytes
+        for line in range(first_line, last_line + 1):
+            key = (access.space, line * line_bytes, access.write)
+            seen.setdefault(key, None)
+    return [CoalescedAccess(space, addr, write)
+            for (space, addr, write) in seen]
+
+
+def coalescing_ratio(accesses: list[MemAccess], line_bytes: int = 128) -> float:
+    """Lane accesses per transaction (32 = perfectly coalesced warp)."""
+    if not accesses:
+        return 0.0
+    return len(accesses) / len(coalesce(accesses, line_bytes))

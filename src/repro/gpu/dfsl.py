@@ -1,0 +1,79 @@
+"""DFSL: dynamic fragment-shading load-balancing (paper §6.3, Algorithm 1).
+
+DFSL exploits frame-to-frame temporal coherence: it periodically spends
+``EvalFrames = MaxWT - MinWT`` frames rendering with each candidate
+work-tile (WT) size, then locks in the fastest size for ``RunFrames``
+frames, then re-evaluates.  The controller is driver-level state: feed it
+measured frame times, ask it which WT size to render the next frame with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+MAX_TIME = float("inf")
+
+
+@dataclass
+class DFSLController:
+    """Algorithm 1, faithfully: evaluation phase then run phase."""
+
+    min_wt: int = 1
+    max_wt: int = 10
+    run_frames: int = 100
+
+    current_frame: int = 0
+    wt_size: int = field(init=False)
+    wt_best: int = field(init=False)
+    min_exec_time: float = field(init=False, default=MAX_TIME)
+    _pending_wt: int = field(init=False, default=0)
+    history: list[tuple[int, int, float, str]] = field(init=False,
+                                                       default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.min_wt < 1 or self.max_wt <= self.min_wt:
+            raise ValueError("need 1 <= min_wt < max_wt")
+        if self.run_frames < 1:
+            raise ValueError("run_frames must be positive")
+        self.wt_size = self.min_wt
+        self.wt_best = self.min_wt
+
+    @property
+    def eval_frames(self) -> int:
+        return self.max_wt - self.min_wt
+
+    @property
+    def cycle_length(self) -> int:
+        return self.eval_frames + self.run_frames
+
+    @property
+    def in_evaluation(self) -> bool:
+        return self.current_frame % self.cycle_length < self.eval_frames
+
+    def begin_frame(self) -> int:
+        """WT size to render the upcoming frame with."""
+        phase = self.current_frame % self.cycle_length
+        if phase == 0:
+            self.min_exec_time = MAX_TIME
+            self.wt_size = self.min_wt
+            self.wt_best = self.min_wt
+        if phase < self.eval_frames:
+            self._pending_wt = self.wt_size
+        else:
+            self._pending_wt = self.wt_best
+        return self._pending_wt
+
+    def end_frame(self, exec_time: float) -> None:
+        """Report the measured execution time of the frame just rendered."""
+        phase = self.current_frame % self.cycle_length
+        if phase < self.eval_frames:
+            if exec_time < self.min_exec_time:
+                self.min_exec_time = exec_time
+                self.wt_best = self._pending_wt
+            self.wt_size += 1
+            mode = "eval"
+        else:
+            mode = "run"
+        self.history.append((self.current_frame, self._pending_wt,
+                             exec_time, mode))
+        self.current_frame += 1

@@ -1,0 +1,110 @@
+"""A GPUWattch-style event-count energy model.
+
+The paper motivates DFSL by *energy*: "lower GPU energy consumption by
+reducing average rendering time per frame assuming the GPU can be put into
+a low power state between frames" (§6.3), and lists mobile GPUWattch
+configurations as future work.  This module provides that missing piece in
+the GPUWattch spirit: per-event energy coefficients multiplied by the
+activity counts the timing model already collects, plus static leakage
+over the active window.
+
+Coefficients are order-of-magnitude mobile-GPU values (pJ per event);
+absolute joules are not calibrated — like everything in this reproduction,
+the model is for *comparisons* (e.g., DFSL vs static WT: same work, fewer
+active cycles, less leakage + fewer L1 misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.gpu import GPUFrameStats
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies in picojoules, plus leakage in pJ/cycle."""
+
+    alu_op_pj: float = 2.0            # per warp instruction issued (32 lanes)
+    l1_access_pj: float = 15.0
+    l1_miss_extra_pj: float = 30.0    # tag miss + fill overhead
+    l2_access_pj: float = 60.0
+    dram_byte_pj: float = 20.0        # LPDDR access + IO
+    raster_tile_pj: float = 25.0      # fixed-function per TC tile
+    leakage_pj_per_cycle: float = 150.0   # whole-GPU static power
+
+
+@dataclass
+class EnergyBreakdown:
+    """Per-frame energy split (picojoules)."""
+
+    execution: float = 0.0
+    l1: float = 0.0
+    l2: float = 0.0
+    dram: float = 0.0
+    fixed_function: float = 0.0
+    leakage: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (self.execution + self.l1 + self.l2 + self.dram
+                + self.fixed_function + self.leakage)
+
+    @property
+    def total_uj(self) -> float:
+        return self.total_pj * 1e-6
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "execution": self.execution,
+            "l1": self.l1,
+            "l2": self.l2,
+            "dram": self.dram,
+            "fixed_function": self.fixed_function,
+            "leakage": self.leakage,
+            "total": self.total_pj,
+        }
+
+
+def frame_energy(stats: GPUFrameStats, issued_ops: int, l1_accesses: int,
+                 model: EnergyModel | None = None) -> EnergyBreakdown:
+    """Energy for one frame from its statistics.
+
+    ``issued_ops`` and ``l1_accesses`` are activity deltas the caller reads
+    from the cores (see :func:`gpu_activity_snapshot`); everything else
+    comes from :class:`GPUFrameStats`.
+    """
+    model = model or EnergyModel()
+    breakdown = EnergyBreakdown()
+    breakdown.execution = issued_ops * model.alu_op_pj
+    total_l1_misses = sum(stats.l1_misses.values())
+    breakdown.l1 = (l1_accesses * model.l1_access_pj
+                    + total_l1_misses * model.l1_miss_extra_pj)
+    breakdown.l2 = stats.l2_accesses * model.l2_access_pj
+    breakdown.dram = stats.dram_bytes * model.dram_byte_pj
+    breakdown.fixed_function = stats.tc_tiles * model.raster_tile_pj
+    breakdown.leakage = stats.cycles * model.leakage_pj_per_cycle
+    return breakdown
+
+
+def gpu_activity_snapshot(gpu) -> dict[str, int]:
+    """Aggregate activity counters (take before/after a frame and diff)."""
+    issued = sum(core.stats.counter("issued").value for core in gpu.cores)
+    l1 = 0
+    for core in gpu.cores:
+        for cache in (core.l1i, core.l1d, core.l1t, core.l1z, core.l1c):
+            l1 += cache.stats.counter("accesses").value
+    return {"issued": issued, "l1_accesses": l1}
+
+
+def measure_frame_energy(gpu, frame, model: EnergyModel | None = None):
+    """Render a frame (standalone mode) and return (stats, energy)."""
+    before = gpu_activity_snapshot(gpu)
+    stats = gpu.run_frame(frame)
+    after = gpu_activity_snapshot(gpu)
+    breakdown = frame_energy(
+        stats,
+        issued_ops=after["issued"] - before["issued"],
+        l1_accesses=after["l1_accesses"] - before["l1_accesses"],
+        model=model)
+    return stats, breakdown

@@ -1,0 +1,60 @@
+"""Hierarchical-Z: a low-resolution on-chip depth buffer (pipeline stage J).
+
+Keeps one conservative maximum depth per raster tile.  A fragment block
+whose minimum depth exceeds the stored maximum for its tile cannot pass a
+LESS/LEQUAL depth test anywhere in the tile and is culled before fragment
+shading.  The buffer is updated from the real depth buffer after each TC
+tile finishes shading (conservative in between).
+
+Hi-Z engages only for depth functions where a max-buffer is conservative
+(LESS/LEQUAL) and when the shader cannot override depth (no discard, no
+gl_FragDepth) — otherwise culling would be unsound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gl.state import DepthFunc, GLState
+from repro.pipeline.framebuffer import Framebuffer
+from repro.pipeline.raster import FragmentBlock
+from repro.shader.program import Program
+
+
+class HiZBuffer:
+    """Per-raster-tile max-depth buffer for one framebuffer."""
+
+    def __init__(self, width: int, height: int, raster_tile_px: int = 4) -> None:
+        self.raster_tile_px = raster_tile_px
+        self.cols = (width + raster_tile_px - 1) // raster_tile_px
+        self.rows = (height + raster_tile_px - 1) // raster_tile_px
+        self.max_depth = np.ones((self.rows, self.cols))
+
+    def clear(self, depth: float = 1.0) -> None:
+        self.max_depth[:] = depth
+
+    def applicable(self, state: GLState, program: Program) -> bool:
+        """Can Hi-Z culling be used for this draw state/shader?"""
+        if not state.depth_test:
+            return False
+        if state.depth_func not in (DepthFunc.LESS, DepthFunc.LEQUAL):
+            return False
+        if program.has_discard or program.writes_depth:
+            return False
+        return True
+
+    def test_block(self, block: FragmentBlock) -> bool:
+        """True when the block may survive (False = cull whole block)."""
+        stored = self.max_depth[block.tile_y, block.tile_x]
+        return bool(block.z.min() <= stored)
+
+    def update_from_framebuffer(self, fb: Framebuffer,
+                                tiles: set[tuple[int, int]]) -> None:
+        """Refresh the max depth of specific raster tiles after shading."""
+        t = self.raster_tile_px
+        for tile_x, tile_y in tiles:
+            x0 = tile_x * t
+            y0 = tile_y * t
+            region = fb.depth[y0:y0 + t, x0:x0 + t]
+            if region.size:
+                self.max_depth[tile_y, tile_x] = float(region.max())

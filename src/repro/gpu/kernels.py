@@ -1,0 +1,86 @@
+"""A small library of compute kernels written in the shader ISA assembly.
+
+Each builder returns a finalized :class:`~repro.shader.program.Program`
+parameterized by buffer base addresses (kernels compute their own
+per-thread addresses from the thread id in attribute slot 0).
+"""
+
+from __future__ import annotations
+
+from repro.shader.program import Program, assemble
+
+
+def vector_add(a_base: int, b_base: int, out_base: int) -> Program:
+    """out[i] = a[i] + b[i]"""
+    return assemble(f"""
+        .stage fragment
+        .attr tid 1
+        ld.attr r0, a0          # thread id
+        mul r1, r0, 4.0         # byte offset
+        add r2, r1, {float(a_base)}
+        add r3, r1, {float(b_base)}
+        add r4, r1, {float(out_base)}
+        ld.global r5, r2
+        ld.global r6, r3
+        add r7, r5, r6
+        st.global r4, r7
+        exit
+    """, stage="fragment", name="vector_add")
+
+
+def saxpy(x_base: int, y_base: int, out_base: int) -> Program:
+    """out[i] = alpha * x[i] + y[i]  (alpha in constant slot 0)"""
+    return assemble(f"""
+        .stage fragment
+        .attr tid 1
+        .uniform alpha 1
+        ld.attr r0, a0
+        ld.const r1, c0
+        mul r2, r0, 4.0
+        add r3, r2, {float(x_base)}
+        add r4, r2, {float(y_base)}
+        add r5, r2, {float(out_base)}
+        ld.global r6, r3
+        ld.global r7, r4
+        mad r8, r1, r6, r7
+        st.global r5, r8
+        exit
+    """, stage="fragment", name="saxpy")
+
+
+def strided_copy(src_base: int, dst_base: int, stride_words: int) -> Program:
+    """dst[i] = src[i * stride] — a coalescing microbenchmark."""
+    return assemble(f"""
+        .stage fragment
+        .attr tid 1
+        ld.attr r0, a0
+        mul r1, r0, {float(stride_words * 4)}
+        add r2, r1, {float(src_base)}
+        mul r3, r0, 4.0
+        add r4, r3, {float(dst_base)}
+        ld.global r5, r2
+        st.global r4, r5
+        exit
+    """, stage="fragment", name=f"strided_copy_{stride_words}")
+
+
+def clamped_threshold(src_base: int, dst_base: int) -> Program:
+    """dst[i] = src[i] > 0.5 ? 1 : 0 — a divergence microbenchmark."""
+    return assemble(f"""
+        .stage fragment
+        .attr tid 1
+        ld.attr r0, a0
+        mul r1, r0, 4.0
+        add r2, r1, {float(src_base)}
+        add r3, r1, {float(dst_base)}
+        ld.global r4, r2
+        setp.gt p0, r4, 0.5
+        @!p0 bra ZERO
+        mov r5, 1.0
+        bra DONE
+        ZERO:
+        mov r5, 0.0
+        DONE:
+        st.global r3, r5
+        exit
+    """, stage="fragment", name="clamped_threshold")

@@ -1,0 +1,211 @@
+"""The SIMT core timing model (Table 2).
+
+A core holds resident warps (vertex, fragment or compute work — unified
+shaders), issues up to ``num_schedulers`` instructions per cycle from ready
+warps in loose round-robin order, and replays each warp's recorded
+instruction trace:
+
+* ALU/SFU/CTRL ops block the warp for their latency class (in-order issue
+  per warp, no intra-warp ILP — a documented simplification);
+* MEM ops run through the coalescer and the per-type L1 caches; the warp
+  blocks until every coalesced transaction returns;
+* every 8th instruction charges an instruction-cache access (one line of
+  the program), modeling L1I traffic without per-op fetch bookkeeping.
+
+The core wakes only when it has issueable work: blocked-on-memory warps
+re-arm the scheduler from cache callbacks, so idle periods cost no events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.config import SIMTCoreConfig
+from repro.common.events import EventQueue, Ticker
+from repro.common.stats import StatGroup
+from repro.gpu.caches import Cache, LatencyPort, MemoryLevel
+from repro.gpu.coalescer import coalesce
+from repro.shader.interpreter import WarpTrace
+from repro.shader.isa import DEFAULT_LATENCY, LatencyClass, MemSpace
+
+PROGRAM_BASE = 0x0400_0000      # virtual region for instruction fetches
+OPS_PER_ILINE = 8
+
+
+@dataclass
+class WarpTask:
+    """A warp's recorded trace queued for timing execution."""
+
+    trace: WarpTrace
+    kind: str                                   # vertex | fragment | compute
+    on_complete: Optional[Callable[["WarpTask"], None]] = None
+    program_id: int = 0
+    metadata: dict = field(default_factory=dict)
+
+
+class _ResidentWarp:
+    __slots__ = ("task", "op_index", "ready_at", "outstanding")
+
+    def __init__(self, task: WarpTask) -> None:
+        self.task = task
+        self.op_index = 0
+        self.ready_at = 0
+        self.outstanding = 0        # pending memory transactions
+
+
+class SIMTCore:
+    """One shader core; see module docstring."""
+
+    def __init__(self, events: EventQueue, config: SIMTCoreConfig,
+                 core_id: int, l2_port: MemoryLevel, noc_latency: int = 8,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.events = events
+        self.config = config
+        self.core_id = core_id
+        self.stats = stats or StatGroup(f"core{core_id}")
+        port = LatencyPort(events, noc_latency, l2_port)
+        self.l1i = Cache(events, config.l1i, f"core{core_id}.l1i", port)
+        self.l1d = Cache(events, config.l1d, f"core{core_id}.l1d", port)
+        self.l1t = Cache(events, config.l1t, f"core{core_id}.l1t", port)
+        self.l1z = Cache(events, config.l1z, f"core{core_id}.l1z", port)
+        self.l1c = Cache(events, config.l1c, f"core{core_id}.l1c", port)
+        self._space_routes = {
+            MemSpace.TEXTURE: self.l1t,
+            MemSpace.DEPTH: self.l1z,
+            MemSpace.CONST: self.l1c,
+            MemSpace.VERTEX: self.l1c,
+            MemSpace.COLOR: self.l1d,
+            MemSpace.GLOBAL: self.l1d,
+            MemSpace.INSTRUCTION: self.l1i,
+        }
+        self._resident: list[_ResidentWarp] = []
+        self._waiting: list[WarpTask] = []
+        self._retire_candidates: list[_ResidentWarp] = []
+        self._rr_offset = 0
+        self._ticker = Ticker(events, period=1, callback=self._cycle)
+        self._latency = dict(DEFAULT_LATENCY)
+        self._latency[LatencyClass.ALU] = config.alu_latency
+        self._latency[LatencyClass.SFU] = config.sfu_latency
+
+    # -- submission ---------------------------------------------------------------
+
+    def submit(self, task: WarpTask) -> None:
+        self.stats.counter(f"warps.{task.kind}").add()
+        if len(self._resident) < self.config.max_warps:
+            self._install(task)
+        else:
+            self._waiting.append(task)
+        self._ticker.kick()
+
+    def _install(self, task: WarpTask) -> None:
+        warp = _ResidentWarp(task)
+        warp.ready_at = self.events.now
+        self._resident.append(warp)
+        if not task.trace.ops:
+            self._retire_candidates.append(warp)
+
+    @property
+    def resident_warps(self) -> int:
+        return len(self._resident)
+
+    @property
+    def pending_work(self) -> int:
+        return len(self._resident) + len(self._waiting)
+
+    def cache_for(self, space: MemSpace) -> Cache:
+        return self._space_routes[space]
+
+    # -- the scheduler cycle --------------------------------------------------------
+
+    def _cycle(self) -> bool:
+        now = self.events.now
+        issued = 0
+        count = len(self._resident)
+        if count:
+            order = [(self._rr_offset + i) % count for i in range(count)]
+            self._rr_offset = (self._rr_offset + 1) % max(count, 1)
+            for index in order:
+                if issued >= self.config.num_schedulers:
+                    break
+                warp = self._resident[index]
+                if (warp.outstanding > 0 or warp.ready_at > now
+                        or warp.op_index >= len(warp.task.trace.ops)):
+                    continue
+                self._issue(warp, now)
+                issued += 1
+        if issued:
+            self.stats.counter("issued").add(issued)
+            self.stats.counter("busy_cycles").add()
+        self._retire_finished()
+        # Keep ticking while any warp could issue soon.
+        if not self._resident:
+            return False
+        if any(w.outstanding == 0 for w in self._resident):
+            return True
+        return False    # all blocked on memory; callbacks re-kick
+
+    def _issue(self, warp: _ResidentWarp, now: int) -> None:
+        op = warp.task.trace.ops[warp.op_index]
+        warp.op_index += 1
+        if warp.op_index >= len(warp.task.trace.ops):
+            self._retire_candidates.append(warp)
+        if warp.op_index % OPS_PER_ILINE == 1:
+            iline = (PROGRAM_BASE + warp.task.program_id * 4096
+                     + (op.pc // OPS_PER_ILINE) * self.config.l1i.line_bytes)
+            self.l1i.access(iline, self.config.l1i.line_bytes, False, None)
+        latency_class = op.latency_class
+        if latency_class is LatencyClass.MEM and op.accesses:
+            transactions = coalesce(op.accesses,
+                                    line_bytes=self.config.l1d.line_bytes)
+            warp.outstanding = len(transactions)
+            self.stats.counter("mem_transactions").add(len(transactions))
+            for transaction in transactions:
+                cache = self._space_routes[transaction.space]
+                cache.access(transaction.line_address,
+                             self.config.l1d.line_bytes,
+                             transaction.write,
+                             lambda w=warp: self._mem_done(w))
+        else:
+            if latency_class is LatencyClass.MEM:
+                latency_class = LatencyClass.ALU     # masked-out memory op
+            warp.ready_at = now + self._latency[latency_class]
+
+    def _mem_done(self, warp: _ResidentWarp) -> None:
+        warp.outstanding -= 1
+        if warp.outstanding == 0:
+            warp.ready_at = self.events.now
+            self._ticker.kick()
+
+    def _retire_finished(self) -> None:
+        if not self._retire_candidates:
+            return
+        now = self.events.now
+        still_pending: list[_ResidentWarp] = []
+        finished: list[_ResidentWarp] = []
+        for warp in self._retire_candidates:
+            if warp.outstanding == 0 and warp.ready_at <= now:
+                finished.append(warp)
+            else:
+                still_pending.append(warp)
+        self._retire_candidates = still_pending
+        if not finished:
+            return
+        for warp in finished:
+            self._resident.remove(warp)
+            self.stats.counter("warps_retired").add()
+            if warp.task.on_complete is not None:
+                warp.task.on_complete(warp.task)
+        while self._waiting and len(self._resident) < self.config.max_warps:
+            self._install(self._waiting.pop(0))
+
+    # -- aggregate stats ---------------------------------------------------------
+
+    def cache_misses(self) -> dict[str, int]:
+        return {
+            "l1i": self.l1i.miss_count,
+            "l1d": self.l1d.miss_count,
+            "l1t": self.l1t.miss_count,
+            "l1z": self.l1z.miss_count,
+            "l1c": self.l1c.miss_count,
+        }

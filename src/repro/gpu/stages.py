@@ -1,0 +1,58 @@
+"""Fixed-function pipeline stage plumbing.
+
+A :class:`StageQueue` models a hardware stage with a service rate: items
+queue up, the stage processes them one at a time, each item occupying the
+stage for ``cost_fn(item)`` cycles (1 for most stages; the coarse
+rasterizer charges one cycle per candidate tile, per Table 7's
+"1 raster tile/cycle" throughputs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatGroup
+
+
+class StageQueue:
+    """A single-server queue with per-item service cost in cycles."""
+
+    def __init__(self, events: EventQueue, name: str,
+                 process: Callable[[object], None],
+                 cost_fn: Optional[Callable[[object], int]] = None,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.events = events
+        self.name = name
+        self.process = process
+        self.cost_fn = cost_fn or (lambda item: 1)
+        self.stats = stats or StatGroup(name)
+        self._queue: deque = deque()
+        self._busy = False
+
+    def submit(self, item: object) -> None:
+        self._queue.append(item)
+        self.stats.counter("items").add()
+        self.stats.histogram("queue_depth").record(len(self._queue))
+        if not self._busy:
+            self._busy = True
+            self.events.schedule(0, self._serve)
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle(self) -> bool:
+        return not self._busy and not self._queue
+
+    def _serve(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        item = self._queue.popleft()
+        cost = max(1, int(self.cost_fn(item)))
+        self.stats.counter("busy_cycles").add(cost)
+        self.process(item)
+        self.events.schedule(cost, self._serve)

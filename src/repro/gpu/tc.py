@@ -1,0 +1,176 @@
+"""The tile-coalescing (TC) stage (paper §3.3.5, Fig. 7).
+
+Each SIMT cluster has a TC unit: a tile distributor stages incoming raster
+tiles onto TC engines (TCEs); each TCE coalesces raster tiles belonging to
+one screen-space TC tile — possibly from multiple primitives — into a
+single shading batch.  A TCE flushes when its staging bins fill, when a
+conflicting (overlapping) raster tile arrives, or after a timeout with no
+new tiles.  Before a flushed TC tile is issued to the SIMT core, the unit
+checks that no earlier TC tile for the same screen position is still in
+flight — this exclusivity is what makes in-shader depth/blend race-free.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatGroup
+from repro.pipeline.raster import FragmentBlock
+
+
+@dataclass
+class TCTile:
+    """A coalesced batch of fragments for one screen-space TC tile."""
+
+    tc_col: int
+    tc_row: int
+    blocks: list[FragmentBlock] = field(default_factory=list)
+    sequence: int = 0          # flush order (per unit)
+
+    @property
+    def position(self) -> tuple[int, int]:
+        return (self.tc_col, self.tc_row)
+
+    @property
+    def fragment_count(self) -> int:
+        return sum(block.count for block in self.blocks)
+
+    @property
+    def raster_tiles(self) -> set[tuple[int, int]]:
+        return {(block.tile_x, block.tile_y) for block in self.blocks}
+
+
+class _TCEngine:
+    """One TCE: stages raster tiles for a single TC tile position."""
+
+    __slots__ = ("position", "staged", "last_activity")
+
+    def __init__(self) -> None:
+        self.position: Optional[tuple[int, int]] = None
+        self.staged: dict[tuple[int, int], FragmentBlock] = {}
+        self.last_activity: int = 0
+
+    @property
+    def empty(self) -> bool:
+        return self.position is None
+
+    def reset(self) -> None:
+        self.position = None
+        self.staged = {}
+
+
+class TCUnit:
+    """Distributor + TCEs + exclusivity gate for one cluster."""
+
+    def __init__(self, events: EventQueue, cluster_id: int,
+                 tc_tile_raster_tiles: int, num_engines: int,
+                 bins_per_engine: int, flush_timeout: int,
+                 dispatch: Callable[[TCTile], None],
+                 stats: Optional[StatGroup] = None) -> None:
+        self.events = events
+        self.cluster_id = cluster_id
+        self.ratio = tc_tile_raster_tiles
+        self.engines = [_TCEngine() for _ in range(num_engines)]
+        self.bins_per_engine = bins_per_engine
+        self.flush_timeout = flush_timeout
+        self.dispatch = dispatch
+        self.stats = stats or StatGroup(f"tc{cluster_id}")
+        self._in_flight: set[tuple[int, int]] = set()
+        self._waiting: dict[tuple[int, int], deque[TCTile]] = {}
+        self._overflow: deque[FragmentBlock] = deque()
+        self._sequence = 0
+
+    # -- input ---------------------------------------------------------------
+
+    def tc_position_of(self, block: FragmentBlock) -> tuple[int, int]:
+        return (block.tile_x // self.ratio, block.tile_y // self.ratio)
+
+    def submit_block(self, block: FragmentBlock) -> None:
+        """Stage one raster tile's fragments (the distributor, Fig. 7-2)."""
+        position = self.tc_position_of(block)
+        engine = self._engine_for(position)
+        if engine is None:
+            # No TCE free: flush the least-recently-active engine to make room.
+            engine = min((e for e in self.engines if not e.empty),
+                         key=lambda e: e.last_activity)
+            self._flush(engine)
+        if engine.empty:
+            engine.position = position
+        key = (block.tile_x, block.tile_y)
+        if key in engine.staged:
+            # Conflict: overlapping raster tile -> new TC tile generation.
+            self.stats.counter("conflicts").add()
+            self._flush(engine)
+            engine.position = position
+        engine.staged[key] = block
+        engine.last_activity = self.events.now
+        self.stats.counter("blocks").add()
+        if len(engine.staged) >= self.bins_per_engine:
+            self._flush(engine)
+        else:
+            self.events.schedule(self.flush_timeout, self._timeout_check,
+                                 engine, self.events.now)
+
+    def _engine_for(self, position: tuple[int, int]) -> Optional[_TCEngine]:
+        for engine in self.engines:
+            if engine.position == position:
+                return engine
+        for engine in self.engines:
+            if engine.empty:
+                return engine
+        return None
+
+    def _timeout_check(self, engine: _TCEngine, stamp: int) -> None:
+        if not engine.empty and engine.last_activity <= stamp:
+            self.stats.counter("timeout_flushes").add()
+            self._flush(engine)
+
+    # -- flush & dispatch ---------------------------------------------------------
+
+    def _flush(self, engine: _TCEngine) -> None:
+        if engine.empty or not engine.staged:
+            engine.reset()
+            return
+        tile = TCTile(tc_col=engine.position[0], tc_row=engine.position[1],
+                      blocks=list(engine.staged.values()),
+                      sequence=self._sequence)
+        self._sequence += 1
+        engine.reset()
+        self.stats.counter("tiles").add()
+        self.stats.histogram("fragments_per_tile").record(tile.fragment_count)
+        self._try_dispatch(tile)
+
+    def flush_all(self) -> None:
+        """Drain every engine (end of draw)."""
+        for engine in self.engines:
+            if not engine.empty:
+                self._flush(engine)
+
+    def _try_dispatch(self, tile: TCTile) -> None:
+        if tile.position in self._in_flight:
+            self.stats.counter("exclusivity_stalls").add()
+            self._waiting.setdefault(tile.position, deque()).append(tile)
+            return
+        self._in_flight.add(tile.position)
+        self.dispatch(tile)
+
+    def tile_retired(self, tile: TCTile) -> None:
+        """Cluster calls this when all of a TC tile's warps retired."""
+        self._in_flight.discard(tile.position)
+        queue = self._waiting.get(tile.position)
+        if queue:
+            next_tile = queue.popleft()
+            if not queue:
+                del self._waiting[tile.position]
+            self._try_dispatch(next_tile)
+
+    # -- state inspection ------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        if self._in_flight or self._waiting:
+            return True
+        return any(not engine.empty for engine in self.engines)

@@ -1,0 +1,1 @@
+"""Experiment harness: scene sessions, case-study runners, report tables."""

@@ -1,0 +1,84 @@
+"""Plain-text table/series formatting used by the benchmark harness.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep the output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, series: Iterable[tuple], unit: str = "") -> str:
+    """One (x, y) series as compact text, for bandwidth-vs-time figures."""
+    points = ", ".join(f"{x}:{_fmt(y)}" for x, y in series)
+    suffix = f" [{unit}]" if unit else ""
+    return f"{name}{suffix}: {points}"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def ascii_sparkline(values: Sequence[float], width: int = 64) -> str:
+    """A one-line unicode sparkline of a numeric series (paper-figure
+    style time plots, rendered in the terminal)."""
+    values = list(values)
+    if not values:
+        return ""
+    if len(values) > width:
+        # Downsample by averaging fixed-size buckets.
+        bucket = len(values) / width
+        values = [
+            sum(values[int(i * bucket):max(int((i + 1) * bucket),
+                                           int(i * bucket) + 1)])
+            / max(len(values[int(i * bucket):max(int((i + 1) * bucket),
+                                                 int(i * bucket) + 1)]), 1)
+            for i in range(width)
+        ]
+    top = max(values)
+    if top <= 0:
+        return _BLOCKS[0] * len(values)
+    levels = len(_BLOCKS) - 1
+    return "".join(_BLOCKS[min(levels, int(v / top * levels + 0.5))]
+                   for v in values)
+
+
+def ascii_bars(labels: Sequence[str], values: Sequence[float],
+               width: int = 40, unit: str = "") -> str:
+    """Horizontal bar chart (paper-figure style normalized comparisons)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        return ""
+    top = max(values)
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "█" * (int(value / top * width + 0.5) if top > 0 else 0)
+        lines.append(f"{label.ljust(label_width)}  {bar} {_fmt(value)}{unit}")
+    return "\n".join(lines)

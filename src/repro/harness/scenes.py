@@ -1,0 +1,118 @@
+"""Scene sessions: animated frames of the case-study workloads.
+
+A :class:`SceneSession` owns a GL context, binds the model's texture and
+shaders, and emits one frame per index with a slowly orbiting camera — the
+small frame-to-frame deltas that give graphics its temporal coherence
+(§6.3), which DFSL exploits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.models import model_by_name
+from repro.geometry.transforms import look_at, perspective
+from repro.gl.context import Frame, GLContext
+from repro.gl.state import BlendFactor, CullMode
+from repro.gl.textures import checkerboard, marble
+from repro.shader import builtins
+
+# Model-specific defaults: detail level and camera distance.
+_SCENE_DEFAULTS = {
+    "chair": {"detail": 1, "distance": 3.2, "lift": 1.2},
+    "cube": {"detail": 1, "distance": 3.0, "lift": 1.0},
+    "mask": {"detail": 1, "distance": 2.4, "lift": 0.2},
+    "triangles": {"detail": 1, "distance": 2.6, "lift": 0.2},
+    "sibenik": {"detail": 1, "distance": 0.8, "lift": 0.0, "interior": True},
+    "spot": {"detail": 4, "distance": 3.0, "lift": 0.6},
+    "suzanne": {"detail": 4, "distance": 3.2, "lift": 0.4},
+    "suzanne_transparent": {"detail": 4, "distance": 3.2, "lift": 0.4,
+                            "translucent": True},
+    "teapot": {"detail": 4, "distance": 4.0, "lift": 1.2},
+}
+
+
+class SceneSession:
+    """Generates animated frames of one workload model."""
+
+    def __init__(self, model_name: str, width: int, height: int,
+                 detail: Optional[int] = None,
+                 orbit_step_radians: float = 0.05,
+                 texture_size: int = 64) -> None:
+        defaults = _SCENE_DEFAULTS.get(model_name, {})
+        self.model_name = model_name
+        self.width = width
+        self.height = height
+        self.orbit_step = orbit_step_radians
+        self.distance = defaults.get("distance", 3.0)
+        self.lift = defaults.get("lift", 0.8)
+        self.interior = defaults.get("interior", False)
+        self.translucent = defaults.get("translucent", False)
+        self.mesh = model_by_name(model_name,
+                                  detail=detail or defaults.get("detail"))
+        self.ctx = GLContext(width, height)
+        self.texture = marble(size=texture_size, seed=11) \
+            if model_name != "cube" \
+            else checkerboard(size=texture_size, squares=8)
+        if self.translucent:
+            self.ctx.use_program(builtins.LIT_TRANSLUCENT_VERTEX,
+                                 builtins.LIT_TRANSLUCENT_FRAGMENT)
+            self.ctx.set_state(blend=True, depth_write=False,
+                               blend_src=BlendFactor.SRC_ALPHA,
+                               blend_dst=BlendFactor.ONE_MINUS_SRC_ALPHA)
+        else:
+            self.ctx.use_program(builtins.LIT_TEXTURED_VERTEX,
+                                 builtins.LIT_TEXTURED_FRAGMENT)
+            self.ctx.set_uniform("tint", [1.0, 1.0, 1.0, 1.0])
+        if self.interior:
+            self.ctx.set_state(cull=CullMode.NONE)
+        self.ctx.set_uniform("light_dir", [0.4, 1.0, 0.6])
+        self.ctx.bind_texture("albedo", self.texture)
+        self.ctx.set_state(clear_color=(0.05, 0.05, 0.1, 1.0))
+
+    @property
+    def framebuffer_address(self) -> int:
+        return self.ctx.framebuffer_address
+
+    def camera(self, frame_index: int) -> np.ndarray:
+        angle = 0.6 + self.orbit_step * frame_index
+        if self.interior:
+            eye = np.array([math.sin(angle) * self.distance, 0.2,
+                            math.cos(angle) * self.distance + 2.0])
+            target = np.array([0.0, 0.0, -4.0])
+        else:
+            eye = np.array([math.sin(angle) * self.distance, self.lift,
+                            math.cos(angle) * self.distance])
+            target = np.array([0.0, 0.3, 0.0])
+        proj = perspective(math.radians(58.0), self.width / self.height,
+                           0.1, 60.0)
+        view = look_at(eye, target, np.array([0.0, 1.0, 0.0]))
+        return proj @ view
+
+    def frame(self, frame_index: int) -> Frame:
+        mvp = self.camera(frame_index)
+        model = np.eye(4)
+        self.ctx.set_uniform("mvp", mvp @ model)
+        self.ctx.set_uniform("model", model)
+        self.ctx.draw_mesh(self.mesh)
+        return self.ctx.end_frame()
+
+
+CASE_STUDY1_SCENES = {
+    "M1": "chair",
+    "M2": "cube",
+    "M3": "mask",
+    "M4": "triangles",
+}
+
+CASE_STUDY2_SCENES = {
+    "W1": "sibenik",
+    "W2": "spot",
+    "W3": "cube",
+    "W4": "suzanne",
+    "W5": "suzanne_transparent",
+    "W6": "teapot",
+}

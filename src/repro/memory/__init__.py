@@ -1,0 +1,21 @@
+"""The DRAM subsystem: channels/banks/rows, address maps and schedulers.
+
+Everything case study I exercises lives here: the baseline FR-FCFS
+controller, the DASH deadline-aware scheduler (Usui et al., re-implemented
+from the paper's description and Table 3 parameters), and the HMC
+heterogeneous split-channel controller (Nachiappan et al.), plus the two
+address mappings of Table 4.
+"""
+
+from repro.memory.request import MemRequest, SourceType
+from repro.memory.address_map import AddressMapping, BASELINE_MAPPING, IP_CHANNEL_MAPPING
+from repro.memory.system import MemorySystem
+
+__all__ = [
+    "MemRequest",
+    "SourceType",
+    "AddressMapping",
+    "BASELINE_MAPPING",
+    "IP_CHANNEL_MAPPING",
+    "MemorySystem",
+]

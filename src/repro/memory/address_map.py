@@ -1,0 +1,63 @@
+"""DRAM address mappings (Table 4).
+
+Addresses are decoded at cache-line granularity (the DRAM transaction
+unit).  A mapping is an MSB-to-LSB field order; the two from the paper:
+
+* ``Row:Rank:Bank:Column:Channel`` — the baseline (and HMC CPU-channel)
+  map: channel interleaves at line granularity, and consecutive lines in a
+  channel walk the columns of one row — *locality-optimized* (page
+  striped).
+* ``Row:Column:Rank:Bank:Channel`` — the HMC IP-channel map: consecutive
+  lines stripe across banks first — *parallelism-optimized* (line
+  striped).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DramCoord:
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    column: int
+
+
+class AddressMapping:
+    """Bit-field address decoder with a configurable MSB->LSB field order."""
+
+    FIELDS = ("row", "rank", "bank", "column", "channel")
+
+    def __init__(self, order: tuple[str, ...], line_bytes: int = 128) -> None:
+        if sorted(order) != sorted(self.FIELDS):
+            raise ValueError(f"order must be a permutation of {self.FIELDS}")
+        self.order = order
+        self.line_bytes = line_bytes
+
+    def field_sizes(self, channels: int, ranks: int, banks: int,
+                    rows: int, columns: int) -> dict[str, int]:
+        return {"channel": channels, "rank": ranks, "bank": banks,
+                "row": rows, "column": columns}
+
+    def decode(self, address: int, channels: int, ranks: int, banks: int,
+               rows: int, columns: int) -> DramCoord:
+        """Decode a byte address into DRAM coordinates."""
+        block = address // self.line_bytes
+        sizes = self.field_sizes(channels, ranks, banks, rows, columns)
+        values: dict[str, int] = {}
+        # LSB-first extraction: iterate the order reversed.
+        for name in reversed(self.order):
+            size = sizes[name]
+            values[name] = block % size
+            block //= size
+        return DramCoord(channel=values["channel"], rank=values["rank"],
+                         bank=values["bank"], row=values["row"],
+                         column=values["column"])
+
+
+# Table 4 mappings.
+BASELINE_MAPPING = AddressMapping(("row", "rank", "bank", "column", "channel"))
+IP_CHANNEL_MAPPING = AddressMapping(("row", "column", "rank", "bank", "channel"))

@@ -1,0 +1,73 @@
+"""Convenience constructors for the case-study memory configurations.
+
+``BAS``/``DCB``/``DTB``/``HMC`` of Table 6 map to these builders.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DRAMConfig
+from repro.common.events import EventQueue
+from repro.memory.dash import DashConfig, DashScheduler, DashState
+from repro.memory.dram import DEFAULT_ROWS
+from repro.memory.frfcfs import FRFCFSScheduler
+from repro.memory.hmc import build_hmc_memory
+from repro.memory.system import MemorySystem
+
+
+def build_baseline_memory(events: EventQueue, config: DRAMConfig,
+                          gpu_clock_ghz: float = 1.0,
+                          rows: int = DEFAULT_ROWS) -> MemorySystem:
+    """BAS: address-interleaved channels, FR-FCFS scheduling."""
+    return MemorySystem(events, config, gpu_clock_ghz=gpu_clock_ghz,
+                        scheduler_factory=lambda _: FRFCFSScheduler(),
+                        rows=rows)
+
+
+def build_dash_memory(events: EventQueue, config: DRAMConfig,
+                      gpu_clock_ghz: float = 1.0,
+                      include_ip_bandwidth: bool = False,
+                      dash_config: DashConfig | None = None,
+                      rows: int = DEFAULT_ROWS) -> tuple[MemorySystem, DashState]:
+    """DCB (CPU-bandwidth clustering) or DTB (system-bandwidth clustering).
+
+    Returns the memory system and the shared :class:`DashState` the SoC
+    models report deadlines/progress into.
+    """
+    if dash_config is None:
+        dash_config = DashConfig(include_ip_bandwidth=include_ip_bandwidth)
+    else:
+        dash_config.include_ip_bandwidth = include_ip_bandwidth
+    state = DashState(dash_config)
+    system = MemorySystem(events, config, gpu_clock_ghz=gpu_clock_ghz,
+                          scheduler_factory=lambda _: DashScheduler(state),
+                          rows=rows)
+    return system, state
+
+
+MEMORY_CONFIG_NAMES = ("BAS", "DCB", "DTB", "HMC")
+
+
+def build_memory_by_name(name: str, events: EventQueue, config: DRAMConfig,
+                         gpu_clock_ghz: float = 1.0,
+                         rows: int = DEFAULT_ROWS,
+                         dash_config: DashConfig | None = None):
+    """Build one of the Table 6 configurations by abbreviation.
+
+    Returns ``(memory_system, dash_state_or_None)``.  ``dash_config`` lets
+    callers scale DASH's epochs (Table 3 values are wall-clock-scale; a
+    scaled simulation needs proportionally scaled quanta).
+    """
+    if name == "BAS":
+        return build_baseline_memory(events, config, gpu_clock_ghz, rows), None
+    if name == "DCB":
+        return build_dash_memory(events, config, gpu_clock_ghz,
+                                 include_ip_bandwidth=False, rows=rows,
+                                 dash_config=dash_config)
+    if name == "DTB":
+        return build_dash_memory(events, config, gpu_clock_ghz,
+                                 include_ip_bandwidth=True, rows=rows,
+                                 dash_config=dash_config)
+    if name == "HMC":
+        return build_hmc_memory(events, config, gpu_clock_ghz, rows), None
+    raise ValueError(f"unknown memory configuration {name!r}; "
+                     f"known: {MEMORY_CONFIG_NAMES}")

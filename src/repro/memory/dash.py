@@ -1,0 +1,185 @@
+"""DASH: deadline-aware memory scheduler for heterogeneous systems.
+
+Re-implemented from Usui et al. (TACO 2016) as described in the paper's
+§5.1.1 with the Table 3 parameters.  Request priority classes, highest
+first:
+
+1. **Urgent IPs** — an IP whose reported progress lags its expected
+   progress by more than its emergent threshold.
+2. **Memory non-intensive CPU threads** (TCM clustering).
+3. **Non-urgent IPs** *or* **memory-intensive CPU threads** — the winner
+   alternates probabilistically: with probability ``P`` the intensive
+   CPU cluster is prioritized, and ``P`` is adjusted every switching unit
+   to balance service between the two groups.
+
+Within a class, FR-FCFS.  The clustering bandwidth ambiguity the paper
+dissects is exposed as ``include_ip_bandwidth`` (False = DCB, True = DTB).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.memory.dram import DRAMChannel, QueuedRequest
+from repro.memory.frfcfs import frfcfs_within
+from repro.memory.request import SourceType
+from repro.memory.tcm import IntensityClassifier
+
+
+@dataclass
+class IPDeadlineState:
+    """Deadline tracking for one IP (GPU, display controller)."""
+
+    period_ticks: int
+    emergent_threshold: float
+    period_start: int = 0
+    progress: float = 0.0            # fraction of the unit of work done
+    urgent: bool = False
+
+    def start_period(self, now: int) -> None:
+        self.period_start = now
+        self.progress = 0.0
+        self.urgent = False
+
+    def report_progress(self, fraction: float, now: int) -> None:
+        self.progress = min(max(fraction, 0.0), 1.0)
+        self.update_urgency(now)
+
+    def expected_progress(self, now: int) -> float:
+        if self.period_ticks <= 0:
+            return 1.0
+        return min((now - self.period_start) / self.period_ticks, 1.0)
+
+    def update_urgency(self, now: int) -> None:
+        expected = self.expected_progress(now)
+        self.urgent = self.progress < self.emergent_threshold * expected
+
+
+@dataclass
+class DashConfig:
+    """Table 3 parameters, in ticks (1 tick = 1 GPU cycle by default)."""
+
+    scheduling_unit: int = 1000
+    switching_unit: int = 500
+    quantum: int = 1_000_000
+    cluster_threshold: float = 0.15
+    emergent_threshold_default: float = 0.8
+    emergent_threshold_gpu: float = 0.9
+    include_ip_bandwidth: bool = False     # False = DCB, True = DTB
+    seed: int = 1
+
+
+class DashScheduler:
+    """One DASH instance; shared across channels via :class:`DashState`."""
+
+    def __init__(self, state: "DashState") -> None:
+        self.state = state
+
+    def choose(self, queue: list[QueuedRequest], channel: DRAMChannel,
+               now: int) -> int:
+        self.state.advance(now)
+        urgent, nonintensive, nonurgent_ip, intensive = [], [], [], []
+        for index, entry in enumerate(queue):
+            request = entry.request
+            if request.source is SourceType.CPU:
+                if self.state.classifier.is_intensive(request.source_id):
+                    intensive.append(index)
+                else:
+                    nonintensive.append(index)
+            else:
+                ip = self.state.ip_state(request.source)
+                if ip is not None and ip.urgent:
+                    urgent.append(index)
+                else:
+                    nonurgent_ip.append(index)
+        for candidates in self._class_order(urgent, nonintensive,
+                                            nonurgent_ip, intensive):
+            if candidates:
+                return frfcfs_within(queue, channel, candidates)
+        return 0    # pragma: no cover - queue is never empty here
+
+    def _class_order(self, urgent, nonintensive, nonurgent_ip, intensive):
+        if self.state.intensive_cpu_first:
+            return (urgent, nonintensive, intensive, nonurgent_ip)
+        return (urgent, nonintensive, nonurgent_ip, intensive)
+
+    def note_served(self, entry: QueuedRequest, now: int) -> None:
+        self.state.note_served(entry.request, now)
+
+
+class DashState:
+    """Shared DASH bookkeeping: clustering, urgency, switching probability."""
+
+    def __init__(self, config: DashConfig) -> None:
+        self.config = config
+        self.classifier = IntensityClassifier(
+            cluster_threshold=config.cluster_threshold,
+            quantum_ticks=config.quantum,
+            include_ip_bandwidth=config.include_ip_bandwidth,
+        )
+        self._ips: dict[SourceType, IPDeadlineState] = {}
+        self._rng = random.Random(config.seed)
+        self.probability = 0.5
+        self.intensive_cpu_first = False
+        self._last_switch = 0
+        self._served_intensive = 0
+        self._served_nonurgent_ip = 0
+
+    # -- IP registration / feedback --------------------------------------------
+
+    def register_ip(self, source: SourceType, period_ticks: int,
+                    emergent_threshold: float | None = None) -> IPDeadlineState:
+        if emergent_threshold is None:
+            if source is SourceType.GPU:
+                emergent_threshold = self.config.emergent_threshold_gpu
+            else:
+                emergent_threshold = self.config.emergent_threshold_default
+        state = IPDeadlineState(period_ticks, emergent_threshold)
+        self._ips[source] = state
+        return state
+
+    def ip_state(self, source: SourceType) -> IPDeadlineState | None:
+        return self._ips.get(source)
+
+    def start_ip_period(self, source: SourceType, now: int) -> None:
+        state = self._ips.get(source)
+        if state is not None:
+            state.start_period(now)
+
+    def report_ip_progress(self, source: SourceType, fraction: float,
+                           now: int) -> None:
+        state = self._ips.get(source)
+        if state is not None:
+            state.report_progress(fraction, now)
+
+    # -- periodic updates ----------------------------------------------------
+
+    def advance(self, now: int) -> None:
+        self.classifier.maybe_advance_quantum(now)
+        for state in self._ips.values():
+            state.update_urgency(now)
+        if now - self._last_switch >= self.config.switching_unit:
+            self._update_probability()
+            self.intensive_cpu_first = self._rng.random() < self.probability
+            self._last_switch = now
+
+    def _update_probability(self) -> None:
+        """Nudge P toward balancing intensive-CPU vs non-urgent-IP service."""
+        if self._served_intensive < self._served_nonurgent_ip:
+            self.probability = min(1.0, self.probability + 0.05)
+        elif self._served_intensive > self._served_nonurgent_ip:
+            self.probability = max(0.0, self.probability - 0.05)
+        self._served_intensive = 0
+        self._served_nonurgent_ip = 0
+
+    def note_served(self, request, now: int) -> None:
+        self.classifier.note_traffic(request.source, request.source_id,
+                                     request.size)
+        if request.source is SourceType.CPU:
+            if self.classifier.is_intensive(request.source_id):
+                self._served_intensive += 1
+        else:
+            state = self._ips.get(request.source)
+            if state is not None and not state.urgent:
+                self._served_nonurgent_ip += 1

@@ -1,0 +1,190 @@
+"""DRAM channel timing model: banks, row buffers, data-bus serialization.
+
+Timing follows a simplified LPDDR state machine.  Per transaction the
+controller pays, in controller cycles:
+
+* row hit:   ``tCAS``;
+* bank idle: ``tRCD + tCAS``;
+* conflict:  ``tRP + tRCD + tCAS`` (precharge the open row first).
+
+Bank preparation overlaps other banks' data bursts; the data bus serializes
+bursts (``t_burst`` cycles per transaction).  At each scheduler wake the
+channel commits up to :data:`ISSUE_WINDOW` transactions so bank-level
+parallelism can hide preparation latency — the effect HMC's bank-striped
+IP mapping banks on.
+
+Statistics per channel: row hit rate, activations, bytes per activation,
+per-source bandwidth time series and latency histograms — everything
+Figs. 10, 11 and 14 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+from repro.common.config import DRAMConfig
+from repro.common.events import EventQueue, Ticker
+from repro.common.stats import StatGroup
+from repro.memory.address_map import AddressMapping, DramCoord
+from repro.memory.request import MemRequest
+
+ISSUE_WINDOW = 4            # transactions committed per scheduler wake
+DEFAULT_ROWS = 4096
+
+
+@dataclass
+class QueuedRequest:
+    request: MemRequest
+    coord: DramCoord
+    enqueue_time: int
+
+
+class Scheduler(Protocol):
+    """Picks the next queued transaction; notified of each service."""
+
+    def choose(self, queue: list[QueuedRequest], channel: "DRAMChannel",
+               now: int) -> int:
+        """Index into ``queue`` of the transaction to commit next."""
+        ...
+
+    def note_served(self, entry: QueuedRequest, now: int) -> None:
+        ...
+
+
+class _Bank:
+    __slots__ = ("open_row", "ready", "bytes_since_activate")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.ready: int = 0
+        self.bytes_since_activate: int = 0
+
+
+class DRAMChannel:
+    """One channel: a request queue, bank array and a scheduler."""
+
+    def __init__(self, queue: EventQueue, config: DRAMConfig,
+                 mapping: AddressMapping, scheduler: Scheduler,
+                 channel_id: int, cycle_ticks: int,
+                 decode_channels: int = 1, rows: int = DEFAULT_ROWS,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.events = queue
+        self.config = config
+        self.mapping = mapping
+        self.scheduler = scheduler
+        self.channel_id = channel_id
+        self.cycle_ticks = max(1, int(cycle_ticks))
+        self.decode_channels = decode_channels
+        self.rows = rows
+        self.columns = max(1, config.row_bytes // mapping.line_bytes)
+        self.banks = [_Bank() for _ in range(config.banks * config.ranks)]
+        self.bus_free = 0
+        self.pending: list[QueuedRequest] = []
+        self.stats = stats or StatGroup(f"dram.ch{channel_id}")
+        self._ticker = Ticker(queue, period=self.cycle_ticks, callback=self._wake)
+
+    # -- public -------------------------------------------------------------
+
+    def submit(self, request: MemRequest) -> None:
+        coord = self.mapping.decode(
+            request.address, channels=self.decode_channels,
+            ranks=self.config.ranks, banks=self.config.banks,
+            rows=self.rows, columns=self.columns)
+        self.pending.append(QueuedRequest(request, coord, self.events.now))
+        self.stats.counter("requests").add()
+        self.stats.histogram("queue_depth").record(len(self.pending))
+        self._ticker.kick()
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.pending)
+
+    def bank_of(self, coord: DramCoord) -> _Bank:
+        return self.banks[coord.rank * self.config.banks + coord.bank]
+
+    def is_row_hit(self, coord: DramCoord) -> bool:
+        return self.bank_of(coord).open_row == coord.row
+
+    # -- internals ------------------------------------------------------------
+
+    def _wake(self) -> bool:
+        now = self.events.now
+        committed = 0
+        # Bounded run-ahead: commit only while the data bus is within a few
+        # bursts of "now".  Committing the whole queue eagerly would freeze
+        # the service order and make scheduler priorities meaningless for
+        # anything arriving during a burst.
+        burst_ticks = max(
+            1, 128 // int(self.config.peak_bytes_per_ctrl_cycle)
+        ) * self.cycle_ticks
+        max_ahead = now + ISSUE_WINDOW * burst_ticks
+        while (self.pending and committed < ISSUE_WINDOW
+               and self.bus_free <= max_ahead):
+            index = self.scheduler.choose(self.pending, self, now)
+            entry = self.pending.pop(index)
+            self._commit(entry, now)
+            committed += 1
+        if not self.pending:
+            return False     # go idle; submit() re-kicks
+        # Wake again when the bus frees up.
+        delay = max(self.bus_free - max_ahead, self.cycle_ticks)
+        self._ticker.stop()
+        self.events.schedule(delay, self._rekick)
+        return False
+
+    def _rekick(self) -> None:
+        self._ticker.kick()
+
+    def _commit(self, entry: QueuedRequest, now: int) -> None:
+        timing = self.config.timing
+        bank = self.bank_of(entry.coord)
+        hit = bank.open_row == entry.coord.row
+        if hit:
+            prep_cycles = timing.t_cas
+        elif bank.open_row is None:
+            prep_cycles = timing.t_rcd + timing.t_cas
+        else:
+            prep_cycles = timing.t_rp + timing.t_rcd + timing.t_cas
+        burst_cycles = max(
+            1, entry.request.size // int(self.config.peak_bytes_per_ctrl_cycle))
+        prep_done = max(now, bank.ready) + prep_cycles * self.cycle_ticks
+        data_start = max(prep_done, self.bus_free)
+        done = data_start + burst_cycles * self.cycle_ticks
+        extra = timing.t_wr * self.cycle_ticks if entry.request.write else 0
+        bank.ready = done + extra
+        self.bus_free = done
+
+        # Row-buffer bookkeeping.
+        self.stats.rate("row_hit").record(hit)
+        if not hit:
+            if bank.bytes_since_activate:
+                self.stats.histogram("bytes_per_activation").record(
+                    bank.bytes_since_activate)
+            bank.bytes_since_activate = 0
+            bank.open_row = entry.coord.row
+            self.stats.counter("activations").add()
+        bank.bytes_since_activate += entry.request.size
+
+        source = entry.request.source.value
+        self.stats.counter(f"bytes.{source}").add(entry.request.size)
+        self.events.schedule_at(done, self._complete, entry)
+        self.scheduler.note_served(entry, now)
+
+    def _complete(self, entry: QueuedRequest) -> None:
+        request = entry.request
+        request.complete_time = self.events.now
+        source = request.source.value
+        self.stats.histogram(f"latency.{source}").record(request.latency)
+        self.stats.time_series(f"bandwidth.{source}", window=1000).add(
+            self.events.now, request.size)
+        if request.callback is not None:
+            request.callback(request)
+
+    def drain_flush_stats(self) -> None:
+        """Flush per-bank open-row byte counts into the histogram."""
+        for bank in self.banks:
+            if bank.bytes_since_activate:
+                self.stats.histogram("bytes_per_activation").record(
+                    bank.bytes_since_activate)
+                bank.bytes_since_activate = 0

@@ -1,0 +1,48 @@
+"""FR-FCFS: first-ready, first-come-first-served (the baseline scheduler).
+
+Row hits are serviced before row misses; ties break by arrival order.
+This is the ``BAS`` configuration of case study I (Table 6).
+"""
+
+from __future__ import annotations
+
+from repro.memory.dram import DRAMChannel, QueuedRequest
+
+
+class FRFCFSScheduler:
+    """Oldest row hit first, otherwise oldest request."""
+
+    def choose(self, queue: list[QueuedRequest], channel: DRAMChannel,
+               now: int) -> int:
+        best_hit = None
+        for index, entry in enumerate(queue):
+            if channel.is_row_hit(entry.coord):
+                if best_hit is None or entry.enqueue_time < queue[best_hit].enqueue_time:
+                    best_hit = index
+        if best_hit is not None:
+            return best_hit
+        oldest = 0
+        for index, entry in enumerate(queue):
+            if entry.enqueue_time < queue[oldest].enqueue_time:
+                oldest = index
+        return oldest
+
+    def note_served(self, entry: QueuedRequest, now: int) -> None:
+        pass
+
+
+def frfcfs_within(queue: list[QueuedRequest], channel: DRAMChannel,
+                  candidates: list[int]) -> int:
+    """FR-FCFS restricted to a candidate subset (used by DASH classes)."""
+    best_hit = None
+    for index in candidates:
+        if channel.is_row_hit(queue[index].coord):
+            if best_hit is None or queue[index].enqueue_time < queue[best_hit].enqueue_time:
+                best_hit = index
+    if best_hit is not None:
+        return best_hit
+    oldest = candidates[0]
+    for index in candidates:
+        if queue[index].enqueue_time < queue[oldest].enqueue_time:
+            oldest = index
+    return oldest

@@ -1,0 +1,46 @@
+"""HMC: the heterogeneous memory controller (Nachiappan et al.).
+
+HMC statically partitions DRAM channels by traffic source: CPU-assigned
+channels keep the locality-optimized (page-striped) mapping, IP-assigned
+channels use the parallelism-optimized (cache-line-striped) mapping of
+Table 4.  Scheduling within each channel stays FR-FCFS.
+
+The paper's case study I shows the two failure modes this module lets you
+reproduce: (1) channel imbalance — CPU channels idle while the GPU renders
+— and (2) poor row locality on IP channels because GPU traffic, unlike
+display scanout, is not sequential (Figs. 10 and 11).
+"""
+
+from __future__ import annotations
+
+from repro.common.config import DRAMConfig
+from repro.common.events import EventQueue
+from repro.memory.address_map import BASELINE_MAPPING, IP_CHANNEL_MAPPING
+from repro.memory.dram import DEFAULT_ROWS
+from repro.memory.frfcfs import FRFCFSScheduler
+from repro.memory.system import MemorySystem, SourceTypeRouter
+
+
+def build_hmc_memory(events: EventQueue, config: DRAMConfig,
+                     gpu_clock_ghz: float = 1.0,
+                     rows: int = DEFAULT_ROWS) -> MemorySystem:
+    """An HMC memory system: half the channels for CPU, half for IPs.
+
+    With the paper's 2-channel configuration (Table 4) this is one channel
+    per source class.
+    """
+    if config.channels < 2:
+        raise ValueError("HMC needs at least two channels to partition")
+    half = config.channels // 2
+    cpu_channels = list(range(half))
+    ip_channels = list(range(half, config.channels))
+    mappings = [BASELINE_MAPPING] * half + \
+        [IP_CHANNEL_MAPPING] * (config.channels - half)
+    return MemorySystem(
+        events, config, gpu_clock_ghz=gpu_clock_ghz,
+        scheduler_factory=lambda channel_id: FRFCFSScheduler(),
+        channel_mappings=mappings,
+        router=SourceTypeRouter(cpu_channels, ip_channels),
+        rows=rows,
+        decode_channels=1,
+    )

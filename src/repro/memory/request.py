@@ -1,0 +1,40 @@
+"""Memory request records shared by every IP model and the DRAM system."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class SourceType(enum.Enum):
+    """Which IP issued a request — drives scheduler classification."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    DISPLAY = "display"
+
+
+@dataclass
+class MemRequest:
+    """One DRAM transaction (typically a cache-line fill or writeback).
+
+    ``source``/``source_id`` identify the requester (e.g. CPU core 2);
+    ``callback`` fires at completion with the request as argument.
+    """
+
+    address: int
+    size: int
+    write: bool
+    source: SourceType
+    source_id: int = 0
+    issue_time: int = 0
+    callback: Optional[Callable[["MemRequest"], Any]] = None
+    metadata: dict = field(default_factory=dict)
+    complete_time: Optional[int] = None
+
+    @property
+    def latency(self) -> int:
+        if self.complete_time is None:
+            raise RuntimeError("request not complete yet")
+        return self.complete_time - self.issue_time

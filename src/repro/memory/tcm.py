@@ -1,0 +1,78 @@
+"""TCM-style intensity clustering (Kim et al.), as used by DASH.
+
+Every quantum the scheduler classifies CPU threads into a memory
+*non-intensive* and a memory *intensive* cluster.  Threads are sorted by
+bandwidth usage ascending; threads are admitted to the non-intensive
+cluster while their cumulative usage stays below ``ClusterThresh x
+TotalBWusage`` (Table 3: ClusterThresh = 0.15).
+
+The paper's case study highlights the ambiguity of ``TotalBWusage`` in an
+SoC: the ``DCB`` configuration computes it from CPU traffic only, ``DTB``
+from all traffic including IPs (§5.1.1).  :class:`IntensityClassifier`
+supports both via ``include_ip_bandwidth``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.memory.request import SourceType
+
+
+class IntensityClassifier:
+    """Per-quantum CPU thread intensity clustering."""
+
+    def __init__(self, cluster_threshold: float = 0.15,
+                 quantum_ticks: int = 1_000_000,
+                 include_ip_bandwidth: bool = False) -> None:
+        if not (0.0 < cluster_threshold < 1.0):
+            raise ValueError("cluster_threshold must be in (0, 1)")
+        self.cluster_threshold = cluster_threshold
+        self.quantum_ticks = quantum_ticks
+        self.include_ip_bandwidth = include_ip_bandwidth
+        self._usage: dict[int, int] = defaultdict(int)   # cpu id -> bytes
+        self._ip_bytes = 0
+        self._quantum_start = 0
+        self._intensive: set[int] = set()
+
+    def note_traffic(self, source: SourceType, source_id: int,
+                     size: int) -> None:
+        if source is SourceType.CPU:
+            self._usage[source_id] += size
+        else:
+            self._ip_bytes += size
+
+    def is_intensive(self, cpu_id: int) -> bool:
+        return cpu_id in self._intensive
+
+    @property
+    def intensive_threads(self) -> frozenset[int]:
+        return frozenset(self._intensive)
+
+    def maybe_advance_quantum(self, now: int) -> bool:
+        """Recluster when the quantum elapsed; True if reclassified."""
+        if now - self._quantum_start < self.quantum_ticks:
+            return False
+        self._recluster()
+        self._quantum_start = now
+        self._usage.clear()
+        self._ip_bytes = 0
+        return True
+
+    def _recluster(self) -> None:
+        total = sum(self._usage.values())
+        if self.include_ip_bandwidth:
+            total += self._ip_bytes
+        if total == 0:
+            self._intensive = set()
+            return
+        budget = self.cluster_threshold * total
+        used = 0.0
+        intensive: set[int] = set()
+        for cpu_id, usage in sorted(self._usage.items(),
+                                    key=lambda item: (item[1], item[0])):
+            if used + usage <= budget:
+                used += usage       # stays non-intensive
+            else:
+                intensive.add(cpu_id)
+        self._intensive = intensive

@@ -1,0 +1,13 @@
+"""The functional graphics pipeline (Fig. 2 of the paper).
+
+Vertex shading, primitive assembly, clipping & culling, rasterization and
+raster operations — executed functionally through the shader ISA.  The GPU
+timing model (:mod:`repro.gpu`) reuses every piece of this package and adds
+timing; :mod:`repro.pipeline.renderer` chains it all into a pure-software
+reference renderer whose output the timing model must match pixel-exactly.
+"""
+
+from repro.pipeline.framebuffer import Framebuffer
+from repro.pipeline.renderer import ReferenceRenderer
+
+__all__ = ["Framebuffer", "ReferenceRenderer"]

@@ -1,0 +1,189 @@
+"""Primitive assembly, clipping and culling (pipeline stages 4-5).
+
+Triangles are assembled from the index stream (unrolling strips/fans),
+trivially rejected when fully outside the view volume, clipped with
+Sutherland-Hodgman in homogeneous clip space when straddling a plane, and
+back/front-face culled after the perspective divide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.geometry.mesh import PrimitiveMode
+from repro.gl.state import CullMode
+
+W_EPSILON = 1e-6
+
+# Clip planes as (coefficient index, sign): dot condition  w + s*coord >= 0.
+_PLANES = [
+    (0, 1.0),    # x >= -w
+    (0, -1.0),   # x <=  w
+    (1, 1.0),    # y >= -w
+    (1, -1.0),   # y <=  w
+    (2, 1.0),    # z >= -w
+    (2, -1.0),   # z <=  w
+]
+
+
+def iter_triangles(indices: np.ndarray, mode: PrimitiveMode) -> Iterator[tuple[int, int, int]]:
+    """Index triples in draw order, with strip winding correction."""
+    idx = indices
+    if mode is PrimitiveMode.TRIANGLES:
+        for i in range(0, len(idx) - 2, 3):
+            yield int(idx[i]), int(idx[i + 1]), int(idx[i + 2])
+    elif mode is PrimitiveMode.TRIANGLE_STRIP:
+        for i in range(len(idx) - 2):
+            if i % 2 == 0:
+                yield int(idx[i]), int(idx[i + 1]), int(idx[i + 2])
+            else:
+                yield int(idx[i + 1]), int(idx[i]), int(idx[i + 2])
+    elif mode is PrimitiveMode.TRIANGLE_FAN:
+        for i in range(1, len(idx) - 1):
+            yield int(idx[0]), int(idx[i]), int(idx[i + 1])
+    else:  # pragma: no cover
+        raise AssertionError(f"unhandled mode {mode}")
+
+
+@dataclass
+class ClippedPrimitive:
+    """A clip-space triangle that survived clipping (not yet culled)."""
+
+    prim_id: int                 # original draw-order primitive index
+    clip: np.ndarray             # (3, 4)
+    varyings: np.ndarray         # (3, V)
+    was_clipped: bool = False
+
+
+def _inside(vertex: np.ndarray, plane: tuple[int, float]) -> float:
+    """Signed distance-like value; >= 0 means inside."""
+    coord, sign = plane
+    return vertex[3] + (vertex[coord] if sign > 0 else -vertex[coord])
+
+
+def _clip_polygon(clip: list[np.ndarray], varyings: list[np.ndarray],
+                  plane: tuple[int, float]):
+    """One Sutherland-Hodgman pass; attributes interpolate linearly."""
+    out_clip: list[np.ndarray] = []
+    out_var: list[np.ndarray] = []
+    count = len(clip)
+    for i in range(count):
+        current, nxt = clip[i], clip[(i + 1) % count]
+        cur_var, next_var = varyings[i], varyings[(i + 1) % count]
+        d0 = _inside(current, plane)
+        d1 = _inside(nxt, plane)
+        if d0 >= 0:
+            out_clip.append(current)
+            out_var.append(cur_var)
+        if (d0 >= 0) != (d1 >= 0):
+            t = d0 / (d0 - d1)
+            out_clip.append(current + t * (nxt - current))
+            out_var.append(cur_var + t * (next_var - cur_var))
+    return out_clip, out_var
+
+
+def clip_triangle(clip: np.ndarray, varyings: np.ndarray,
+                  prim_id: int) -> list[ClippedPrimitive]:
+    """Clip one clip-space triangle; returns 0..N output triangles."""
+    w = clip[:, 3]
+    if np.all(w <= W_EPSILON):
+        return []
+    # Trivial accept: every vertex inside every plane.
+    inside_all = np.all(w[:, None] + clip[:, :3] >= 0) and \
+        np.all(w[:, None] - clip[:, :3] >= 0) and np.all(w > W_EPSILON)
+    if inside_all:
+        return [ClippedPrimitive(prim_id, clip.copy(), varyings.copy())]
+    # Trivial reject: all vertices outside one plane.
+    for coord, sign in _PLANES:
+        values = w + (clip[:, coord] if sign > 0 else -clip[:, coord])
+        if np.all(values < 0):
+            return []
+    poly_clip = [clip[i].astype(np.float64) for i in range(3)]
+    poly_var = [varyings[i].astype(np.float64) for i in range(3)]
+    # Clip against w > epsilon first to avoid dividing by ~0 later.
+    kept_clip, kept_var = [], []
+    count = len(poly_clip)
+    for i in range(count):
+        current, nxt = poly_clip[i], poly_clip[(i + 1) % count]
+        cur_var, next_var = poly_var[i], poly_var[(i + 1) % count]
+        d0 = current[3] - W_EPSILON
+        d1 = nxt[3] - W_EPSILON
+        if d0 >= 0:
+            kept_clip.append(current)
+            kept_var.append(cur_var)
+        if (d0 >= 0) != (d1 >= 0):
+            t = d0 / (d0 - d1)
+            kept_clip.append(current + t * (nxt - current))
+            kept_var.append(cur_var + t * (next_var - cur_var))
+    poly_clip, poly_var = kept_clip, kept_var
+    for plane in _PLANES:
+        if len(poly_clip) < 3:
+            return []
+        poly_clip, poly_var = _clip_polygon(poly_clip, poly_var, plane)
+    if len(poly_clip) < 3:
+        return []
+    out = []
+    for i in range(1, len(poly_clip) - 1):
+        tri_clip = np.stack([poly_clip[0], poly_clip[i], poly_clip[i + 1]])
+        tri_var = np.stack([poly_var[0], poly_var[i], poly_var[i + 1]])
+        out.append(ClippedPrimitive(prim_id, tri_clip, tri_var,
+                                    was_clipped=True))
+    return out
+
+
+def ndc_signed_area(clip: np.ndarray) -> float:
+    """Twice the signed area of the triangle in NDC (y up, CCW positive)."""
+    ndc = clip[:, :2] / clip[:, 3:4]
+    return float(
+        (ndc[1, 0] - ndc[0, 0]) * (ndc[2, 1] - ndc[0, 1])
+        - (ndc[2, 0] - ndc[0, 0]) * (ndc[1, 1] - ndc[0, 1])
+    )
+
+
+def is_culled(prim: ClippedPrimitive, cull: CullMode) -> bool:
+    """Face culling (and zero-area rejection) after clipping."""
+    area = ndc_signed_area(prim.clip)
+    if area == 0.0:
+        return True
+    if cull is CullMode.BACK:
+        return area < 0
+    if cull is CullMode.FRONT:
+        return area > 0
+    return False
+
+
+@dataclass
+class ClipStats:
+    input_primitives: int = 0
+    trivially_rejected: int = 0
+    clipped: int = 0
+    culled: int = 0
+    output_primitives: int = 0
+
+
+def assemble_and_clip(indices: np.ndarray, mode: PrimitiveMode,
+                      clip_positions: np.ndarray, varyings: np.ndarray,
+                      cull: CullMode) -> tuple[list[ClippedPrimitive], ClipStats]:
+    """Full primitive-processing front end: assemble, clip, cull."""
+    stats = ClipStats()
+    out: list[ClippedPrimitive] = []
+    for prim_id, (a, b, c) in enumerate(iter_triangles(indices, mode)):
+        stats.input_primitives += 1
+        tri_clip = clip_positions[[a, b, c]]
+        tri_var = varyings[[a, b, c]]
+        pieces = clip_triangle(tri_clip, tri_var, prim_id)
+        if not pieces:
+            stats.trivially_rejected += 1
+            continue
+        if pieces[0].was_clipped:
+            stats.clipped += 1
+        for piece in pieces:
+            if is_culled(piece, cull):
+                stats.culled += 1
+                continue
+            out.append(piece)
+    stats.output_primitives = len(out)
+    return out, stats

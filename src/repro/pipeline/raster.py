@@ -1,0 +1,174 @@
+"""Fine rasterization: edge functions, perspective-correct interpolation.
+
+Converts a clipped clip-space triangle into screen-space fragments with
+interpolated depth and varyings, grouped by raster tile (the unit the
+timing model's fine-raster stage processes, Table 7: 4x4 pixels).
+
+Fill rules follow OpenGL: pixel centers at (x+0.5, y+0.5), top-left rule
+for shared edges so adjacent triangles never double-shade a pixel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.clip import ClippedPrimitive
+
+
+@dataclass
+class ScreenTriangle:
+    """A triangle after viewport transform.
+
+    ``xy`` are pixel coordinates (y down), ``z`` NDC depth mapped to [0, 1],
+    ``inv_w`` the per-vertex 1/w used for perspective-correct attributes.
+    """
+
+    prim_id: int
+    xy: np.ndarray           # (3, 2)
+    z: np.ndarray            # (3,)
+    inv_w: np.ndarray        # (3,)
+    varyings: np.ndarray     # (3, V) — still in *clip-space* (not divided)
+
+    def bounding_box(self, width: int, height: int) -> tuple[int, int, int, int]:
+        """Integer pixel bbox (x0, y0, x1, y1), half-open, screen-clipped."""
+        x0 = max(int(np.floor(self.xy[:, 0].min())), 0)
+        y0 = max(int(np.floor(self.xy[:, 1].min())), 0)
+        x1 = min(int(np.ceil(self.xy[:, 0].max())), width)
+        y1 = min(int(np.ceil(self.xy[:, 1].max())), height)
+        return x0, y0, x1, y1
+
+
+# Sub-pixel snapping grid (hardware rasterizers use fixed-point vertex
+# coordinates).  On a 1/256 grid every edge-function term is a dyadic
+# rational well inside double precision, so edge tests are *exact* and
+# shared edges are watertight regardless of vertex order.
+SUBPIXEL_GRID = 256.0
+
+
+def to_screen(prim: ClippedPrimitive, width: int, height: int) -> ScreenTriangle:
+    """Viewport-transform a clipped primitive (fixed-point snapped)."""
+    clip = prim.clip
+    w = clip[:, 3]
+    inv_w = 1.0 / w
+    ndc = clip[:, :3] * inv_w[:, None]
+    xs = np.round((ndc[:, 0] + 1.0) * 0.5 * width * SUBPIXEL_GRID) / SUBPIXEL_GRID
+    ys = np.round((1.0 - ndc[:, 1]) * 0.5 * height * SUBPIXEL_GRID) / SUBPIXEL_GRID
+    zs = (ndc[:, 2] + 1.0) * 0.5
+    return ScreenTriangle(
+        prim_id=prim.prim_id,
+        xy=np.stack([xs, ys], axis=1),
+        z=zs,
+        inv_w=inv_w,
+        varyings=prim.varyings,
+    )
+
+
+@dataclass
+class FragmentBlock:
+    """Fragments of one primitive within one raster tile."""
+
+    prim_id: int
+    tile_x: int                  # raster-tile column
+    tile_y: int                  # raster-tile row
+    xs: np.ndarray               # (F,) absolute pixel x
+    ys: np.ndarray               # (F,)
+    z: np.ndarray                # (F,) depth in [0, 1]
+    inv_w: np.ndarray            # (F,) interpolated 1/w (for gl_FragCoord.w)
+    varyings: np.ndarray         # (F, V) perspective-correct values
+
+    @property
+    def count(self) -> int:
+        return len(self.xs)
+
+
+def _edge(xy: np.ndarray, i: int, j: int, px: np.ndarray, py: np.ndarray):
+    """Edge function E_ij(p) = cross(v_j - v_i, p - v_i)."""
+    ax, ay = xy[i]
+    bx, by = xy[j]
+    return (bx - ax) * (py - ay) - (by - ay) * (px - ax)
+
+
+def _is_top_left(xy: np.ndarray, i: int, j: int) -> bool:
+    """Top-left rule for a clockwise-in-screen-space edge."""
+    ax, ay = xy[i]
+    bx, by = xy[j]
+    # Screen space has y down: a "top" edge is horizontal going right;
+    # a "left" edge goes up (by < ay).
+    if ay == by:
+        return bx > ax
+    return by < ay
+
+
+def rasterize(tri: ScreenTriangle, width: int, height: int,
+              raster_tile_px: int = 4) -> list[FragmentBlock]:
+    """Rasterize one screen triangle into per-raster-tile fragment blocks."""
+    x0, y0, x1, y1 = tri.bounding_box(width, height)
+    if x0 >= x1 or y0 >= y1:
+        return []
+    # Orient so edge functions are positive inside.
+    area = _edge(tri.xy, 0, 1, tri.xy[2, 0], tri.xy[2, 1])
+    if area == 0:
+        return []
+    order = (0, 1, 2) if area > 0 else (0, 2, 1)
+    xy = tri.xy[list(order)]
+    z = tri.z[list(order)]
+    inv_w = tri.inv_w[list(order)]
+    varyings = tri.varyings[list(order)]
+
+    px, py = np.meshgrid(np.arange(x0, x1) + 0.5, np.arange(y0, y1) + 0.5)
+    e0 = _edge(xy, 1, 2, px, py)
+    e1 = _edge(xy, 2, 0, px, py)
+    e2 = _edge(xy, 0, 1, px, py)
+    inside = np.ones_like(e0, dtype=bool)
+    for e, (i, j) in zip((e0, e1, e2), ((1, 2), (2, 0), (0, 1))):
+        if _is_top_left(xy, i, j):
+            inside &= e >= 0
+        else:
+            inside &= e > 0
+    if not inside.any():
+        return []
+
+    total = e0 + e1 + e2
+    lam0 = e0 / total
+    lam1 = e1 / total
+    lam2 = e2 / total
+
+    frag_y, frag_x = np.nonzero(inside)
+    abs_x = frag_x + x0
+    abs_y = frag_y + y0
+    l0 = lam0[frag_y, frag_x]
+    l1 = lam1[frag_y, frag_x]
+    l2 = lam2[frag_y, frag_x]
+
+    frag_z = l0 * z[0] + l1 * z[1] + l2 * z[2]
+    # Perspective-correct attribute interpolation: weight by 1/w.
+    w0 = l0 * inv_w[0]
+    w1 = l1 * inv_w[1]
+    w2 = l2 * inv_w[2]
+    w_sum = w0 + w1 + w2
+    frag_inv_w = w_sum
+    frag_varyings = (
+        np.outer(w0, varyings[0]) + np.outer(w1, varyings[1])
+        + np.outer(w2, varyings[2])
+    ) / w_sum[:, None]
+
+    # Group by raster tile.
+    tile_cols = abs_x // raster_tile_px
+    tile_rows = abs_y // raster_tile_px
+    tile_keys = tile_rows * ((width + raster_tile_px - 1) // raster_tile_px) + tile_cols
+    blocks = []
+    for key in np.unique(tile_keys):
+        sel = tile_keys == key
+        blocks.append(FragmentBlock(
+            prim_id=tri.prim_id,
+            tile_x=int(tile_cols[sel][0]),
+            tile_y=int(tile_rows[sel][0]),
+            xs=abs_x[sel],
+            ys=abs_y[sel],
+            z=frag_z[sel],
+            inv_w=frag_inv_w[sel],
+            varyings=frag_varyings[sel],
+        ))
+    return blocks

@@ -1,0 +1,29 @@
+"""The shader toolchain: ISA, assembler, compiler and SIMT interpreter.
+
+This package is the reproduction's TGSItoPTX analog (DESIGN.md §1): shader
+sources written in a small GLSL-like language compile to a register-based,
+PTX-like ISA extended with graphics instructions (texture sampling, depth
+read/write, framebuffer blend, discard), exactly as Emerald extends
+GPGPU-Sim's PTX.  The interpreter executes a warp in lock-step with a SIMT
+reconvergence stack and records the instruction/memory trace the GPU timing
+model replays.
+"""
+
+from repro.shader.isa import Opcode, Instruction, Reg, Pred, Imm, MemSpace
+from repro.shader.program import Program, assemble
+from repro.shader.compiler import compile_shader
+from repro.shader.interpreter import WarpInterpreter, ExecEnv
+
+__all__ = [
+    "Opcode",
+    "Instruction",
+    "Reg",
+    "Pred",
+    "Imm",
+    "MemSpace",
+    "Program",
+    "assemble",
+    "compile_shader",
+    "WarpInterpreter",
+    "ExecEnv",
+]

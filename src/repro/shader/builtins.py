@@ -1,0 +1,141 @@
+"""Canonical shader sources used by the workloads and examples.
+
+These are the shaders the procedural scenes render with — a standard
+MVP-transform vertex shader and a few fragment shaders of graded cost
+(flat color, vertex color, textured, textured + Lambert lighting).
+Case-study workloads mix them to get realistic instruction mixes.
+"""
+
+BASIC_VERTEX = """
+in vec3 position;
+uniform mat4 mvp;
+void main() {
+    gl_Position = mvp * vec4(position, 1.0);
+}
+"""
+
+TRANSFORM_UV_VERTEX = """
+in vec3 position;
+in vec2 uv;
+uniform mat4 mvp;
+out vec2 v_uv;
+void main() {
+    gl_Position = mvp * vec4(position, 1.0);
+    v_uv = uv;
+}
+"""
+
+LIT_TEXTURED_VERTEX = """
+in vec3 position;
+in vec3 normal;
+in vec2 uv;
+uniform mat4 mvp;
+uniform mat4 model;
+out vec2 v_uv;
+out vec3 v_normal;
+out vec3 v_world;
+void main() {
+    gl_Position = mvp * vec4(position, 1.0);
+    vec4 world = model * vec4(position, 1.0);
+    vec4 world_normal = model * vec4(normal, 0.0);
+    v_uv = uv;
+    v_normal = world_normal.xyz;
+    v_world = world.xyz;
+}
+"""
+
+COLOR_VERTEX = """
+in vec3 position;
+in vec4 color;
+uniform mat4 mvp;
+out vec4 v_color;
+void main() {
+    gl_Position = mvp * vec4(position, 1.0);
+    v_color = color;
+}
+"""
+
+FLAT_FRAGMENT = """
+uniform vec4 flat_color;
+void main() {
+    gl_FragColor = flat_color;
+}
+"""
+
+VERTEX_COLOR_FRAGMENT = """
+in vec4 v_color;
+void main() {
+    gl_FragColor = v_color;
+}
+"""
+
+TEXTURED_FRAGMENT = """
+in vec2 v_uv;
+uniform sampler2D albedo;
+void main() {
+    gl_FragColor = texture(albedo, v_uv);
+}
+"""
+
+LIT_TEXTURED_FRAGMENT = """
+in vec2 v_uv;
+in vec3 v_normal;
+in vec3 v_world;
+uniform sampler2D albedo;
+uniform vec3 light_dir;
+uniform vec4 tint;
+void main() {
+    vec3 n = normalize(v_normal);
+    float diffuse = max(dot(n, normalize(light_dir)), 0.0);
+    float ambient = 0.25;
+    vec4 base = texture(albedo, v_uv);
+    vec3 shaded = base.xyz * (ambient + 0.75 * diffuse);
+    gl_FragColor = vec4(shaded * tint.xyz, base.a * tint.a);
+}
+"""
+
+LIT_TRANSLUCENT_FRAGMENT = """
+in vec2 v_uv;
+in vec3 v_normal;
+in vec4 v_color;
+uniform sampler2D albedo;
+uniform vec3 light_dir;
+void main() {
+    vec3 n = normalize(v_normal);
+    float diffuse = max(dot(n, normalize(light_dir)), 0.0);
+    vec4 base = texture(albedo, v_uv);
+    vec3 shaded = base.xyz * (0.3 + 0.7 * diffuse);
+    gl_FragColor = vec4(shaded, v_color.a);
+}
+"""
+
+LIT_TRANSLUCENT_VERTEX = """
+in vec3 position;
+in vec3 normal;
+in vec2 uv;
+in vec4 color;
+uniform mat4 mvp;
+uniform mat4 model;
+out vec2 v_uv;
+out vec3 v_normal;
+out vec4 v_color;
+void main() {
+    gl_Position = mvp * vec4(position, 1.0);
+    vec4 world_normal = model * vec4(normal, 0.0);
+    v_uv = uv;
+    v_normal = world_normal.xyz;
+    v_color = color;
+}
+"""
+
+ALPHA_CUTOUT_FRAGMENT = """
+in vec2 v_uv;
+uniform sampler2D albedo;
+void main() {
+    vec4 base = texture(albedo, v_uv);
+    if (base.a < 0.5) {
+        discard;
+    }
+    gl_FragColor = base;
+}
+"""

@@ -1,0 +1,183 @@
+"""The shader instruction set: a PTX-like scalar register ISA.
+
+Values are scalar 64-bit floats, one register file slice per SIMT lane.
+Vectors (vec2/3/4, mat4) are scalarized by the compiler.  The graphics
+extensions — ``TEX``, ``ZREAD``/``ZWRITE``, ``SREAD``/``SWRITE``,
+``FB_READ``/``FB_WRITE``, ``DISCARD``, ``LD_ATTR``/``LD_VARY``/``ST_OUT``
+— mirror the instructions
+Emerald adds to GPGPU-Sim's PTX (§4.1).
+
+Each opcode carries a *latency class* the timing model uses:
+
+* ``ALU`` — short fixed latency (default 4 cycles);
+* ``SFU`` — transcendental units (default 16 cycles);
+* ``MEM`` — variable, resolved by the cache/DRAM models;
+* ``CTRL`` — branch/exit bookkeeping, single cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+class LatencyClass(enum.Enum):
+    ALU = "alu"
+    SFU = "sfu"
+    MEM = "mem"
+    CTRL = "ctrl"
+
+
+class MemSpace(enum.Enum):
+    """Which cache a memory access is routed to (Table 2)."""
+
+    CONST = "const"       # L1C: uniforms
+    VERTEX = "vertex"     # L1C: vertex attribute fetches
+    TEXTURE = "texture"   # L1T
+    DEPTH = "depth"       # L1Z
+    COLOR = "color"       # L1D: framebuffer color
+    GLOBAL = "global"     # L1D: generic global memory
+    INSTRUCTION = "inst"  # L1I
+
+
+class Opcode(enum.Enum):
+    # ALU
+    MOV = ("mov", LatencyClass.ALU)
+    ADD = ("add", LatencyClass.ALU)
+    SUB = ("sub", LatencyClass.ALU)
+    MUL = ("mul", LatencyClass.ALU)
+    DIV = ("div", LatencyClass.SFU)
+    MAD = ("mad", LatencyClass.ALU)
+    MIN = ("min", LatencyClass.ALU)
+    MAX = ("max", LatencyClass.ALU)
+    ABS = ("abs", LatencyClass.ALU)
+    NEG = ("neg", LatencyClass.ALU)
+    FLOOR = ("floor", LatencyClass.ALU)
+    FRAC = ("frac", LatencyClass.ALU)
+    # SFU
+    RCP = ("rcp", LatencyClass.SFU)
+    RSQRT = ("rsqrt", LatencyClass.SFU)
+    SQRT = ("sqrt", LatencyClass.SFU)
+    SIN = ("sin", LatencyClass.SFU)
+    COS = ("cos", LatencyClass.SFU)
+    EXP2 = ("exp2", LatencyClass.SFU)
+    LOG2 = ("log2", LatencyClass.SFU)
+    POW = ("pow", LatencyClass.SFU)
+    # Predicate-producing compares and predicate logic
+    SETP_LT = ("setp.lt", LatencyClass.ALU)
+    SETP_LE = ("setp.le", LatencyClass.ALU)
+    SETP_GT = ("setp.gt", LatencyClass.ALU)
+    SETP_GE = ("setp.ge", LatencyClass.ALU)
+    SETP_EQ = ("setp.eq", LatencyClass.ALU)
+    SETP_NE = ("setp.ne", LatencyClass.ALU)
+    SEL = ("sel", LatencyClass.ALU)        # dst = pred ? src0 : src1
+    PAND = ("pand", LatencyClass.ALU)
+    POR = ("por", LatencyClass.ALU)
+    PNOT = ("pnot", LatencyClass.ALU)
+    # Control
+    BRA = ("bra", LatencyClass.CTRL)
+    EXIT = ("exit", LatencyClass.CTRL)
+    DISCARD = ("discard", LatencyClass.CTRL)
+    # Graphics / memory
+    LD_ATTR = ("ld.attr", LatencyClass.MEM)     # vertex attribute (L1C)
+    LD_VARY = ("ld.vary", LatencyClass.ALU)     # interpolated varying (register)
+    LD_CONST = ("ld.const", LatencyClass.MEM)   # uniform (L1C)
+    ST_OUT = ("st.out", LatencyClass.ALU)       # shader output slot
+    TEX = ("tex", LatencyClass.MEM)             # texture sample (L1T)
+    ZREAD = ("zread", LatencyClass.MEM)         # depth buffer read (L1Z)
+    ZWRITE = ("zwrite", LatencyClass.MEM)       # depth buffer write (L1Z)
+    SREAD = ("sread", LatencyClass.MEM)         # stencil read (L1Z)
+    SWRITE = ("swrite", LatencyClass.MEM)       # stencil write (L1Z)
+    FB_READ = ("fb.read", LatencyClass.MEM)     # color buffer read (L1D)
+    FB_WRITE = ("fb.write", LatencyClass.MEM)   # color buffer write (L1D)
+    LD_GLOBAL = ("ld.global", LatencyClass.MEM)
+    ST_GLOBAL = ("st.global", LatencyClass.MEM)
+
+    def __init__(self, mnemonic: str, latency_class: LatencyClass) -> None:
+        self.mnemonic = mnemonic
+        self.latency_class = latency_class
+
+
+# Default latencies per class, overridable via SIMTCoreConfig.
+DEFAULT_LATENCY = {
+    LatencyClass.ALU: 4,
+    LatencyClass.SFU: 16,
+    LatencyClass.CTRL: 1,
+}
+
+_MNEMONIC_TO_OPCODE = {op.mnemonic: op for op in Opcode}
+
+
+def opcode_by_mnemonic(mnemonic: str) -> Opcode:
+    try:
+        return _MNEMONIC_TO_OPCODE[mnemonic]
+    except KeyError:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}") from None
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A scalar float register."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """A predicate (boolean) register."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"p{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate float operand."""
+
+    value: float
+
+    def __repr__(self) -> str:
+        return f"{self.value!r}"
+
+
+Operand = Union[Reg, Pred, Imm]
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction.
+
+    ``guard``/``guard_sense``: optional predicated execution (``@p`` /
+    ``@!p`` in assembly).  ``target`` is a resolved instruction index for
+    branches; ``reconv`` is the IPDOM reconvergence point the SIMT stack
+    uses (filled in by :func:`repro.shader.program.compute_reconvergence`).
+    ``slot`` indexes attribute/varying/output/const slots and texture units.
+    """
+
+    op: Opcode
+    dsts: list[Operand] = field(default_factory=list)
+    srcs: list[Operand] = field(default_factory=list)
+    guard: Optional[Pred] = None
+    guard_sense: bool = True
+    target: Optional[int] = None
+    reconv: Optional[int] = None
+    slot: Optional[int] = None
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            sense = "" if self.guard_sense else "!"
+            parts.append(f"@{sense}{self.guard}")
+        parts.append(self.op.mnemonic)
+        operands = [repr(d) for d in self.dsts] + [repr(s) for s in self.srcs]
+        if self.slot is not None:
+            operands.append(f"#{self.slot}")
+        if self.target is not None:
+            operands.append(f"->{self.target}")
+        return " ".join(parts) + " " + ", ".join(operands)

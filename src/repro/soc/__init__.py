@@ -1,0 +1,11 @@
+"""Full-system SoC substrate (Fig. 1): CPUs, display controller, app model.
+
+The gem5+Android analog of the reproduction: CPU cores whose traffic is
+phase-locked to the frame lifecycle, a display controller with vsync
+deadlines and frame aborts, an Android-like render loop driving the GPU,
+and graphics checkpointing.
+"""
+
+from repro.soc.soc import EmeraldSoC, SoCResults
+
+__all__ = ["EmeraldSoC", "SoCResults"]

@@ -1,0 +1,55 @@
+"""Graphics checkpointing (paper §4.2).
+
+Booting a full system is expensive; Emerald checkpoints the graphics state
+by recording all draw calls and replaying them through the functional model
+at restore.  Here a checkpoint bundles the recorded draw-call trace (the
+same JSON format as :mod:`repro.gl.trace`), the simulated time, and the
+app-side frame counter; restore rebuilds the GL-side state by replay.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.gl.context import Frame
+from repro.gl.trace import TraceRecorder, replay
+
+
+@dataclass
+class GraphicsCheckpoint:
+    """A serializable snapshot of graphics + loop state."""
+
+    trace_json: str
+    tick: int
+    frame_index: int
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "version": 1,
+            "tick": self.tick,
+            "frame_index": self.frame_index,
+            "trace": json.loads(self.trace_json),
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "GraphicsCheckpoint":
+        doc = json.loads(text)
+        if doc.get("version") != 1:
+            raise ValueError(f"unsupported checkpoint version {doc.get('version')!r}")
+        return cls(trace_json=json.dumps(doc["trace"]), tick=doc["tick"],
+                   frame_index=doc["frame_index"])
+
+    def restore_frames(self) -> list[Frame]:
+        """Replay the recorded draw calls through a fresh GL context."""
+        return replay(self.trace_json)
+
+
+def capture(frames: list[Frame], tick: int,
+            frame_index: int) -> GraphicsCheckpoint:
+    """Record rendered frames into a checkpoint."""
+    recorder = TraceRecorder()
+    for frame in frames:
+        recorder.record_frame(frame)
+    return GraphicsCheckpoint(trace_json=recorder.to_json(), tick=tick,
+                              frame_index=frame_index)

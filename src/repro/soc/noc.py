@@ -1,0 +1,32 @@
+"""System interconnect: a latency hop between IPs and the memory system."""
+
+from __future__ import annotations
+
+from repro.common.events import EventQueue
+from repro.memory.request import MemRequest
+from repro.memory.system import MemorySystem
+
+
+class SystemNoC:
+    """Adds a fixed latency to every request entering the memory system.
+
+    The paper uses gem5's classic (coherent) system network; a fixed-latency
+    hop preserves the first-order effect — IP-to-DRAM distance — without a
+    flit-level model.
+    """
+
+    def __init__(self, events: EventQueue, memory: MemorySystem,
+                 latency: int = 12) -> None:
+        self.events = events
+        self.memory = memory
+        self.latency = latency
+
+    def submit(self, request: MemRequest) -> None:
+        self.events.schedule(self.latency, self.memory.submit, request)
+
+    def access(self, address, size, write, callback):
+        """Cache-port compatible entry (used behind the GPU L2)."""
+        from repro.memory.request import SourceType
+        self.submit(MemRequest(
+            address=address, size=size, write=write, source=SourceType.GPU,
+            callback=(lambda r: callback()) if callback else None))

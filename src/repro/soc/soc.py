@@ -1,0 +1,155 @@
+"""Full-system assembly (Fig. 1): CPUs + GPU + display + DRAM + NoC.
+
+:class:`EmeraldSoC` wires the case-study-I system together for one of the
+Table 6 memory configurations (BAS / DCB / DTB / HMC) and runs the
+Android-like render loop for a number of frames, returning every
+measurement the paper's Figs. 9-14 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.config import DRAMConfig, GPUConfig
+from repro.common.events import EventQueue
+from repro.gl.context import Frame
+from repro.gpu.gpu import EmeraldGPU
+from repro.memory.builders import build_memory_by_name
+from repro.memory.request import SourceType
+from repro.soc.android import FrameRecord, RenderLoop
+from repro.soc.cpu import CPUCluster
+from repro.soc.display import DisplayController
+from repro.soc.noc import SystemNoC
+
+
+@dataclass
+class SoCRunConfig:
+    """Knobs for one full-system run.
+
+    The paper simulates at 1024x768 against wall-clock deadlines; a scaled
+    resolution needs proportionally scaled deadlines to preserve the
+    load-to-deadline ratios, hence explicit tick periods here (see
+    EXPERIMENTS.md).
+    """
+
+    width: int = 192
+    height: int = 144
+    num_frames: int = 5
+    memory_config: str = "BAS"               # BAS | DCB | DTB | HMC
+    dram: DRAMConfig = field(default_factory=lambda: DRAMConfig(channels=2))
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    gpu_frame_period_ticks: int = 400_000     # app target (30 FPS analog)
+    display_period_ticks: int = 200_000       # vsync (60 FPS analog)
+    cpu_work_per_frame: int = 150
+    cpu_fixed_ticks: int = 0
+    num_cpu_cores: int = 4
+    noc_latency: int = 12
+    seed: int = 7
+    # DASH epoch scaling: Table 3's quantum (1M cycles) assumes wall-clock-
+    # scale workloads; scaled runs need the classifier to re-cluster within
+    # a frame.
+    dash_quantum_ticks: int = 50_000
+    dash_switching_ticks: int = 500
+
+
+@dataclass
+class SoCResults:
+    """Everything measured in one run."""
+
+    config_name: str
+    frames: list[FrameRecord]
+    mean_gpu_time: float
+    mean_total_time: float
+    fps_fraction: float
+    display_requests: int
+    display_completed: int
+    display_aborted: int
+    row_hit_rate: float
+    bytes_per_activation: float
+    dram_bytes: dict[str, int]
+    mean_latency: dict[str, float]
+    bandwidth: dict[str, list[tuple[int, float]]]
+    end_tick: int = 0
+
+
+class EmeraldSoC:
+    """The assembled system; create, then :meth:`run`."""
+
+    def __init__(self, run_config: SoCRunConfig,
+                 frame_source: Callable[[int], Frame],
+                 framebuffer_address: int) -> None:
+        self.config = run_config
+        self.events = EventQueue()
+        from repro.memory.dash import DashConfig
+        dash_config = DashConfig(quantum=run_config.dash_quantum_ticks,
+                                 switching_unit=run_config.dash_switching_ticks)
+        self.memory, self.dash_state = build_memory_by_name(
+            run_config.memory_config, self.events, run_config.dram,
+            gpu_clock_ghz=run_config.gpu.clock_ghz,
+            dash_config=dash_config)
+        self.noc = SystemNoC(self.events, self.memory,
+                             latency=run_config.noc_latency)
+        self.gpu = EmeraldGPU(self.events, run_config.gpu,
+                              run_config.width, run_config.height,
+                              memory=self.memory, memory_port=self.noc)
+        self.cpus = CPUCluster(self.events, self.noc.submit,
+                               num_cores=run_config.num_cpu_cores,
+                               seed=run_config.seed)
+        frame_bytes = run_config.width * run_config.height * 4
+        self.display = DisplayController(
+            self.events, self.noc.submit,
+            framebuffer_address=framebuffer_address,
+            frame_bytes=frame_bytes,
+            period_ticks=run_config.display_period_ticks,
+            dash_state=self.dash_state)
+        if self.dash_state is not None:
+            self.dash_state.register_ip(
+                SourceType.GPU, run_config.gpu_frame_period_ticks)
+            self.dash_state.register_ip(
+                SourceType.DISPLAY, run_config.display_period_ticks)
+        self.loop = RenderLoop(
+            self.events, self.gpu, self.cpus.app_core, frame_source,
+            num_frames=run_config.num_frames,
+            frame_period_ticks=run_config.gpu_frame_period_ticks,
+            cpu_work_per_frame=run_config.cpu_work_per_frame,
+            cpu_fixed_ticks=run_config.cpu_fixed_ticks,
+            on_phase=self.cpus.set_phase,
+            dash_state=self.dash_state)
+
+    def run(self, max_events: int = 500_000_000) -> SoCResults:
+        self.cpus.start_background()
+        self.display.start()
+        self.loop.start()
+        executed = 0
+        while not self.loop.finished:
+            if not self.events.step():
+                raise RuntimeError("event queue drained before loop finished")
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError("event limit exceeded (hung simulation?)")
+        self.cpus.stop_background()
+        self.display.stop()
+        return self._results()
+
+    def _results(self) -> SoCResults:
+        memory = self.memory
+        return SoCResults(
+            config_name=self.config.memory_config,
+            frames=list(self.loop.records),
+            mean_gpu_time=self.loop.mean_gpu_time(),
+            mean_total_time=self.loop.mean_total_time(),
+            fps_fraction=self.loop.achieved_fps_fraction(),
+            display_requests=self.display.requests_serviced,
+            display_completed=self.display.frames_completed,
+            display_aborted=self.display.frames_aborted,
+            row_hit_rate=memory.row_hit_rate(),
+            bytes_per_activation=memory.bytes_per_activation(),
+            dram_bytes={src.value: memory.total_bytes(src)
+                        for src in SourceType},
+            mean_latency={src.value: memory.mean_latency(src)
+                          for src in SourceType},
+            bandwidth={src.value: memory.bandwidth_series(src, window=10_000)
+                       for src in SourceType},
+            end_tick=self.events.now,
+        )

@@ -1,0 +1,169 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.common.events import EventQueue, Ticker
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5, fired.append, "late")
+        q.schedule(3, fired.append, "early")
+        q.run()
+        assert fired == ["early", "late"]
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        q = EventQueue()
+        fired = []
+        for i in range(10):
+            q.schedule(7, fired.append, i)
+        q.run()
+        assert fired == list(range(10))
+
+    def test_now_advances_to_event_time(self):
+        q = EventQueue()
+        seen = []
+        q.schedule(42, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [42]
+        assert q.now == 42
+
+    def test_schedule_from_within_event(self):
+        q = EventQueue()
+        fired = []
+
+        def first():
+            fired.append(("first", q.now))
+            q.schedule(10, lambda: fired.append(("second", q.now)))
+
+        q.schedule(5, first)
+        q.run()
+        assert fired == [("first", 5), ("second", 15)]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            q.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        q = EventQueue()
+        q.schedule(10, lambda: None)
+        q.run()
+        with pytest.raises(ValueError):
+            q.schedule_at(5, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self):
+        q = EventQueue()
+        fired = []
+        ev = q.schedule(5, fired.append, "x")
+        ev.cancel()
+        q.run()
+        assert fired == []
+
+    def test_run_until_stops_at_boundary(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(5, fired.append, "a")
+        q.schedule(10, fired.append, "b")
+        q.schedule(15, fired.append, "c")
+        q.run_until(10)
+        assert fired == ["a", "b"]
+        assert q.now == 10
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_run_until_advances_time_past_empty_queue(self):
+        q = EventQueue()
+        q.run_until(100)
+        assert q.now == 100
+
+    def test_run_max_events(self):
+        q = EventQueue()
+        fired = []
+        for i in range(5):
+            q.schedule(i, fired.append, i)
+        executed = q.run(max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+    def test_empty_and_peek(self):
+        q = EventQueue()
+        assert q.empty()
+        assert q.peek_time() is None
+        ev = q.schedule(9, lambda: None)
+        assert q.peek_time() == 9
+        ev.cancel()
+        assert q.empty()
+
+    def test_events_fired_counter(self):
+        q = EventQueue()
+        for i in range(4):
+            q.schedule(i, lambda: None)
+        q.run()
+        assert q.events_fired == 4
+
+
+class TestTicker:
+    def test_ticker_runs_while_callback_true(self):
+        q = EventQueue()
+        ticks = []
+
+        def cb():
+            ticks.append(q.now)
+            return len(ticks) < 3
+
+        t = Ticker(q, period=10, callback=cb)
+        t.kick()
+        q.run()
+        assert ticks == [0, 10, 20]
+
+    def test_kick_idempotent(self):
+        q = EventQueue()
+        count = [0]
+
+        def cb():
+            count[0] += 1
+            return False
+
+        t = Ticker(q, period=5, callback=cb)
+        t.kick()
+        t.kick()
+        t.kick()
+        q.run()
+        assert count[0] == 1
+
+    def test_stop_prevents_future_ticks(self):
+        q = EventQueue()
+        ticks = []
+        t = Ticker(q, period=5, callback=lambda: ticks.append(q.now) or True)
+        t.kick()
+        q.run(max_events=2)
+        t.stop()
+        q.run()
+        assert len(ticks) == 2
+
+    def test_invalid_period(self):
+        q = EventQueue()
+        with pytest.raises(ValueError):
+            Ticker(q, period=0, callback=lambda: False)
+
+    def test_kick_with_delay(self):
+        q = EventQueue()
+        ticks = []
+        t = Ticker(q, period=5, callback=lambda: ticks.append(q.now) or False)
+        t.kick(delay=7)
+        q.run()
+        assert ticks == [7]
+
+    def test_rekick_after_idle(self):
+        q = EventQueue()
+        ticks = []
+        t = Ticker(q, period=5, callback=lambda: ticks.append(q.now) or False)
+        t.kick()
+        q.run()
+        assert ticks == [0]
+        q.schedule(20, t.kick)
+        q.run()
+        assert ticks == [0, 20]

@@ -1,0 +1,189 @@
+"""Tests for statistics primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import (
+    Counter,
+    Histogram,
+    RateStat,
+    StatGroup,
+    TimeSeries,
+    mean_abs_relative_error,
+    pearson,
+)
+
+
+class TestCounter:
+    def test_add_default(self):
+        c = Counter("x")
+        c.add()
+        c.add(5)
+        assert c.value == 6
+
+    def test_reset(self):
+        c = Counter()
+        c.add(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestRateStat:
+    def test_rate(self):
+        r = RateStat()
+        for hit in (True, True, False, True):
+            r.record(hit)
+        assert r.rate == pytest.approx(0.75)
+        assert r.misses == 1
+
+    def test_empty_rate_is_zero(self):
+        assert RateStat().rate == 0.0
+
+
+class TestTimeSeries:
+    def test_binning(self):
+        ts = TimeSeries(window=10)
+        ts.add(3, 1.0)
+        ts.add(7, 2.0)
+        ts.add(15, 5.0)
+        assert ts.series() == [(0, 3.0), (10, 5.0)]
+
+    def test_dense_series_fills_gaps(self):
+        ts = TimeSeries(window=10)
+        ts.add(0, 1.0)
+        ts.add(35, 1.0)
+        assert ts.series() == [(0, 1.0), (10, 0.0), (20, 0.0), (30, 1.0)]
+
+    def test_until_extends(self):
+        ts = TimeSeries(window=10)
+        ts.add(0, 1.0)
+        assert len(ts.series(until=29)) == 3
+
+    def test_total(self):
+        ts = TimeSeries(window=5)
+        ts.add(1, 2.0)
+        ts.add(100, 3.0)
+        assert ts.total() == 5.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            TimeSeries(window=0)
+
+
+class TestHistogram:
+    def test_moments(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.record(v)
+        assert h.mean == pytest.approx(2.5)
+        assert h.minimum == 1.0
+        assert h.maximum == 4.0
+        assert h.count == 4
+
+    def test_percentile(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.record(float(v))
+        assert h.percentile(50) == 50.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(1) == 1.0
+
+    def test_percentile_bounds(self):
+        h = Histogram()
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+
+class TestStatGroup:
+    def test_lazily_creates_and_caches(self):
+        g = StatGroup("unit")
+        c1 = g.counter("hits")
+        c2 = g.counter("hits")
+        assert c1 is c2
+
+    def test_dump(self):
+        g = StatGroup("l1")
+        g.counter("accesses").add(10)
+        g.rate("hit").record(True)
+        g.histogram("latency").record(5.0)
+        d = g.dump()
+        assert d["accesses"] == 10
+        assert d["hit.rate"] == 1.0
+        assert d["latency.mean"] == 5.0
+
+    def test_reset_all(self):
+        g = StatGroup("x")
+        g.counter("a").add(2)
+        g.rate("b").record(True)
+        g.time_series("c").add(0, 1.0)
+        g.histogram("d").record(3.0)
+        g.reset()
+        assert g.counter("a").value == 0
+        assert g.rate("b").total == 0
+        assert g.time_series("c").total() == 0.0
+        assert g.histogram("d").count == 0
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_zero_variance(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1], [1, 2])
+
+    @given(
+        st.lists(st.integers(min_value=-10**6, max_value=10**6), min_size=2,
+                 max_size=50),
+        st.floats(min_value=0.1, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+    )
+    def test_affine_invariance(self, xs_int, scale, shift):
+        """corr(x, a*x + b) == 1 for a > 0 whenever x has variance."""
+        xs = [float(x) for x in xs_int]
+        ys = [scale * x + shift for x in xs]
+        if len(set(xs)) < 2:
+            assert pearson(xs, ys) == 0.0
+        else:
+            r = pearson(xs, ys)
+            assert r == pytest.approx(1.0, abs=1e-6)
+
+    @given(st.lists(st.tuples(st.floats(-1e3, 1e3), st.floats(-1e3, 1e3)),
+                    min_size=2, max_size=50))
+    def test_bounded(self, pairs):
+        xs = [p[0] for p in pairs]
+        ys = [p[1] for p in pairs]
+        r = pearson(xs, ys)
+        assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+        assert not math.isnan(r)
+
+
+class TestMARE:
+    def test_exact_match_is_zero(self):
+        assert mean_abs_relative_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        # |10-5|/10 = 0.5, |4-6|/4 = 0.5
+        assert mean_abs_relative_error([10.0, 4.0], [5.0, 6.0]) == pytest.approx(0.5)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            mean_abs_relative_error([0.0], [1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_abs_relative_error([], [])

@@ -1,0 +1,133 @@
+"""Tests for the procedural model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.models import (
+    CASE_STUDY1_MODELS,
+    CASE_STUDY2_MODELS,
+    MODEL_NAMES,
+    box,
+    model_by_name,
+    parametric_surface,
+    sphere,
+    surface_of_revolution,
+    torus,
+)
+
+
+class TestParametricSurface:
+    def test_quad_count(self):
+        mesh = parametric_surface(lambda u, v: (u, v, 0.0), nu=3, nv=2)
+        assert mesh.num_primitives == 3 * 2 * 2
+
+    def test_wrap_u_reuses_seam_vertices(self):
+        open_mesh = parametric_surface(lambda u, v: (u, v, 0.0), nu=4, nv=2)
+        closed = parametric_surface(lambda u, v: (u, v, 0.0), nu=4, nv=2,
+                                    wrap_u=True)
+        assert closed.num_vertices < open_mesh.num_vertices
+
+    def test_invalid_tessellation(self):
+        with pytest.raises(ValueError):
+            parametric_surface(lambda u, v: (u, v, 0.0), nu=0, nv=1)
+
+    def test_has_normals_and_uvs(self):
+        mesh = parametric_surface(lambda u, v: (u, v, 0.0), nu=2, nv=2)
+        assert mesh.normals is not None
+        assert mesh.uvs is not None
+        lengths = np.linalg.norm(mesh.normals, axis=1)
+        assert np.allclose(lengths, 1.0)
+
+
+class TestBox:
+    def test_vertex_and_triangle_count(self):
+        mesh = box()
+        assert mesh.num_vertices == 24
+        assert mesh.num_primitives == 12
+
+    def test_bounds(self):
+        lo, hi = box(2.0, 4.0, 6.0).bounds()
+        assert np.allclose(lo, [-1, -2, -3])
+        assert np.allclose(hi, [1, 2, 3])
+
+    def test_outward_normals_point_away_from_center(self):
+        mesh = box()
+        for pos, normal in zip(mesh.positions, mesh.normals):
+            assert np.dot(pos, normal) > 0
+
+    def test_inward_normals_point_toward_center(self):
+        mesh = box(inward=True)
+        for pos, normal in zip(mesh.positions, mesh.normals):
+            assert np.dot(pos, normal) < 0
+
+    def test_winding_matches_normals(self):
+        """Cross product of each triangle's edges must align with normals."""
+        for inward in (False, True):
+            mesh = box(inward=inward)
+            for a, b, c in mesh.triangles():
+                pa, pb, pc = (mesh.positions[i] for i in (a, b, c))
+                face = np.cross(pb - pa, pc - pa)
+                assert np.dot(face, mesh.normals[a]) > 0
+
+
+class TestRoundSurfaces:
+    def test_sphere_radius(self):
+        mesh = sphere(radius=2.0, detail=6)
+        radii = np.linalg.norm(mesh.positions, axis=1)
+        assert np.allclose(radii, 2.0, atol=1e-9)
+
+    def test_torus_distance_band(self):
+        mesh = torus(major=1.0, minor=0.25, detail=6)
+        xz = np.linalg.norm(mesh.positions[:, [0, 2]], axis=1)
+        assert xz.min() >= 0.75 - 1e-9
+        assert xz.max() <= 1.25 + 1e-9
+
+    def test_revolution_profile_respected(self):
+        mesh = surface_of_revolution([(1.0, 0.0), (2.0, 1.0)], detail=8)
+        assert mesh.positions[:, 1].min() == pytest.approx(0.0, abs=1e-9)
+        assert mesh.positions[:, 1].max() == pytest.approx(1.0, abs=1e-9)
+
+    def test_revolution_needs_two_points(self):
+        with pytest.raises(ValueError):
+            surface_of_revolution([(1.0, 0.0)])
+
+
+class TestModelZoo:
+    def test_registry_contains_both_case_studies(self):
+        for name in CASE_STUDY1_MODELS + CASE_STUDY2_MODELS:
+            assert name in MODEL_NAMES
+
+    @pytest.mark.parametrize("name", MODEL_NAMES)
+    def test_models_build_and_are_valid(self, name):
+        mesh = model_by_name(name, detail=2)
+        assert mesh.num_vertices > 0
+        assert mesh.num_primitives > 0
+        assert np.isfinite(mesh.positions).all()
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            model_by_name("nonexistent")
+
+    def test_detail_scales_complexity(self):
+        small = model_by_name("mask", detail=1)
+        big = model_by_name("mask", detail=3)
+        assert big.num_primitives > small.num_primitives
+
+    def test_translucent_suzanne_has_alpha(self):
+        w5 = model_by_name("suzanne_transparent", detail=2)
+        assert w5.colors is not None
+        assert np.all(w5.colors[:, 3] < 1.0)
+
+    def test_opaque_suzanne_has_full_alpha(self):
+        w4 = model_by_name("suzanne", detail=2)
+        assert np.all(w4.colors[:, 3] == 1.0)
+
+    def test_complexity_ordering_cs1(self):
+        """Triangles (M4) is the simplest CS1 model, mask (M3) the densest."""
+        sizes = {name: model_by_name(name).num_primitives
+                 for name in CASE_STUDY1_MODELS}
+        assert sizes["triangles"] < sizes["cube"] < sizes["mask"]
+
+    def test_fan_model_uses_fan_mode(self):
+        from repro.geometry.mesh import PrimitiveMode
+        assert model_by_name("triangles").mode is PrimitiveMode.TRIANGLE_FAN

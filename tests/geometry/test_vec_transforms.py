@@ -1,0 +1,168 @@
+"""Tests for vector math and transform matrices."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.vec import (
+    from_homogeneous,
+    normalize,
+    to_homogeneous,
+    vec3,
+    vec4,
+)
+from repro.geometry.transforms import (
+    identity,
+    look_at,
+    normal_matrix,
+    orthographic,
+    perspective,
+    rotate_x,
+    rotate_y,
+    rotate_z,
+    scale,
+    translate,
+    viewport_transform,
+)
+
+
+class TestVec:
+    def test_normalize_unit_length(self):
+        v = normalize(vec3(3.0, 4.0, 0.0))
+        assert np.linalg.norm(v) == pytest.approx(1.0)
+
+    def test_normalize_zero_vector_unchanged(self):
+        v = normalize(vec3(0.0, 0.0, 0.0))
+        assert np.all(v == 0.0)
+
+    def test_homogeneous_roundtrip(self):
+        v = vec3(1.0, 2.0, 3.0)
+        h = to_homogeneous(v)
+        assert h[3] == 1.0
+        assert np.allclose(from_homogeneous(h), v)
+
+    def test_perspective_divide(self):
+        assert np.allclose(from_homogeneous(vec4(2.0, 4.0, 6.0, 2.0)),
+                           vec3(1.0, 2.0, 3.0))
+
+    def test_divide_by_zero_w(self):
+        with pytest.raises(ZeroDivisionError):
+            from_homogeneous(vec4(1.0, 1.0, 1.0, 0.0))
+
+    def test_to_homogeneous_shape_check(self):
+        with pytest.raises(ValueError):
+            to_homogeneous(np.zeros(4))
+
+
+class TestBasicTransforms:
+    def test_translate_moves_point(self):
+        p = translate(1.0, 2.0, 3.0) @ vec4(0.0, 0.0, 0.0, 1.0)
+        assert np.allclose(p[:3], [1.0, 2.0, 3.0])
+
+    def test_translate_ignores_direction(self):
+        d = translate(1.0, 2.0, 3.0) @ vec4(1.0, 0.0, 0.0, 0.0)
+        assert np.allclose(d[:3], [1.0, 0.0, 0.0])
+
+    def test_scale(self):
+        p = scale(2.0, 3.0, 4.0) @ vec4(1.0, 1.0, 1.0, 1.0)
+        assert np.allclose(p[:3], [2.0, 3.0, 4.0])
+
+    def test_rotate_z_quarter_turn(self):
+        p = rotate_z(math.pi / 2) @ vec4(1.0, 0.0, 0.0, 1.0)
+        assert np.allclose(p[:3], [0.0, 1.0, 0.0], atol=1e-12)
+
+    def test_rotate_x_quarter_turn(self):
+        p = rotate_x(math.pi / 2) @ vec4(0.0, 1.0, 0.0, 1.0)
+        assert np.allclose(p[:3], [0.0, 0.0, 1.0], atol=1e-12)
+
+    def test_rotate_y_quarter_turn(self):
+        p = rotate_y(math.pi / 2) @ vec4(0.0, 0.0, 1.0, 1.0)
+        assert np.allclose(p[:3], [1.0, 0.0, 0.0], atol=1e-12)
+
+    @given(st.floats(-math.pi, math.pi))
+    def test_rotations_preserve_length(self, angle):
+        p = vec4(1.0, 2.0, 3.0, 1.0)
+        for rot in (rotate_x, rotate_y, rotate_z):
+            q = rot(angle) @ p
+            assert np.linalg.norm(q[:3]) == pytest.approx(np.linalg.norm(p[:3]))
+
+    @given(st.floats(-math.pi, math.pi))
+    def test_rotation_inverse_is_negative_angle(self, angle):
+        m = rotate_y(angle) @ rotate_y(-angle)
+        assert np.allclose(m, identity(), atol=1e-12)
+
+
+class TestProjection:
+    def test_perspective_point_on_near_plane_maps_to_minus_one(self):
+        proj = perspective(math.radians(90), 1.0, 1.0, 100.0)
+        p = proj @ vec4(0.0, 0.0, -1.0, 1.0)
+        ndc = from_homogeneous(p)
+        assert ndc[2] == pytest.approx(-1.0)
+
+    def test_perspective_point_on_far_plane_maps_to_plus_one(self):
+        proj = perspective(math.radians(90), 1.0, 1.0, 100.0)
+        ndc = from_homogeneous(proj @ vec4(0.0, 0.0, -100.0, 1.0))
+        assert ndc[2] == pytest.approx(1.0)
+
+    def test_perspective_fov_edge(self):
+        # With 90-degree fov and aspect 1, x == -z maps to NDC x = 1.
+        proj = perspective(math.radians(90), 1.0, 0.1, 100.0)
+        ndc = from_homogeneous(proj @ vec4(5.0, 0.0, -5.0, 1.0))
+        assert ndc[0] == pytest.approx(1.0)
+
+    def test_perspective_validation(self):
+        with pytest.raises(ValueError):
+            perspective(1.0, 1.0, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            perspective(1.0, 0.0, 0.1, 10.0)
+        with pytest.raises(ValueError):
+            perspective(1.0, 1.0, 10.0, 1.0)
+
+    def test_orthographic_center_maps_to_origin(self):
+        proj = orthographic(-2, 2, -1, 1, 0.1, 10)
+        ndc = from_homogeneous(proj @ vec4(0.0, 0.0, -5.0, 1.0))
+        assert np.allclose(ndc[:2], [0.0, 0.0])
+
+    def test_orthographic_degenerate(self):
+        with pytest.raises(ValueError):
+            orthographic(1, 1, 0, 1, 0, 1)
+
+
+class TestLookAt:
+    def test_eye_maps_to_origin(self):
+        view = look_at(vec3(3.0, 4.0, 5.0), vec3(0.0, 0.0, 0.0),
+                       vec3(0.0, 1.0, 0.0))
+        p = view @ vec4(3.0, 4.0, 5.0, 1.0)
+        assert np.allclose(p[:3], [0.0, 0.0, 0.0], atol=1e-12)
+
+    def test_target_is_down_negative_z(self):
+        view = look_at(vec3(0.0, 0.0, 5.0), vec3(0.0, 0.0, 0.0),
+                       vec3(0.0, 1.0, 0.0))
+        p = view @ vec4(0.0, 0.0, 0.0, 1.0)
+        assert p[2] == pytest.approx(-5.0)
+        assert np.allclose(p[:2], [0.0, 0.0], atol=1e-12)
+
+
+class TestViewport:
+    def test_center(self):
+        assert viewport_transform(0.0, 0.0, 100, 50) == (50.0, 25.0)
+
+    def test_top_left(self):
+        # NDC (-1, +1) is the top-left pixel corner.
+        assert viewport_transform(-1.0, 1.0, 100, 50) == (0.0, 0.0)
+
+    def test_bottom_right(self):
+        assert viewport_transform(1.0, -1.0, 100, 50) == (100.0, 50.0)
+
+
+class TestNormalMatrix:
+    def test_identity_for_rotation(self):
+        m = rotate_y(0.7)
+        assert np.allclose(normal_matrix(m), m[:3, :3])
+
+    def test_nonuniform_scale_corrects_normal(self):
+        m = scale(2.0, 1.0, 1.0)
+        n = normal_matrix(m) @ vec3(1.0, 0.0, 0.0)
+        assert n[0] == pytest.approx(0.5)

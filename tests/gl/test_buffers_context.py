@@ -1,0 +1,157 @@
+"""Tests for buffer objects and the GL context."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.models import cube, triangles
+from repro.gl.buffers import IndexBuffer, VertexBuffer
+from repro.gl.context import AddressAllocator, GLContext
+
+VS = "void main() { gl_Position = vec4(position, 1.0); }"
+FS = "void main() { gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0); }"
+
+
+class TestVertexBuffer:
+    def test_interleaving(self):
+        vbo = VertexBuffer({
+            "position": np.arange(12).reshape(4, 3),
+            "uv": np.arange(8).reshape(4, 2),
+        })
+        assert vbo.stride_floats == 5
+        assert vbo.num_vertices == 4
+        assert vbo.data.shape == (4, 5)
+        # Vertex 1: position floats 3..5, uv floats 2..3.
+        assert vbo.data[1].tolist() == [3, 4, 5, 2, 3]
+
+    def test_fetch(self):
+        vbo = VertexBuffer({"position": np.arange(12).reshape(4, 3)})
+        out = vbo.fetch("position", np.array([2, 0]))
+        assert out.tolist() == [[6, 7, 8], [0, 1, 2]]
+
+    def test_vertex_addresses(self):
+        vbo = VertexBuffer({"position": np.zeros((4, 3))})
+        vbo.base_address = 1000
+        start, length = vbo.vertex_addresses(2)
+        assert start == 1000 + 2 * 12
+        assert length == 12
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            VertexBuffer({"a": np.zeros((3, 3)), "b": np.zeros((4, 2))})
+
+    def test_unknown_attribute(self):
+        vbo = VertexBuffer({"position": np.zeros((2, 3))})
+        with pytest.raises(KeyError):
+            vbo.attribute_offset("normal")
+
+    def test_out_of_range_vertex(self):
+        vbo = VertexBuffer({"position": np.zeros((2, 3))})
+        with pytest.raises(IndexError):
+            vbo.vertex_addresses(2)
+
+
+class TestIndexBuffer:
+    def test_addressing(self):
+        ibo = IndexBuffer(np.array([0, 1, 2, 3]))
+        ibo.base_address = 64
+        assert ibo.address_of(0) == 64
+        assert ibo.address_of(3) == 64 + 12
+        assert ibo.size_bytes == 16
+
+    def test_out_of_range(self):
+        ibo = IndexBuffer(np.array([0, 1, 2]))
+        with pytest.raises(IndexError):
+            ibo.address_of(3)
+
+
+class TestAddressAllocator:
+    def test_alignment(self):
+        alloc = AddressAllocator(base=0)
+        a = alloc.allocate(10)
+        b = alloc.allocate(10)
+        assert a == 0
+        assert b == 128
+
+    def test_no_overlap(self):
+        alloc = AddressAllocator(base=0)
+        spans = []
+        for size in (1, 128, 129, 1000):
+            start = alloc.allocate(size)
+            spans.append((start, start + size))
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            AddressAllocator().allocate(0)
+
+
+class TestGLContext:
+    def test_draw_requires_program(self):
+        ctx = GLContext(64, 64)
+        with pytest.raises(RuntimeError):
+            ctx.draw_mesh(cube())
+
+    def test_draw_records_call(self):
+        ctx = GLContext(64, 64)
+        ctx.use_program(VS, FS)
+        ctx.set_uniform("mvp", np.eye(4))
+        call = ctx.draw_mesh(cube())
+        assert call.num_primitives == 12
+        frame = ctx.end_frame()
+        assert len(frame.draw_calls) == 1
+        assert frame.num_primitives == 12
+
+    def test_end_frame_resets_calls_and_counts(self):
+        ctx = GLContext(64, 64)
+        ctx.use_program(VS, FS)
+        ctx.draw_mesh(cube())
+        f0 = ctx.end_frame()
+        f1 = ctx.end_frame()
+        assert f0.index == 0
+        assert f1.index == 1
+        assert len(f1.draw_calls) == 0
+
+    def test_mesh_buffers_cached_across_frames(self):
+        ctx = GLContext(64, 64)
+        mesh = cube()
+        vbo1, ibo1 = ctx.buffers_for_mesh(mesh)
+        vbo2, ibo2 = ctx.buffers_for_mesh(mesh)
+        assert vbo1 is vbo2
+        assert ibo1 is ibo2
+        assert vbo1.base_address != 0
+
+    def test_distinct_resources_do_not_overlap(self):
+        ctx = GLContext(64, 64)
+        vbo_a, ibo_a = ctx.buffers_for_mesh(cube())
+        vbo_b, _ = ctx.buffers_for_mesh(triangles())
+        spans = [
+            (ctx.framebuffer_address, ctx.framebuffer_address + 64 * 64 * 4),
+            (ctx.depthbuffer_address, ctx.depthbuffer_address + 64 * 64 * 4),
+            (vbo_a.base_address, vbo_a.base_address + vbo_a.size_bytes),
+            (ibo_a.base_address, ibo_a.base_address + ibo_a.size_bytes),
+            (vbo_b.base_address, vbo_b.base_address + vbo_b.size_bytes),
+        ]
+        spans.sort()
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_state_snapshot_is_frozen_per_call(self):
+        ctx = GLContext(64, 64)
+        ctx.use_program(VS, FS)
+        ctx.set_state(blend=True)
+        call1 = ctx.draw_mesh(cube())
+        ctx.set_state(blend=False)
+        call2 = ctx.draw_mesh(cube())
+        assert call1.state.blend
+        assert not call2.state.blend
+
+    def test_fan_mode_primitive_count(self):
+        ctx = GLContext(64, 64)
+        ctx.use_program(VS, FS)
+        call = ctx.draw_mesh(triangles(detail=1))
+        assert call.num_primitives == 6
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            GLContext(0, 10)

@@ -1,0 +1,65 @@
+"""Tests for GL render state."""
+
+import numpy as np
+import pytest
+
+from repro.gl.state import BlendFactor, DepthFunc, GLState, blend_factor_value
+
+
+class TestDepthFunc:
+    @pytest.mark.parametrize("func,new,old,expected", [
+        (DepthFunc.LESS, 0.4, 0.5, True),
+        (DepthFunc.LESS, 0.5, 0.5, False),
+        (DepthFunc.LEQUAL, 0.5, 0.5, True),
+        (DepthFunc.GREATER, 0.6, 0.5, True),
+        (DepthFunc.GEQUAL, 0.5, 0.5, True),
+        (DepthFunc.EQUAL, 0.5, 0.5, True),
+        (DepthFunc.NOTEQUAL, 0.5, 0.5, False),
+        (DepthFunc.ALWAYS, 9.0, 0.0, True),
+        (DepthFunc.NEVER, 0.0, 9.0, False),
+    ])
+    def test_compare_scalar(self, func, new, old, expected):
+        assert bool(func.compare(new, old)) is expected
+
+    def test_compare_vectorized(self):
+        new = np.array([0.1, 0.5, 0.9])
+        old = np.array([0.5, 0.5, 0.5])
+        result = DepthFunc.LESS.compare(new, old)
+        assert result.tolist() == [True, False, False]
+
+    def test_always_never_vectorized(self):
+        new = np.array([0.1, 0.9])
+        old = np.array([0.5, 0.5])
+        assert DepthFunc.ALWAYS.compare(new, old).tolist() == [True, True]
+        assert DepthFunc.NEVER.compare(new, old).tolist() == [False, False]
+
+
+class TestBlendFactors:
+    def test_factor_values(self):
+        assert blend_factor_value(BlendFactor.ZERO, 0.7, 0.2) == 0.0
+        assert blend_factor_value(BlendFactor.ONE, 0.7, 0.2) == 1.0
+        assert blend_factor_value(BlendFactor.SRC_ALPHA, 0.7, 0.2) == 0.7
+        assert blend_factor_value(
+            BlendFactor.ONE_MINUS_SRC_ALPHA, 0.7, 0.2) == pytest.approx(0.3)
+
+    def test_vectorized(self):
+        alpha = np.array([0.0, 0.5, 1.0])
+        out = blend_factor_value(BlendFactor.ONE_MINUS_SRC_ALPHA, alpha, None)
+        assert np.allclose(out, [1.0, 0.5, 0.0])
+
+
+class TestGLState:
+    def test_defaults(self):
+        s = GLState()
+        assert s.depth_test
+        assert not s.blend
+
+    def test_with_updates(self):
+        s = GLState().with_(blend=True)
+        assert s.blend
+        assert not GLState().blend    # original untouched
+
+    def test_rop_flags(self):
+        assert GLState(depth_test=True).rop_reads_depth
+        assert not GLState(depth_test=False).rop_reads_depth
+        assert GLState(blend=True).rop_reads_color

@@ -1,0 +1,50 @@
+"""Equivalence tests for the vectorized texture fast paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.gl.textures import Texture2D, checkerboard, marble
+
+
+class TestVectorizedAddresses:
+    @given(st.lists(st.tuples(st.integers(-5, 70), st.integers(-5, 70)),
+                    min_size=1, max_size=32))
+    def test_matches_scalar_path(self, coords):
+        texture = marble(size=64)
+        texture.base_address = 0x5000
+        txs = np.array([c[0] for c in coords])
+        tys = np.array([c[1] for c in coords])
+        vectorized = texture.texel_addresses(txs, tys)
+        scalar = [texture.texel_address(int(tx), int(ty))
+                  for tx, ty in coords]
+        assert vectorized.tolist() == scalar
+
+    def test_non_square_texture(self):
+        texture = Texture2D(np.zeros((8, 16, 4)))
+        addresses = texture.texel_addresses(np.arange(16), np.zeros(16,
+                                            dtype=int))
+        assert len(set(addresses.tolist())) == 16
+
+
+class TestBilinearArrays:
+    @given(st.lists(st.floats(0.0, 1.0), min_size=4, max_size=4),
+           st.lists(st.floats(0.0, 1.0), min_size=4, max_size=4))
+    def test_matches_footprint_path(self, us, vs):
+        texture = checkerboard(size=16, squares=4)
+        u = np.array(us)
+        v = np.array(vs)
+        rgba_a, footprint = texture.sample_bilinear(u, v)
+        rgba_b, (x0, x1, y0, y1) = texture.sample_bilinear_arrays(u, v)
+        assert np.allclose(rgba_a, rgba_b)
+        for lane in range(4):
+            expected = {(int(x0[lane]), int(y0[lane])),
+                        (int(x1[lane]), int(y0[lane])),
+                        (int(x0[lane]), int(y1[lane])),
+                        (int(x1[lane]), int(y1[lane]))}
+            assert set(footprint[lane]) == expected
+
+    def test_scalar_input(self):
+        texture = checkerboard(size=8, squares=2)
+        rgba, (x0, x1, y0, y1) = texture.sample_bilinear_arrays(0.4, 0.6)
+        assert rgba.shape == (4,)

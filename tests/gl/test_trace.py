@@ -1,0 +1,115 @@
+"""Tests for draw-call trace record/replay (APITrace substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.models import cube, triangles
+from repro.gl.context import GLContext
+from repro.gl.state import DepthFunc
+from repro.gl.textures import checkerboard
+from repro.gl.trace import RegionOfInterest, TraceRecorder, replay
+
+VS = "void main() { gl_Position = vec4(position, 1.0); }"
+FS = "void main() { gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0); }"
+
+
+def record_two_frames():
+    ctx = GLContext(32, 32)
+    ctx.use_program(VS, FS)
+    ctx.set_uniform("mvp", np.eye(4))
+    ctx.bind_texture("albedo", checkerboard(size=8, squares=2))
+    recorder = TraceRecorder()
+    ctx.draw_mesh(cube(), name="c0")
+    ctx.draw_mesh(triangles(), name="t0")
+    recorder.record_frame(ctx.end_frame())
+    ctx.set_state(depth_func=DepthFunc.LEQUAL)
+    ctx.draw_mesh(cube(), name="c1")
+    recorder.record_frame(ctx.end_frame())
+    return recorder
+
+
+class TestRoundtrip:
+    def test_frame_and_call_counts(self):
+        trace = record_two_frames().to_json()
+        frames = replay(trace)
+        assert len(frames) == 2
+        assert [len(f.draw_calls) for f in frames] == [2, 1]
+
+    def test_geometry_preserved(self):
+        trace = record_two_frames().to_json()
+        frames = replay(trace)
+        call = frames[0].draw_calls[0]
+        original = cube()
+        assert call.vbo.num_vertices == original.num_vertices
+        assert np.allclose(call.vbo.fetch("position", np.arange(3)),
+                           original.positions[:3])
+
+    def test_state_preserved(self):
+        trace = record_two_frames().to_json()
+        frames = replay(trace)
+        assert frames[0].draw_calls[0].state.depth_func is DepthFunc.LESS
+        assert frames[1].draw_calls[0].state.depth_func is DepthFunc.LEQUAL
+
+    def test_uniforms_and_textures_preserved(self):
+        trace = record_two_frames().to_json()
+        call = replay(trace)[0].draw_calls[0]
+        assert np.allclose(call.uniforms["mvp"], np.eye(4))
+        assert "albedo" in call.textures
+        assert call.textures["albedo"].width == 8
+
+    def test_shader_sources_preserved(self):
+        call = replay(record_two_frames().to_json())[0].draw_calls[0]
+        assert call.vs_source == VS
+        assert call.fs_source == FS
+
+    def test_repeated_meshes_share_buffers(self):
+        trace = record_two_frames().to_json()
+        frames = replay(trace)
+        addr0 = frames[0].draw_calls[0].vbo.base_address
+        addr1 = frames[1].draw_calls[0].vbo.base_address
+        assert addr0 == addr1    # same mesh -> cached VBO
+
+    def test_stencil_state_roundtrip(self):
+        import numpy as np
+        from repro.gl.state import StencilOp
+        from repro.geometry.models import cube
+        ctx = GLContext(16, 16)
+        ctx.use_program(VS, FS)
+        ctx.set_state(stencil_test=True, stencil_func=DepthFunc.EQUAL,
+                      stencil_ref=9, stencil_pass_op=StencilOp.INCR,
+                      clear_stencil=2)
+        ctx.draw_mesh(cube(), name="s")
+        recorder = TraceRecorder()
+        recorder.record_frame(ctx.end_frame())
+        frames = replay(recorder.to_json())
+        state = frames[0].draw_calls[0].state
+        assert state.stencil_test
+        assert state.stencil_func is DepthFunc.EQUAL
+        assert state.stencil_ref == 9
+        assert state.stencil_pass_op is StencilOp.INCR
+        assert frames[0].clear_stencil == 2
+
+    def test_save_and_load(self, tmp_path):
+        from repro.gl.trace import load
+        path = tmp_path / "trace.json"
+        record_two_frames().save(str(path))
+        frames = load(str(path))
+        assert len(frames) == 2
+
+
+class TestRegionOfInterest:
+    def test_frame_window(self):
+        trace = record_two_frames().to_json()
+        frames = replay(trace, RegionOfInterest(first_frame=1))
+        assert len(frames) == 1
+        assert len(frames[0].draw_calls) == 1
+
+    def test_draw_window(self):
+        trace = record_two_frames().to_json()
+        frames = replay(trace, RegionOfInterest(last_draw=0))
+        assert [len(f.draw_calls) for f in frames] == [1, 1]
+        assert frames[0].draw_calls[0].name == "c0"
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            replay('{"version": 99, "frames": []}')

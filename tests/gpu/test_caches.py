@@ -1,0 +1,161 @@
+"""Tests for the cache model and coalescer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.config import CacheConfig
+from repro.common.events import EventQueue
+from repro.gpu.caches import Cache, LatencyPort, PerfectMemory
+from repro.gpu.coalescer import CoalescedAccess, coalesce, coalescing_ratio
+from repro.shader.interpreter import MemAccess
+from repro.shader.isa import MemSpace
+
+
+def make_cache(size=1024, ways=2, line=128, mem_latency=100):
+    events = EventQueue()
+    memory = PerfectMemory(events, latency=mem_latency)
+    cache = Cache(events, CacheConfig(size, line_bytes=line, ways=ways),
+                  "test", memory)
+    return events, cache, memory
+
+
+class TestCacheBasics:
+    def test_cold_miss_then_hit(self):
+        events, cache, memory = make_cache()
+        times = []
+        cache.access(0, 128, False, lambda: times.append(events.now))
+        events.run()
+        cache.access(0, 128, False, lambda: times.append(events.now))
+        start = events.now
+        events.run()
+        assert times[0] >= 100                      # went to memory
+        assert times[1] - start == cache.config.hit_latency
+        assert cache.hit_rate == 0.5
+        assert memory.accesses == 1
+
+    def test_different_lines_miss_separately(self):
+        events, cache, memory = make_cache()
+        cache.access(0, 128, False, None)
+        cache.access(128, 128, False, None)
+        events.run()
+        assert memory.accesses == 2
+
+    def test_mshr_merges_secondary_miss(self):
+        events, cache, memory = make_cache()
+        done = []
+        cache.access(0, 128, False, lambda: done.append("a"))
+        cache.access(0, 128, False, lambda: done.append("b"))
+        events.run()
+        assert sorted(done) == ["a", "b"]
+        assert memory.accesses == 1
+        assert cache.stats.counter("mshr_merges").value == 1
+
+    def test_lru_eviction(self):
+        # 2-way, line 128, 1024 bytes -> 4 sets. Same set: stride 512.
+        events, cache, memory = make_cache(size=1024, ways=2)
+        for address in (0, 512, 1024):    # third line evicts the first
+            cache.access(address, 128, False, None)
+            events.run()
+        assert not cache.contains(0)
+        assert cache.contains(512)
+        assert cache.contains(1024)
+
+    def test_lru_touch_refreshes(self):
+        events, cache, memory = make_cache(size=1024, ways=2)
+        for address in (0, 512):
+            cache.access(address, 128, False, None)
+            events.run()
+        cache.access(0, 128, False, None)     # touch 0: now MRU
+        events.run()
+        cache.access(1024, 128, False, None)  # evicts 512, not 0
+        events.run()
+        assert cache.contains(0)
+        assert not cache.contains(512)
+
+    def test_dirty_eviction_writes_back(self):
+        events, cache, memory = make_cache(size=1024, ways=2)
+        cache.access(0, 128, True, None)      # dirty line
+        events.run()
+        reads_before = memory.accesses
+        cache.access(512, 128, False, None)
+        cache.access(1024, 128, False, None)  # evicts dirty line 0
+        events.run()
+        assert cache.stats.counter("writebacks").value == 1
+        # fills for 512 & 1024 plus one writeback
+        assert memory.accesses == reads_before + 3
+
+    def test_flush_dirty(self):
+        events, cache, memory = make_cache()
+        cache.access(0, 128, True, None)
+        cache.access(128, 128, True, None)
+        cache.access(256, 128, False, None)
+        events.run()
+        before = memory.accesses
+        assert cache.flush_dirty() == 2
+        events.run()
+        assert memory.accesses == before + 2
+        assert cache.flush_dirty() == 0       # idempotent
+
+    def test_write_allocate(self):
+        events, cache, memory = make_cache()
+        cache.access(0, 128, True, None)
+        events.run()
+        assert cache.contains(0)
+        assert memory.accesses == 1           # fill on write miss
+
+
+class TestLatencyPort:
+    def test_adds_latency(self):
+        events = EventQueue()
+        memory = PerfectMemory(events, latency=10)
+        port = LatencyPort(events, latency=5, next_level=memory)
+        done = []
+        port.access(0, 128, False, lambda: done.append(events.now))
+        events.run()
+        assert done == [15]
+
+
+class TestCoalescer:
+    def lane_accesses(self, addresses, space=MemSpace.GLOBAL, size=4,
+                      write=False):
+        return [MemAccess(space, a, size, write) for a in addresses]
+
+    def test_sequential_warp_coalesces_to_one_line(self):
+        accesses = self.lane_accesses([i * 4 for i in range(32)])
+        out = coalesce(accesses)
+        assert len(out) == 1
+        assert out[0].line_address == 0
+
+    def test_strided_warp_spans_lines(self):
+        accesses = self.lane_accesses([i * 128 for i in range(32)])
+        assert len(coalesce(accesses)) == 32
+
+    def test_spaces_kept_separate(self):
+        accesses = (self.lane_accesses([0], MemSpace.TEXTURE)
+                    + self.lane_accesses([0], MemSpace.DEPTH))
+        out = coalesce(accesses)
+        assert len(out) == 2
+        assert {a.space for a in out} == {MemSpace.TEXTURE, MemSpace.DEPTH}
+
+    def test_reads_and_writes_distinct(self):
+        accesses = (self.lane_accesses([0], write=False)
+                    + self.lane_accesses([0], write=True))
+        assert len(coalesce(accesses)) == 2
+
+    def test_access_straddling_lines(self):
+        accesses = [MemAccess(MemSpace.GLOBAL, 120, 16)]
+        out = coalesce(accesses)
+        assert {a.line_address for a in out} == {0, 128}
+
+    def test_ratio(self):
+        accesses = self.lane_accesses([i * 4 for i in range(32)])
+        assert coalescing_ratio(accesses) == 32.0
+        assert coalescing_ratio([]) == 0.0
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=64))
+    def test_coalesced_lines_unique(self, addresses):
+        out = coalesce(self.lane_accesses(addresses))
+        keys = [(a.space, a.line_address, a.write) for a in out]
+        assert len(keys) == len(set(keys))
+        for access in out:
+            assert access.line_address % 128 == 0

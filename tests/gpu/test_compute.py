@@ -1,0 +1,138 @@
+"""Tests for the GPGPU compute path (unified shader model)."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import DRAMConfig, GPUConfig, scaled_gpu
+from repro.common.events import EventQueue
+from repro.gpu.compute import ComputeEnv, GlobalMemory, launch_kernel, run_kernel
+from repro.gpu.gpu import EmeraldGPU
+from repro.gpu.kernels import clamped_threshold, saxpy, strided_copy, vector_add
+from repro.memory.builders import build_baseline_memory
+
+
+def make_gpu(num_clusters=2):
+    events = EventQueue()
+    memory_system = build_baseline_memory(events, DRAMConfig(channels=2))
+    gpu = EmeraldGPU(events, scaled_gpu(GPUConfig(num_clusters=num_clusters)),
+                     32, 32, memory=memory_system)
+    return gpu
+
+
+class TestGlobalMemory:
+    def test_read_write_roundtrip(self):
+        mem = GlobalMemory(64)
+        mem.write(np.array([mem.address_of(3)]), np.array([7.5]))
+        assert mem.read(np.array([mem.address_of(3)]))[0] == 7.5
+
+    def test_bounds_checked(self):
+        mem = GlobalMemory(4)
+        with pytest.raises(IndexError):
+            mem.read(np.array([mem.base_address + 100]))
+        with pytest.raises(IndexError):
+            mem.address_of(4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GlobalMemory(0)
+
+
+class TestKernels:
+    def test_vector_add(self):
+        gpu = make_gpu()
+        mem = GlobalMemory(3 * 64)
+        a, b, out = (mem.base_address, mem.base_address + 64 * 4,
+                     mem.base_address + 128 * 4)
+        mem.data[:64] = np.arange(64)
+        mem.data[64:128] = 100.0
+        stats = run_kernel(gpu, vector_add(a, b, out), 64, mem)
+        assert np.allclose(mem.data[128:192], np.arange(64) + 100.0)
+        assert stats.num_warps == 2
+        assert stats.cycles > 0
+
+    def test_saxpy_with_constant(self):
+        gpu = make_gpu()
+        mem = GlobalMemory(3 * 32)
+        x, y, out = (mem.base_address, mem.base_address + 32 * 4,
+                     mem.base_address + 64 * 4)
+        mem.data[:32] = np.arange(32)
+        mem.data[32:64] = 1.0
+        run_kernel(gpu, saxpy(x, y, out), 32, mem,
+                   constants=np.array([2.0]))
+        assert np.allclose(mem.data[64:96], 2.0 * np.arange(32) + 1.0)
+
+    def test_partial_last_warp(self):
+        gpu = make_gpu()
+        mem = GlobalMemory(2 * 40)
+        src, dst = mem.base_address, mem.base_address + 40 * 4
+        mem.data[:40] = np.arange(40)
+        stats = run_kernel(gpu, strided_copy(src, dst, 1), 37, mem)
+        assert stats.num_warps == 2
+        assert np.allclose(mem.data[40:77], np.arange(37))
+        assert np.all(mem.data[77:80] == 0)       # untouched tail
+
+    def test_divergent_kernel(self):
+        gpu = make_gpu()
+        mem = GlobalMemory(2 * 32)
+        src, dst = mem.base_address, mem.base_address + 32 * 4
+        values = np.linspace(0, 1, 32)
+        mem.data[:32] = values
+        run_kernel(gpu, clamped_threshold(src, dst), 32, mem)
+        assert np.allclose(mem.data[32:64], (values > 0.5).astype(float))
+
+    def test_strided_access_costs_more_transactions(self):
+        def transactions(stride):
+            gpu = make_gpu()
+            mem = GlobalMemory(4096)
+            src, dst = mem.base_address, mem.base_address + 2048 * 4
+            stats = run_kernel(gpu, strided_copy(src, dst, stride), 32, mem)
+            return stats.mem_transactions
+
+        assert transactions(32) > transactions(1) * 4
+
+    def test_compute_shares_cores_with_graphics(self):
+        """A kernel launched on a GPU that just rendered reuses its cores."""
+        from tests.pipeline.helpers import FLAT_COLOR_FS, FLAT_VS, \
+            fullscreen_quad
+        from repro.gl.context import GLContext
+        from repro.gl.state import CullMode
+        gpu = make_gpu()
+        ctx = GLContext(32, 32)
+        ctx.use_program(FLAT_VS, FLAT_COLOR_FS)
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.set_uniform("flat_color", [1.0, 0.0, 0.0, 1.0])
+        ctx.draw_mesh(fullscreen_quad())
+        gpu.run_frame(ctx.end_frame())
+        mem = GlobalMemory(128)
+        src, dst = mem.base_address, mem.base_address + 64 * 4
+        mem.data[:64] = 3.0
+        stats = run_kernel(gpu, strided_copy(src, dst, 1), 64, mem)
+        assert np.allclose(mem.data[64:128], 3.0)
+        kinds = gpu.cores[0].stats.counter("warps.compute").value
+        assert kinds > 0
+        assert gpu.cores[0].stats.counter("warps.fragment").value > 0
+
+
+class TestComputeEnv:
+    def test_thread_ids_via_attribute(self):
+        env = ComputeEnv(saxpy(0, 0, 0), GlobalMemory(8),
+                         np.arange(5), warp_size=8)
+        values, accesses = env.attribute(0, np.ones(8, dtype=bool))
+        assert values[:5].tolist() == [0, 1, 2, 3, 4]
+        assert env.active.tolist() == [True] * 5 + [False] * 3
+
+    def test_graphics_resources_rejected(self):
+        env = ComputeEnv(saxpy(0, 0, 0), GlobalMemory(8), np.arange(4),
+                         warp_size=8)
+        mask = np.ones(8, dtype=bool)
+        for method, args in (("varying", (0, mask)),
+                             ("tex", (0, None, None, mask)),
+                             ("zread", (mask,)),
+                             ("fb_read", (mask,))):
+            with pytest.raises(RuntimeError):
+                getattr(env, method)(*args)
+
+    def test_launch_validation(self):
+        gpu = make_gpu()
+        with pytest.raises(ValueError):
+            launch_kernel(gpu, saxpy(0, 0, 0), 0, GlobalMemory(8))

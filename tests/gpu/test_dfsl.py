@@ -1,0 +1,72 @@
+"""Tests for the DFSL controller (Algorithm 1)."""
+
+import pytest
+
+from repro.gpu.dfsl import DFSLController
+
+
+def drive(controller, time_of_wt, frames):
+    """Simulate frames where exec time is a function of WT size."""
+    used = []
+    for _ in range(frames):
+        wt = controller.begin_frame()
+        used.append(wt)
+        controller.end_frame(time_of_wt(wt))
+    return used
+
+
+class TestDFSL:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DFSLController(min_wt=0, max_wt=5)
+        with pytest.raises(ValueError):
+            DFSLController(min_wt=5, max_wt=5)
+        with pytest.raises(ValueError):
+            DFSLController(run_frames=0)
+
+    def test_evaluation_sweeps_wt_sizes(self):
+        c = DFSLController(min_wt=1, max_wt=5, run_frames=10)
+        used = drive(c, lambda wt: 100.0, frames=c.eval_frames)
+        assert used == [1, 2, 3, 4]
+
+    def test_run_phase_uses_best(self):
+        # WT=3 is fastest.
+        cost = {1: 100.0, 2: 90.0, 3: 50.0, 4: 80.0}
+        c = DFSLController(min_wt=1, max_wt=5, run_frames=6)
+        used = drive(c, lambda wt: cost[wt], frames=c.cycle_length)
+        assert used[c.eval_frames:] == [3] * 6
+
+    def test_reevaluation_after_run_phase(self):
+        """A scene change between cycles must switch WTBest."""
+        phase_cost = [{1: 10.0, 2: 20.0, 3: 30.0, 4: 40.0},
+                      {1: 40.0, 2: 30.0, 3: 20.0, 4: 10.0}]
+        c = DFSLController(min_wt=1, max_wt=5, run_frames=4)
+        cycle = c.cycle_length
+        used = []
+        for frame in range(2 * cycle):
+            wt = c.begin_frame()
+            used.append(wt)
+            costs = phase_cost[frame // cycle]
+            c.end_frame(costs[wt])
+        assert used[c.eval_frames:cycle] == [1] * 4
+        assert used[cycle + c.eval_frames:] == [4] * 4
+
+    def test_in_evaluation_flag(self):
+        c = DFSLController(min_wt=1, max_wt=3, run_frames=2)
+        flags = []
+        for _ in range(c.cycle_length):
+            flags.append(c.in_evaluation)
+            c.begin_frame()
+            c.end_frame(1.0)
+        assert flags == [True, True, False, False]
+
+    def test_history_records_mode(self):
+        c = DFSLController(min_wt=1, max_wt=3, run_frames=1)
+        drive(c, lambda wt: float(wt), frames=3)
+        modes = [entry[3] for entry in c.history]
+        assert modes == ["eval", "eval", "run"]
+
+    def test_ties_keep_first_best(self):
+        c = DFSLController(min_wt=1, max_wt=4, run_frames=2)
+        used = drive(c, lambda wt: 10.0, frames=c.cycle_length)
+        assert used[c.eval_frames:] == [1, 1]

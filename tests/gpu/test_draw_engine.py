@@ -1,0 +1,127 @@
+"""Focused tests for vertex batching, Hi-Z and the draw engine."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import PrimitiveMode
+from repro.gl.state import DepthFunc, GLState
+from repro.gpu.draw_engine import build_vertex_batches
+from repro.gpu.hiz import HiZBuffer
+from repro.pipeline.framebuffer import Framebuffer
+from repro.pipeline.raster import FragmentBlock
+from repro.shader.compiler import compile_shader
+
+
+class TestVertexBatches:
+    def test_triangles_mode_batches(self):
+        indices = np.arange(60)           # 20 triangles
+        batches = build_vertex_batches(indices, PrimitiveMode.TRIANGLES,
+                                       warp_size=32)
+        # 10 prims (30 indices) per batch.
+        assert len(batches) == 2
+        assert all(len(b.prims) == 10 for b in batches)
+        prim_ids = [p for b in batches for p, _ in b.prims]
+        assert prim_ids == list(range(20))
+
+    def test_triangles_local_indices_resolve_correctly(self):
+        indices = np.arange(100, 160)
+        batches = build_vertex_batches(indices, PrimitiveMode.TRIANGLES,
+                                       warp_size=32)
+        for batch in batches:
+            for prim_id, local in batch.prims:
+                expected = indices[prim_id * 3:prim_id * 3 + 3]
+                assert batch.vertex_ids[list(local)].tolist() == \
+                    expected.tolist()
+
+    def test_strip_batches_overlap(self):
+        indices = np.arange(62)           # 60 strip triangles
+        batches = build_vertex_batches(indices, PrimitiveMode.TRIANGLE_STRIP,
+                                       warp_size=32)
+        assert len(batches) == 2
+        # Consecutive batches share two vertices (the overlap).
+        first, second = batches
+        assert first.vertex_ids[-2:].tolist() == \
+            second.vertex_ids[:2].tolist()
+        prim_ids = [p for b in batches for p, _ in b.prims]
+        assert prim_ids == list(range(60))
+
+    def test_strip_winding_alternates(self):
+        indices = np.arange(6)
+        (batch,) = build_vertex_batches(indices, PrimitiveMode.TRIANGLE_STRIP,
+                                        warp_size=32)
+        # Global prim 1 is odd: winding flipped.
+        assert batch.prims[0][1] == (0, 1, 2)
+        assert batch.prims[1][1] == (2, 1, 3)
+
+    def test_fan_center_in_every_batch(self):
+        indices = np.arange(70)           # 68 fan triangles
+        batches = build_vertex_batches(indices, PrimitiveMode.TRIANGLE_FAN,
+                                       warp_size=32)
+        assert len(batches) >= 2
+        for batch in batches:
+            assert batch.vertex_ids[0] == indices[0]
+            for _, local in batch.prims:
+                assert local[0] == 0       # all prims reference the center
+        prim_ids = [p for b in batches for p, _ in b.prims]
+        assert prim_ids == list(range(68))
+
+    def test_every_prim_vertices_within_batch(self):
+        for mode in PrimitiveMode:
+            indices = np.arange(40 if mode is PrimitiveMode.TRIANGLES else 41)
+            batches = build_vertex_batches(indices, mode, warp_size=32)
+            for batch in batches:
+                for _, local in batch.prims:
+                    assert max(local) < len(batch.vertex_ids)
+
+    def test_empty_indices(self):
+        assert build_vertex_batches(np.array([], dtype=np.int64),
+                                    PrimitiveMode.TRIANGLES) == []
+
+
+def block_with_z(z_values, tile_x=0, tile_y=0):
+    z = np.asarray(z_values, dtype=np.float64)
+    n = len(z)
+    return FragmentBlock(prim_id=0, tile_x=tile_x, tile_y=tile_y,
+                         xs=np.arange(n), ys=np.zeros(n, dtype=np.int64),
+                         z=z, inv_w=np.ones(n),
+                         varyings=np.zeros((n, 1)))
+
+
+class TestHiZ:
+    def test_applicability(self):
+        hiz = HiZBuffer(32, 32)
+        simple = compile_shader(
+            "void main() { gl_FragColor = vec4(1.0, 0.0, 0.0, 1.0); }",
+            "fragment", name="hiz_simple")
+        assert hiz.applicable(GLState(), simple)
+        assert not hiz.applicable(GLState(depth_test=False), simple)
+        assert not hiz.applicable(GLState(depth_func=DepthFunc.GREATER),
+                                  simple)
+
+    def test_discard_shader_not_applicable(self):
+        hiz = HiZBuffer(32, 32)
+        discard = compile_shader(
+            "in float v_a;\nvoid main() { if (v_a < 0.5) { discard; } "
+            "gl_FragColor = vec4(1.0, 1.0, 1.0, 1.0); }",
+            "fragment", name="hiz_discard")
+        assert not hiz.applicable(GLState(), discard)
+
+    def test_block_culled_when_behind(self):
+        hiz = HiZBuffer(32, 32)
+        hiz.max_depth[0, 0] = 0.4
+        assert not hiz.test_block(block_with_z([0.6, 0.7]))
+        assert hiz.test_block(block_with_z([0.3, 0.9]))   # min passes
+
+    def test_update_from_framebuffer(self):
+        hiz = HiZBuffer(8, 8, raster_tile_px=4)
+        fb = Framebuffer(8, 8)
+        fb.depth[:4, :4] = 0.25
+        hiz.update_from_framebuffer(fb, {(0, 0)})
+        assert hiz.max_depth[0, 0] == 0.25
+        assert hiz.max_depth[0, 1] == 1.0   # untouched tile
+
+    def test_clear(self):
+        hiz = HiZBuffer(8, 8)
+        hiz.max_depth[:] = 0.1
+        hiz.clear()
+        assert np.all(hiz.max_depth == 1.0)

@@ -1,0 +1,86 @@
+"""Tests for the fixed-function stage queue plumbing."""
+
+import pytest
+
+from repro.common.events import EventQueue
+from repro.gpu.stages import StageQueue
+
+
+class TestStageQueue:
+    def test_serves_in_order(self):
+        events = EventQueue()
+        served = []
+        stage = StageQueue(events, "s", served.append)
+        for i in range(5):
+            stage.submit(i)
+        events.run()
+        assert served == [0, 1, 2, 3, 4]
+
+    def test_unit_cost_throughput(self):
+        """One item per cycle: the Nth item is processed at tick N-1... +1."""
+        events = EventQueue()
+        times = []
+        stage = StageQueue(events, "s", lambda item: times.append(events.now))
+        for i in range(4):
+            stage.submit(i)
+        events.run()
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps == [1, 1, 1]
+
+    def test_variable_cost(self):
+        events = EventQueue()
+        times = []
+        stage = StageQueue(events, "s", lambda item: times.append(events.now),
+                           cost_fn=lambda item: item)
+        stage.submit(3)
+        stage.submit(1)
+        events.run()
+        # Second item waits for the first's 3-cycle occupancy.
+        assert times[1] - times[0] == 3
+
+    def test_cost_clamped_to_one(self):
+        events = EventQueue()
+        times = []
+        stage = StageQueue(events, "s", lambda item: times.append(events.now),
+                           cost_fn=lambda item: 0)
+        stage.submit("a")
+        stage.submit("b")
+        events.run()
+        assert times[1] - times[0] == 1
+
+    def test_idle_and_depth(self):
+        events = EventQueue()
+        stage = StageQueue(events, "s", lambda item: None)
+        assert stage.idle
+        stage.submit(1)
+        stage.submit(2)
+        assert stage.depth >= 1
+        assert not stage.idle
+        events.run()
+        assert stage.idle
+        assert stage.depth == 0
+
+    def test_submit_during_processing(self):
+        events = EventQueue()
+        served = []
+
+        def process(item):
+            served.append(item)
+            if item == 0:
+                stage.submit(99)
+
+        stage = StageQueue(events, "s", process)
+        stage.submit(0)
+        stage.submit(1)
+        events.run()
+        assert served == [0, 1, 99]
+
+    def test_stats_counters(self):
+        events = EventQueue()
+        stage = StageQueue(events, "s", lambda item: None,
+                           cost_fn=lambda item: 2)
+        stage.submit(1)
+        stage.submit(2)
+        events.run()
+        assert stage.stats.counter("items").value == 2
+        assert stage.stats.counter("busy_cycles").value == 4

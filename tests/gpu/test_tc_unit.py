@@ -1,0 +1,120 @@
+"""Focused tests for the tile-coalescing unit."""
+
+import numpy as np
+import pytest
+
+from repro.common.events import EventQueue
+from repro.gpu.tc import TCTile, TCUnit
+from repro.pipeline.raster import FragmentBlock
+
+
+def block(tile_x, tile_y, prim_id=0, count=4):
+    return FragmentBlock(
+        prim_id=prim_id, tile_x=tile_x, tile_y=tile_y,
+        xs=np.arange(count) + tile_x * 4,
+        ys=np.full(count, tile_y * 4),
+        z=np.full(count, 0.5),
+        inv_w=np.ones(count),
+        varyings=np.zeros((count, 1)),
+    )
+
+
+def make_unit(num_engines=2, bins=4, timeout=8):
+    events = EventQueue()
+    dispatched = []
+    unit = TCUnit(events, cluster_id=0, tc_tile_raster_tiles=2,
+                  num_engines=num_engines, bins_per_engine=bins,
+                  flush_timeout=timeout, dispatch=dispatched.append)
+    return events, unit, dispatched
+
+
+class TestCoalescing:
+    def test_blocks_of_same_tc_tile_coalesce(self):
+        events, unit, dispatched = make_unit()
+        # Raster tiles (0,0),(1,0),(0,1),(1,1) share TC tile (0,0);
+        # 4 blocks fill the staging bins -> one flush.
+        for tx, ty in ((0, 0), (1, 0), (0, 1), (1, 1)):
+            unit.submit_block(block(tx, ty))
+        events.run()
+        assert len(dispatched) == 1
+        tile = dispatched[0]
+        assert tile.position == (0, 0)
+        assert tile.fragment_count == 16
+        assert len(tile.raster_tiles) == 4
+
+    def test_conflicting_raster_tile_starts_new_generation(self):
+        events, unit, dispatched = make_unit()
+        unit.submit_block(block(0, 0, prim_id=0))
+        unit.submit_block(block(0, 0, prim_id=1))    # same raster tile
+        unit.flush_all()
+        events.run()
+        assert unit.stats.counter("conflicts").value == 1
+        # Exclusivity: generation 2 is dispatched only after generation 1
+        # retires.
+        assert len(dispatched) == 1
+        unit.tile_retired(dispatched[0])
+        assert len(dispatched) == 2
+        assert dispatched[0].blocks[0].prim_id == 0
+        assert dispatched[1].blocks[0].prim_id == 1
+
+    def test_bins_limit_forces_flush(self):
+        events, unit, dispatched = make_unit(bins=2)
+        unit.submit_block(block(0, 0))
+        unit.submit_block(block(1, 0))
+        events.run()
+        assert len(dispatched) == 1
+
+    def test_timeout_flush(self):
+        events, unit, dispatched = make_unit(timeout=5)
+        unit.submit_block(block(0, 0))
+        assert dispatched == []
+        events.run()                      # timeout fires
+        assert len(dispatched) == 1
+        assert unit.stats.counter("timeout_flushes").value == 1
+
+    def test_engine_eviction_when_all_busy(self):
+        events, unit, dispatched = make_unit(num_engines=1, bins=4,
+                                             timeout=100)
+        unit.submit_block(block(0, 0))        # TC tile (0,0)
+        unit.submit_block(block(4, 0))        # TC tile (2,0): evicts
+        events.run_until(10)
+        assert len(dispatched) == 1
+        assert dispatched[0].position == (0, 0)
+
+    def test_different_tc_tiles_use_different_engines(self):
+        events, unit, dispatched = make_unit(num_engines=2, bins=4,
+                                             timeout=3)
+        unit.submit_block(block(0, 0))    # TC (0,0)
+        unit.submit_block(block(4, 0))    # TC (2,0)
+        events.run()
+        assert len(dispatched) == 2
+        assert {t.position for t in dispatched} == {(0, 0), (2, 0)}
+
+    def test_exclusivity_per_position_only(self):
+        events, unit, dispatched = make_unit(timeout=2)
+        unit.submit_block(block(0, 0))
+        unit.submit_block(block(0, 0, prim_id=1))
+        unit.submit_block(block(4, 4))        # a different TC position
+        events.run()
+        positions = [t.position for t in dispatched]
+        # (0,0) gen-1 and (2,2) dispatch; (0,0) gen-2 waits.
+        assert positions.count((0, 0)) == 1
+        assert (2, 2) in positions
+        assert unit.busy
+
+    def test_flush_all_drains_engines(self):
+        events, unit, dispatched = make_unit(timeout=1000)
+        unit.submit_block(block(0, 0))
+        unit.flush_all()
+        assert len(dispatched) == 1
+
+    def test_busy_reflects_state(self):
+        events, unit, dispatched = make_unit()
+        assert not unit.busy
+        unit.submit_block(block(0, 0))
+        assert unit.busy
+        unit.flush_all()
+        for tile in list(dispatched):
+            unit.tile_retired(tile)
+        events.run()
+        assert not unit.busy

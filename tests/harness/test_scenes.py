@@ -1,0 +1,104 @@
+"""Tests for scene sessions and report formatting."""
+
+import numpy as np
+import pytest
+
+from repro.harness.report import format_series, format_table
+from repro.harness.scenes import (
+    CASE_STUDY1_SCENES,
+    CASE_STUDY2_SCENES,
+    SceneSession,
+)
+from repro.pipeline.renderer import ReferenceRenderer
+
+
+class TestSceneSession:
+    @pytest.mark.parametrize("key,model", sorted(CASE_STUDY1_SCENES.items()))
+    def test_cs1_scenes_render(self, key, model):
+        session = SceneSession(model, 48, 36)
+        fb, stats = ReferenceRenderer(48, 36).render(session.frame(0))
+        assert stats.fragments_shaded > 0, f"{key} rendered nothing"
+        assert fb.coverage() > 0.005
+
+    def test_cs2_scene_table_complete(self):
+        assert list(CASE_STUDY2_SCENES) == ["W1", "W2", "W3", "W4", "W5",
+                                            "W6"]
+
+    def test_translucent_scene_uses_blending(self):
+        session = SceneSession("suzanne_transparent", 32, 32)
+        frame = session.frame(0)
+        assert frame.draw_calls[0].state.blend
+        assert not frame.draw_calls[0].state.depth_write
+
+    def test_temporal_coherence(self):
+        """Consecutive frames differ only slightly (small orbit step)."""
+        session = SceneSession("cube", 48, 48)
+        renderer = ReferenceRenderer(48, 48)
+        fb0, _ = renderer.render(session.frame(0))
+        fb1, _ = renderer.render(session.frame(1))
+        fb9, _ = renderer.render(session.frame(9))
+        delta_near = np.abs(fb0.color - fb1.color).mean()
+        delta_far = np.abs(fb0.color - fb9.color).mean()
+        assert delta_near < delta_far
+
+    def test_frames_advance_index(self):
+        session = SceneSession("cube", 32, 32)
+        assert session.frame(0).index == 0
+        assert session.frame(1).index == 1
+
+    def test_interior_scene_disables_culling(self):
+        session = SceneSession("sibenik", 32, 32, detail=1)
+        from repro.gl.state import CullMode
+        assert session.frame(0).draw_calls[0].state.cull is CullMode.NONE
+
+    def test_texture_size_knob(self):
+        session = SceneSession("spot", 32, 32, texture_size=128)
+        assert session.texture.width == 128
+
+
+class TestAsciiCharts:
+    def test_sparkline_shape(self):
+        from repro.harness.report import ascii_sparkline
+        line = ascii_sparkline([0, 5, 10])
+        assert len(line) == 3
+        assert line[0] == " " and line[-1] == "\u2588"
+
+    def test_sparkline_downsamples(self):
+        from repro.harness.report import ascii_sparkline
+        line = ascii_sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_sparkline_empty_and_zero(self):
+        from repro.harness.report import ascii_sparkline
+        assert ascii_sparkline([]) == ""
+        assert ascii_sparkline([0.0, 0.0]) == "  "
+
+    def test_bars(self):
+        from repro.harness.report import ascii_bars
+        text = ascii_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].count("\u2588") == 10
+        assert lines[0].count("\u2588") == 5
+
+    def test_bars_validation(self):
+        from repro.harness.report import ascii_bars
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            ascii_bars(["a"], [1.0, 2.0])
+        assert ascii_bars([], []) == ""
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["model", "BAS", "HMC"],
+                            [["M1", 1.0, 1.95], ["M2", 1.0, 2.104]],
+                            title="Fig 9")
+        assert "Fig 9" in text
+        assert "M1" in text
+        assert "1.950" in text
+
+    def test_format_series(self):
+        text = format_series("cpu", [(0, 10.0), (1000, 12.5)], unit="B")
+        assert "cpu [B]" in text
+        assert "1000:12.500" in text

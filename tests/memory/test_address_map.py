@@ -1,0 +1,83 @@
+"""Tests for DRAM address mappings (Table 4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.address_map import (
+    BASELINE_MAPPING,
+    IP_CHANNEL_MAPPING,
+    AddressMapping,
+)
+
+GEOM = dict(channels=2, ranks=1, banks=8, rows=64, columns=16)
+
+
+class TestBaselineMapping:
+    def test_consecutive_lines_alternate_channels(self):
+        c0 = BASELINE_MAPPING.decode(0, **GEOM)
+        c1 = BASELINE_MAPPING.decode(128, **GEOM)
+        assert c0.channel == 0
+        assert c1.channel == 1
+
+    def test_lines_within_channel_walk_columns(self):
+        """Page-striped: consecutive same-channel lines share row and bank."""
+        a = BASELINE_MAPPING.decode(0, **GEOM)
+        b = BASELINE_MAPPING.decode(256, **GEOM)
+        assert (a.row, a.bank, a.channel) == (b.row, b.bank, b.channel)
+        assert b.column == a.column + 1
+
+    def test_row_changes_after_all_columns_banks(self):
+        # row bits are MSB: row increments only after columns*banks*channels.
+        lines_per_row_step = GEOM["columns"] * GEOM["banks"] * GEOM["channels"]
+        a = BASELINE_MAPPING.decode(0, **GEOM)
+        b = BASELINE_MAPPING.decode(lines_per_row_step * 128, **GEOM)
+        assert b.row == a.row + 1
+
+
+class TestIPChannelMapping:
+    def test_consecutive_lines_stripe_banks(self):
+        """Line-striped: same-channel neighbors land in different banks."""
+        a = IP_CHANNEL_MAPPING.decode(0, channels=1, ranks=1, banks=8,
+                                      rows=64, columns=16)
+        b = IP_CHANNEL_MAPPING.decode(128, channels=1, ranks=1, banks=8,
+                                      rows=64, columns=16)
+        assert a.bank == 0
+        assert b.bank == 1
+        assert a.row == b.row
+
+    def test_column_changes_after_banks_exhausted(self):
+        geom = dict(channels=1, ranks=1, banks=8, rows=64, columns=16)
+        a = IP_CHANNEL_MAPPING.decode(0, **geom)
+        b = IP_CHANNEL_MAPPING.decode(8 * 128, **geom)
+        assert b.column == a.column + 1
+        assert b.bank == a.bank
+
+
+class TestMappingGeneric:
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapping(("row", "row", "bank", "column", "channel"))
+
+    @given(st.integers(0, 2**30))
+    def test_decode_in_range(self, address):
+        coord = BASELINE_MAPPING.decode(address, **GEOM)
+        assert 0 <= coord.channel < GEOM["channels"]
+        assert 0 <= coord.bank < GEOM["banks"]
+        assert 0 <= coord.row < GEOM["rows"]
+        assert 0 <= coord.column < GEOM["columns"]
+
+    @given(st.integers(0, 2**22 - 1))
+    def test_decode_is_bijective_over_capacity(self, block):
+        """Distinct blocks within capacity map to distinct coordinates."""
+        capacity_blocks = (GEOM["channels"] * GEOM["banks"] * GEOM["rows"]
+                           * GEOM["columns"])
+        a = block % capacity_blocks
+        b = (block + 1) % capacity_blocks
+        ca = BASELINE_MAPPING.decode(a * 128, **GEOM)
+        cb = BASELINE_MAPPING.decode(b * 128, **GEOM)
+        assert ca != cb
+
+    def test_same_line_bytes_share_coordinate(self):
+        a = BASELINE_MAPPING.decode(0, **GEOM)
+        b = BASELINE_MAPPING.decode(127, **GEOM)
+        assert a == b

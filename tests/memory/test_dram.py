@@ -1,0 +1,172 @@
+"""Tests for the DRAM channel timing model and FR-FCFS scheduling."""
+
+import pytest
+
+from repro.common.config import DRAMConfig, DRAMTiming
+from repro.common.events import EventQueue
+from repro.memory.address_map import BASELINE_MAPPING, IP_CHANNEL_MAPPING
+from repro.memory.dram import DRAMChannel
+from repro.memory.frfcfs import FRFCFSScheduler
+from repro.memory.request import MemRequest, SourceType
+
+
+def make_channel(mapping=BASELINE_MAPPING, config=None, cycle_ticks=1):
+    events = EventQueue()
+    config = config or DRAMConfig(channels=1)
+    channel = DRAMChannel(events, config, mapping, FRFCFSScheduler(),
+                          channel_id=0, cycle_ticks=cycle_ticks,
+                          decode_channels=1, rows=64)
+    return events, channel
+
+
+def req(address, write=False, source=SourceType.CPU, done=None):
+    return MemRequest(address=address, size=128, write=write, source=source,
+                      callback=done)
+
+
+class TestTiming:
+    def test_first_access_pays_activation(self):
+        events, channel = make_channel()
+        completions = []
+        channel.submit(req(0, done=lambda r: completions.append(events.now)))
+        events.run()
+        timing = channel.config.timing
+        burst = 128 // int(channel.config.peak_bytes_per_ctrl_cycle)
+        assert completions == [timing.t_rcd + timing.t_cas + burst]
+
+    def test_row_hit_is_faster_than_conflict(self):
+        # Same row twice vs. two different rows in the same bank.
+        def run_pair(addr_a, addr_b):
+            events, channel = make_channel()
+            done = []
+            channel.submit(req(addr_a, done=lambda r: done.append(events.now)))
+            channel.submit(req(addr_b, done=lambda r: done.append(events.now)))
+            events.run()
+            return done[-1]
+
+        same_row = run_pair(0, 128)
+        # Conflict: same bank, different row. Baseline row stride =
+        # columns*banks*channels(=1)*128 = 16*8*128.
+        row_stride = 16 * 8 * 128
+        conflict = run_pair(0, row_stride)
+        assert same_row < conflict
+
+    def test_writes_hold_bank_longer(self):
+        events, channel = make_channel()
+        done = []
+        channel.submit(req(0, write=True))
+        row_stride = 16 * 8 * 128
+        channel.submit(req(row_stride,
+                           done=lambda r: done.append(events.now)))
+        events.run()
+        events2, channel2 = make_channel()
+        done2 = []
+        channel2.submit(req(0, write=False))
+        channel2.submit(req(row_stride,
+                            done=lambda r: done2.append(events2.now)))
+        events2.run()
+        assert done[0] > done2[0]
+
+    def test_bus_serializes_bursts(self):
+        """Row hits to the same row: completions spaced by the burst time."""
+        events, channel = make_channel()
+        done = []
+        for i in range(4):
+            channel.submit(req(i * 128 * 1, done=lambda r: done.append(events.now)))
+        events.run()
+        burst = 128 // int(channel.config.peak_bytes_per_ctrl_cycle)
+        gaps = [b - a for a, b in zip(done, done[1:])]
+        assert all(g >= burst for g in gaps)
+
+    def test_cycle_ticks_scales_latency(self):
+        def latency(cycle_ticks):
+            events, channel = make_channel(cycle_ticks=cycle_ticks)
+            done = []
+            channel.submit(req(0, done=lambda r: done.append(events.now)))
+            events.run()
+            return done[0]
+
+        assert latency(10) == 10 * latency(1)
+
+
+class TestBankParallelism:
+    def test_bank_striped_stream_beats_row_conflicts(self):
+        """Sequential IP-mapped traffic overlaps activations across banks."""
+        row_stride = 16 * 8 * 128
+
+        def finish_time(mapping, addresses):
+            events, channel = make_channel(mapping=mapping)
+            done = []
+            for a in addresses:
+                channel.submit(req(a, done=lambda r: done.append(events.now)))
+            events.run()
+            return done[-1]
+
+        # 8 sequential lines under IP mapping: stripe across all 8 banks.
+        striped = finish_time(IP_CHANNEL_MAPPING,
+                              [i * 128 for i in range(8)])
+        # 8 lines alternating between two rows of one bank: ping-pong misses.
+        conflict = finish_time(BASELINE_MAPPING,
+                               [0, row_stride] * 4)
+        assert striped < conflict
+
+
+class TestRowStats:
+    def test_hit_rate_for_sequential_stream(self):
+        events, channel = make_channel()
+        for i in range(16):
+            channel.submit(req(i * 128))
+        events.run()
+        # First access activates; the other 15 hit.
+        assert channel.stats.rate("row_hit").hits == 15
+        assert channel.stats.counter("activations").value == 1
+
+    def test_bytes_per_activation(self):
+        events, channel = make_channel()
+        for i in range(16):
+            channel.submit(req(i * 128))
+        events.run()
+        channel.drain_flush_stats()
+        hist = channel.stats.histogram("bytes_per_activation")
+        assert hist.mean == 16 * 128
+
+    def test_per_source_byte_accounting(self):
+        events, channel = make_channel()
+        channel.submit(req(0, source=SourceType.CPU))
+        channel.submit(req(128, source=SourceType.GPU))
+        channel.submit(req(256, source=SourceType.GPU))
+        events.run()
+        assert channel.stats.counter("bytes.cpu").value == 128
+        assert channel.stats.counter("bytes.gpu").value == 256
+
+    def test_latency_histogram_recorded(self):
+        events, channel = make_channel()
+        channel.submit(req(0, source=SourceType.DISPLAY))
+        events.run()
+        assert channel.stats.histogram("latency.display").count == 1
+
+
+class TestFRFCFS:
+    def test_row_hit_bypasses_older_miss(self):
+        events, channel = make_channel()
+        order = []
+        row_stride = 16 * 8 * 128
+        # Open row 0 with the first request; then queue a miss (row 1)
+        # followed by a hit (row 0). The hit must complete first.
+        channel.submit(req(0, done=lambda r: order.append("warm")))
+        events.run()
+        channel.submit(req(row_stride, done=lambda r: order.append("miss")))
+        channel.submit(req(128, done=lambda r: order.append("hit")))
+        events.run()
+        assert order == ["warm", "hit", "miss"]
+
+    def test_fcfs_among_misses(self):
+        events, channel = make_channel()
+        order = []
+        row_stride = 16 * 8 * 128
+        channel.submit(req(row_stride,
+                           done=lambda r: order.append("first")))
+        channel.submit(req(2 * row_stride,
+                           done=lambda r: order.append("second")))
+        events.run()
+        assert order == ["first", "second"]

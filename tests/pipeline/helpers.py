@@ -1,0 +1,58 @@
+"""Scene-building helpers shared by pipeline/gpu tests."""
+
+import math
+
+import numpy as np
+
+from repro.geometry.mesh import Mesh
+from repro.geometry.transforms import look_at, perspective
+from repro.gl.context import GLContext
+from repro.shader import builtins
+
+
+def fullscreen_quad(z=0.5, color=(1.0, 0.0, 0.0, 1.0)):
+    """Two triangles covering all of NDC at a given NDC z."""
+    positions = np.array([
+        [-1.0, -1.0, z], [1.0, -1.0, z], [-1.0, 1.0, z], [1.0, 1.0, z],
+    ])
+    uvs = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+    colors = np.tile(np.asarray(color), (4, 1))
+    return Mesh(positions=positions, indices=np.array([0, 1, 2, 1, 3, 2]),
+                uvs=uvs, colors=colors, name=f"quad_z{z}")
+
+
+def half_quad(left=True, z=0.5):
+    """A single triangle covering half of NDC."""
+    if left:
+        positions = np.array([[-1.0, -1.0, z], [1.0, -1.0, z], [-1.0, 1.0, z]])
+    else:
+        positions = np.array([[1.0, -1.0, z], [1.0, 1.0, z], [-1.0, 1.0, z]])
+    return Mesh(positions=positions, indices=np.arange(3),
+                name=f"half_{left}")
+
+
+FLAT_VS = """
+in vec3 position;
+void main() { gl_Position = vec4(position, 1.0); }
+"""
+
+FLAT_COLOR_FS = """
+uniform vec4 flat_color;
+void main() { gl_FragColor = flat_color; }
+"""
+
+
+def flat_context(width=64, height=64, color=(1.0, 0.0, 0.0, 1.0)):
+    ctx = GLContext(width, height)
+    ctx.use_program(FLAT_VS, FLAT_COLOR_FS)
+    ctx.set_uniform("flat_color", np.asarray(color))
+    return ctx
+
+
+def perspective_mvp(eye=(0.0, 0.0, 3.0), target=(0.0, 0.0, 0.0),
+                    fov_deg=60.0, aspect=1.0, near=0.1, far=100.0):
+    proj = perspective(math.radians(fov_deg), aspect, near, far)
+    view = look_at(np.asarray(eye, dtype=np.float64),
+                   np.asarray(target, dtype=np.float64),
+                   np.array([0.0, 1.0, 0.0]))
+    return proj @ view

@@ -1,0 +1,147 @@
+"""Tests for primitive assembly, clipping and culling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.mesh import PrimitiveMode
+from repro.gl.state import CullMode
+from repro.pipeline.clip import (
+    ClippedPrimitive,
+    assemble_and_clip,
+    clip_triangle,
+    is_culled,
+    iter_triangles,
+    ndc_signed_area,
+)
+
+
+def tri(coords, varyings=None):
+    clip = np.asarray(coords, dtype=np.float64)
+    if varyings is None:
+        varyings = np.zeros((3, 2))
+    return clip, np.asarray(varyings, dtype=np.float64)
+
+
+class TestClipTriangle:
+    def test_fully_inside_passes_unchanged(self):
+        clip, var = tri([[0, 0, 0, 1], [0.5, 0, 0, 1], [0, 0.5, 0, 1]])
+        out = clip_triangle(clip, var, prim_id=7)
+        assert len(out) == 1
+        assert not out[0].was_clipped
+        assert out[0].prim_id == 7
+        assert np.allclose(out[0].clip, clip)
+
+    def test_fully_outside_rejected(self):
+        clip, var = tri([[5, 0, 0, 1], [6, 0, 0, 1], [5, 1, 0, 1]])
+        assert clip_triangle(clip, var, 0) == []
+
+    def test_behind_camera_rejected(self):
+        clip, var = tri([[0, 0, 0, -1], [1, 0, 0, -1], [0, 1, 0, -1]])
+        assert clip_triangle(clip, var, 0) == []
+
+    def test_straddling_plane_produces_clipped_pieces(self):
+        # One vertex far right of the frustum.
+        clip, var = tri([[0, 0, 0, 1], [3, 0, 0, 1], [0, 1, 0, 1]])
+        out = clip_triangle(clip, var, 0)
+        assert len(out) >= 1
+        assert all(p.was_clipped for p in out)
+        for piece in out:
+            ndc = piece.clip[:, :3] / piece.clip[:, 3:4]
+            assert np.all(ndc <= 1.0 + 1e-9)
+            assert np.all(ndc >= -1.0 - 1e-9)
+
+    def test_clipping_interpolates_varyings(self):
+        # Edge from x=0 (var 0) to x=3 (var 3); clip plane at x=w=1
+        # cuts at t=1/3 -> varying value 1.
+        clip, var = tri([[0, 0, 0, 1], [3, 0, 0, 1], [0, 1, 0, 1]],
+                        [[0, 0], [3, 0], [0, 0]])
+        out = clip_triangle(clip, var, 0)
+        all_vars = np.vstack([p.varyings for p in out])
+        assert all_vars[:, 0].max() == pytest.approx(1.0)
+
+    def test_w_clip_handles_vertex_behind_eye(self):
+        clip, var = tri([[0, 0, 0, 1], [0.5, 0, 0, 1], [0, 0, 0, -0.5]])
+        out = clip_triangle(clip, var, 0)
+        # Must not crash dividing by w<=0; output w all positive.
+        for piece in out:
+            assert np.all(piece.clip[:, 3] > 0)
+
+
+class TestCulling:
+    def make(self, ccw=True):
+        if ccw:
+            coords = [[0, 0, 0, 1], [1, 0, 0, 1], [0, 1, 0, 1]]
+        else:
+            coords = [[0, 0, 0, 1], [0, 1, 0, 1], [1, 0, 0, 1]]
+        return ClippedPrimitive(0, np.asarray(coords, dtype=np.float64),
+                                np.zeros((3, 2)))
+
+    def test_signed_area_sign(self):
+        assert ndc_signed_area(self.make(ccw=True).clip) > 0
+        assert ndc_signed_area(self.make(ccw=False).clip) < 0
+
+    def test_back_culling(self):
+        assert not is_culled(self.make(ccw=True), CullMode.BACK)
+        assert is_culled(self.make(ccw=False), CullMode.BACK)
+
+    def test_front_culling(self):
+        assert is_culled(self.make(ccw=True), CullMode.FRONT)
+        assert not is_culled(self.make(ccw=False), CullMode.FRONT)
+
+    def test_no_culling(self):
+        assert not is_culled(self.make(ccw=True), CullMode.NONE)
+        assert not is_culled(self.make(ccw=False), CullMode.NONE)
+
+    def test_degenerate_always_culled(self):
+        degenerate = ClippedPrimitive(
+            0, np.array([[0, 0, 0, 1]] * 3, dtype=np.float64),
+            np.zeros((3, 2)))
+        assert is_culled(degenerate, CullMode.NONE)
+
+
+class TestAssembleAndClip:
+    def test_stats_accounting(self):
+        # Two triangles: one visible CCW, one off-screen.
+        positions = np.array([
+            [0, 0, 0, 1], [0.5, 0, 0, 1], [0, 0.5, 0, 1],      # visible
+            [9, 9, 0, 1], [10, 9, 0, 1], [9, 10, 0, 1],        # far away
+        ], dtype=np.float64)
+        varyings = np.zeros((6, 1))
+        indices = np.arange(6)
+        prims, stats = assemble_and_clip(indices, PrimitiveMode.TRIANGLES,
+                                         positions, varyings, CullMode.BACK)
+        assert stats.input_primitives == 2
+        assert stats.trivially_rejected == 1
+        assert stats.output_primitives == 1
+        assert len(prims) == 1
+
+    def test_strip_assembly_keeps_facing(self):
+        # A strip of two CCW triangles must survive back culling entirely.
+        positions = np.array([
+            [-1, -1, 0, 1], [1, -1, 0, 1], [-1, 1, 0, 1], [1, 1, 0, 1],
+        ], dtype=np.float64)
+        varyings = np.zeros((4, 1))
+        prims, stats = assemble_and_clip(
+            np.arange(4), PrimitiveMode.TRIANGLE_STRIP, positions, varyings,
+            CullMode.BACK)
+        assert stats.culled == 0
+        assert len(prims) == 2
+
+    def test_prim_ids_are_draw_order(self):
+        positions = np.array([
+            [0, 0, 0, 1], [0.5, 0, 0, 1], [0, 0.5, 0, 1],
+            [0, 0, 0, 1], [0.5, 0, 0, 1], [0, 0.5, 0, 1],
+        ], dtype=np.float64)
+        prims, _ = assemble_and_clip(np.arange(6), PrimitiveMode.TRIANGLES,
+                                     positions, np.zeros((6, 1)),
+                                     CullMode.NONE)
+        assert [p.prim_id for p in prims] == [0, 1]
+
+
+class TestIterTriangles:
+    def test_matches_mesh_semantics(self):
+        idx = np.array([0, 1, 2, 3, 4])
+        strip = list(iter_triangles(idx, PrimitiveMode.TRIANGLE_STRIP))
+        assert strip == [(0, 1, 2), (2, 1, 3), (2, 3, 4)]
+        fan = list(iter_triangles(idx, PrimitiveMode.TRIANGLE_FAN))
+        assert fan == [(0, 1, 2), (0, 2, 3), (0, 3, 4)]

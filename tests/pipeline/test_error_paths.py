@@ -1,0 +1,100 @@
+"""Error-path tests: clear messages when the API is misused."""
+
+import numpy as np
+import pytest
+
+from repro.gl.context import GLContext
+from repro.gl.state import CullMode
+from repro.pipeline.renderer import ReferenceRenderer
+from repro.pipeline.shading_env import build_varying_link
+from repro.pipeline.vertex import build_constant_bank
+from repro.shader.compiler import compile_shader
+
+from tests.pipeline.helpers import FLAT_VS, fullscreen_quad
+
+
+def make_frame(vs, fs, uniforms=None, textures=None):
+    ctx = GLContext(32, 32)
+    ctx.use_program(vs, fs)
+    ctx.set_state(cull=CullMode.NONE)
+    for name, value in (uniforms or {}).items():
+        ctx.set_uniform(name, value)
+    for name, tex in (textures or {}).items():
+        ctx.bind_texture(name, tex)
+    ctx.draw_mesh(fullscreen_quad())
+    return ctx.end_frame()
+
+
+class TestMissingResources:
+    def test_missing_uniform_reports_name(self):
+        frame = make_frame(FLAT_VS,
+                           "uniform vec4 flat_color;\n"
+                           "void main() { gl_FragColor = flat_color; }")
+        with pytest.raises(KeyError, match="flat_color"):
+            ReferenceRenderer(32, 32).render(frame)
+
+    def test_wrong_uniform_size(self):
+        frame = make_frame(FLAT_VS,
+                           "uniform vec4 flat_color;\n"
+                           "void main() { gl_FragColor = flat_color; }",
+                           uniforms={"flat_color": [1.0, 0.0]})
+        with pytest.raises(ValueError, match="4 floats"):
+            ReferenceRenderer(32, 32).render(frame)
+
+    def test_missing_texture_reports_binding(self):
+        frame = make_frame(
+            "in vec3 position;\nin vec2 uv;\nout vec2 v_uv;\n"
+            "void main() { gl_Position = vec4(position, 1.0); v_uv = uv; }",
+            "in vec2 v_uv;\nuniform sampler2D albedo;\n"
+            "void main() { gl_FragColor = texture(albedo, v_uv); }")
+        with pytest.raises(ValueError, match="albedo"):
+            ReferenceRenderer(32, 32).render(frame)
+
+    def test_unlinked_varying_reports_name(self):
+        vs = compile_shader(FLAT_VS, "vertex", name="err_vs")
+        fs = compile_shader(
+            "in vec2 v_missing;\n"
+            "void main() { gl_FragColor = vec4(v_missing, 0.0, 1.0); }",
+            "fragment", name="err_fs")
+        with pytest.raises(ValueError, match="v_missing"):
+            build_varying_link(vs, fs)
+
+    def test_missing_vbo_attribute(self):
+        """Shader wants normals; the quad mesh has none."""
+        from repro.geometry.mesh import Mesh
+        mesh = Mesh(positions=np.zeros((3, 3)), indices=np.arange(3),
+                    name="bare")
+        ctx = GLContext(32, 32)
+        ctx.use_program(
+            "in vec3 position;\nin vec3 normal;\nout vec3 v_n;\n"
+            "void main() { gl_Position = vec4(position, 1.0); "
+            "v_n = normal; }",
+            "in vec3 v_n;\n"
+            "void main() { gl_FragColor = vec4(v_n, 1.0); }")
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.draw_mesh(mesh)
+        frame = ctx.end_frame()
+        with pytest.raises(KeyError, match="normal"):
+            ReferenceRenderer(32, 32).render(frame)
+
+
+class TestConstantBank:
+    def test_bank_layout_matches_declaration_order(self):
+        frame = make_frame(
+            FLAT_VS,
+            "uniform float a;\nuniform vec2 b;\n"
+            "void main() { gl_FragColor = vec4(a, b, 1.0); }",
+            uniforms={"a": [3.0], "b": [4.0, 5.0]})
+        program = compile_shader(frame.draw_calls[0].fs_source, "fragment",
+                                 name="bank_fs")
+        bank = build_constant_bank(frame.draw_calls[0], program)
+        assert bank[:3].tolist() == [3.0, 4.0, 5.0]
+
+    def test_scalar_uniform_accepts_plain_float(self):
+        frame = make_frame(
+            FLAT_VS,
+            "uniform float a;\n"
+            "void main() { gl_FragColor = vec4(a, a, a, 1.0); }",
+            uniforms={"a": 0.5})
+        fb, _ = ReferenceRenderer(32, 32).render(frame)
+        assert np.allclose(fb.color[:, :, 0], 0.5)

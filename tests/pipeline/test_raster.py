@@ -1,0 +1,184 @@
+"""Tests for fine rasterization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline.clip import ClippedPrimitive
+from repro.pipeline.raster import FragmentBlock, rasterize, to_screen
+
+
+def screen_tri(coords_ndc, width=64, height=64, varyings=None, w=None):
+    """Build a ScreenTriangle from NDC coordinates."""
+    coords = np.asarray(coords_ndc, dtype=np.float64)
+    ws = np.ones(3) if w is None else np.asarray(w, dtype=np.float64)
+    clip = np.column_stack([coords * ws[:, None], ws])
+    if varyings is None:
+        varyings = np.zeros((3, 1))
+    prim = ClippedPrimitive(0, clip, np.asarray(varyings, dtype=np.float64))
+    return to_screen(prim, width, height)
+
+
+def all_fragments(blocks):
+    xs = np.concatenate([b.xs for b in blocks]) if blocks else np.array([])
+    ys = np.concatenate([b.ys for b in blocks]) if blocks else np.array([])
+    return xs, ys
+
+
+class TestViewportTransform:
+    def test_ndc_origin_maps_to_screen_center(self):
+        tri = screen_tri([[0, 0, 0], [1, 0, 0], [0, 1, 0]], 100, 80)
+        assert tri.xy[0].tolist() == [50.0, 40.0]
+
+    def test_ndc_top_left(self):
+        tri = screen_tri([[-1, 1, 0], [1, 0, 0], [0, -1, 0]], 100, 80)
+        assert tri.xy[0].tolist() == [0.0, 0.0]
+
+    def test_depth_range(self):
+        tri = screen_tri([[0, 0, -1], [1, 0, 0], [0, 1, 1]])
+        assert tri.z.tolist() == [0.0, 0.5, 1.0]
+
+
+class TestCoverage:
+    def test_fullscreen_quad_covers_every_pixel_once(self):
+        """Two triangles sharing a diagonal: no double coverage, no holes."""
+        width = height = 16
+        t1 = screen_tri([[-1, -1, 0], [1, -1, 0], [-1, 1, 0]], width, height)
+        t2 = screen_tri([[1, -1, 0], [1, 1, 0], [-1, 1, 0]], width, height)
+        covered = np.zeros((height, width), dtype=int)
+        for tri in (t1, t2):
+            xs, ys = all_fragments(rasterize(tri, width, height))
+            covered[ys.astype(int), xs.astype(int)] += 1
+        assert np.all(covered == 1), "fill rule must partition shared edges"
+
+    def test_offscreen_triangle_produces_nothing(self):
+        tri = screen_tri([[5, 5, 0], [6, 5, 0], [5, 6, 0]])
+        assert rasterize(tri, 64, 64) == []
+
+    def test_degenerate_triangle_produces_nothing(self):
+        tri = screen_tri([[0, 0, 0], [0, 0, 0], [0, 0, 0]])
+        assert rasterize(tri, 64, 64) == []
+
+    def test_subpixel_triangle(self):
+        # Smaller than a pixel and not covering any center.
+        tri = screen_tri([[0.001, 0.001, 0], [0.002, 0.001, 0],
+                          [0.001, 0.002, 0]], 4, 4)
+        blocks = rasterize(tri, 4, 4)
+        xs, _ = all_fragments(blocks)
+        assert len(xs) <= 1
+
+    def test_winding_does_not_affect_coverage(self):
+        ccw = screen_tri([[-1, -1, 0], [1, -1, 0], [-1, 1, 0]], 16, 16)
+        cw = screen_tri([[-1, -1, 0], [-1, 1, 0], [1, -1, 0]], 16, 16)
+        xs1, ys1 = all_fragments(rasterize(ccw, 16, 16))
+        xs2, ys2 = all_fragments(rasterize(cw, 16, 16))
+        assert sorted(zip(xs1, ys1)) == sorted(zip(xs2, ys2))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.floats(-0.95, 0.95), min_size=6, max_size=6))
+    def test_shared_edge_never_double_covered(self, coords):
+        """Property: two triangles sharing an edge, with their third
+        vertices on opposite sides of it, never double-cover a pixel."""
+        from hypothesis import assume
+        a = np.array([coords[0], coords[1]])
+        c = np.array([coords[2], coords[3]])
+        b = np.array([coords[4], coords[5]])
+        edge = c - a
+
+        def side(p):
+            return edge[0] * (p[1] - a[1]) - edge[1] * (p[0] - a[0])
+
+        assume(abs(side(b)) > 1e-3)
+        d = np.clip(a + c - b, -0.99, 0.99)   # reflect b across the midpoint
+        assume(side(b) * side(d) < 0)
+        width = height = 24
+        t1 = screen_tri([[*a, 0], [*b, 0], [*c, 0]], width, height)
+        t2 = screen_tri([[*a, 0], [*c, 0], [*d, 0]], width, height)
+        covered = np.zeros((height, width), dtype=int)
+        for tri in (t1, t2):
+            for block in rasterize(tri, width, height):
+                covered[block.ys, block.xs] += 1
+        assert np.count_nonzero(covered > 1) == 0
+
+
+class TestInterpolation:
+    def test_affine_varying_interpolation(self):
+        # Varying equals NDC x: at screen center it must be ~0.
+        tri = screen_tri([[-1, -1, 0], [1, -1, 0], [-1, 1, 0]], 64, 64,
+                         varyings=[[-1.0], [1.0], [-1.0]])
+        blocks = rasterize(tri, 64, 64)
+        values = np.concatenate([b.varyings[:, 0] for b in blocks])
+        xs, _ = all_fragments(blocks)
+        expected = (xs + 0.5) / 64 * 2 - 1
+        assert np.allclose(values, expected, atol=1e-9)
+
+    def test_depth_interpolation(self):
+        tri = screen_tri([[-1, -1, 0.0], [1, -1, 0.0], [-1, 1, 1.0]], 32, 32)
+        blocks = rasterize(tri, 32, 32)
+        z = np.concatenate([b.z for b in blocks])
+        assert z.min() >= 0.5 - 1e-9        # NDC 0 -> depth 0.5
+        assert z.max() <= 1.0
+
+    def test_perspective_correct_interpolation(self):
+        """With unequal w, midpoint value must be biased toward small w."""
+        # Edge from v0 (w=1, var=0) to v1 (w=4, var=1): at the screen
+        # midpoint, perspective-correct value is (0/1 + 1/4)/(1/1 + 1/4) = 0.2.
+        tri = screen_tri([[-1, -1, 0], [1, -1, 0], [-1, 1, 0]], 64, 64,
+                         varyings=[[0.0], [1.0], [0.0]],
+                         w=[1.0, 4.0, 1.0])
+        blocks = rasterize(tri, 64, 64)
+        xs, ys = all_fragments(blocks)
+        values = np.concatenate([b.varyings[:, 0] for b in blocks])
+        # Pick the fragment on the bottom row nearest the screen midpoint.
+        bottom = ys == ys.max()
+        idx = np.argmin(np.abs(xs[bottom] - 32))
+        value = values[bottom][idx]
+        assert value == pytest.approx(0.2, abs=0.02)
+        # Affine interpolation would give ~0.5; make sure we are not affine.
+        assert value < 0.3
+
+
+class TestWatertightRegression:
+    def test_found_counterexample(self):
+        """Shared edge a-c with opposite-order edge functions: before
+        fixed-point snapping, rounding let both triangles claim a pixel."""
+        a = (-0.7303545203252869, -0.7303545203252869)
+        c = (0.5, 0.5)
+        b = (0.5, 0.0)
+        d = (-0.7303545203252869, -0.23035452032528692)
+        width = height = 24
+        t1 = screen_tri([[*a, 0], [*b, 0], [*c, 0]], width, height)
+        t2 = screen_tri([[*a, 0], [*c, 0], [*d, 0]], width, height)
+        covered = np.zeros((height, width), dtype=int)
+        for tri in (t1, t2):
+            for block in rasterize(tri, width, height):
+                covered[block.ys, block.xs] += 1
+        assert np.count_nonzero(covered > 1) == 0
+
+    def test_vertices_snapped_to_subpixel_grid(self):
+        from repro.pipeline.raster import SUBPIXEL_GRID
+        tri = screen_tri([[-0.123456789, 0.3333333, 0],
+                          [0.777777, -0.111111, 0], [0.1, 0.9, 0]], 64, 64)
+        snapped = tri.xy * SUBPIXEL_GRID
+        assert np.allclose(snapped, np.round(snapped))
+
+
+class TestTileGrouping:
+    def test_blocks_grouped_by_raster_tile(self):
+        tri = screen_tri([[-1, -1, 0], [1, -1, 0], [-1, 1, 0]], 16, 16)
+        blocks = rasterize(tri, 16, 16, raster_tile_px=4)
+        for block in blocks:
+            assert np.all(block.xs // 4 == block.tile_x)
+            assert np.all(block.ys // 4 == block.tile_y)
+
+    def test_unique_tiles(self):
+        tri = screen_tri([[-1, -1, 0], [1, -1, 0], [-1, 1, 0]], 16, 16)
+        blocks = rasterize(tri, 16, 16, raster_tile_px=4)
+        keys = [(b.tile_x, b.tile_y) for b in blocks]
+        assert len(keys) == len(set(keys))
+
+    def test_block_count_property(self):
+        tri = screen_tri([[-1, -1, 0], [1, -1, 0], [-1, 1, 0]], 16, 16)
+        blocks = rasterize(tri, 16, 16)
+        assert all(isinstance(b, FragmentBlock) and b.count > 0
+                   for b in blocks)

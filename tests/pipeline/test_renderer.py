@@ -1,0 +1,183 @@
+"""End-to-end tests for the reference renderer (functional pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.models import cube
+from repro.gl.context import GLContext
+from repro.gl.state import BlendFactor, CullMode
+from repro.gl.textures import checkerboard, gradient
+from repro.pipeline.renderer import ReferenceRenderer
+from repro.shader import builtins
+
+from tests.pipeline.helpers import (
+    FLAT_COLOR_FS,
+    FLAT_VS,
+    flat_context,
+    fullscreen_quad,
+    half_quad,
+    perspective_mvp,
+)
+
+
+def render(ctx):
+    frame = ctx.end_frame()
+    renderer = ReferenceRenderer(ctx.width, ctx.height)
+    return renderer.render(frame)
+
+
+class TestFlatRendering:
+    def test_fullscreen_quad_fills_screen(self):
+        ctx = flat_context(32, 32, color=(1.0, 0.0, 0.0, 1.0))
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.draw_mesh(fullscreen_quad())
+        fb, stats = render(ctx)
+        assert np.allclose(fb.color[:, :, 0], 1.0)
+        assert np.allclose(fb.color[:, :, 1], 0.0)
+        assert stats.fragments_shaded == 32 * 32
+
+    def test_half_quad_covers_half(self):
+        ctx = flat_context(32, 32)
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.draw_mesh(half_quad(left=True))
+        fb, stats = render(ctx)
+        coverage = np.count_nonzero(fb.depth < 1.0)
+        assert coverage == pytest.approx(512, abs=32)
+
+    def test_clear_color_respected(self):
+        ctx = flat_context(16, 16)
+        ctx.set_state(clear_color=(0.0, 0.0, 1.0, 1.0))
+        fb, _ = render(ctx)
+        assert np.allclose(fb.color[:, :, 2], 1.0)
+
+
+class TestDepthTest:
+    def test_nearer_primitive_wins_regardless_of_order(self):
+        for order in ("near_first", "far_first"):
+            ctx = flat_context(16, 16)
+            ctx.set_state(cull=CullMode.NONE)
+            near = fullscreen_quad(z=-0.5)
+            far = fullscreen_quad(z=0.5)
+            if order == "near_first":
+                ctx.set_uniform("flat_color", [1.0, 0.0, 0.0, 1.0])
+                ctx.draw_mesh(near, name="near")
+                ctx.set_uniform("flat_color", [0.0, 1.0, 0.0, 1.0])
+                ctx.draw_mesh(far, name="far")
+            else:
+                ctx.set_uniform("flat_color", [0.0, 1.0, 0.0, 1.0])
+                ctx.draw_mesh(far, name="far")
+                ctx.set_uniform("flat_color", [1.0, 0.0, 0.0, 1.0])
+                ctx.draw_mesh(near, name="near")
+            fb, _ = render(ctx)
+            assert np.allclose(fb.color[:, :, 0], 1.0), order
+            assert np.allclose(fb.color[:, :, 1], 0.0), order
+
+    def test_depth_buffer_holds_nearest_z(self):
+        ctx = flat_context(16, 16)
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.draw_mesh(fullscreen_quad(z=0.5))     # depth 0.75
+        ctx.draw_mesh(fullscreen_quad(z=-0.5))    # depth 0.25
+        fb, _ = render(ctx)
+        assert np.allclose(fb.depth, 0.25)
+
+    def test_occluded_fragments_counted_discarded(self):
+        ctx = flat_context(16, 16)
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.draw_mesh(fullscreen_quad(z=-0.5))
+        ctx.draw_mesh(fullscreen_quad(z=0.5))     # fully occluded
+        _, stats = render(ctx)
+        assert stats.fragments_discarded == 16 * 16
+
+    def test_depth_test_off_is_painter_order(self):
+        ctx = flat_context(16, 16)
+        ctx.set_state(cull=CullMode.NONE, depth_test=False)
+        ctx.set_uniform("flat_color", [1.0, 0.0, 0.0, 1.0])
+        ctx.draw_mesh(fullscreen_quad(z=-0.5), name="near")
+        ctx.set_uniform("flat_color", [0.0, 1.0, 0.0, 1.0])
+        ctx.draw_mesh(fullscreen_quad(z=0.5), name="far")
+        fb, _ = render(ctx)
+        assert np.allclose(fb.color[:, :, 1], 1.0)   # last drawn wins
+
+
+class TestBlending:
+    def test_alpha_blend_over_background(self):
+        ctx = flat_context(16, 16, color=(1.0, 0.0, 0.0, 0.5))
+        ctx.set_state(cull=CullMode.NONE, blend=True,
+                      clear_color=(0.0, 0.0, 1.0, 1.0))
+        ctx.draw_mesh(fullscreen_quad())
+        fb, _ = render(ctx)
+        assert np.allclose(fb.color[:, :, 0], 0.5)
+        assert np.allclose(fb.color[:, :, 2], 0.5)
+
+    def test_additive_blend(self):
+        ctx = flat_context(16, 16, color=(0.25, 0.0, 0.0, 1.0))
+        ctx.set_state(cull=CullMode.NONE, depth_test=False, blend=True,
+                      blend_src=BlendFactor.ONE, blend_dst=BlendFactor.ONE)
+        ctx.draw_mesh(fullscreen_quad())
+        ctx.draw_mesh(fullscreen_quad())
+        fb, _ = render(ctx)
+        assert np.allclose(fb.color[:, :, 0], 0.5)
+
+
+class TestTexturedLit:
+    def test_textured_quad_samples_texture(self):
+        ctx = GLContext(32, 32)
+        ctx.use_program(builtins.TRANSFORM_UV_VERTEX,
+                        builtins.TEXTURED_FRAGMENT)
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.set_uniform("mvp", np.eye(4))
+        ctx.bind_texture("albedo", gradient(size=32))
+        ctx.draw_mesh(fullscreen_quad())
+        fb, _ = render(ctx)
+        # Gradient red ramp: left column much darker than right column.
+        assert fb.color[16, 30, 0] > fb.color[16, 1, 0] + 0.5
+
+    def test_lit_cube_perspective(self):
+        ctx = GLContext(48, 48)
+        ctx.use_program(builtins.LIT_TEXTURED_VERTEX,
+                        builtins.LIT_TEXTURED_FRAGMENT)
+        model = np.eye(4)
+        mvp = perspective_mvp(eye=(1.5, 1.2, 2.5)) @ model
+        ctx.set_uniform("mvp", mvp)
+        ctx.set_uniform("model", model)
+        ctx.set_uniform("light_dir", [0.5, 1.0, 0.8])
+        ctx.set_uniform("tint", [1.0, 1.0, 1.0, 1.0])
+        ctx.bind_texture("albedo", checkerboard(size=32, squares=4))
+        ctx.draw_mesh(cube())
+        fb, stats = render(ctx)
+        coverage = fb.coverage()
+        assert 0.1 < coverage < 0.9          # cube visible, not fullscreen
+        assert stats.fragments_shaded > 100
+        # Back-face culling must reject about half the primitives.
+        assert stats.culled_primitives >= 4
+
+    def test_statistics_are_consistent(self):
+        ctx = flat_context(32, 32)
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.draw_mesh(fullscreen_quad())
+        _, stats = render(ctx)
+        assert stats.draw_calls == 1
+        assert stats.input_primitives == 2
+        assert stats.rasterized_primitives == 2
+        assert stats.vertices_shaded == 4
+        assert stats.fragment_warps >= stats.fragments_shaded / 32
+
+
+class TestDiscardShader:
+    def test_alpha_cutout(self):
+        # Checkerboard with alpha 0 in dark squares.
+        tex = checkerboard(size=32, squares=2,
+                           color_a=(1.0, 1.0, 1.0, 1.0),
+                           color_b=(0.0, 0.0, 0.0, 0.0))
+        ctx = GLContext(32, 32)
+        ctx.use_program(builtins.TRANSFORM_UV_VERTEX,
+                        builtins.ALPHA_CUTOUT_FRAGMENT)
+        ctx.set_state(cull=CullMode.NONE)
+        ctx.set_uniform("mvp", np.eye(4))
+        ctx.bind_texture("albedo", tex)
+        ctx.draw_mesh(fullscreen_quad())
+        fb, stats = render(ctx)
+        assert stats.fragments_discarded > 200
+        # Discarded pixels keep clear color and depth.
+        discarded_frac = 1.0 - fb.coverage()
+        assert 0.3 < discarded_frac < 0.7

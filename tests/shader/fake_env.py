@@ -1,0 +1,98 @@
+"""A configurable in-memory ExecEnv test double for shader tests."""
+
+import numpy as np
+
+from repro.shader.interpreter import MemAccess
+from repro.shader.isa import MemSpace
+
+
+class FakeEnv:
+    """Minimal environment: dict-backed slots, flat global memory."""
+
+    def __init__(self, warp_size=8, attributes=None, varyings=None,
+                 constants=None, textures=None, depth=None, color=None):
+        self.warp_size = warp_size
+        self.attributes = attributes or {}
+        self.varyings = varyings or {}
+        self.constants = constants or {}
+        self.textures = textures or {}
+        self.depth = (np.full(warp_size, 1.0) if depth is None
+                      else np.asarray(depth, dtype=np.float64))
+        self.color = (np.zeros((warp_size, 4)) if color is None
+                      else np.asarray(color, dtype=np.float64))
+        self.stencil = np.zeros(warp_size, dtype=np.int64)
+        self.outputs = {}
+        self.global_memory = {}
+
+    def attribute(self, slot, mask):
+        values = np.asarray(self.attributes[slot], dtype=np.float64)
+        accesses = [MemAccess(MemSpace.VERTEX, 0x100 + 4 * lane, 4)
+                    for lane in np.flatnonzero(mask)]
+        return values, accesses
+
+    def varying(self, slot, mask):
+        return np.asarray(self.varyings[slot], dtype=np.float64)
+
+    def constant(self, slot, mask):
+        return float(self.constants[slot]), [
+            MemAccess(MemSpace.CONST, 0x2000 + 4 * slot, 4)]
+
+    def tex(self, unit, u, v, mask):
+        fn = self.textures[unit]
+        rgba = np.stack([np.asarray(fn(uu, vv), dtype=np.float64)
+                         for uu, vv in zip(u, v)])
+        accesses = [MemAccess(MemSpace.TEXTURE, 0x3000 + lane * 4, 4)
+                    for lane in np.flatnonzero(mask)]
+        return rgba, accesses
+
+    def zread(self, mask):
+        return self.depth.copy(), [
+            MemAccess(MemSpace.DEPTH, 0x4000 + 4 * lane, 4)
+            for lane in np.flatnonzero(mask)]
+
+    def zwrite(self, values, mask):
+        self.depth[mask] = values[mask]
+        return [MemAccess(MemSpace.DEPTH, 0x4000 + 4 * lane, 4, write=True)
+                for lane in np.flatnonzero(mask)]
+
+    def sread(self, mask):
+        return self.stencil.astype(float), [
+            MemAccess(MemSpace.DEPTH, 0x4800 + lane, 1)
+            for lane in np.flatnonzero(mask)]
+
+    def swrite(self, values, mask):
+        self.stencil[mask] = values[mask].astype(int)
+        return [MemAccess(MemSpace.DEPTH, 0x4800 + lane, 1, write=True)
+                for lane in np.flatnonzero(mask)]
+
+    def fb_read(self, mask):
+        return self.color.copy(), [
+            MemAccess(MemSpace.COLOR, 0x5000 + 4 * lane, 4)
+            for lane in np.flatnonzero(mask)]
+
+    def fb_write(self, rgba, mask):
+        self.color[mask] = rgba[mask]
+        return [MemAccess(MemSpace.COLOR, 0x5000 + 4 * lane, 4, write=True)
+                for lane in np.flatnonzero(mask)]
+
+    def ld_global(self, addresses, mask):
+        values = np.zeros(self.warp_size)
+        accesses = []
+        for lane in np.flatnonzero(mask):
+            addr = int(addresses[lane])
+            values[lane] = self.global_memory.get(addr, 0.0)
+            accesses.append(MemAccess(MemSpace.GLOBAL, addr, 4))
+        return values, accesses
+
+    def st_global(self, addresses, values, mask):
+        accesses = []
+        for lane in np.flatnonzero(mask):
+            addr = int(addresses[lane])
+            self.global_memory[addr] = float(values[lane])
+            accesses.append(MemAccess(MemSpace.GLOBAL, addr, 4, write=True))
+        return accesses
+
+    def store_output(self, slot, values, mask):
+        if slot not in self.outputs:
+            self.outputs[slot] = np.zeros(self.warp_size)
+        self.outputs[slot][mask] = values[mask]

@@ -1,0 +1,401 @@
+"""Tests for the GLSL-mini -> ISA compiler (compile + execute end-to-end)."""
+
+import numpy as np
+import pytest
+
+from repro.shader.compiler import ShaderCompileError, compile_shader
+from repro.shader.interpreter import WarpInterpreter
+from repro.shader.isa import Opcode
+
+from tests.shader.fake_env import FakeEnv
+
+
+def compile_run(source, stage="fragment", env=None):
+    env = env or FakeEnv()
+    program = compile_shader(source, stage, name="test")
+    result = WarpInterpreter(program, env).run()
+    return program, result, env
+
+
+class TestCompileBasics:
+    def test_minimal_fragment_shader(self):
+        program, _, env = compile_run("""
+            void main() { gl_FragColor = vec4(1.0, 0.5, 0.25, 1.0); }
+        """)
+        assert program.stage == "fragment"
+        assert np.allclose(env.outputs[0], 1.0)
+        assert np.allclose(env.outputs[1], 0.5)
+        assert np.allclose(env.outputs[2], 0.25)
+
+    def test_vertex_shader_position_outputs(self):
+        env = FakeEnv(attributes={0: np.full(8, 2.0), 1: np.full(8, 3.0),
+                                  2: np.full(8, 4.0)},
+                      constants={i: float(np.eye(4).flat[i]) for i in range(16)})
+        program, _, env = compile_run("""
+            in vec3 position;
+            uniform mat4 mvp;
+            void main() { gl_Position = mvp * vec4(position, 1.0); }
+        """, stage="vertex", env=env)
+        assert np.allclose(env.outputs[0], 2.0)
+        assert np.allclose(env.outputs[1], 3.0)
+        assert np.allclose(env.outputs[2], 4.0)
+        assert np.allclose(env.outputs[3], 1.0)
+
+    def test_mat4_vec4_row_major(self):
+        # A translation matrix in row-major layout: element [0,3] = 5.
+        mat = np.eye(4)
+        mat[0, 3] = 5.0
+        env = FakeEnv(attributes={0: np.zeros(8), 1: np.zeros(8),
+                                  2: np.zeros(8)},
+                      constants={i: float(mat.flat[i]) for i in range(16)})
+        _, _, env = compile_run("""
+            in vec3 position;
+            uniform mat4 mvp;
+            void main() { gl_Position = mvp * vec4(position, 1.0); }
+        """, stage="vertex", env=env)
+        assert np.allclose(env.outputs[0], 5.0)
+
+    def test_missing_position_rejected(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("void main() { }", "vertex", name="bad_vs")
+
+    def test_missing_fragcolor_rejected(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("void main() { }", "fragment", name="bad_fs")
+
+    def test_varying_passthrough(self):
+        program = compile_shader("""
+            in vec3 position;
+            in vec2 uv;
+            out vec2 v_uv;
+            void main() {
+                gl_Position = vec4(position, 1.0);
+                v_uv = uv;
+            }
+        """, "vertex", name="vs_vary")
+        assert program.varyings.lookup("v_uv") == (0, 2)
+        assert program.attributes.lookup("uv") == (3, 2)
+
+
+class TestExpressions:
+    def test_arithmetic_precedence(self):
+        _, _, env = compile_run("""
+            void main() {
+                float x = 2.0 + 3.0 * 4.0;
+                gl_FragColor = vec4(x, x, x, x);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 14.0)
+
+    def test_parentheses(self):
+        _, _, env = compile_run("""
+            void main() {
+                float x = (2.0 + 3.0) * 4.0;
+                gl_FragColor = vec4(x, 0.0, 0.0, 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 20.0)
+
+    def test_unary_negation(self):
+        _, _, env = compile_run("""
+            void main() {
+                float x = -3.0;
+                gl_FragColor = vec4(-x, x, 0.0, 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 3.0)
+        assert np.allclose(env.outputs[1], -3.0)
+
+    def test_swizzle_read(self):
+        _, _, env = compile_run("""
+            void main() {
+                vec4 c = vec4(1.0, 2.0, 3.0, 4.0);
+                gl_FragColor = vec4(c.wzy, 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 4.0)
+        assert np.allclose(env.outputs[1], 3.0)
+        assert np.allclose(env.outputs[2], 2.0)
+
+    def test_swizzle_write(self):
+        _, _, env = compile_run("""
+            void main() {
+                vec4 c = vec4(0.0, 0.0, 0.0, 0.0);
+                c.xw = vec2(5.0, 6.0);
+                gl_FragColor = c;
+            }
+        """)
+        assert np.allclose(env.outputs[0], 5.0)
+        assert np.allclose(env.outputs[3], 6.0)
+
+    def test_scalar_vector_broadcast(self):
+        _, _, env = compile_run("""
+            void main() {
+                vec3 v = vec3(1.0, 2.0, 3.0) * 2.0;
+                gl_FragColor = vec4(v, 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[1], 4.0)
+
+    def test_vec_constructor_broadcast(self):
+        _, _, env = compile_run("""
+            void main() {
+                vec3 v = vec3(0.5);
+                gl_FragColor = vec4(v, 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 0.5)
+        assert np.allclose(env.outputs[2], 0.5)
+
+    def test_constructor_width_mismatch(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("""
+                void main() { gl_FragColor = vec4(1.0, 2.0); }
+            """, "fragment", name="bad_ctor")
+
+
+class TestBuiltinFunctions:
+    def test_dot_normalize_length(self):
+        _, _, env = compile_run("""
+            void main() {
+                vec3 v = vec3(3.0, 4.0, 0.0);
+                float d = dot(v, v);
+                float l = length(v);
+                vec3 n = normalize(v);
+                gl_FragColor = vec4(d, l, n.x, n.y);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 25.0)
+        assert np.allclose(env.outputs[1], 5.0)
+        assert np.allclose(env.outputs[2], 0.6)
+        assert np.allclose(env.outputs[3], 0.8)
+
+    def test_cross(self):
+        _, _, env = compile_run("""
+            void main() {
+                vec3 c = cross(vec3(1.0, 0.0, 0.0), vec3(0.0, 1.0, 0.0));
+                gl_FragColor = vec4(c, 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 0.0)
+        assert np.allclose(env.outputs[2], 1.0)
+
+    def test_clamp_mix(self):
+        _, _, env = compile_run("""
+            void main() {
+                float c = clamp(5.0, 0.0, 1.0);
+                float m = mix(10.0, 20.0, 0.25);
+                gl_FragColor = vec4(c, m, 0.0, 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 1.0)
+        assert np.allclose(env.outputs[1], 12.5)
+
+    def test_reflect(self):
+        _, _, env = compile_run("""
+            void main() {
+                vec3 r = reflect(vec3(1.0, -1.0, 0.0), vec3(0.0, 1.0, 0.0));
+                gl_FragColor = vec4(r, 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 1.0)
+        assert np.allclose(env.outputs[1], 1.0)
+
+    def test_pow_sqrt(self):
+        _, _, env = compile_run("""
+            void main() {
+                gl_FragColor = vec4(pow(2.0, 10.0), sqrt(16.0),
+                                    inversesqrt(4.0), 1.0);
+            }
+        """)
+        assert np.allclose(env.outputs[0], 1024.0)
+        assert np.allclose(env.outputs[1], 4.0)
+        assert np.allclose(env.outputs[2], 0.5)
+
+    def test_texture_call(self):
+        env = FakeEnv(textures={0: lambda u, v: (u, v, 0.25, 1.0)},
+                      varyings={0: np.full(8, 0.5), 1: np.full(8, 0.75)})
+        program, _, env = compile_run("""
+            in vec2 v_uv;
+            uniform sampler2D albedo;
+            void main() { gl_FragColor = texture(albedo, v_uv); }
+        """, env=env)
+        assert program.textures == {"albedo": 0}
+        assert np.allclose(env.outputs[0], 0.5)
+        assert np.allclose(env.outputs[1], 0.75)
+
+    def test_unknown_function(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("""
+                void main() { gl_FragColor = vec4(frob(1.0)); }
+            """, "fragment", name="bad_fn")
+
+
+class TestControlFlow:
+    def test_if_divergence(self):
+        env = FakeEnv(varyings={0: np.array([0.2, 0.8] * 4)})
+        _, _, env = compile_run("""
+            in float v_t;
+            void main() {
+                float c = 0.0;
+                if (v_t < 0.5) {
+                    c = 1.0;
+                }
+                gl_FragColor = vec4(c, 0.0, 0.0, 1.0);
+            }
+        """, env=env)
+        assert env.outputs[0].tolist() == [1, 0] * 4
+
+    def test_if_else(self):
+        env = FakeEnv(varyings={0: np.array([0.2, 0.8] * 4)})
+        _, _, env = compile_run("""
+            in float v_t;
+            void main() {
+                float c = 0.0;
+                if (v_t < 0.5) { c = 1.0; } else { c = 2.0; }
+                gl_FragColor = vec4(c, 0.0, 0.0, 1.0);
+            }
+        """, env=env)
+        assert env.outputs[0].tolist() == [1, 2] * 4
+
+    def test_else_if_chain(self):
+        env = FakeEnv(varyings={0: np.array([0.1, 0.5, 0.9, 0.1,
+                                             0.5, 0.9, 0.1, 0.5])})
+        _, _, env = compile_run("""
+            in float v_t;
+            void main() {
+                float c = 0.0;
+                if (v_t < 0.3) { c = 1.0; }
+                else if (v_t < 0.7) { c = 2.0; }
+                else { c = 3.0; }
+                gl_FragColor = vec4(c, 0.0, 0.0, 1.0);
+            }
+        """, env=env)
+        assert env.outputs[0].tolist() == [1, 2, 3, 1, 2, 3, 1, 2]
+
+    def test_logical_ops(self):
+        env = FakeEnv(varyings={0: np.array([0.1, 0.5, 0.9, 0.5] * 2)})
+        _, _, env = compile_run("""
+            in float v_t;
+            void main() {
+                float c = 0.0;
+                if (v_t > 0.3 && v_t < 0.7) { c = 1.0; }
+                if (v_t < 0.3 || v_t > 0.7) { c = 2.0; }
+                if (!(v_t == 0.5)) { c = c + 10.0; }
+                gl_FragColor = vec4(c, 0.0, 0.0, 1.0);
+            }
+        """, env=env)
+        assert env.outputs[0].tolist() == [12, 1, 12, 1] * 2
+
+    def test_discard_statement(self):
+        env = FakeEnv(varyings={0: np.array([0.2, 0.8] * 4)})
+        program, result, _ = compile_run("""
+            in float v_a;
+            void main() {
+                if (v_a < 0.5) { discard; }
+                gl_FragColor = vec4(1.0, 1.0, 1.0, 1.0);
+            }
+        """, env=env)
+        assert program.has_discard
+        assert result.discarded.tolist() == [True, False] * 4
+
+    def test_discard_rejected_in_vertex(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("""
+                in vec3 position;
+                void main() { discard; gl_Position = vec4(position, 1.0); }
+            """, "vertex", name="bad_discard")
+
+
+class TestFragDepthAndCoord:
+    def test_frag_depth_output(self):
+        program, _, env = compile_run("""
+            void main() {
+                gl_FragColor = vec4(1.0, 1.0, 1.0, 1.0);
+                gl_FragDepth = 0.25;
+            }
+        """)
+        assert program.writes_depth
+        assert np.allclose(env.outputs[4], 0.25)
+
+    def test_frag_coord_varying_allocated(self):
+        program = compile_shader("""
+            void main() {
+                float x = gl_FragCoord.x;
+                gl_FragColor = vec4(x, 0.0, 0.0, 1.0);
+            }
+        """, "fragment", name="coord_fs")
+        assert "gl_FragCoord" in program.varyings
+
+
+class TestSemanticsErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("""
+                void main() { gl_FragColor = vec4(mystery, 0.0, 0.0, 1.0); }
+            """, "fragment", name="e1")
+
+    def test_assign_to_uniform(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("""
+                uniform float k;
+                void main() { k = 1.0; gl_FragColor = vec4(k); }
+            """, "fragment", name="e2")
+
+    def test_redeclaration(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("""
+                void main() {
+                    float x = 1.0;
+                    float x = 2.0;
+                    gl_FragColor = vec4(x);
+                }
+            """, "fragment", name="e3")
+
+    def test_width_mismatch(self):
+        with pytest.raises(ShaderCompileError):
+            compile_shader("""
+                void main() {
+                    vec3 v = vec3(1.0, 2.0, 3.0);
+                    vec2 w = vec2(1.0, 2.0);
+                    gl_FragColor = vec4(v + w, 1.0);
+                }
+            """, "fragment", name="e4")
+
+    def test_uniform_loads_cached(self):
+        program = compile_shader("""
+            uniform float k;
+            void main() {
+                float a = k + k;
+                float b = k * 2.0;
+                gl_FragColor = vec4(a, b, 0.0, 1.0);
+            }
+        """, "fragment", name="cache_fs")
+        loads = [i for i in program.instructions if i.op is Opcode.LD_CONST]
+        assert len(loads) == 1
+
+
+class TestBuiltinShaderLibrary:
+    def test_all_builtin_shaders_compile(self):
+        from repro.shader import builtins
+        vertex_sources = [
+            builtins.BASIC_VERTEX, builtins.TRANSFORM_UV_VERTEX,
+            builtins.LIT_TEXTURED_VERTEX, builtins.COLOR_VERTEX,
+            builtins.LIT_TRANSLUCENT_VERTEX,
+        ]
+        fragment_sources = [
+            builtins.FLAT_FRAGMENT, builtins.VERTEX_COLOR_FRAGMENT,
+            builtins.TEXTURED_FRAGMENT, builtins.LIT_TEXTURED_FRAGMENT,
+            builtins.LIT_TRANSLUCENT_FRAGMENT, builtins.ALPHA_CUTOUT_FRAGMENT,
+        ]
+        for src in vertex_sources:
+            assert compile_shader(src, "vertex").stage == "vertex"
+        for src in fragment_sources:
+            assert compile_shader(src, "fragment").stage == "fragment"
+
+    def test_varyings_match_between_stages(self):
+        from repro.shader import builtins
+        vs = compile_shader(builtins.LIT_TEXTURED_VERTEX, "vertex")
+        fs = compile_shader(builtins.LIT_TEXTURED_FRAGMENT, "fragment")
+        for name in fs.varyings.names():
+            assert name in vs.varyings

@@ -1,0 +1,134 @@
+"""Deep edge-case coverage for the shader compiler and SIMT stack."""
+
+import numpy as np
+import pytest
+
+from repro.shader.compiler import ShaderCompileError, compile_shader
+from repro.shader.interpreter import WarpInterpreter
+
+from tests.shader.fake_env import FakeEnv
+
+WARP = 8
+
+
+def run(source, env=None, name="edge"):
+    env = env or FakeEnv(warp_size=WARP)
+    program = compile_shader(source, "fragment", name=name)
+    WarpInterpreter(program, env).run()
+    return env
+
+
+class TestDeepNesting:
+    def test_three_level_nested_if(self):
+        env = FakeEnv(warp_size=WARP,
+                      varyings={0: np.linspace(0.0, 1.0, WARP)})
+        env = run("""
+            in float v_t;
+            void main() {
+                float r = 0.0;
+                if (v_t > 0.2) {
+                    r = 1.0;
+                    if (v_t > 0.5) {
+                        r = 2.0;
+                        if (v_t > 0.8) {
+                            r = 3.0;
+                        }
+                    }
+                }
+                gl_FragColor = vec4(r, 0.0, 0.0, 1.0);
+            }
+        """, env=env, name="nest3")
+        t = np.linspace(0.0, 1.0, WARP)
+        expected = np.where(t > 0.8, 3.0,
+                            np.where(t > 0.5, 2.0,
+                                     np.where(t > 0.2, 1.0, 0.0)))
+        assert np.allclose(env.outputs[0], expected)
+
+    def test_long_else_if_chain(self):
+        env = FakeEnv(warp_size=WARP,
+                      varyings={0: np.linspace(0.0, 1.0, WARP)})
+        clauses = "".join(
+            f"else if (v_t < {0.2 * (i + 1):.1f}) {{ r = {float(i)}; }}\n"
+            for i in range(1, 5))
+        env = run(f"""
+            in float v_t;
+            void main() {{
+                float r = 9.0;
+                if (v_t < 0.2) {{ r = 0.0; }}
+                {clauses}
+                gl_FragColor = vec4(r, 0.0, 0.0, 1.0);
+            }}
+        """, env=env, name="chain5")
+        t = np.linspace(0.0, 1.0, WARP)
+        expected = np.select(
+            [t < 0.2, t < 0.4, t < 0.6, t < 0.8, t < 1.0],
+            [0.0, 1.0, 2.0, 3.0, 4.0], default=9.0)
+        assert np.allclose(env.outputs[0], expected)
+
+
+class TestUniformShapes:
+    def test_mat4_in_fragment_shader(self):
+        mat = np.arange(16, dtype=float).reshape(4, 4)
+        env = FakeEnv(warp_size=WARP,
+                      constants={i: float(mat.flat[i]) for i in range(16)})
+        env = run("""
+            uniform mat4 m;
+            void main() {
+                vec4 v = m * vec4(1.0, 0.0, 0.0, 0.0);
+                gl_FragColor = v;
+            }
+        """, env=env, name="fs_mat4")
+        assert np.allclose(env.outputs[0], mat[0, 0])
+        assert np.allclose(env.outputs[3], mat[3, 0])
+
+    def test_multiple_samplers(self):
+        env = FakeEnv(
+            warp_size=WARP,
+            textures={0: lambda u, v: (1.0, 0.0, 0.0, 1.0),
+                      1: lambda u, v: (0.0, 1.0, 0.0, 1.0)},
+            varyings={0: np.full(WARP, 0.5), 1: np.full(WARP, 0.5)})
+        env = run("""
+            in vec2 v_uv;
+            uniform sampler2D first;
+            uniform sampler2D second;
+            void main() {
+                vec4 a = texture(first, v_uv);
+                vec4 b = texture(second, v_uv);
+                gl_FragColor = a + b;
+            }
+        """, env=env, name="two_tex")
+        assert np.allclose(env.outputs[0], 1.0)
+        assert np.allclose(env.outputs[1], 1.0)
+
+    def test_vec2_uniform(self):
+        env = FakeEnv(warp_size=WARP, constants={0: 3.0, 1: 4.0})
+        env = run("""
+            uniform vec2 offset;
+            void main() {
+                gl_FragColor = vec4(offset, length(offset), 1.0);
+            }
+        """, env=env, name="v2u")
+        assert np.allclose(env.outputs[2], 5.0)
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize("source,match", [
+        ("void main() { gl_FragColor = vec4(1.0 }", "expected"),
+        ("void notmain() { }", "only main"),
+        ("in vec5 x;\nvoid main() { gl_FragColor = vec4(1.0); }", "bad type"),
+        ("void main() { 3.0 = x; }", "unexpected"),
+        ("void main() { gl_FragColor = vec4(1.0).xyzq2; }", "bad swizzle"),
+    ])
+    def test_rejected_with_message(self, source, match):
+        with pytest.raises(ShaderCompileError, match=match):
+            compile_shader(source, "fragment",
+                           name=f"syn_{abs(hash(source)) & 0xffff:x}")
+
+    def test_swizzle_out_of_range(self):
+        with pytest.raises(ShaderCompileError, match="out of range"):
+            compile_shader("""
+                void main() {
+                    vec2 v = vec2(1.0, 2.0);
+                    gl_FragColor = vec4(v.z, 0.0, 0.0, 1.0);
+                }
+            """, "fragment", name="sw_range")

@@ -1,0 +1,230 @@
+"""Tests for the assembler, slot tables and reconvergence analysis."""
+
+import pytest
+
+from repro.shader.isa import Imm, Instruction, Opcode, Pred, Reg
+from repro.shader.program import (
+    Program,
+    SlotTable,
+    assemble,
+    compute_reconvergence,
+)
+
+
+class TestSlotTable:
+    def test_sequential_allocation(self):
+        table = SlotTable()
+        assert table.allocate("position", 3) == 0
+        assert table.allocate("uv", 2) == 3
+        assert table.total == 5
+
+    def test_lookup(self):
+        table = SlotTable()
+        table.allocate("a", 4)
+        assert table.lookup("a") == (0, 4)
+        with pytest.raises(KeyError):
+            table.lookup("b")
+
+    def test_duplicate_rejected(self):
+        table = SlotTable()
+        table.allocate("a", 1)
+        with pytest.raises(ValueError):
+            table.allocate("a", 1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            SlotTable().allocate("a", 0)
+
+
+class TestAssembler:
+    def test_simple_program(self):
+        program = assemble("""
+            .stage fragment
+            mov r0, 3.5
+            add r1, r0, 1.0
+            exit
+        """)
+        assert program.num_regs == 2
+        assert program.instructions[0].op is Opcode.MOV
+        assert isinstance(program.instructions[0].srcs[0], Imm)
+
+    def test_labels_and_branches(self):
+        program = assemble("""
+            setp.lt p0, r0, r1
+            @p0 bra SKIP
+            mov r2, 1.0
+            SKIP:
+            exit
+        """)
+        bra = program.instructions[1]
+        assert bra.op is Opcode.BRA
+        assert bra.target == 3
+        assert bra.guard == Pred(0)
+        assert bra.guard_sense
+
+    def test_negated_guard(self):
+        program = assemble("""
+            setp.lt p0, r0, 1.0
+            @!p0 bra END
+            mov r1, 2.0
+            END:
+            exit
+        """)
+        assert not program.instructions[1].guard_sense
+
+    def test_slot_directives(self):
+        program = assemble("""
+            .stage vertex
+            .attr position 3
+            .uniform mvp 16
+            ld.attr r0, a0
+            ld.const r1, c5
+            st.out o0, r0
+            exit
+        """, stage="vertex")
+        assert program.attributes.lookup("position") == (0, 3)
+        assert program.uniforms.lookup("mvp") == (0, 16)
+        assert program.instructions[0].slot == 0
+        assert program.instructions[1].slot == 5
+        assert program.instructions[2].slot == 0
+
+    def test_tex_instruction(self):
+        program = assemble("""
+            .tex albedo
+            tex r0, r1, r2, r3, t0, r4, r5
+            exit
+        """)
+        tex = program.instructions[0]
+        assert tex.op is Opcode.TEX
+        assert len(tex.dsts) == 4
+        assert tex.slot == 0
+
+    def test_undefined_label(self):
+        with pytest.raises(ValueError):
+            assemble("bra NOWHERE\nexit")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(ValueError):
+            assemble("frobnicate r0, r1")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(ValueError):
+            assemble("add r0, r1")
+
+    def test_exit_appended_when_missing(self):
+        program = assemble("mov r0, 1.0")
+        assert program.instructions[-1].op is Opcode.EXIT
+
+    def test_comments_ignored(self):
+        program = assemble("""
+            # full line comment
+            mov r0, 1.0   # trailing comment
+            exit
+        """)
+        assert len(program.instructions) == 2
+
+    def test_writes_depth_detection(self):
+        program = assemble("""
+            mov r0, 0.5
+            st.out o4, r0
+            exit
+        """)
+        assert program.writes_depth
+        assert not assemble("mov r0, 1.0\nexit").writes_depth
+
+
+class TestReconvergence:
+    def test_if_then_reconverges_after_then(self):
+        program = assemble("""
+            setp.lt p0, r0, r1
+            @!p0 bra END
+            mov r2, 1.0
+            mov r3, 2.0
+            END:
+            exit
+        """)
+        assert program.instructions[1].reconv == 4    # the exit
+
+    def test_if_else_reconverges_at_join(self):
+        program = assemble("""
+            setp.lt p0, r0, r1
+            @!p0 bra ELSE
+            mov r2, 1.0
+            bra END
+            ELSE:
+            mov r2, 2.0
+            END:
+            mov r3, 3.0
+            exit
+        """)
+        # conditional branch at pc 1; join is pc 5 (mov r3).
+        assert program.instructions[1].reconv == 5
+
+    def test_unconditional_branch_has_no_reconv(self):
+        program = assemble("""
+            bra END
+            mov r0, 1.0
+            END:
+            exit
+        """)
+        assert program.instructions[0].reconv is None
+
+    def test_loop_reconverges_at_exit(self):
+        # do { r0 += 1 } while (r0 < r1)  -- backward divergent branch.
+        program = assemble("""
+            LOOP:
+            add r0, r0, 1.0
+            setp.lt p0, r0, r1
+            @p0 bra LOOP
+            mov r2, 5.0
+            exit
+        """)
+        # Reconvergence of the loop branch is the loop exit (pc 3).
+        assert program.instructions[2].reconv == 3
+
+    def test_nested_if(self):
+        program = assemble("""
+            setp.lt p0, r0, r1
+            @!p0 bra OUTER_END
+            setp.lt p1, r2, r3
+            @!p1 bra INNER_END
+            mov r4, 1.0
+            INNER_END:
+            mov r5, 2.0
+            OUTER_END:
+            exit
+        """)
+        assert program.instructions[1].reconv == 6    # OUTER_END
+        assert program.instructions[3].reconv == 5    # INNER_END
+
+    def test_compute_reconvergence_direct(self):
+        instrs = [
+            Instruction(Opcode.SETP_LT, dsts=[Pred(0)], srcs=[Reg(0), Imm(1.0)]),
+            Instruction(Opcode.BRA, guard=Pred(0), target=3),
+            Instruction(Opcode.MOV, dsts=[Reg(1)], srcs=[Imm(1.0)]),
+            Instruction(Opcode.EXIT),
+        ]
+        compute_reconvergence(instrs)
+        assert instrs[1].reconv == 3
+
+
+class TestProgramValidation:
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            Program(stage="geometry")
+
+    def test_unresolved_branch_rejected(self):
+        program = Program(stage="fragment")
+        program.instructions.append(Instruction(Opcode.BRA, target=None))
+        with pytest.raises(ValueError):
+            program.finalize()
+
+    def test_out_of_range_branch_rejected(self):
+        program = Program(stage="fragment")
+        program.instructions.append(Instruction(Opcode.BRA, target=99))
+        with pytest.raises(ValueError):
+            program.finalize()
+
+    def test_has_discard(self):
+        assert assemble("discard\nexit").has_discard
+        assert not assemble("exit").has_discard

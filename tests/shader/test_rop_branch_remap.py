@@ -1,0 +1,84 @@
+"""Regression tests: attach_rop must remap branch targets.
+
+The early-Z prologue inserts instructions at the front and the output
+collection removes ST_OUTs; both shift instruction indices, and a stale
+branch target turns a forward if into an infinite backward loop.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gl.state import DepthFunc, GLState
+from repro.shader.compiler import compile_shader
+from repro.shader.interpreter import WarpInterpreter
+from repro.shader.isa import Opcode
+from repro.shader.rop_epilogue import attach_rop
+
+from tests.shader.fake_env import FakeEnv
+
+BRANCHY_FS = """
+in vec2 v_uv;
+void main() {
+    vec3 color = vec3(0.25);
+    if (v_uv.x > 0.5) {
+        color.z = 1.0 - color.z;
+    }
+    gl_FragColor = vec4(color, 1.0);
+}
+"""
+
+BRANCH_AT_OUTPUT_FS = """
+in float v_t;
+void main() {
+    vec4 c = vec4(0.1, 0.1, 0.1, 1.0);
+    if (v_t > 0.5) {
+        c.x = 0.9;
+    }
+    gl_FragColor = c;
+}
+"""
+
+
+def run_rop(source, state, name):
+    program = attach_rop(compile_shader(source, "fragment", name=name),
+                         state)
+    env = FakeEnv(warp_size=8, depth=np.full(8, 2.0),
+                  varyings={s: np.linspace(0.0, 1.0, 8) for s in range(8)})
+    result = WarpInterpreter(program, env,
+                             max_dynamic_instructions=5_000).run()
+    return program, result, env
+
+
+class TestBranchRemap:
+    def test_branchy_shader_with_early_z_terminates(self):
+        """Early-Z prologue + divergent if: the historical infinite loop."""
+        program, result, env = run_rop(BRANCHY_FS, GLState(), "remap1")
+        assert result.trace.dynamic_instructions < 200
+        # Divergent halves got different blue channels.
+        assert env.color[0, 2] != env.color[7, 2]
+
+    def test_all_branch_targets_in_range(self):
+        for state in (GLState(), GLState(depth_test=False),
+                      GLState(blend=True)):
+            program = attach_rop(
+                compile_shader(BRANCHY_FS, "fragment", name="remap2"),
+                state)
+            for instr in program.instructions:
+                if instr.op is Opcode.BRA:
+                    assert 0 <= instr.target <= len(program.instructions)
+
+    def test_branch_landing_on_removed_st_out(self):
+        """An if just before gl_FragColor: its join lands where ST_OUTs
+        were removed and must remap to the epilogue, not loop."""
+        program, result, env = run_rop(BRANCH_AT_OUTPUT_FS,
+                                       GLState(depth_test=False), "remap3")
+        assert result.trace.dynamic_instructions < 200
+        assert env.color[7, 0] == pytest.approx(0.9)
+        assert env.color[0, 0] == pytest.approx(0.1)
+
+    def test_functional_value_unchanged_by_prologue_shift(self):
+        """Same shader, depth on vs off, same surviving pixel colors."""
+        _, _, env_on = run_rop(BRANCHY_FS, GLState(), "remap4")
+        _, _, env_off = run_rop(BRANCHY_FS, GLState(depth_test=False),
+                                "remap5")
+        assert np.allclose(env_on.color, env_off.color)

@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "chair" in out
+        assert "M1" in out
+        assert "W6" in out
+
+    def test_render(self, capsys, tmp_path):
+        output = tmp_path / "cube.ppm"
+        assert main(["render", "cube", "--width", "48", "--height", "36",
+                     "--clusters", "2", "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "cycles=" in out
+        assert output.exists()
+        assert output.read_bytes().startswith(b"P6\n48 36\n")
+
+    def test_render_with_wt(self, capsys):
+        assert main(["render", "triangles", "--width", "48", "--height",
+                     "36", "--clusters", "2", "--wt", "3"]) == 0
+        assert "WT=3" in capsys.readouterr().out
+
+    def test_unknown_model_errors(self):
+        with pytest.raises(KeyError):
+            main(["render", "nonexistent", "--width", "32", "--height",
+                  "32"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_cs1_validation(self):
+        with pytest.raises(SystemExit):
+            main(["cs1", "M9", "BAS"])

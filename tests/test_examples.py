@@ -1,0 +1,68 @@
+"""Smoke tests: every example script runs to completion.
+
+The slower full-system example is executed with a timeout guard; all
+examples must exit 0 and print their headline output.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=600):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout, check=False)
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        output = tmp_path / "quickstart.ppm"
+        result = run_example("quickstart.py", str(output))
+        assert result.returncode == 0, result.stderr
+        assert "matches reference     : True" in result.stdout
+        assert output.exists()
+
+    def test_shader_playground(self, tmp_path):
+        output = tmp_path / "rings.ppm"
+        result = run_example("shader_playground.py", str(output))
+        assert result.returncode == 0, result.stderr
+        assert "compiled 'rings'" in result.stdout
+        assert "instruction mix" in result.stdout
+        assert output.exists()
+
+    def test_trace_record_replay(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        result = run_example("trace_record_replay.py", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "replayed 1 frame(s)" in result.stdout
+        assert trace.exists()
+
+    def test_stencil_portal(self, tmp_path):
+        output = tmp_path / "portal.ppm"
+        result = run_example("stencil_portal.py", str(output))
+        assert result.returncode == 0, result.stderr
+        assert "portal covers" in result.stdout
+        assert output.exists()
+
+    def test_gpgpu_saxpy(self):
+        result = run_example("gpgpu_saxpy.py")
+        assert result.returncode == 0, result.stderr
+        assert "SAXPY over 4096 elements" in result.stdout
+        assert "strided copy" in result.stdout
+
+    @pytest.mark.slow
+    def test_dfsl_adaptive(self):
+        result = run_example("dfsl_adaptive.py", timeout=1200)
+        assert result.returncode == 0, result.stderr
+        assert "DFSL trace" in result.stdout
+
+    @pytest.mark.slow
+    def test_soc_frame_lifecycle(self):
+        result = run_example("soc_frame_lifecycle.py", timeout=1200)
+        assert result.returncode == 0, result.stderr
+        assert "Frame lifecycle" in result.stdout

@@ -1,0 +1,95 @@
+"""Conformance to the paper's configuration tables (3, 4, 5, 7).
+
+These tests pin the *documented* configurations — the values the paper
+prints — independent of the scaled variants the experiment harness uses.
+"""
+
+from repro.common.config import (
+    DRAMConfig,
+    case_study1_config,
+    case_study2_gpu_config,
+)
+from repro.memory.address_map import BASELINE_MAPPING, IP_CHANNEL_MAPPING
+from repro.memory.dash import DashConfig
+
+
+class TestTable3DashConfig:
+    def test_defaults_match_table3(self):
+        config = DashConfig()
+        assert config.scheduling_unit == 1000
+        assert config.switching_unit == 500
+        assert config.quantum == 1_000_000
+        assert config.cluster_threshold == 0.15
+        assert config.emergent_threshold_default == 0.8
+        assert config.emergent_threshold_gpu == 0.9
+
+
+class TestTable4AddressMappings:
+    def test_baseline_mapping_order(self):
+        assert BASELINE_MAPPING.order == ("row", "rank", "bank", "column",
+                                          "channel")
+
+    def test_ip_channel_mapping_order(self):
+        assert IP_CHANNEL_MAPPING.order == ("row", "column", "rank", "bank",
+                                            "channel")
+
+    def test_two_channels_default(self):
+        assert DRAMConfig().channels == 2
+
+
+class TestTable5CaseStudy1System:
+    def test_system_configuration(self):
+        config = case_study1_config()
+        assert config.cpu.num_cores == 4
+        assert config.cpu.clock_ghz == 2.0
+        assert config.gpu.num_clusters == 4           # 4 SIMT cores
+        assert config.gpu.core.warp_size == 32        # 32 lanes (warp size)
+        assert config.gpu.clock_ghz == 0.95           # 950 MHz
+        assert config.gpu.core.l1d.size_bytes == 16 * 1024
+        assert config.gpu.core.l1t.size_bytes == 64 * 1024
+        assert config.gpu.core.l1z.size_bytes == 32 * 1024
+        assert config.gpu.l2.size_bytes == 128 * 1024
+        assert config.dram.channels == 2
+        assert config.dram.data_rate_mbps == 1333
+        assert config.framebuffer_width == 1024
+        assert config.framebuffer_height == 768
+        assert config.display.refresh_fps == 60
+
+    def test_cache_line_sizes(self):
+        config = case_study1_config()
+        for cache in (config.gpu.core.l1d, config.gpu.core.l1t,
+                      config.gpu.core.l1z, config.gpu.l2):
+            assert cache.line_bytes == 128
+
+
+class TestTable7CaseStudy2GPU:
+    def test_gpu_configuration(self):
+        config = case_study2_gpu_config()
+        assert config.num_clusters == 6               # 6 SIMT clusters
+        assert config.num_clusters * config.core.warp_size == 192
+        assert config.clock_ghz == 1.0
+        assert config.core.max_threads == 2048
+        assert config.core.registers == 65536
+        assert config.core.l1d.size_bytes == 32 * 1024
+        assert config.core.l1d.ways == 8
+        assert config.core.l1t.size_bytes == 48 * 1024
+        assert config.core.l1t.ways == 24
+        assert config.core.l1z.size_bytes == 32 * 1024
+        assert config.l2.size_bytes == 2 * 1024 * 1024
+        assert config.l2.ways == 32
+
+    def test_raster_parameters(self):
+        raster = case_study2_gpu_config().raster
+        assert raster.raster_tile_px == 4             # 4x4-pixel raster tile
+        assert raster.tc_tile_raster_tiles == 2       # TC tile = 2x2
+        assert raster.tc_engines_per_cluster == 2
+        assert raster.tc_bins_per_engine == 4
+        assert raster.coarse_tiles_per_cycle == 1
+        assert raster.fine_tiles_per_cycle == 1
+        assert raster.hiz_tiles_per_cycle == 1
+
+    def test_dram(self):
+        # 4-channel LPDDR3-1600 per Table 7.
+        config = DRAMConfig(channels=4, data_rate_mbps=1600)
+        assert config.channels == 4
+        assert config.data_rate_mbps == 1600

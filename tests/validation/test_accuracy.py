@@ -1,0 +1,105 @@
+"""Tests for the §3.4 accuracy-study machinery."""
+
+import pytest
+
+from repro.common.stats import pearson
+from repro.validation.microbench import MICROBENCHMARKS, build_microbench
+from repro.validation.reference import (
+    WorkloadCounts,
+    characterize,
+    reference_draw_time,
+    reference_fill_rate,
+    accuracy_study,
+    run_simulator,
+)
+
+
+class TestMicrobenchmarks:
+    def test_fourteen_benchmarks(self):
+        assert len(MICROBENCHMARKS) == 14
+
+    def test_all_build(self):
+        for name in MICROBENCHMARKS:
+            frame = build_microbench(name)
+            assert frame.draw_calls, name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            build_microbench("nope")
+
+    def test_fill_series_is_monotonic_in_coverage(self):
+        small = characterize(build_microbench("fill_small"))
+        half = characterize(build_microbench("fill_half"))
+        full = characterize(build_microbench("fill_full"))
+        assert small.fragments < half.fragments < full.fragments
+
+    def test_depth_order_changes_kill_count(self):
+        b2f = characterize(build_microbench("depth_b2f"))
+        f2b = characterize(build_microbench("depth_f2b"))
+        assert f2b.discards > b2f.discards
+        assert f2b.fragments == b2f.fragments
+
+
+class TestReferenceModel:
+    def make_counts(self, fragments=1000, vertices=10, discards=0,
+                    texture_bytes=0):
+        return WorkloadCounts(vertices=vertices, primitives=vertices // 3,
+                              fragments=fragments, discards=discards,
+                              texture_bytes=texture_bytes)
+
+    def test_deterministic(self):
+        counts = self.make_counts()
+        assert reference_draw_time(counts, 3) == reference_draw_time(counts, 3)
+
+    def test_bench_index_changes_deviation(self):
+        counts = self.make_counts()
+        assert reference_draw_time(counts, 0) != reference_draw_time(counts, 1)
+
+    def test_more_fragments_costs_more(self):
+        a = reference_draw_time(self.make_counts(fragments=1000), 0)
+        b = reference_draw_time(self.make_counts(fragments=50_000), 0)
+        assert b > a
+
+    def test_large_texture_costs_more(self):
+        a = reference_draw_time(self.make_counts(texture_bytes=1024), 0)
+        b = reference_draw_time(self.make_counts(texture_bytes=512 * 1024), 0)
+        assert b > a
+
+    def test_dead_fragments_cheaper_than_live(self):
+        live = self.make_counts(fragments=10_000, discards=0)
+        dead = self.make_counts(fragments=10_000, discards=9_000)
+        assert (reference_draw_time(dead, 0)
+                < reference_draw_time(live, 0))
+
+    def test_fill_rate_positive(self):
+        counts = self.make_counts()
+        t = reference_draw_time(counts, 0)
+        assert reference_fill_rate(counts, t, 0) > 0
+
+
+class TestAccuracyStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        # A 6-benchmark subset keeps the test fast; the full-suite run is
+        # the bench_accuracy benchmark.
+        subset = ["fill_small", "fill_full", "tex_large", "lit_cube",
+                  "depth_f2b", "teapot"]
+        return accuracy_study(benchmarks=subset)
+
+    def test_metrics_computable(self, study):
+        assert -1.0 <= study.draw_time_correlation <= 1.0
+        assert study.draw_time_error >= 0.0
+        assert -1.0 <= study.fill_rate_correlation <= 1.0
+
+    def test_draw_time_correlates(self, study):
+        """The simulator must track the surrogate hardware's ordering."""
+        assert study.draw_time_correlation > 0.7
+
+    def test_simulator_times_positive(self, study):
+        assert all(t > 0 for t in study.sim_time)
+        assert all(f > 0 for f in study.sim_fill)
+
+    def test_run_simulator_smoke(self):
+        stats = run_simulator(build_microbench("fill_small"))
+        assert stats.cycles > 0
+        assert stats.fragments == 576
