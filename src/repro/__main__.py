@@ -8,6 +8,14 @@ Commands:
 * ``cs2``         — a case-study-II WT sweep
 * ``dfsl``        — run DFSL on a workload
 * ``models``      — list the workload model zoo
+* ``selftest``    — smoke-run one tiny frame with the health watchdog armed
+
+``cs1`` accepts the health-subsystem flags: ``--watchdog`` arms request
+lifecycle tracking, ``--inject SPEC`` enables seeded fault injection (e.g.
+``--inject dram_drop=0.01,noc_spike=0.05,seed=3`` — with ``--retries`` the
+faults degrade gracefully instead of deadlocking), and
+``--checkpoint-every N`` snapshots the run every N frames for crash
+recovery.
 """
 
 from __future__ import annotations
@@ -79,11 +87,34 @@ def _cmd_accuracy(args) -> int:
     return 0
 
 
+def _build_health(args):
+    """Translate cs1's health flags into a HealthConfig (or None)."""
+    from repro.health import FaultConfig, HealthConfig, RetryConfig
+    faults = FaultConfig.parse(args.inject) if args.inject else None
+    if not (args.watchdog or faults or args.checkpoint_every
+            or args.retries):
+        return None
+    return HealthConfig(
+        watchdog=args.watchdog,
+        faults=faults,
+        retry=RetryConfig() if args.retries else None,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
+    )
+
+
 def _cmd_cs1(args) -> int:
     from repro.harness.case_study1 import CS1Config, run_cs1
     config = CS1Config(num_frames=args.frames)
-    results = run_cs1(args.model, args.config, args.load, config)
+    health = _build_health(args)
+    results = run_cs1(args.model, args.config, args.load, config,
+                      health=health)
     print(f"{args.model} {args.config} ({args.load} load):")
+    if health is not None:
+        print(f"  health: retries={results.noc_retries} "
+              f"watchdog_reports={results.watchdog_reports} "
+              f"quarantined={results.quarantined_errors} "
+              f"checkpoints={results.checkpoints_taken}")
     print(f"  mean GPU frame time   : {results.mean_gpu_time:10.0f} ticks")
     print(f"  mean total frame time : {results.mean_total_time:10.0f} ticks")
     print(f"  frames meeting period : {results.fps_fraction * 100:.0f}%")
@@ -123,6 +154,46 @@ def _cmd_dfsl(args) -> int:
     return 0
 
 
+def _cmd_selftest(args) -> int:
+    """Health smoke test: one tiny full-system run, watchdog armed.
+
+    Exercises the whole stack (CPU prepare, GPU render, display scanout,
+    DRAM, watchdog, checkpointing) in a few seconds and asserts a clean
+    shutdown — the canary CI runs on every commit.
+    """
+    from repro.common.config import DRAMConfig, GPUConfig, scaled_gpu
+    from repro.harness.scenes import SceneSession
+    from repro.health import HealthConfig
+    from repro.soc.soc import EmeraldSoC, SoCRunConfig
+
+    session = SceneSession("cube", 48, 36)
+    config = SoCRunConfig(
+        width=48, height=36, num_frames=args.frames,
+        memory_config="BAS",
+        dram=DRAMConfig(channels=2),
+        gpu=scaled_gpu(GPUConfig(num_clusters=2)),
+        gpu_frame_period_ticks=120_000,
+        display_period_ticks=60_000,
+        cpu_work_per_frame=40,
+        health=HealthConfig(watchdog=True, checkpoint_every=1),
+    )
+    soc = EmeraldSoC(config, session.frame, session.framebuffer_address)
+    results = soc.run()
+    ok = (soc.loop.finished
+          and len(results.frames) == args.frames
+          and results.watchdog_reports == 0
+          and results.quarantined_errors == 0
+          and results.checkpoints_taken == args.frames
+          and soc.gpu.fb.coverage() > 0.01)
+    print(f"selftest: frames={len(results.frames)} "
+          f"end_tick={results.end_tick} "
+          f"watchdog_reports={results.watchdog_reports} "
+          f"checkpoints={results.checkpoints_taken} "
+          f"coverage={soc.gpu.fb.coverage():.3f}")
+    print("selftest OK" if ok else "selftest FAILED")
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Emerald reproduction experiments")
@@ -150,7 +221,22 @@ def main(argv=None) -> int:
     p.add_argument("config", choices=["BAS", "DCB", "DTB", "HMC"])
     p.add_argument("--load", choices=["regular", "high"], default="regular")
     p.add_argument("--frames", type=int, default=5)
+    p.add_argument("--watchdog", action="store_true",
+                   help="arm the health watchdog (hangs become reports)")
+    p.add_argument("--inject", default="",
+                   help="fault spec, e.g. dram_drop=0.01,noc_spike=0.05")
+    p.add_argument("--retries", action="store_true",
+                   help="enable NoC retry/timeout/backoff recovery")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   help="snapshot the run every N frames (0 = off)")
+    p.add_argument("--checkpoint-path",
+                   help="write the latest snapshot to this file")
     p.set_defaults(func=_cmd_cs1)
+
+    p = sub.add_parser("selftest",
+                       help="tiny watchdog-armed full-system smoke run")
+    p.add_argument("--frames", type=int, default=1)
+    p.set_defaults(func=_cmd_selftest)
 
     p = sub.add_parser("cs2", help="case study II WT sweep")
     p.add_argument("workload", help="W1..W6 or a model name")

@@ -8,13 +8,80 @@ cycle, the SoC model converts component clocks into GPU-cycle ticks).
 
 Events scheduled at the same tick fire in FIFO scheduling order, which keeps
 runs deterministic regardless of heap tie-breaking.
+
+Robustness (the ``repro.health`` subsystem builds on these hooks):
+
+* :meth:`EventQueue.run` / :meth:`EventQueue.run_until` return a
+  :class:`RunResult` stating *why* the loop stopped (queue drained, event
+  budget exhausted, time horizon reached) instead of a bare count;
+* events carry optional provenance (owning component, schedule site) and a
+  raising callback can be wrapped into a :class:`SimulationError` that
+  reports it — with a configurable fail-fast vs. quarantine-and-continue
+  policy (``propagate`` keeps the seed behaviour of re-raising unchanged).
 """
 
 from __future__ import annotations
 
-import heapq
+import enum
+import sys
 from dataclasses import dataclass
+import heapq
 from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """A callback raised inside the event loop.
+
+    Carries event provenance so a failure deep in a frame is diagnosable:
+    the owning component (when the scheduler was told), the schedule site
+    (when provenance capture is enabled), and the tick at which the event
+    fired.  The original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, *, tick: int = 0,
+                 owner: Optional[str] = None,
+                 site: Optional[str] = None,
+                 callback_name: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.tick = tick
+        self.owner = owner
+        self.site = site
+        self.callback_name = callback_name
+
+    @classmethod
+    def from_event(cls, event: "Event", tick: int,
+                   cause: BaseException) -> "SimulationError":
+        name = getattr(event.callback, "__qualname__",
+                       repr(event.callback))
+        parts = [f"event callback {name} raised "
+                 f"{type(cause).__name__}: {cause}",
+                 f"tick={tick}"]
+        if event.owner:
+            parts.append(f"owner={event.owner}")
+        if event.site:
+            parts.append(f"scheduled at {event.site}")
+        return cls("; ".join(parts), tick=tick, owner=event.owner,
+                   site=event.site, callback_name=name)
+
+
+class StopReason(enum.Enum):
+    """Why an event-loop run returned."""
+
+    DRAINED = "drained"          # no live events remain
+    BUDGET = "budget"            # max_events executed
+    HORIZON = "horizon"          # next event lies beyond the time limit
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of :meth:`EventQueue.run` / :meth:`EventQueue.run_until`."""
+
+    executed: int
+    reason: StopReason
+
+    @property
+    def drained(self) -> bool:
+        return self.reason is StopReason.DRAINED
 
 
 @dataclass
@@ -31,31 +98,53 @@ class Event:
     callback: Callable[..., Any]
     args: tuple = ()
     cancelled: bool = False
+    owner: Optional[str] = None
+    site: Optional[str] = None
 
     def cancel(self) -> None:
         """Deschedule this event; a cancelled event's callback never runs."""
         self.cancelled = True
 
 
+#: Error policies for :class:`EventQueue`.
+ERROR_POLICIES = ("propagate", "wrap", "quarantine")
+
+
 class EventQueue:
     """A deterministic discrete-event scheduler.
+
+    ``error_policy`` controls what happens when a callback raises:
+
+    * ``"propagate"`` (default) — re-raise unchanged (seed behaviour);
+    * ``"wrap"`` — fail fast with a :class:`SimulationError` carrying the
+      event's provenance, chaining the original exception;
+    * ``"quarantine"`` — record the wrapped error in :attr:`errors` and
+      keep running (a poisoned component is sidelined, the frame survives).
 
     >>> q = EventQueue()
     >>> fired = []
     >>> _ = q.schedule(5, fired.append, "a")
     >>> _ = q.schedule(3, fired.append, "b")
-    >>> q.run()
+    >>> q.run().reason
+    <StopReason.DRAINED: 'drained'>
     >>> fired
     ['b', 'a']
     """
 
-    def __init__(self) -> None:
+    def __init__(self, error_policy: str = "propagate",
+                 debug_provenance: bool = False) -> None:
+        if error_policy not in ERROR_POLICIES:
+            raise ValueError(f"error_policy must be one of {ERROR_POLICIES},"
+                             f" got {error_policy!r}")
         # Heap entries are (time, seq, event) tuples: tuple comparison runs
         # in C, which matters at millions of events per simulated frame.
         self._heap: list[tuple[int, int, Event]] = []
         self._now: int = 0
         self._seq: int = 0
         self._events_fired: int = 0
+        self.error_policy = error_policy
+        self.debug_provenance = debug_provenance
+        self.errors: list[SimulationError] = []
 
     @property
     def now(self) -> int:
@@ -67,22 +156,51 @@ class EventQueue:
         """Total number of events executed so far (for debugging/limits)."""
         return self._events_fired
 
-    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any) -> Event:
+    def schedule(self, delay: int, callback: Callable[..., Any], *args: Any,
+                 owner: Optional[str] = None) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ticks from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), callback, *args)
+        return self.schedule_at(self._now + int(delay), callback, *args,
+                                owner=owner)
 
-    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any) -> Event:
+    def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any,
+                    owner: Optional[str] = None) -> Event:
         """Schedule ``callback(*args)`` at absolute tick ``time``."""
         if time < self._now:
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(int(time), self._seq, callback, args)
+        event = Event(int(time), self._seq, callback, args, owner=owner)
+        if self.debug_provenance:
+            event.site = self._capture_site()
         heapq.heappush(self._heap, (event.time, self._seq, event))
         self._seq += 1
         return event
+
+    @staticmethod
+    def _capture_site() -> Optional[str]:
+        """First stack frame outside this module (``file:line``)."""
+        frame = sys._getframe(1)
+        while frame is not None and frame.f_code.co_filename == __file__:
+            frame = frame.f_back
+        if frame is None:
+            return None
+        return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+
+    def advance_to(self, time: int) -> None:
+        """Jump ``now`` forward with no events in between (checkpoint
+        restore: a resumed run re-enters simulated time at the snapshot
+        tick).  Refuses to travel backwards or over pending events."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot advance into the past (time={time}, now={self._now})")
+        next_time = self.peek_time()
+        if next_time is not None and next_time < time:
+            raise ValueError(
+                f"cannot advance over pending events (next={next_time}, "
+                f"target={time})")
+        self._now = int(time)
 
     def empty(self) -> bool:
         """True when no live events remain."""
@@ -102,37 +220,60 @@ class EventQueue:
         _, __, event = heapq.heappop(self._heap)
         self._now = event.time
         self._events_fired += 1
-        event.callback(*event.args)
+        if self.error_policy == "propagate":
+            event.callback(*event.args)
+            return True
+        try:
+            event.callback(*event.args)
+        except SimulationError:
+            raise               # already wrapped (e.g. a watchdog report)
+        except Exception as exc:
+            error = SimulationError.from_event(event, self._now, exc)
+            error.__cause__ = exc
+            if self.error_policy == "quarantine":
+                self.errors.append(error)
+            else:
+                raise error from exc
         return True
 
-    def run(self, max_events: Optional[int] = None) -> int:
+    def run(self, max_events: Optional[int] = None) -> RunResult:
         """Run until the queue drains (or ``max_events`` fire).
 
-        Returns the number of events executed.
+        Returns a :class:`RunResult` saying how many events executed and
+        *why* the loop stopped — callers must not infer "finished" from a
+        count alone (a drained queue and an exhausted budget can both
+        return ``max_events``).
         """
         count = 0
         while max_events is None or count < max_events:
             if not self.step():
-                break
+                return RunResult(count, StopReason.DRAINED)
             count += 1
-        return count
+        return RunResult(count, StopReason.BUDGET)
 
-    def run_until(self, time: int, max_events: Optional[int] = None) -> int:
+    def run_until(self, time: int,
+                  max_events: Optional[int] = None) -> RunResult:
         """Run all events scheduled strictly before-or-at ``time``.
 
         Advances ``now`` to ``time`` even if the queue drains earlier.
-        Returns the number of events executed.
+        Returns a :class:`RunResult` (reason ``HORIZON`` when stopped by
+        the time limit with events still pending).
         """
         count = 0
+        reason = StopReason.BUDGET
         while max_events is None or count < max_events:
             next_time = self.peek_time()
-            if next_time is None or next_time > time:
+            if next_time is None:
+                reason = StopReason.DRAINED
+                break
+            if next_time > time:
+                reason = StopReason.HORIZON
                 break
             self.step()
             count += 1
         if self._now < time:
             self._now = time
-        return count
+        return RunResult(count, reason)
 
     def _drop_cancelled_head(self) -> None:
         while self._heap and self._heap[0][2].cancelled:
@@ -147,16 +288,20 @@ class Ticker:
     wake up only while they have work, instead of being ticked every cycle.
     """
 
-    def __init__(self, queue: EventQueue, period: int, callback: Callable[[], bool]):
+    def __init__(self, queue: EventQueue, period: int,
+                 callback: Callable[[], bool],
+                 owner: Optional[str] = None):
         """``callback`` returns True to keep ticking, False to go idle."""
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         self._queue = queue
         self._period = period
         self._callback = callback
+        self._owner = owner
         self._pending: Optional[Event] = None
         self._firing = False
         self._kick_requested = False
+        self._stopped_during_fire = False
 
     @property
     def active(self) -> bool:
@@ -168,26 +313,37 @@ class Ticker:
 
         A kick from inside the ticker's own callback (work submitted during
         the current cycle) resumes at the *next* period, never re-firing in
-        the same tick.
+        the same tick.  A kick after a stop — including a stop issued from
+        inside the callback — restarts the ticker (last call wins).
         """
         if self._firing:
             self._kick_requested = True
+            self._stopped_during_fire = False
             return
         if self.active:
             return
-        self._pending = self._queue.schedule(delay, self._fire)
+        self._pending = self._queue.schedule(delay, self._fire,
+                                             owner=self._owner)
 
     def stop(self) -> None:
         if self._pending is not None:
             self._pending.cancel()
             self._pending = None
         self._kick_requested = False
+        # A stop from inside the callback must win over the callback's
+        # return value — otherwise a component cannot shut itself down.
+        self._stopped_during_fire = self._firing
 
     def _fire(self) -> None:
         self._pending = None
         self._firing = True
         self._kick_requested = False
+        self._stopped_during_fire = False
         keep_going = self._callback()
         self._firing = False
+        if self._stopped_during_fire:
+            self._stopped_during_fire = False
+            return
         if keep_going or self._kick_requested:
-            self._pending = self._queue.schedule(self._period, self._fire)
+            self._pending = self._queue.schedule(self._period, self._fire,
+                                                 owner=self._owner)

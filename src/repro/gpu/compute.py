@@ -208,7 +208,12 @@ def run_kernel(gpu: EmeraldGPU, program: Program, num_threads: int,
     done: list[KernelStats] = []
     stats = launch_kernel(gpu, program, num_threads, memory,
                           constants=constants, on_complete=done.append)
-    gpu.events.run()
+    result = gpu.events.run()
     if not done:
-        raise RuntimeError("kernel did not complete")
+        # run() without a budget only returns on a drained queue, so this
+        # is always a lost completion, not a hang.
+        assert result.drained
+        raise RuntimeError(
+            "kernel did not complete: event queue drained — a warp "
+            "completion callback was lost")
     return done[0]

@@ -148,15 +148,24 @@ class EmeraldGPU:
                 draws[index], self.fb, self.hiz, self.work_tile_size,
                 on_done=lambda: next_draw(index + 1))
 
-        self.events.schedule(0, next_draw, 0)
+        self.events.schedule(0, next_draw, 0, owner="gpu.frame")
 
     def run_frame(self, frame: Frame, max_events: int = 200_000_000) -> GPUFrameStats:
         """Standalone mode: render and drive the event queue to completion."""
         done: list[GPUFrameStats] = []
         self.render_frame(frame, on_complete=done.append)
-        self.events.run(max_events=max_events)
+        result = self.events.run(max_events=max_events)
         if not done:
-            raise RuntimeError("frame did not complete (event limit hit?)")
+            # The stop reason says which failure this actually is: a
+            # drained queue means a lost completion (model bug), an
+            # exhausted budget means a hung/overlong frame.
+            if result.drained:
+                raise RuntimeError(
+                    "frame did not complete: event queue drained — a "
+                    "completion callback was lost")
+            raise RuntimeError(
+                f"frame did not complete: event budget ({max_events}) "
+                f"exhausted — hung or overlong frame")
         return done[0]
 
     def _finish_frame(self, stats: GPUFrameStats, snapshot: dict,

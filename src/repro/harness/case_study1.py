@@ -67,8 +67,14 @@ class CS1Config:
 
 
 def run_cs1(model: str, config_name: str, load: str = "regular",
-            config: Optional[CS1Config] = None) -> SoCResults:
-    """One full-system run; returns everything Figs. 9-14 need."""
+            config: Optional[CS1Config] = None,
+            health=None) -> SoCResults:
+    """One full-system run; returns everything Figs. 9-14 need.
+
+    ``health`` (a :class:`repro.health.HealthConfig`) arms the watchdog /
+    fault-injection / checkpointing subsystem; ``None`` keeps the run
+    bit-identical to a health-free build.
+    """
     config = config or CS1Config()
     if load not in LOADS:
         raise ValueError(f"load must be one of {LOADS}, got {load!r}")
@@ -88,6 +94,7 @@ def run_cs1(model: str, config_name: str, load: str = "regular",
         cpu_work_per_frame=config.cpu_work_per_frame,
         cpu_fixed_ticks=config.cpu_fixed_ticks,
         seed=config.seed,
+        health=health,
     )
     soc = EmeraldSoC(run_config, session.frame, session.framebuffer_address)
     return soc.run()

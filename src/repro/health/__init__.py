@@ -1,0 +1,76 @@
+"""Simulation health subsystem: watchdog, fault injection, crash recovery.
+
+Long full-system runs (the ROADMAP's production-scale north star) need the
+robustness infrastructure gem5-lineage simulators treat as first-class:
+
+* :mod:`repro.health.watchdog` — in-flight request lifecycle tracking with
+  per-request deadlines; a hang becomes a :class:`WatchdogTimeout` naming
+  the stuck component, request and age;
+* :mod:`repro.health.faults` — deterministic seeded fault injection (DRAM
+  reply drop/delay, NoC latency spikes, display underruns) plus the NoC
+  retry/timeout/backoff policy that lets injected faults degrade gracefully
+  instead of deadlocking;
+* :mod:`repro.health.recovery` — periodic checkpoints of the render loop
+  and crash recovery by draw-call replay;
+* exception-safe event dispatch lives in :mod:`repro.common.events`
+  (:class:`SimulationError`, the ``wrap``/``quarantine`` policies) and is
+  re-exported here.
+
+:class:`HealthConfig` bundles the knobs; pass it to
+:class:`repro.soc.soc.SoCRunConfig` (``health=...``) or drive it from the
+CLI (``--watchdog``, ``--inject``, ``--checkpoint-every``).
+
+Determinism guarantee: with injection disabled the subsystem adds no
+events to the model's schedule order, so stats are bit-identical to a
+health-free run; with injection enabled, the same seed and fault config
+reproduce the identical fault pattern, stats and framebuffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.events import SimulationError, StopReason, RunResult
+from repro.health.faults import FaultConfig, FaultInjector, RetryConfig
+from repro.health.recovery import (CheckpointManager, load_checkpoint,
+                                   resume_run)
+from repro.health.watchdog import Watchdog, WatchdogReport, WatchdogTimeout
+from repro.soc.checkpoint import CheckpointError
+
+__all__ = [
+    "CheckpointError",
+    "CheckpointManager",
+    "FaultConfig",
+    "FaultInjector",
+    "HealthConfig",
+    "RetryConfig",
+    "RunResult",
+    "SimulationError",
+    "StopReason",
+    "Watchdog",
+    "WatchdogReport",
+    "WatchdogTimeout",
+    "load_checkpoint",
+    "resume_run",
+]
+
+
+@dataclass
+class HealthConfig:
+    """Everything the SoC assembly needs to arm the health subsystem."""
+
+    watchdog: bool = False
+    watchdog_timeout: int = 150_000      # per-request deadline (ticks)
+    watchdog_check_period: int = 5_000
+    stall_window: Optional[int] = None   # no-retire livelock window
+    error_policy: str = "wrap"           # propagate | wrap | quarantine
+    faults: Optional[FaultConfig] = None
+    retry: Optional[RetryConfig] = None
+    checkpoint_every: int = 0            # frames between snapshots; 0 = off
+    checkpoint_path: Optional[str] = None
+
+    def active(self) -> bool:
+        return bool(self.watchdog or self.checkpoint_every
+                    or (self.faults is not None and self.faults.active())
+                    or self.retry is not None)

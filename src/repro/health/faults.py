@@ -1,0 +1,169 @@
+"""Deterministic, seeded fault injection for the SoC model.
+
+The fault taxonomy follows the failure modes a real SoC bring-up fights:
+
+* **DRAM reply drop** — a completion is lost on the response path (the
+  request is serviced, the issuer never hears about it).  Without retries
+  this deadlocks the issuer: exactly the scenario the watchdog exists to
+  catch; with NoC retries it degrades to extra latency.
+* **DRAM reply delay** — the completion arrives late (response-path
+  congestion), stretching observed latency without losing the reply.
+* **NoC latency spike** — a request-path hiccup: transient extra hops
+  added to the interconnect latency.
+* **Display underrun** — the scanout engine misses its fetch window for a
+  refresh and the frame is aborted (the display re-shows the old image).
+
+Every decision draws from a per-fault-class :class:`random.Random` stream
+seeded from ``FaultConfig.seed``, and decisions are made in submit order —
+which the event kernel keeps deterministic — so the same seed and injection
+config reproduce the identical fault pattern, stats and framebuffer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+from repro.common.stats import StatGroup
+from repro.memory.request import MemRequest
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Injection probabilities and magnitudes (all off by default)."""
+
+    seed: int = 0
+    dram_drop: float = 0.0          # P(reply lost) per request
+    dram_delay: float = 0.0         # P(reply delayed) per request
+    dram_delay_ticks: int = 5_000
+    noc_spike: float = 0.0          # P(extra request latency) per request
+    noc_spike_ticks: int = 200
+    display_underrun: float = 0.0   # P(forced underrun) per vsync
+
+    def active(self) -> bool:
+        return any((self.dram_drop, self.dram_delay, self.noc_spike,
+                    self.display_underrun))
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultConfig":
+        """Build from a CLI spec like ``dram_drop=0.01,noc_spike=0.1,seed=3``.
+
+        Field names match the dataclass; probabilities are floats, tick
+        magnitudes and the seed are integers.
+        """
+        config = cls()
+        if not spec:
+            return config
+        known = {f.name: f.type for f in fields(cls)}
+        updates = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad fault spec entry {part!r} "
+                                 f"(expected name=value)")
+            name, _, raw = part.partition("=")
+            name = name.strip()
+            if name not in known:
+                raise ValueError(
+                    f"unknown fault {name!r}; known: {sorted(known)}")
+            caster = int if name in ("seed", "dram_delay_ticks",
+                                     "noc_spike_ticks") else float
+            try:
+                updates[name] = caster(raw.strip())
+            except ValueError as exc:
+                raise ValueError(f"bad value for fault {name!r}: "
+                                 f"{raw.strip()!r}") from exc
+        return replace(config, **updates)
+
+
+@dataclass(frozen=True)
+class RetryConfig:
+    """Timeout/backoff for the NoC's lost-reply recovery.
+
+    After ``timeout`` ticks with no reply the NoC re-injects a clone of the
+    request; each successive retry waits ``backoff`` times longer.  When
+    ``max_retries`` attempts are exhausted the request is left to the
+    watchdog to report.
+    """
+
+    timeout: int = 25_000
+    max_retries: int = 3
+    backoff: float = 2.0
+
+    def deadline_for(self, attempt: int) -> int:
+        """Ticks to wait before declaring attempt ``attempt`` lost."""
+        return int(self.timeout * (self.backoff ** attempt))
+
+    def ladder_ticks(self) -> int:
+        """Worst-case ticks from first injection to retry exhaustion.
+
+        A watchdog sharing the system with retries must wait at least this
+        long before declaring a request stuck, else it fires while the
+        recovery it is supposed to complement is still in progress.
+        """
+        return sum(self.deadline_for(attempt)
+                   for attempt in range(self.max_retries + 1))
+
+
+class FaultInjector:
+    """Stateful, deterministic fault source consulted by the NoC/display.
+
+    Each fault class owns an independent RNG stream so enabling one class
+    does not perturb another's decision sequence — a drop-only run and a
+    drop+spike run agree on *which* requests drop.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self.stats = StatGroup("faults")
+        self._drop_rng = random.Random((config.seed << 4) | 1)
+        self._delay_rng = random.Random((config.seed << 4) | 2)
+        self._spike_rng = random.Random((config.seed << 4) | 3)
+        self._display_rng = random.Random((config.seed << 4) | 4)
+
+    # -- request path -----------------------------------------------------------
+
+    def noc_extra_latency(self, request: MemRequest) -> int:
+        """Extra interconnect latency for this request (0 = no fault)."""
+        if (self.config.noc_spike
+                and self._spike_rng.random() < self.config.noc_spike):
+            self.stats.counter("noc_spikes").add()
+            return self.config.noc_spike_ticks
+        return 0
+
+    # -- response path ----------------------------------------------------------
+
+    def reply_fate(self, request: MemRequest) -> tuple[str, int]:
+        """Decide a completed request's reply fate.
+
+        Returns ``("drop", 0)``, ``("delay", ticks)`` or ``("deliver", 0)``.
+        Both RNG streams advance for every reply so the drop decision
+        sequence is independent of the delay probability and vice versa.
+        """
+        drop = (self.config.dram_drop
+                and self._drop_rng.random() < self.config.dram_drop)
+        delay = (self.config.dram_delay
+                 and self._delay_rng.random() < self.config.dram_delay)
+        if drop:
+            self.stats.counter("replies_dropped").add()
+            request.metadata["fault"] = "reply-dropped"
+            return ("drop", 0)
+        if delay:
+            self.stats.counter("replies_delayed").add()
+            request.metadata["fault"] = "reply-delayed"
+            return ("delay", self.config.dram_delay_ticks)
+        return ("deliver", 0)
+
+    # -- display ----------------------------------------------------------------
+
+    def display_underrun_now(self) -> bool:
+        """One decision per vsync: force an underrun this refresh?"""
+        if (self.config.display_underrun
+                and self._display_rng.random()
+                < self.config.display_underrun):
+            self.stats.counter("display_underruns").add()
+            return True
+        return False

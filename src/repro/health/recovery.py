@@ -1,0 +1,93 @@
+"""Periodic checkpointing and crash recovery for full-system runs.
+
+A :class:`CheckpointManager` rides an :class:`~repro.soc.soc.EmeraldSoC`
+render loop and snapshots the graphics + loop state every N completed
+frames (draw-call trace, simulated tick, app frame counter — the same
+checkpoint format as :mod:`repro.soc.checkpoint`).  A run killed mid-frame
+resumes from its last snapshot with :func:`resume_run`: the recorded draw
+calls are replayed through the functional model to rebuild GL state, the
+event clock is advanced to the snapshot tick, and the render loop restarts
+at the snapshot's frame index.  Because frame content is a deterministic
+function of the frame index, the resumed run renders the same remaining
+frames — and the same final framebuffer — as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.gl.context import Frame
+from repro.soc.checkpoint import GraphicsCheckpoint, capture
+
+
+class CheckpointManager:
+    """Collects rendered frames and emits periodic checkpoints.
+
+    Wire it up with :meth:`wrap_source` (observes every frame the loop
+    renders) and :meth:`on_frame_done` (the render loop's per-frame hook).
+    ``path`` (when given) receives the latest snapshot as JSON after every
+    checkpoint — the on-disk state a crashed process recovers from.
+    """
+
+    def __init__(self, every: int, path: Optional[str] = None) -> None:
+        if every <= 0:
+            raise ValueError(f"checkpoint interval must be positive, "
+                             f"got {every}")
+        self.every = every
+        self.path = path
+        self.last: Optional[GraphicsCheckpoint] = None
+        self.checkpoints_taken = 0
+        self._frames: list[Frame] = []
+
+    def seed(self, frames: list[Frame]) -> None:
+        """Pre-load frames replayed from a restored checkpoint so snapshots
+        taken after a resume still cover the whole run."""
+        self._frames = list(frames)
+
+    def wrap_source(self, frame_source: Callable[[int], Frame]
+                    ) -> Callable[[int], Frame]:
+        def observing_source(index: int) -> Frame:
+            frame = frame_source(index)
+            self._frames.append(frame)
+            return frame
+        return observing_source
+
+    def on_frame_done(self, frame_index: int, tick: int) -> None:
+        """Called after frame ``frame_index`` completes at ``tick``."""
+        if (frame_index + 1) % self.every != 0:
+            return
+        self.last = capture(list(self._frames), tick=tick,
+                            frame_index=frame_index + 1)
+        self.checkpoints_taken += 1
+        if self.path is not None:
+            with open(self.path, "w") as handle:
+                handle.write(self.last.to_json())
+
+
+def load_checkpoint(path: str) -> GraphicsCheckpoint:
+    """Read and validate an on-disk checkpoint."""
+    with open(path) as handle:
+        return GraphicsCheckpoint.from_json(handle.read())
+
+
+def resume_run(checkpoint: GraphicsCheckpoint, run_config,
+               frame_source: Callable[[int], Frame],
+               framebuffer_address: int):
+    """Resume a crashed run from ``checkpoint``.
+
+    Rebuilds GL-side state by draw-call replay (which also validates the
+    trace), then constructs a fresh SoC that re-enters simulated time at the
+    snapshot tick and the render loop at the snapshot frame index.  Returns
+    ``(soc, results)`` — the results cover the resumed frames only, but the
+    final framebuffer matches an uninterrupted run.
+    """
+    from repro.soc.soc import EmeraldSoC   # late import: soc imports health
+
+    restored = checkpoint.restore_frames()
+    soc = EmeraldSoC(run_config, frame_source, framebuffer_address,
+                     start_frame=checkpoint.frame_index,
+                     start_tick=checkpoint.tick)
+    if soc.checkpoints is not None:
+        soc.checkpoints.seed(restored)
+    results = soc.run()
+    return soc, results

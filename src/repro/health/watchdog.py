@@ -1,0 +1,164 @@
+"""Simulation watchdog: in-flight request lifecycles and hang detection.
+
+A long full-system run can hang in two ways that a bare event loop cannot
+distinguish from progress: a memory request whose reply is lost (the issuer
+waits forever while unrelated events keep firing) and a livelock where the
+tick advances but no requests retire.  The watchdog tracks every request
+entering the system interconnect, gives each a deadline, and — instead of
+letting the frame hang — raises a :class:`WatchdogTimeout` naming the stuck
+component, the request, and its age.
+
+The watchdog rides the event queue as a :class:`~repro.common.events.Ticker`
+that is only armed while requests are in flight, so an idle system still
+drains its queue (``EventQueue.run()`` terminates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.events import EventQueue, SimulationError, Ticker
+from repro.common.stats import StatGroup
+from repro.memory.request import MemRequest
+
+
+@dataclass(frozen=True)
+class WatchdogReport:
+    """What the watchdog saw when it fired."""
+
+    kind: str                   # "request-timeout" | "no-progress"
+    tick: int
+    owner: str
+    address: int
+    age: int                    # ticks since the request was tracked
+    attempt: int                # NoC retry attempts observed
+    in_flight: int              # total requests outstanding
+
+    def describe(self) -> str:
+        if self.kind == "request-timeout":
+            return (f"request from {self.owner} addr=0x{self.address:x} "
+                    f"in flight for {self.age} ticks "
+                    f"(attempt {self.attempt}) at tick {self.tick}; "
+                    f"{self.in_flight} requests outstanding")
+        return (f"no request retired for {self.age} ticks at tick "
+                f"{self.tick} with {self.in_flight} in flight "
+                f"(oldest: {self.owner} addr=0x{self.address:x})")
+
+
+class WatchdogTimeout(SimulationError):
+    """Raised (under the fail-fast policy) when the watchdog fires."""
+
+    def __init__(self, report: WatchdogReport) -> None:
+        super().__init__(f"watchdog: {report.describe()}",
+                         tick=report.tick, owner=report.owner)
+        self.report = report
+
+
+@dataclass
+class _Tracked:
+    request: MemRequest
+    tracked_at: int
+    deadline: int
+
+
+class Watchdog:
+    """Tracks request lifecycles; fires on per-request deadline or stall.
+
+    ``on_timeout`` (when given) receives each :class:`WatchdogReport` and
+    suppresses the exception — quarantine-style observation for tests and
+    soft-degrade policies.  Without it the watchdog raises
+    :class:`WatchdogTimeout`, which propagates out of the event loop and
+    aborts the run with provenance instead of a hang.
+    """
+
+    def __init__(self, events: EventQueue,
+                 request_timeout: int = 150_000,
+                 check_period: int = 5_000,
+                 stall_window: Optional[int] = None,
+                 on_timeout: Optional[Callable[[WatchdogReport], None]] = None
+                 ) -> None:
+        if request_timeout <= 0 or check_period <= 0:
+            raise ValueError("request_timeout and check_period must be "
+                             "positive")
+        self.events = events
+        self.request_timeout = request_timeout
+        self.check_period = check_period
+        self.stall_window = stall_window
+        self.on_timeout = on_timeout
+        self.stats = StatGroup("watchdog")
+        self.reports: list[WatchdogReport] = []
+        self._inflight: dict[int, _Tracked] = {}
+        self._last_progress = 0
+        self._ticker = Ticker(events, period=check_period,
+                              callback=self._check, owner="watchdog")
+
+    # -- lifecycle hooks (called by the NoC / memory system) -------------------
+
+    def track(self, request: MemRequest) -> None:
+        """A request entered the system; start its deadline clock."""
+        now = self.events.now
+        deadline = request.deadline if request.deadline is not None \
+            else now + self.request_timeout
+        self._inflight[id(request)] = _Tracked(request, now, deadline)
+        self._last_progress = now
+        self.stats.counter("tracked").add()
+        self._ticker.kick(self.check_period)
+
+    def retire(self, request: MemRequest) -> None:
+        """The issuer saw the reply; the request is no longer suspect."""
+        if self._inflight.pop(id(request), None) is not None:
+            self._last_progress = self.events.now
+            self.stats.counter("retired").add()
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._inflight)
+
+    def oldest(self) -> Optional[MemRequest]:
+        for tracked in self._inflight.values():
+            return tracked.request
+        return None
+
+    # -- periodic check ---------------------------------------------------------
+
+    def _check(self) -> bool:
+        now = self.events.now
+        for tracked in self._inflight.values():
+            if now >= tracked.deadline:
+                self._fire(WatchdogReport(
+                    kind="request-timeout", tick=now,
+                    owner=tracked.request.owner,
+                    address=tracked.request.address,
+                    age=now - tracked.tracked_at,
+                    attempt=tracked.request.attempt,
+                    in_flight=len(self._inflight)))
+                return bool(self._inflight)
+        if (self.stall_window is not None and self._inflight
+                and now - self._last_progress >= self.stall_window):
+            oldest = next(iter(self._inflight.values()))
+            self._fire(WatchdogReport(
+                kind="no-progress", tick=now,
+                owner=oldest.request.owner,
+                address=oldest.request.address,
+                age=now - self._last_progress,
+                attempt=oldest.request.attempt,
+                in_flight=len(self._inflight)))
+        return bool(self._inflight)
+
+    def _fire(self, report: WatchdogReport) -> None:
+        self.reports.append(report)
+        self.stats.counter("fired").add()
+        if self.on_timeout is not None:
+            self.on_timeout(report)
+            # Soft policy: forget the offender so one stuck request is
+            # reported once, not every check period.
+            if report.kind == "request-timeout":
+                self._inflight = {
+                    key: tracked for key, tracked in self._inflight.items()
+                    if tracked.request.address != report.address
+                    or tracked.request.owner != report.owner}
+            else:
+                self._last_progress = self.events.now
+            return
+        raise WatchdogTimeout(report)

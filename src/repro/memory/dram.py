@@ -82,7 +82,9 @@ class DRAMChannel:
         self.bus_free = 0
         self.pending: list[QueuedRequest] = []
         self.stats = stats or StatGroup(f"dram.ch{channel_id}")
-        self._ticker = Ticker(queue, period=self.cycle_ticks, callback=self._wake)
+        self._owner = f"dram.ch{channel_id}"
+        self._ticker = Ticker(queue, period=self.cycle_ticks,
+                              callback=self._wake, owner=self._owner)
 
     # -- public -------------------------------------------------------------
 
@@ -130,7 +132,7 @@ class DRAMChannel:
         # Wake again when the bus frees up.
         delay = max(self.bus_free - max_ahead, self.cycle_ticks)
         self._ticker.stop()
-        self.events.schedule(delay, self._rekick)
+        self.events.schedule(delay, self._rekick, owner=self._owner)
         return False
 
     def _rekick(self) -> None:
@@ -168,7 +170,8 @@ class DRAMChannel:
 
         source = entry.request.source.value
         self.stats.counter(f"bytes.{source}").add(entry.request.size)
-        self.events.schedule_at(done, self._complete, entry)
+        self.events.schedule_at(done, self._complete, entry,
+                                owner=self._owner)
         self.scheduler.note_served(entry, now)
 
     def _complete(self, entry: QueuedRequest) -> None:

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 
@@ -21,6 +21,9 @@ class MemRequest:
 
     ``source``/``source_id`` identify the requester (e.g. CPU core 2);
     ``callback`` fires at completion with the request as argument.
+    ``deadline`` is an optional absolute tick by which the issuer expects a
+    reply — the health watchdog reports requests that outlive it;
+    ``attempt`` counts NoC-level retries (0 = first issue).
     """
 
     address: int
@@ -32,9 +35,51 @@ class MemRequest:
     callback: Optional[Callable[["MemRequest"], Any]] = None
     metadata: dict = field(default_factory=dict)
     complete_time: Optional[int] = None
+    deadline: Optional[int] = None
+    attempt: int = 0
 
     @property
     def latency(self) -> int:
         if self.complete_time is None:
             raise RuntimeError("request not complete yet")
         return self.complete_time - self.issue_time
+
+    @property
+    def owner(self) -> str:
+        """Human-readable requester tag (e.g. ``cpu2``, ``display``)."""
+        if self.source is SourceType.CPU:
+            return f"{self.source.value}{self.source_id}"
+        return self.source.value
+
+    def clone_for_retry(self) -> "MemRequest":
+        """A fresh copy to re-inject after a lost reply.
+
+        Completion state is reset and the attempt counter bumped; the clone
+        carries its own callback wiring (set by the retry layer), never the
+        original's.
+        """
+        return replace(self, callback=None, complete_time=None,
+                       issue_time=0, attempt=self.attempt + 1)
+
+
+def adapt_completion(callback: Optional[Callable]) -> \
+        Optional[Callable[["MemRequest"], Any]]:
+    """Adapt a cache-port completion callback into a MemRequest callback.
+
+    The cache hierarchy's ``access`` contract uses zero-argument callbacks;
+    the memory system delivers the completed :class:`MemRequest`.  Callbacks
+    that declare a positional parameter receive the request (so latency,
+    attempt count and injected-fault markers flow back to the issuer);
+    legacy zero-argument callbacks are invoked bare instead of the request
+    being silently discarded.
+    """
+    if callback is None:
+        return None
+    code = getattr(callback, "__code__", None)
+    if code is not None:
+        argcount = code.co_argcount
+        if getattr(callback, "__self__", None) is not None:
+            argcount -= 1       # bound method: drop ``self``
+        if argcount >= 1 or code.co_flags & 0x04:   # CO_VARARGS
+            return callback
+    return lambda request: callback()

@@ -107,9 +107,38 @@ class MemorySystem:
                         rows=rows)
             for i in range(config.channels)
         ]
+        # Ingress observation probes (health instrumentation).  Empty by
+        # default so the hot path stays a single falsy check.
+        self.probes: list[Callable[[MemRequest], None]] = []
+
+    def add_probe(self, probe: Callable[[MemRequest], None]) -> None:
+        """Register an ingress probe called with every submitted request."""
+        self.probes.append(probe)
+
+    def attach_watchdog(self, watchdog) -> None:
+        """Track every request's lifecycle with a health watchdog.
+
+        Used in standalone (no-NoC) mode where requests enter here
+        directly; full-system runs attach the watchdog at the NoC instead
+        so retries and injected faults are visible to it.
+        """
+        def probe(request: MemRequest) -> None:
+            watchdog.track(request)
+            original = request.callback
+
+            def delivered(completed: MemRequest) -> None:
+                watchdog.retire(completed)
+                if original is not None:
+                    original(completed)
+
+            request.callback = delivered
+        self.add_probe(probe)
 
     def submit(self, request: MemRequest) -> None:
         request.issue_time = self.events.now
+        if self.probes:
+            for probe in self.probes:
+                probe(request)
         channel = self.router.route(request)
         self.channels[channel].submit(request)
 

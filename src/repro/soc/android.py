@@ -66,7 +66,9 @@ class RenderLoop:
                  on_phase=None,
                  dash_state: Optional[DashState] = None,
                  progress_poll_ticks: int = 2000,
-                 on_finished: Optional[Callable[[], None]] = None) -> None:
+                 on_finished: Optional[Callable[[], None]] = None,
+                 on_frame_done: Optional[Callable[[FrameRecord], None]] = None,
+                 start_frame: int = 0) -> None:
         self.events = events
         self.gpu = gpu
         self.app_core = app_core
@@ -79,9 +81,14 @@ class RenderLoop:
         self.dash_state = dash_state
         self.progress_poll_ticks = progress_poll_ticks
         self.on_finished = on_finished
+        self.on_frame_done = on_frame_done
         self.stats = StatGroup("app")
         self.records: list[FrameRecord] = []
-        self._frame_index = 0
+        # Crash recovery resumes the loop at the checkpointed frame index.
+        if not 0 <= start_frame <= num_frames:
+            raise ValueError(f"start_frame {start_frame} outside "
+                             f"[0, {num_frames}]")
+        self._frame_index = start_frame
         self._expected_fragments: Optional[int] = None
         self._gpu_frame_start_fragments = 0
         self._render_start = 0
@@ -169,6 +176,8 @@ class RenderLoop:
         self.stats.histogram("gpu_time").record(record.gpu_time)
         self.stats.histogram("total_time").record(record.total_time)
         self._frame_index += 1
+        if self.on_frame_done is not None:
+            self.on_frame_done(record)
         # Pace to the GPU frame period (Table 3: 30 FPS app target).
         next_boundary = record.start + self.frame_period_ticks
         delay = max(0, next_boundary - self.events.now)

@@ -5,6 +5,12 @@ by recording all draw calls and replaying them through the functional model
 at restore.  Here a checkpoint bundles the recorded draw-call trace (the
 same JSON format as :mod:`repro.gl.trace`), the simulated time, and the
 app-side frame counter; restore rebuilds the GL-side state by replay.
+
+Checkpoints are the crash-recovery substrate of the health subsystem
+(:mod:`repro.health.recovery`), so :meth:`GraphicsCheckpoint.from_json`
+validates its input strictly: a truncated or corrupted snapshot raises
+:class:`CheckpointError` naming the offending field instead of resuming a
+run from garbage.
 """
 
 from __future__ import annotations
@@ -14,6 +20,21 @@ from dataclasses import dataclass
 
 from repro.gl.context import Frame
 from repro.gl.trace import TraceRecorder, replay
+
+
+class CheckpointError(ValueError):
+    """A checkpoint document failed validation.
+
+    ``field`` names the offending key (dotted path) so a crashed-run
+    post-mortem can say *which* part of the snapshot is damaged.
+    """
+
+    def __init__(self, message: str, field: str) -> None:
+        super().__init__(f"checkpoint field {field!r}: {message}")
+        self.field = field
+
+
+CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -26,7 +47,7 @@ class GraphicsCheckpoint:
 
     def to_json(self) -> str:
         return json.dumps({
-            "version": 1,
+            "version": CHECKPOINT_VERSION,
             "tick": self.tick,
             "frame_index": self.frame_index,
             "trace": json.loads(self.trace_json),
@@ -34,15 +55,51 @@ class GraphicsCheckpoint:
 
     @classmethod
     def from_json(cls, text: str) -> "GraphicsCheckpoint":
-        doc = json.loads(text)
-        if doc.get("version") != 1:
-            raise ValueError(f"unsupported checkpoint version {doc.get('version')!r}")
-        return cls(trace_json=json.dumps(doc["trace"]), tick=doc["tick"],
-                   frame_index=doc["frame_index"])
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"not valid JSON ({exc})", field="$") \
+                from exc
+        if not isinstance(doc, dict):
+            raise CheckpointError(
+                f"expected an object, got {type(doc).__name__}", field="$")
+        version = doc.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"unsupported version {version!r} "
+                f"(expected {CHECKPOINT_VERSION})", field="version")
+        tick = _require_int(doc, "tick")
+        frame_index = _require_int(doc, "frame_index")
+        if "trace" not in doc:
+            raise CheckpointError("missing", field="trace")
+        trace = doc["trace"]
+        if not isinstance(trace, dict):
+            raise CheckpointError(
+                f"expected an object, got {type(trace).__name__}",
+                field="trace")
+        frames = trace.get("frames")
+        if not isinstance(frames, list):
+            raise CheckpointError(
+                "missing or not a list", field="trace.frames")
+        return cls(trace_json=json.dumps(trace), tick=tick,
+                   frame_index=frame_index)
 
     def restore_frames(self) -> list[Frame]:
         """Replay the recorded draw calls through a fresh GL context."""
         return replay(self.trace_json)
+
+
+def _require_int(doc: dict, key: str) -> int:
+    """A present, non-negative integer (bool is not an int here)."""
+    if key not in doc:
+        raise CheckpointError("missing", field=key)
+    value = doc[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise CheckpointError(
+            f"expected an integer, got {type(value).__name__}", field=key)
+    if value < 0:
+        raise CheckpointError(f"must be non-negative, got {value}", field=key)
+    return value
 
 
 def capture(frames: list[Frame], tick: int,

@@ -29,11 +29,13 @@ class DisplayController:
                  framebuffer_address: int, frame_bytes: int,
                  period_ticks: int, burst_bytes: int = 256,
                  outstanding: int = 4, abort_fraction: float = 0.5,
-                 dash_state: Optional[DashState] = None) -> None:
+                 dash_state: Optional[DashState] = None,
+                 injector=None) -> None:
         if frame_bytes <= 0 or period_ticks <= 0:
             raise ValueError("frame_bytes and period_ticks must be positive")
         self.events = events
         self.submit = submit
+        self.injector = injector
         self.framebuffer_address = framebuffer_address
         self.frame_bytes = frame_bytes
         self.period_ticks = period_ticks
@@ -73,8 +75,14 @@ class DisplayController:
         if self.dash_state is not None:
             self.dash_state.start_ip_period(SourceType.DISPLAY,
                                             self.events.now)
+        if (self.injector is not None
+                and self.injector.display_underrun_now()):
+            # Injected underrun: the scanout engine misses its fetch window
+            # this refresh; the frame aborts and the old image is re-shown.
+            self.stats.counter("underruns").add()
+            self._abort_frame()
         self._issue()
-        self.events.schedule(self.period_ticks, self._vsync)
+        self.events.schedule(self.period_ticks, self._vsync, owner="display")
 
     def _progress(self) -> float:
         return self._cursor / self._bursts_per_frame
@@ -120,7 +128,8 @@ class DisplayController:
             self.stats.histogram("completion_margin").record(margin)
             return
         # Pace the next burst.
-        self.events.schedule(self._issue_interval, self._issue)
+        self.events.schedule(self._issue_interval, self._issue,
+                             owner="display")
 
     def _abort_frame(self) -> None:
         self._aborted = True

@@ -9,12 +9,14 @@ measurement the paper's Figs. 9-14 plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.common.config import DRAMConfig, GPUConfig
-from repro.common.events import EventQueue
+from repro.common.events import EventQueue, SimulationError
 from repro.gl.context import Frame
 from repro.gpu.gpu import EmeraldGPU
+from repro.health import CheckpointManager, FaultInjector, HealthConfig
+from repro.health.watchdog import Watchdog
 from repro.memory.builders import build_memory_by_name
 from repro.memory.request import SourceType
 from repro.soc.android import FrameRecord, RenderLoop
@@ -51,6 +53,9 @@ class SoCRunConfig:
     # a frame.
     dash_quantum_ticks: int = 50_000
     dash_switching_ticks: int = 500
+    # Health subsystem (watchdog / fault injection / checkpointing); None
+    # keeps the run bit-identical to a health-free build.
+    health: Optional[HealthConfig] = None
 
 
 @dataclass
@@ -71,6 +76,11 @@ class SoCResults:
     mean_latency: dict[str, float]
     bandwidth: dict[str, list[tuple[int, float]]]
     end_tick: int = 0
+    # Health telemetry (all zero on a health-free run).
+    quarantined_errors: int = 0
+    watchdog_reports: int = 0
+    noc_retries: int = 0
+    checkpoints_taken: int = 0
 
 
 class EmeraldSoC:
@@ -78,9 +88,39 @@ class EmeraldSoC:
 
     def __init__(self, run_config: SoCRunConfig,
                  frame_source: Callable[[int], Frame],
-                 framebuffer_address: int) -> None:
+                 framebuffer_address: int,
+                 start_frame: int = 0, start_tick: int = 0) -> None:
         self.config = run_config
-        self.events = EventQueue()
+        health = run_config.health
+        self.events = EventQueue(
+            error_policy=health.error_policy if health is not None
+            else "propagate")
+        # -- health subsystem ------------------------------------------------
+        self.watchdog: Optional[Watchdog] = None
+        self.injector: Optional[FaultInjector] = None
+        self.checkpoints: Optional[CheckpointManager] = None
+        retry = None
+        if health is not None:
+            if health.watchdog:
+                timeout = health.watchdog_timeout
+                if health.retry is not None:
+                    # The watchdog must outlast the full retry ladder, or
+                    # it reports requests the NoC is still recovering.
+                    timeout = max(timeout,
+                                  health.retry.ladder_ticks()
+                                  + health.watchdog_check_period * 2)
+                self.watchdog = Watchdog(
+                    self.events,
+                    request_timeout=timeout,
+                    check_period=health.watchdog_check_period,
+                    stall_window=health.stall_window)
+            if health.faults is not None and health.faults.active():
+                self.injector = FaultInjector(health.faults)
+            retry = health.retry
+            if health.checkpoint_every:
+                self.checkpoints = CheckpointManager(
+                    health.checkpoint_every, path=health.checkpoint_path)
+                frame_source = self.checkpoints.wrap_source(frame_source)
         from repro.memory.dash import DashConfig
         dash_config = DashConfig(quantum=run_config.dash_quantum_ticks,
                                  switching_unit=run_config.dash_switching_ticks)
@@ -89,7 +129,9 @@ class EmeraldSoC:
             gpu_clock_ghz=run_config.gpu.clock_ghz,
             dash_config=dash_config)
         self.noc = SystemNoC(self.events, self.memory,
-                             latency=run_config.noc_latency)
+                             latency=run_config.noc_latency,
+                             watchdog=self.watchdog,
+                             injector=self.injector, retry=retry)
         self.gpu = EmeraldGPU(self.events, run_config.gpu,
                               run_config.width, run_config.height,
                               memory=self.memory, memory_port=self.noc)
@@ -102,7 +144,8 @@ class EmeraldSoC:
             framebuffer_address=framebuffer_address,
             frame_bytes=frame_bytes,
             period_ticks=run_config.display_period_ticks,
-            dash_state=self.dash_state)
+            dash_state=self.dash_state,
+            injector=self.injector)
         if self.dash_state is not None:
             self.dash_state.register_ip(
                 SourceType.GPU, run_config.gpu_frame_period_ticks)
@@ -115,22 +158,44 @@ class EmeraldSoC:
             cpu_work_per_frame=run_config.cpu_work_per_frame,
             cpu_fixed_ticks=run_config.cpu_fixed_ticks,
             on_phase=self.cpus.set_phase,
-            dash_state=self.dash_state)
+            dash_state=self.dash_state,
+            on_frame_done=self._frame_done,
+            start_frame=start_frame)
+        self._start_tick = start_tick
+
+    def _frame_done(self, record: FrameRecord) -> None:
+        if self.checkpoints is not None:
+            self.checkpoints.on_frame_done(record.index, self.events.now)
 
     def run(self, max_events: int = 500_000_000) -> SoCResults:
+        if self._start_tick:
+            # Crash recovery: re-enter simulated time at the snapshot tick.
+            self.events.advance_to(self._start_tick)
         self.cpus.start_background()
         self.display.start()
         self.loop.start()
         executed = 0
         while not self.loop.finished:
             if not self.events.step():
-                raise RuntimeError("event queue drained before loop finished")
+                raise SimulationError(
+                    "event queue drained before loop finished"
+                    + self._hang_context(), tick=self.events.now)
             executed += 1
             if executed > max_events:
-                raise RuntimeError("event limit exceeded (hung simulation?)")
+                raise SimulationError(
+                    f"event limit ({max_events}) exceeded — hung simulation?"
+                    + self._hang_context(), tick=self.events.now)
         self.cpus.stop_background()
         self.display.stop()
         return self._results()
+
+    def _hang_context(self) -> str:
+        """What the watchdog knows about a stuck run (for error messages)."""
+        if self.watchdog is None or not self.watchdog.in_flight:
+            return ""
+        oldest = self.watchdog.oldest()
+        return (f" ({self.watchdog.in_flight} requests in flight; oldest "
+                f"from {oldest.owner} addr=0x{oldest.address:x})")
 
     def _results(self) -> SoCResults:
         memory = self.memory
@@ -152,4 +217,10 @@ class EmeraldSoC:
             bandwidth={src.value: memory.bandwidth_series(src, window=10_000)
                        for src in SourceType},
             end_tick=self.events.now,
+            quarantined_errors=len(self.events.errors),
+            watchdog_reports=(len(self.watchdog.reports)
+                              if self.watchdog is not None else 0),
+            noc_retries=self.noc.stats.counter("retries").value,
+            checkpoints_taken=(self.checkpoints.checkpoints_taken
+                               if self.checkpoints is not None else 0),
         )

@@ -141,7 +141,10 @@ class TraceReplayer:
                                  write=entry.write, source=entry.source,
                                  source_id=entry.source_id)
             events.schedule_at(entry.time - base, memory.submit, request)
-        events.run()
+        result = events.run()
+        # An unbudgeted run only stops when drained; assert the contract so
+        # a future budgeted caller cannot mistake truncation for completion.
+        assert result.drained, "trace replay stopped before draining"
         return ReplayResults(
             mean_latency={src.value: memory.mean_latency(src)
                           for src in SourceType},

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.common.events import EventQueue, Ticker
+from repro.common.events import (EventQueue, SimulationError, StopReason,
+                                 Ticker)
 
 
 class TestEventQueue:
@@ -84,9 +85,34 @@ class TestEventQueue:
         fired = []
         for i in range(5):
             q.schedule(i, fired.append, i)
-        executed = q.run(max_events=3)
-        assert executed == 3
+        result = q.run(max_events=3)
+        assert result.executed == 3
+        assert result.reason is StopReason.BUDGET
         assert fired == [0, 1, 2]
+
+    def test_run_reports_drained_vs_budget(self):
+        """A drained queue and an exhausted budget can both execute
+        max_events — only the reason distinguishes them."""
+        q = EventQueue()
+        for i in range(3):
+            q.schedule(i, lambda: None)
+        result = q.run(max_events=3)
+        assert result.executed == 3
+        assert result.reason is StopReason.BUDGET   # not proven drained
+        result = q.run()
+        assert result.executed == 0
+        assert result.reason is StopReason.DRAINED
+        assert result.drained
+
+    def test_run_until_reports_horizon(self):
+        q = EventQueue()
+        q.schedule(5, lambda: None)
+        q.schedule(50, lambda: None)
+        result = q.run_until(10)
+        assert result.executed == 1
+        assert result.reason is StopReason.HORIZON
+        result = q.run_until(100)
+        assert result.reason is StopReason.DRAINED
 
     def test_empty_and_peek(self):
         q = EventQueue()
@@ -103,6 +129,104 @@ class TestEventQueue:
             q.schedule(i, lambda: None)
         q.run()
         assert q.events_fired == 4
+
+
+class TestErrorPolicies:
+    def test_propagate_is_default_and_reraises_unchanged(self):
+        q = EventQueue()
+
+        def boom():
+            raise KeyError("missing")
+
+        q.schedule(5, boom)
+        with pytest.raises(KeyError):
+            q.run()
+
+    def test_wrap_carries_provenance(self):
+        q = EventQueue(error_policy="wrap")
+
+        def boom():
+            raise ValueError("bad state")
+
+        q.schedule(7, boom, owner="dram.ch0")
+        with pytest.raises(SimulationError) as excinfo:
+            q.run()
+        error = excinfo.value
+        assert error.tick == 7
+        assert error.owner == "dram.ch0"
+        assert "boom" in error.callback_name
+        assert isinstance(error.__cause__, ValueError)
+
+    def test_wrap_is_fail_fast(self):
+        q = EventQueue(error_policy="wrap")
+        fired = []
+        q.schedule(1, lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        q.schedule(2, fired.append, "after")
+        with pytest.raises(SimulationError):
+            q.run()
+        assert fired == []      # nothing after the failure ran
+
+    def test_quarantine_continues_and_records(self):
+        q = EventQueue(error_policy="quarantine")
+        fired = []
+
+        def boom():
+            raise RuntimeError("poisoned component")
+
+        q.schedule(1, boom)
+        q.schedule(2, fired.append, "survives")
+        result = q.run()
+        assert result.drained
+        assert fired == ["survives"]
+        assert len(q.errors) == 1
+        assert q.errors[0].tick == 1
+
+    def test_wrap_passes_simulation_errors_through(self):
+        """A deliberate SimulationError (e.g. a watchdog report) must not
+        be double-wrapped."""
+        q = EventQueue(error_policy="wrap")
+        original = SimulationError("watchdog: stuck", tick=3, owner="wd")
+
+        def report():
+            raise original
+
+        q.schedule(3, report)
+        with pytest.raises(SimulationError) as excinfo:
+            q.run()
+        assert excinfo.value is original
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue(error_policy="ignore")
+
+    def test_debug_provenance_records_schedule_site(self):
+        q = EventQueue(debug_provenance=True)
+        event = q.schedule(1, lambda: None)
+        assert event.site is not None
+        assert "test_events.py" in event.site
+
+
+class TestAdvanceTo:
+    def test_advance_jumps_time(self):
+        q = EventQueue()
+        q.advance_to(5_000)
+        assert q.now == 5_000
+        seen = []
+        q.schedule(10, lambda: seen.append(q.now))
+        q.run()
+        assert seen == [5_010]
+
+    def test_advance_backwards_rejected(self):
+        q = EventQueue()
+        q.advance_to(100)
+        with pytest.raises(ValueError):
+            q.advance_to(50)
+
+    def test_advance_over_pending_events_rejected(self):
+        q = EventQueue()
+        q.schedule(10, lambda: None)
+        with pytest.raises(ValueError):
+            q.advance_to(20)
 
 
 class TestTicker:
@@ -167,3 +291,93 @@ class TestTicker:
         q.schedule(20, t.kick)
         q.run()
         assert ticks == [0, 20]
+
+
+class TestTickerEdgeCases:
+    def test_kick_during_fire_resumes_next_period(self):
+        """A kick from inside the callback (work arriving mid-cycle) must
+        resume at the next period, never re-fire in the same tick."""
+        q = EventQueue()
+        ticks = []
+
+        def cb():
+            ticks.append(q.now)
+            if len(ticks) == 1:
+                t.kick()        # re-entrant kick while firing
+            return False        # callback itself says "go idle"
+
+        t = Ticker(q, period=10, callback=cb)
+        t.kick()
+        q.run()
+        assert ticks == [0, 10]     # kick won over the False return
+
+    def test_stop_during_fire_wins_over_keep_going(self):
+        """A component stopping itself from inside its own callback must
+        not be resurrected by the callback's True return."""
+        q = EventQueue()
+        ticks = []
+
+        def cb():
+            ticks.append(q.now)
+            t.stop()
+            return True         # would normally reschedule
+
+        t = Ticker(q, period=5, callback=cb)
+        t.kick()
+        q.run()
+        assert ticks == [0]
+
+    def test_stop_then_kick_during_fire_restarts(self):
+        """stop() then kick() inside one firing: last call wins."""
+        q = EventQueue()
+        ticks = []
+
+        def cb():
+            ticks.append(q.now)
+            if len(ticks) == 1:
+                t.stop()
+                t.kick()
+            return False
+
+        t = Ticker(q, period=5, callback=cb)
+        t.kick()
+        q.run()
+        assert ticks == [0, 5]
+
+    def test_stop_while_pending_cancels_cleanly(self):
+        q = EventQueue()
+        ticks = []
+        t = Ticker(q, period=5, callback=lambda: ticks.append(q.now) or True)
+        t.kick(delay=3)
+        assert t.active
+        t.stop()
+        assert not t.active
+        q.run()
+        assert ticks == []
+        assert q.now == 0       # cancelled events never advance the clock
+        # The cancelled pending event must not block a later restart.
+        t.kick()
+        q.run(max_events=1)
+        assert ticks == [0]
+
+    def test_zero_delay_kick_fires_after_same_tick_events(self):
+        """kick(0) schedules at the current tick *behind* events already
+        queued for that tick (FIFO order), so a producer scheduling work
+        then kicking a consumer in the same tick is race-free."""
+        q = EventQueue()
+        order = []
+        q.schedule(0, order.append, "already-queued")
+        t = Ticker(q, period=5, callback=lambda: order.append("tick") or False)
+        t.kick(0)
+        q.schedule(0, order.append, "queued-after-kick")
+        q.run()
+        assert order == ["already-queued", "tick", "queued-after-kick"]
+
+    def test_cancelled_pending_is_not_active(self):
+        q = EventQueue()
+        t = Ticker(q, period=5, callback=lambda: False)
+        t.kick()
+        t._pending.cancel()     # event cancelled behind the ticker's back
+        assert not t.active
+        t.kick()                # must re-arm, not assume still scheduled
+        assert t.active

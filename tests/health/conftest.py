@@ -1,0 +1,13 @@
+"""Session-scoped baseline run shared by the health acceptance tests."""
+
+import pytest
+
+from tests.health.full_system import build_soc
+
+
+@pytest.fixture(scope="session")
+def clean_run():
+    """One health-free single-frame run: (results, framebuffer copy)."""
+    soc = build_soc(num_frames=1, health=None)
+    results = soc.run()
+    return results, soc.gpu.fb.color.copy()

@@ -1,0 +1,31 @@
+"""Shared tiny full-system setup for the health acceptance tests.
+
+Small enough (48x36, 2 clusters) that a full-frame run takes a couple of
+seconds, big enough to exercise CPU prepare, GPU render, display scanout,
+DRAM and the NoC — the same footprint as ``python -m repro selftest``.
+"""
+
+from repro.common.config import DRAMConfig, GPUConfig, scaled_gpu
+from repro.harness.scenes import SceneSession
+from repro.soc.soc import EmeraldSoC, SoCRunConfig
+
+WIDTH, HEIGHT = 48, 36
+
+
+def tiny_config(num_frames=1, health=None) -> SoCRunConfig:
+    return SoCRunConfig(
+        width=WIDTH, height=HEIGHT, num_frames=num_frames,
+        memory_config="BAS",
+        dram=DRAMConfig(channels=2),
+        gpu=scaled_gpu(GPUConfig(num_clusters=2)),
+        gpu_frame_period_ticks=120_000,
+        display_period_ticks=60_000,
+        cpu_work_per_frame=40,
+        health=health,
+    )
+
+
+def build_soc(num_frames=1, health=None):
+    session = SceneSession("cube", WIDTH, HEIGHT)
+    config = tiny_config(num_frames=num_frames, health=health)
+    return EmeraldSoC(config, session.frame, session.framebuffer_address)

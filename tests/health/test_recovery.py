@@ -1,0 +1,99 @@
+"""Checkpoint cadence and the crash-recovery acceptance scenario."""
+
+import numpy as np
+import pytest
+
+from repro.common.events import SimulationError
+from repro.harness.scenes import SceneSession
+from repro.health import (CheckpointManager, HealthConfig, load_checkpoint,
+                          resume_run)
+from repro.soc.checkpoint import GraphicsCheckpoint
+from tests.health.full_system import HEIGHT, WIDTH, build_soc, tiny_config
+
+
+class TestCheckpointManager:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CheckpointManager(every=0)
+
+    def test_cadence(self):
+        manager = CheckpointManager(every=2)
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        for index in range(4):
+            source(index)
+            manager.on_frame_done(index, tick=1_000 * (index + 1))
+        assert manager.checkpoints_taken == 2       # after frames 1 and 3
+        assert manager.last.frame_index == 4
+        assert manager.last.tick == 4_000
+
+    def test_path_receives_loadable_snapshot(self, tmp_path):
+        path = tmp_path / "snap.json"
+        manager = CheckpointManager(every=1, path=str(path))
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        source(0)
+        manager.on_frame_done(0, tick=777)
+        restored = load_checkpoint(str(path))
+        assert isinstance(restored, GraphicsCheckpoint)
+        assert restored.frame_index == 1
+        assert restored.tick == 777
+        assert len(restored.restore_frames()) == 1
+
+
+@pytest.mark.full_system
+class TestCrashRecovery:
+    def test_killed_run_resumes_to_same_final_frame(self):
+        """A run killed mid-frame resumes from its last periodic checkpoint
+        and produces the same final framebuffer as an uninterrupted run."""
+        frames = 3
+        health = HealthConfig(checkpoint_every=1)
+
+        # Reference: the uninterrupted run.
+        soc_full = build_soc(num_frames=frames, health=health)
+        full_results = soc_full.run()
+        full_fb = soc_full.gpu.fb.color.copy()
+        total_events = soc_full.events.events_fired
+        assert full_results.checkpoints_taken == frames
+
+        # The same run, killed partway through (the event budget stands in
+        # for a crashed process).
+        soc_killed = build_soc(num_frames=frames, health=health)
+        with pytest.raises(SimulationError):
+            soc_killed.run(max_events=int(total_events * 0.8))
+        checkpoint = soc_killed.checkpoints.last
+        assert checkpoint is not None
+        assert 0 < checkpoint.frame_index < frames      # died mid-run
+
+        # Resume from the snapshot and finish the remaining frames.
+        session = SceneSession("cube", WIDTH, HEIGHT)
+        soc_resumed, resumed_results = resume_run(
+            checkpoint, tiny_config(num_frames=frames, health=health),
+            session.frame, session.framebuffer_address)
+        assert soc_resumed.loop.finished
+        assert len(resumed_results.frames) == frames - checkpoint.frame_index
+        assert resumed_results.frames[0].index == checkpoint.frame_index
+        # Simulated time re-entered at the snapshot tick, not at zero.
+        assert resumed_results.end_tick > checkpoint.tick
+        assert np.array_equal(soc_resumed.gpu.fb.color, full_fb)
+
+    def test_resumed_run_checkpoints_cover_whole_trace(self):
+        """Snapshots taken after a resume include the replayed prefix, so a
+        second crash can still recover the full run."""
+        frames = 2
+        health = HealthConfig(checkpoint_every=1)
+        # A one-frame run stands in for a run that crashed after frame 0.
+        soc_partial = build_soc(num_frames=1, health=health)
+        soc_partial.run()
+        checkpoint_one = soc_partial.checkpoints.last
+        assert checkpoint_one.frame_index == 1
+
+        session = SceneSession("cube", WIDTH, HEIGHT)
+        soc_resumed, _ = resume_run(
+            checkpoint_one, tiny_config(num_frames=frames, health=health),
+            session.frame, session.framebuffer_address)
+        final = soc_resumed.checkpoints.last
+        assert final.frame_index == frames
+        # The final snapshot's trace replays *all* frames, including the
+        # ones rendered before the crash.
+        assert len(final.restore_frames()) == frames

@@ -1,11 +1,15 @@
 """Tests for the system NoC adapter and checkpoint edge cases."""
 
+import json
+
 import pytest
 
 from repro.common.config import DRAMConfig
 from repro.common.events import EventQueue
 from repro.memory.builders import build_baseline_memory
 from repro.memory.request import MemRequest, SourceType
+from repro.soc.checkpoint import (CheckpointError, GraphicsCheckpoint,
+                                  capture)
 from repro.soc.noc import SystemNoC
 
 
@@ -41,6 +45,113 @@ class TestSystemNoC:
         noc.access(0, 128, True, None)
         events.run()
         assert memory.total_bytes(SourceType.GPU) == 128
+
+    def test_access_passes_completed_request_through(self):
+        """A one-argument callback receives the completed MemRequest, so
+        latency and fault markers flow back to the issuer."""
+        events = EventQueue()
+        memory = build_baseline_memory(events, DRAMConfig(channels=1))
+        noc = SystemNoC(events, memory, latency=5)
+        seen = []
+        noc.access(0x400, 128, False, lambda request: seen.append(request))
+        events.run()
+        assert len(seen) == 1
+        request = seen[0]
+        assert isinstance(request, MemRequest)
+        assert request.address == 0x400
+        assert request.complete_time is not None
+        assert request.complete_time > request.issue_time
+
+
+def _valid_doc() -> dict:
+    return json.loads(capture([], tick=123, frame_index=2).to_json())
+
+
+class TestCheckpointValidation:
+    """from_json must reject damaged snapshots, naming the bad field."""
+
+    def test_not_json(self):
+        with pytest.raises(CheckpointError) as excinfo:
+            GraphicsCheckpoint.from_json("{truncated")
+        assert excinfo.value.field == "$"
+
+    def test_not_an_object(self):
+        with pytest.raises(CheckpointError) as excinfo:
+            GraphicsCheckpoint.from_json("[1, 2]")
+        assert excinfo.value.field == "$"
+
+    def test_wrong_version(self):
+        doc = _valid_doc()
+        doc["version"] = 99
+        with pytest.raises(CheckpointError) as excinfo:
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert excinfo.value.field == "version"
+
+    @pytest.mark.parametrize("key", ["tick", "frame_index"])
+    def test_missing_int_field(self, key):
+        doc = _valid_doc()
+        del doc[key]
+        with pytest.raises(CheckpointError) as excinfo:
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert excinfo.value.field == key
+
+    @pytest.mark.parametrize("bad", ["12", 3.5, True, None])
+    def test_non_integer_tick(self, bad):
+        doc = _valid_doc()
+        doc["tick"] = bad
+        with pytest.raises(CheckpointError) as excinfo:
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert excinfo.value.field == "tick"
+
+    def test_negative_frame_index(self):
+        doc = _valid_doc()
+        doc["frame_index"] = -1
+        with pytest.raises(CheckpointError) as excinfo:
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert excinfo.value.field == "frame_index"
+        assert "frame_index" in str(excinfo.value)
+
+    def test_missing_trace(self):
+        doc = _valid_doc()
+        del doc["trace"]
+        with pytest.raises(CheckpointError) as excinfo:
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert excinfo.value.field == "trace"
+
+    def test_trace_frames_not_a_list(self):
+        doc = _valid_doc()
+        doc["trace"]["frames"] = {"oops": 1}
+        with pytest.raises(CheckpointError) as excinfo:
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert excinfo.value.field == "trace.frames"
+
+    def test_error_is_a_value_error(self):
+        """Callers catching ValueError keep working."""
+        with pytest.raises(ValueError):
+            GraphicsCheckpoint.from_json("null")
+
+
+class TestCheckpointRoundTrip:
+    def test_round_trip_preserves_fields(self):
+        from repro.harness.scenes import SceneSession
+        session = SceneSession("cube", 32, 24)
+        original = capture([session.frame(0), session.frame(1)],
+                           tick=5_000, frame_index=2)
+        restored = GraphicsCheckpoint.from_json(original.to_json())
+        assert restored.tick == original.tick
+        assert restored.frame_index == original.frame_index
+        assert len(restored.restore_frames()) == 2
+
+    def test_round_trip_replays_identical_draws(self):
+        from repro.harness.scenes import SceneSession
+        session = SceneSession("cube", 32, 24)
+        original = capture([session.frame(0)], tick=1, frame_index=1)
+        [frame] = GraphicsCheckpoint.from_json(
+            original.to_json()).restore_frames()
+        reference = session.frame(0)
+        assert len(frame.draw_calls) == len(reference.draw_calls)
+        assert frame.num_primitives == reference.num_primitives
+        assert frame.color_base == reference.color_base
 
 
 class TestDisplayDashRegistration:

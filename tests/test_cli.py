@@ -39,3 +39,14 @@ class TestCLI:
     def test_cs1_validation(self):
         with pytest.raises(SystemExit):
             main(["cs1", "M9", "BAS"])
+
+    def test_cs1_bad_inject_spec_rejected(self):
+        """The fault spec is validated before the (expensive) run starts."""
+        with pytest.raises(ValueError, match="unknown fault"):
+            main(["cs1", "M1", "BAS", "--inject", "bogus=1"])
+
+    def test_selftest(self, capsys):
+        assert main(["selftest"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest OK" in out
+        assert "watchdog_reports=0" in out
