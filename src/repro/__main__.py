@@ -108,7 +108,7 @@ def _cmd_cs1(args) -> int:
     config = CS1Config(num_frames=args.frames)
     health = _build_health(args)
     results = run_cs1(args.model, args.config, args.load, config,
-                      health=health)
+                      health=health, stats_path=args.dump_stats)
     print(f"{args.model} {args.config} ({args.load} load):")
     if health is not None:
         print(f"  health: retries={results.noc_retries} "
@@ -138,6 +138,11 @@ def _cmd_cs2(args) -> int:
                        title=f"WT sweep — {args.workload}"))
     best = min(sweep, key=lambda wt: sweep[wt].time)
     print(f"best WT: {best}")
+    if args.dump_stats:
+        from repro.harness.case_study2 import run_static
+        run_static(args.workload, best, 1, config,
+                   stats_path=args.dump_stats)
+        print(f"stats written to {args.dump_stats}")
     return 0
 
 
@@ -231,6 +236,9 @@ def main(argv=None) -> int:
                    help="snapshot the run every N frames (0 = off)")
     p.add_argument("--checkpoint-path",
                    help="write the latest snapshot to this file")
+    p.add_argument("--dump-stats", metavar="PATH",
+                   help="write every component's statistics (including "
+                        "per-link port stats) to one JSON file")
     p.set_defaults(func=_cmd_cs1)
 
     p = sub.add_parser("selftest",
@@ -242,6 +250,9 @@ def main(argv=None) -> int:
     p.add_argument("workload", help="W1..W6 or a model name")
     p.add_argument("--min-wt", type=int, default=1)
     p.add_argument("--max-wt", type=int, default=10)
+    p.add_argument("--dump-stats", metavar="PATH",
+                   help="re-run the best WT for one frame and write every "
+                        "GPU component's statistics to one JSON file")
     p.set_defaults(func=_cmd_cs2)
 
     p = sub.add_parser("dfsl", help="run DFSL on a workload")

@@ -1,0 +1,339 @@
+"""Timing-port fabric: typed request/response ports with flow control.
+
+This is the gem5-shaped port protocol (Lowe-Power et al.) adapted to this
+simulator's single-callback completion style.  Components exchange
+:class:`~repro.memory.request.MemRequest` packets through paired ports:
+
+* a **RequestPort** is the sending side.  ``try_send(request)`` either
+  hands the packet to the connected :class:`ResponsePort` (returns True)
+  or reports the receiver *busy* (returns False).  After a busy result the
+  sender must hold the packet and wait for its ``on_retry`` hook — sending
+  again before the retry arrives is a protocol error on real hardware and
+  simply fails again here.
+* a **ResponsePort** is the receiving side; its handler accepts or
+  refuses each packet.  When capacity frees up the receiver calls
+  :meth:`ResponsePort.send_retry`, which wakes exactly one blocked sender
+  (FIFO order), mirroring gem5's ``sendRetryReq``.
+
+**Response path.**  Every RequestPort a packet traverses is pushed onto
+the packet's ``route`` stack by ``try_send``.  When the terminal component
+completes the request it calls :func:`respond`, which unwinds the stack
+LIFO — synchronously, in the same event — giving every hop's owner a
+chance to observe or consume the response (see ``on_response``), and
+finally invokes ``request.callback``.  Because the unwind adds no events,
+a port-connected path schedules exactly the same events as the bare
+callback chain it replaced: the default (unbounded) fabric reproduces the
+seed's event schedule bit-identically.
+
+**Links.**  :class:`Link` is a buffered conduit between two components.
+Unbounded (the default) it is a pure latency hop — one scheduled event per
+packet.  With ``capacity`` and/or ``bytes_per_cycle`` set it becomes a
+finite queue with a serializing output line, so sustained overload
+produces genuine queueing delay and backpressure (MGSim-style buffered
+links), with queue-occupancy and stall-cycle statistics per link.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.common.stats import StatGroup
+
+
+class PortProtocolError(RuntimeError):
+    """A component violated the try_send/busy/retry handshake."""
+
+
+def respond(request) -> None:
+    """Unwind a completed request's response path.
+
+    Pops the route stack LIFO; each hop's ``on_response`` hook may consume
+    the response (return False) to stop the unwind — used by the health
+    taps for fault-injected drops, delayed replies and retry
+    deduplication.  When the stack is empty the issuer's ``callback``
+    fires with the completed request.
+    """
+    route = request.route
+    while route:
+        port = route.pop()
+        if not port._recv_response(request):
+            return
+    if request.callback is not None:
+        request.callback(request)
+
+
+class ResponsePort:
+    """Receiving side of a port pair; wraps a ``handler(request) -> bool``."""
+
+    def __init__(self, name: str, handler: Callable[[Any], bool],
+                 owner: Optional[object] = None) -> None:
+        self.name = name
+        self.handler = handler
+        self.owner = owner
+        self._blocked: deque = deque()      # RequestPorts awaiting retry
+
+    def _recv(self, request) -> bool:
+        return self.handler(request)
+
+    def send_retry(self) -> None:
+        """Wake the oldest blocked sender (one slot freed up)."""
+        if self._blocked:
+            self._blocked.popleft()._recv_retry()
+
+    def __repr__(self) -> str:
+        return f"ResponsePort({self.name})"
+
+
+class RequestPort:
+    """Sending side of a port pair."""
+
+    def __init__(self, name: str, owner: Optional[object] = None,
+                 on_response: Optional[Callable[[Any], bool]] = None,
+                 on_retry: Optional[Callable[[], None]] = None) -> None:
+        self.name = name
+        self.owner = owner
+        self.on_response = on_response
+        self.on_retry = on_retry
+        self.peer: Optional[ResponsePort] = None
+        self.waiting = False                # blocked, awaiting a retry
+
+    def connect(self, target) -> "RequestPort":
+        """Bind to a ResponsePort (or anything adaptable into one)."""
+        self.peer = as_response_port(target)
+        return self
+
+    def try_send(self, request) -> bool:
+        """Offer a packet; False means busy — hold it and await retry."""
+        if self.peer is None:
+            raise PortProtocolError(f"{self.name} is not connected")
+        request.route.append(self)
+        if self.peer._recv(request):
+            return True
+        request.route.pop()
+        if not self.waiting:
+            self.waiting = True
+            self.peer._blocked.append(self)
+        return False
+
+    def send(self, request) -> None:
+        """try_send that treats busy as a protocol error.
+
+        For entry points that predate flow control (``SystemNoC.submit``);
+        only safe against unbounded receivers.
+        """
+        if not self.try_send(request):
+            raise PortProtocolError(
+                f"{self.name}: receiver busy — use try_send and honor "
+                f"the retry handshake")
+
+    def _recv_retry(self) -> None:
+        self.waiting = False
+        if self.on_retry is not None:
+            self.on_retry()
+
+    def _recv_response(self, request) -> bool:
+        if self.on_response is not None:
+            return self.on_response(request)
+        return True
+
+    def __repr__(self) -> str:
+        peer = self.peer.name if self.peer is not None else None
+        return f"RequestPort({self.name} -> {peer})"
+
+
+class AccessAdapter:
+    """Wraps a legacy ``access(address, size, write, callback)`` level
+    (PerfectMemory, LatencyPort, ad-hoc test doubles) as a ResponsePort."""
+
+    def __init__(self, level) -> None:
+        self.level = level
+        name = getattr(level, "name", type(level).__name__)
+        self.ingress = ResponsePort(f"{name}.in", self._recv, owner=self)
+
+    def _recv(self, request) -> bool:
+        callback = None
+        if request.callback is not None or request.route:
+            callback = lambda completed=request: respond(completed)  # noqa: E731
+        self.level.access(request.address, request.size, request.write,
+                          callback)
+        return True
+
+
+def as_response_port(target) -> ResponsePort:
+    """Coerce a connection target into a ResponsePort.
+
+    Accepts, in order of preference: a ResponsePort; anything exposing an
+    ``ingress`` ResponsePort (caches, links, the NoC, the memory system);
+    a legacy ``access(...)`` level; or a bare ``submit(request)`` callable.
+    """
+    if isinstance(target, ResponsePort):
+        return target
+    ingress = getattr(target, "ingress", None)
+    if isinstance(ingress, ResponsePort):
+        return ingress
+    if callable(getattr(target, "access", None)):
+        return AccessAdapter(target).ingress
+    if callable(target):
+        def handler(request, _sink=target):
+            _sink(request)
+            return True
+        name = getattr(target, "__qualname__", getattr(target, "__name__",
+                                                       "sink"))
+        return ResponsePort(f"fn:{name}", handler, owner=target)
+    raise TypeError(f"cannot connect a port to {target!r}")
+
+
+class PortTap:
+    """A synchronous interposition stage on a request path.
+
+    Forwards packets unchanged (propagating backpressure both ways) and
+    exposes two hooks: ``on_request`` fires after a packet is accepted
+    downstream, ``on_response`` observes the unwind and may consume it
+    (return False).  A tap adds no events, so interposing one on an
+    unbounded path leaves the event schedule untouched — this is how the
+    health subsystem's watchdog/fault/retry hooks attach without
+    re-wrapping callbacks.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.ingress = ResponsePort(f"{name}.in", self._recv_request,
+                                    owner=self)
+        self.egress = RequestPort(f"{name}.out", owner=self,
+                                  on_response=self._recv_response,
+                                  on_retry=self._recv_retry)
+
+    def connect(self, target) -> "PortTap":
+        self.egress.connect(target)
+        return self
+
+    def _recv_request(self, request) -> bool:
+        if not self.egress.try_send(request):
+            return False
+        self.on_request(request)
+        return True
+
+    def _recv_retry(self) -> None:
+        # Downstream freed up: wake our own blocked senders.
+        self.ingress.send_retry()
+
+    def _recv_response(self, request) -> bool:
+        return self.on_response(request)
+
+    # -- hooks -------------------------------------------------------------------
+
+    def on_request(self, request) -> None:
+        """Called once per packet accepted downstream."""
+
+    def on_response(self, request) -> bool:
+        """Observe a response; return False to consume (stop the unwind)."""
+        return True
+
+
+class Link:
+    """A conduit between two components: latency, then (optionally) a
+    bounded queue draining through a serializing output line.
+
+    Unbounded (``capacity=None, bytes_per_cycle=None``): a pure latency
+    hop.  Each accepted packet schedules exactly one delivery event at
+    ``latency`` (plus the per-packet ``extra_latency`` hook, used for
+    fault-injected spikes) — the same event the seed's fixed-latency
+    adapters scheduled, keeping default runs bit-identical.
+
+    Bounded: ``capacity`` limits packets buffered in the link (try_send
+    fails when full, engaging the retry handshake) and ``bytes_per_cycle``
+    serializes the output (a packet occupies the line for
+    ``ceil(size / bytes_per_cycle)`` ticks), so sustained overload builds
+    genuine queueing delay.  Per-link stats: ``packets``, ``rejected``,
+    ``stall_ticks`` (sender-blocked time), ``queue_occupancy`` and
+    ``traversal`` histograms, and a ``bytes`` delivery time series.
+    """
+
+    def __init__(self, events, name: str, latency: int = 0,
+                 capacity: Optional[int] = None,
+                 bytes_per_cycle: Optional[float] = None,
+                 extra_latency: Optional[Callable[[Any], int]] = None,
+                 stats: Optional[StatGroup] = None) -> None:
+        self.events = events
+        self.name = name
+        self.latency = latency
+        self.capacity = capacity
+        self.bytes_per_cycle = bytes_per_cycle
+        self.extra_latency = extra_latency
+        self.stats = stats or StatGroup(name)
+        self.ingress = ResponsePort(f"{name}.in", self._recv, owner=self)
+        self.egress = RequestPort(f"{name}.out", owner=self,
+                                  on_retry=self._drain_ready)
+        self._queue: deque = deque()        # (request, arrival) in transit
+        self._ready: deque = deque()        # arrived, refused downstream
+        self._line_free = 0                 # when the output line frees
+        self._stall_since: dict[int, int] = {}
+
+    @property
+    def bounded(self) -> bool:
+        return self.capacity is not None or self.bytes_per_cycle is not None
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._queue) + len(self._ready)
+
+    def connect(self, target) -> "Link":
+        self.egress.connect(target)
+        return self
+
+    # -- receive side ------------------------------------------------------------
+
+    def _recv(self, request) -> bool:
+        if not self.bounded:
+            extra = (self.extra_latency(request)
+                     if self.extra_latency is not None else 0)
+            self.stats.counter("packets").add()
+            self.stats.histogram("traversal").record(self.latency + extra)
+            self.events.schedule(self.latency + extra, self._deliver_direct,
+                                 request, owner=self.name)
+            return True
+        now = self.events.now
+        if self.capacity is not None and self.occupancy >= self.capacity:
+            self.stats.counter("rejected").add()
+            self._stall_since.setdefault(id(request), now)
+            return False
+        stalled = self._stall_since.pop(id(request), None)
+        if stalled is not None:
+            self.stats.counter("stall_ticks").add(now - stalled)
+            self.stats.histogram("stall_cycles").record(now - stalled)
+        extra = (self.extra_latency(request)
+                 if self.extra_latency is not None else 0)
+        serialize = 0
+        if self.bytes_per_cycle:
+            serialize = -(-request.size // self.bytes_per_cycle)
+        start = max(now + self.latency + extra, self._line_free)
+        delivery = int(start + serialize)
+        self._line_free = delivery
+        self._queue.append((request, now))
+        self.stats.histogram("queue_occupancy").record(self.occupancy)
+        self.events.schedule_at(delivery, self._dequeue, owner=self.name)
+        return True
+
+    # -- delivery side -----------------------------------------------------------
+
+    def _deliver_direct(self, request) -> None:
+        self.stats.time_series("bytes").add(self.events.now, request.size)
+        self.egress.send(request)
+
+    def _dequeue(self) -> None:
+        self._ready.append(self._queue.popleft())
+        self._drain_ready()
+
+    def _drain_ready(self) -> None:
+        while self._ready:
+            request, arrival = self._ready[0]
+            if not self.egress.try_send(request):
+                return                      # downstream busy; its retry
+                                            # re-enters here
+            self._ready.popleft()
+            now = self.events.now
+            self.stats.counter("packets").add()
+            self.stats.histogram("traversal").record(now - arrival)
+            self.stats.time_series("bytes").add(now, request.size)
+            self.ingress.send_retry()       # one buffer slot freed

@@ -9,6 +9,8 @@ display service counts (Fig. 13) and so on.
 from __future__ import annotations
 
 import math
+import random
+import zlib
 from collections import defaultdict
 from typing import Iterable, Optional
 
@@ -94,33 +96,65 @@ class TimeSeries:
 
 
 class Histogram:
-    """A simple value histogram with mean/percentile helpers."""
+    """A value histogram with mean/percentile helpers.
 
-    def __init__(self, name: str = "") -> None:
+    By default every sample is retained.  With ``reservoir`` set, at most
+    that many samples are kept using reservoir sampling (Vitter's
+    algorithm R) so unbounded runs stay bounded in memory: count, mean,
+    minimum and maximum remain exact (tracked as running aggregates);
+    percentiles are estimated from the reservoir.  The sampling RNG is
+    seeded from the histogram's name, so runs stay deterministic.
+    """
+
+    def __init__(self, name: str = "",
+                 reservoir: Optional[int] = None) -> None:
+        if reservoir is not None and reservoir <= 0:
+            raise ValueError(f"reservoir must be positive, got {reservoir}")
         self.name = name
+        self.reservoir = reservoir
         self._values: list[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._rng = (random.Random(zlib.crc32(name.encode()))
+                     if reservoir is not None else None)
 
     def record(self, value: float) -> None:
-        self._values.append(value)
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if self.reservoir is None or len(self._values) < self.reservoir:
+            self._values.append(value)
+            return
+        slot = self._rng.randrange(self._count)
+        if slot < self.reservoir:
+            self._values[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def mean(self) -> float:
-        return sum(self._values) / len(self._values) if self._values else 0.0
+        return self._sum / self._count if self._count else 0.0
 
     @property
     def maximum(self) -> float:
-        return max(self._values) if self._values else 0.0
+        return self._max if self._max is not None else 0.0
 
     @property
     def minimum(self) -> float:
-        return min(self._values) if self._values else 0.0
+        return self._min if self._min is not None else 0.0
 
     def percentile(self, p: float) -> float:
-        """Nearest-rank percentile; ``p`` in [0, 100]."""
+        """Nearest-rank percentile; ``p`` in [0, 100].
+
+        Exact when unbounded; a reservoir estimate when capped.
+        """
         if not (0.0 <= p <= 100.0):
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if not self._values:
@@ -130,10 +164,17 @@ class Histogram:
         return ordered[rank]
 
     def values(self) -> list[float]:
+        """Retained samples (all of them, or the reservoir when capped)."""
         return list(self._values)
 
     def reset(self) -> None:
         self._values.clear()
+        self._count = 0
+        self._sum = 0.0
+        self._min = None
+        self._max = None
+        if self.reservoir is not None:
+            self._rng = random.Random(zlib.crc32(self.name.encode()))
 
 
 class StatGroup:
@@ -167,13 +208,17 @@ class StatGroup:
             self._series[name] = TimeSeries(window, f"{self.name}.{name}")
         return self._series[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str,
+                  reservoir: Optional[int] = None) -> Histogram:
+        """Get or create a histogram; ``reservoir`` applies at creation."""
         if name not in self._histograms:
-            self._histograms[name] = Histogram(f"{self.name}.{name}")
+            self._histograms[name] = Histogram(f"{self.name}.{name}",
+                                               reservoir=reservoir)
         return self._histograms[name]
 
     def dump(self) -> dict[str, float]:
-        """Flatten all scalars (counters, rates, histogram means) to a dict."""
+        """Flatten all scalars (counters, rates, histogram means, time-series
+        totals) to a dict."""
         out: dict[str, float] = {}
         for name, counter in self._counters.items():
             out[name] = counter.value
@@ -183,6 +228,8 @@ class StatGroup:
         for name, hist in self._histograms.items():
             out[f"{name}.mean"] = hist.mean
             out[f"{name}.count"] = hist.count
+        for name, series in self._series.items():
+            out[f"{name}.total"] = series.total()
         return out
 
     def reset(self) -> None:

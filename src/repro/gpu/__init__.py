@@ -7,6 +7,6 @@ in-shader raster operations, a shared L2 behind an interconnect, and the
 DFSL dynamic load balancer of case study II.
 """
 
-from repro.gpu.gpu import EmeraldGPU, GPUFrameStats, DRAMPort
+from repro.gpu.gpu import EmeraldGPU, GPUFrameStats
 
-__all__ = ["EmeraldGPU", "GPUFrameStats", "DRAMPort"]
+__all__ = ["EmeraldGPU", "GPUFrameStats"]

@@ -1,26 +1,38 @@
-"""Set-associative caches with MSHRs, event-driven.
+"""Set-associative caches with MSHRs, event-driven, port-connected.
 
 Write-back, write-allocate, true-LRU.  Misses allocate an MSHR; secondary
 misses to an in-flight line merge into it.  Fills may evict a dirty line,
-which emits a writeback to the next level.  The next level is anything with
-an ``access(address, size, write, callback)`` method — another cache, a
-latency adapter, or the DRAM-backed memory port.
+which emits a writeback to the next level.
+
+The memory side speaks the timing-port protocol
+(:mod:`repro.common.ports`): fills and writebacks leave through
+``mem_port`` and honor the try_send/busy/retry handshake (refused packets
+queue in a send backlog until the downstream link retries).  The
+processor side is ``ingress`` — a :class:`~repro.common.ports.ResponsePort`
+carrying :class:`~repro.memory.request.MemRequest` packets — plus the
+legacy ``access(address, size, write, callback)`` shim the SIMT cores'
+coalescer uses.  ``next_level`` may be anything a port can connect to:
+another cache, a :class:`~repro.common.ports.Link`, the NoC, the memory
+system, or a legacy ``access``-style level.
 
 Simplifications vs. GPGPU-Sim, by design (documented per DESIGN.md §4):
 no port-contention modeling inside a cache (the DRAM bus and core issue
 slots are the modeled bottlenecks) and MSHR occupancy is tracked
-statistically rather than back-pressuring.
+statistically rather than back-pressuring (merges absorb secondary
+misses, so the processor side always accepts).
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Protocol
 
 from repro.common.config import CacheConfig
 from repro.common.events import EventQueue
+from repro.common.ports import RequestPort, ResponsePort, respond
 from repro.common.stats import StatGroup
+from repro.memory.request import MemRequest, SourceType
 
 
 class MemoryLevel(Protocol):
@@ -30,7 +42,12 @@ class MemoryLevel(Protocol):
 
 
 class LatencyPort:
-    """Fixed-latency hop (an interconnect link) in front of another level."""
+    """Fixed-latency hop in the legacy ``access`` convention.
+
+    Kept for unit tests and microbenchmarks; new wiring uses
+    :class:`~repro.common.ports.Link`, which speaks the port protocol and
+    can bound bandwidth.
+    """
 
     def __init__(self, events: EventQueue, latency: int,
                  next_level: MemoryLevel) -> None:
@@ -61,7 +78,7 @@ class PerfectMemory:
 
 @dataclass
 class _MSHREntry:
-    callbacks: list = field(default_factory=list)
+    waiters: list = field(default_factory=list)     # MemRequests to answer
     write: bool = False
 
 
@@ -69,17 +86,23 @@ class Cache:
     """One cache level; see module docstring."""
 
     def __init__(self, events: EventQueue, config: CacheConfig, name: str,
-                 next_level: MemoryLevel,
-                 stats: Optional[StatGroup] = None) -> None:
+                 next_level, stats: Optional[StatGroup] = None,
+                 source: SourceType = SourceType.GPU) -> None:
         self.events = events
         self.config = config
         self.name = name
         self.next_level = next_level
+        self.source = source
         self.stats = stats or StatGroup(name)
         # sets: list of OrderedDict tag -> dirty flag (LRU order: oldest first)
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(config.num_sets)]
         self._mshrs: dict[int, _MSHREntry] = {}
+        self.ingress = ResponsePort(f"{name}.in", self._recv, owner=self)
+        self.mem_port = RequestPort(f"{name}.mem", owner=self,
+                                    on_retry=self._drain_backlog)
+        self.mem_port.connect(next_level)
+        self._backlog: deque = deque()      # sends refused downstream
 
     # -- address helpers --------------------------------------------------------
 
@@ -91,34 +114,52 @@ class Cache:
 
     # -- main entry ---------------------------------------------------------------
 
+    def _recv(self, request: MemRequest) -> bool:
+        self._handle(request)
+        return True
+
     def access(self, address: int, size: int, write: bool,
                callback: Optional[Callable[[], None]] = None) -> None:
-        """Access one line (callers must split multi-line requests)."""
-        line = self.line_of(address)
+        """Legacy entry: one line per call, zero-argument completion."""
+        self._handle(MemRequest(
+            address=address, size=size, write=write, source=self.source,
+            callback=None if callback is None
+            else (lambda completed: callback())))
+
+    def _handle(self, request: MemRequest) -> None:
+        line = self.line_of(request.address)
         cache_set = self._sets[self._set_index(line)]
         self.stats.counter("accesses").add()
+        wants_reply = request.callback is not None
+        if not wants_reply:
+            # Fire-and-forget (writebacks): the transaction terminates
+            # here, nobody upstream awaits the unwind.
+            request.route.clear()
         if line in cache_set:
             self.stats.rate("hit").record(True)
             dirty = cache_set.pop(line)
-            cache_set[line] = dirty or write
-            if callback is not None:
-                self.events.schedule(self.config.hit_latency, callback)
+            cache_set[line] = dirty or request.write
+            if wants_reply:
+                self.events.schedule(self.config.hit_latency, respond,
+                                     request)
             return
         self.stats.rate("hit").record(False)
         if line in self._mshrs:
+            entry = self._mshrs[line]
             self.stats.counter("mshr_merges").add()
-            if callback is not None:
-                self._mshrs[line].callbacks.append(callback)
-            self._mshrs[line].write |= write
+            if wants_reply:
+                entry.waiters.append(request)
+            entry.write |= request.write
             return
-        entry = _MSHREntry(write=write)
-        if callback is not None:
-            entry.callbacks.append(callback)
+        entry = _MSHREntry(write=request.write)
+        if wants_reply:
+            entry.waiters.append(request)
         self._mshrs[line] = entry
         self.stats.histogram("mshr_occupancy").record(len(self._mshrs))
-        line_address = line * self.config.line_bytes
-        self.next_level.access(line_address, self.config.line_bytes, False,
-                               lambda: self._fill(line))
+        self._send(MemRequest(
+            address=line * self.config.line_bytes,
+            size=self.config.line_bytes, write=False, source=self.source,
+            callback=lambda completed, line=line: self._fill(line)))
 
     def _fill(self, line: int) -> None:
         entry = self._mshrs.pop(line)
@@ -128,12 +169,27 @@ class Cache:
             self.stats.counter("evictions").add()
             if victim_dirty:
                 self.stats.counter("writebacks").add()
-                self.next_level.access(
-                    victim_line * self.config.line_bytes,
-                    self.config.line_bytes, True, None)
+                self._send(MemRequest(
+                    address=victim_line * self.config.line_bytes,
+                    size=self.config.line_bytes, write=True,
+                    source=self.source))
         cache_set[line] = entry.write
-        for callback in entry.callbacks:
-            self.events.schedule(self.config.hit_latency, callback)
+        for waiter in entry.waiters:
+            self.events.schedule(self.config.hit_latency, respond, waiter)
+
+    # -- memory side -------------------------------------------------------------
+
+    def _send(self, request: MemRequest) -> None:
+        if not self._backlog and self.mem_port.try_send(request):
+            return
+        self.stats.counter("blocked_sends").add()
+        self._backlog.append(request)
+
+    def _drain_backlog(self) -> None:
+        while self._backlog:
+            if not self.mem_port.try_send(self._backlog[0]):
+                return                      # still busy; next retry resumes
+            self._backlog.popleft()
 
     # -- inspection --------------------------------------------------------------
 
@@ -155,8 +211,10 @@ class Cache:
         for cache_set in self._sets:
             for line, dirty in list(cache_set.items()):
                 if dirty:
-                    self.next_level.access(line * self.config.line_bytes,
-                                           self.config.line_bytes, True, None)
+                    self._send(MemRequest(
+                        address=line * self.config.line_bytes,
+                        size=self.config.line_bytes, write=True,
+                        source=self.source))
                     cache_set[line] = False
                     count += 1
         return count

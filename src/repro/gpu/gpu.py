@@ -19,28 +19,14 @@ from repro.common.config import GPUConfig
 from repro.common.events import EventQueue
 from repro.common.stats import StatGroup
 from repro.gl.context import Frame
-from repro.gpu.caches import Cache, MemoryLevel
+from repro.gpu.caches import Cache
 from repro.gpu.cluster import Cluster
 from repro.gpu.draw_engine import DrawEngine
 from repro.gpu.hiz import HiZBuffer
 from repro.gpu.simt_core import SIMTCore
-from repro.memory.request import MemRequest, SourceType
+from repro.memory.request import SourceType
 from repro.memory.system import MemorySystem
 from repro.pipeline.framebuffer import Framebuffer
-
-
-class DRAMPort:
-    """Adapts the cache ``access`` interface onto a :class:`MemorySystem`."""
-
-    def __init__(self, memory: MemorySystem,
-                 source: SourceType = SourceType.GPU) -> None:
-        self.memory = memory
-        self.source = source
-
-    def access(self, address, size, write, callback):
-        self.memory.submit(MemRequest(
-            address=address, size=size, write=write, source=self.source,
-            callback=(lambda r: callback()) if callback else None))
 
 
 @dataclass
@@ -86,7 +72,7 @@ class EmeraldGPU:
     def __init__(self, events: EventQueue, config: GPUConfig,
                  width: int, height: int,
                  memory: Optional[MemorySystem] = None,
-                 memory_port: Optional[MemoryLevel] = None,
+                 memory_port=None,
                  framebuffer: Optional[Framebuffer] = None) -> None:
         if config.cores_per_cluster != 1:
             raise ValueError(
@@ -98,7 +84,9 @@ class EmeraldGPU:
         if memory_port is None:
             if memory is None:
                 raise ValueError("need a MemorySystem or an explicit port")
-            memory_port = DRAMPort(memory)
+            # L2 misses enter the memory system directly (synchronous port
+            # hop); full-system builds pass the NoC as memory_port instead.
+            memory_port = memory
         self.stats = StatGroup("gpu")
         self.l2 = Cache(events, config.l2, "gpu.l2", memory_port)
         self.cores = [

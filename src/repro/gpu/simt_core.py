@@ -23,8 +23,9 @@ from typing import Callable, Optional
 
 from repro.common.config import SIMTCoreConfig
 from repro.common.events import EventQueue, Ticker
+from repro.common.ports import Link
 from repro.common.stats import StatGroup
-from repro.gpu.caches import Cache, LatencyPort, MemoryLevel
+from repro.gpu.caches import Cache
 from repro.gpu.coalescer import coalesce
 from repro.shader.interpreter import WarpTrace
 from repro.shader.isa import DEFAULT_LATENCY, LatencyClass, MemSpace
@@ -58,18 +59,20 @@ class SIMTCore:
     """One shader core; see module docstring."""
 
     def __init__(self, events: EventQueue, config: SIMTCoreConfig,
-                 core_id: int, l2_port: MemoryLevel, noc_latency: int = 8,
+                 core_id: int, l2_port, noc_latency: int = 8,
                  stats: Optional[StatGroup] = None) -> None:
         self.events = events
         self.config = config
         self.core_id = core_id
         self.stats = stats or StatGroup(f"core{core_id}")
-        port = LatencyPort(events, noc_latency, l2_port)
-        self.l1i = Cache(events, config.l1i, f"core{core_id}.l1i", port)
-        self.l1d = Cache(events, config.l1d, f"core{core_id}.l1d", port)
-        self.l1t = Cache(events, config.l1t, f"core{core_id}.l1t", port)
-        self.l1z = Cache(events, config.l1z, f"core{core_id}.l1z", port)
-        self.l1c = Cache(events, config.l1c, f"core{core_id}.l1c", port)
+        # One core-to-L2 link, fanned into by all five L1 mem ports.
+        self.link = Link(events, f"core{core_id}.link", latency=noc_latency)
+        self.link.connect(l2_port)
+        self.l1i = Cache(events, config.l1i, f"core{core_id}.l1i", self.link)
+        self.l1d = Cache(events, config.l1d, f"core{core_id}.l1d", self.link)
+        self.l1t = Cache(events, config.l1t, f"core{core_id}.l1t", self.link)
+        self.l1z = Cache(events, config.l1z, f"core{core_id}.l1z", self.link)
+        self.l1c = Cache(events, config.l1c, f"core{core_id}.l1c", self.link)
         self._space_routes = {
             MemSpace.TEXTURE: self.l1t,
             MemSpace.DEPTH: self.l1z,

@@ -63,17 +63,21 @@ class CS1Config:
     regular_rate_mbps: int = 800
     high_rate_mbps: int = 400
     channels: int = 2
+    # Bounded-bandwidth NoC (None = unbounded; see SoCRunConfig).
+    noc_capacity: Optional[int] = None
+    noc_bytes_per_cycle: Optional[float] = None
     seed: int = 7
 
 
 def run_cs1(model: str, config_name: str, load: str = "regular",
             config: Optional[CS1Config] = None,
-            health=None) -> SoCResults:
+            health=None, stats_path: Optional[str] = None) -> SoCResults:
     """One full-system run; returns everything Figs. 9-14 need.
 
     ``health`` (a :class:`repro.health.HealthConfig`) arms the watchdog /
     fault-injection / checkpointing subsystem; ``None`` keeps the run
-    bit-identical to a health-free build.
+    bit-identical to a health-free build.  ``stats_path`` dumps every
+    component's statistics to one JSON file after the run.
     """
     config = config or CS1Config()
     if load not in LOADS:
@@ -93,11 +97,17 @@ def run_cs1(model: str, config_name: str, load: str = "regular",
         display_period_ticks=config.display_period_ticks,
         cpu_work_per_frame=config.cpu_work_per_frame,
         cpu_fixed_ticks=config.cpu_fixed_ticks,
+        noc_capacity=config.noc_capacity,
+        noc_bytes_per_cycle=config.noc_bytes_per_cycle,
         seed=config.seed,
         health=health,
     )
     soc = EmeraldSoC(run_config, session.frame, session.framebuffer_address)
-    return soc.run()
+    results = soc.run()
+    if stats_path is not None:
+        from repro.harness.report import write_stats_json
+        write_stats_json(soc.stat_groups(), stats_path)
+    return results
 
 
 @dataclass

@@ -106,11 +106,13 @@ class FrameResult:
 
 def run_static(workload: str, wt_size: int, frames: int,
                config: Optional[CS2Config] = None,
-               warmup: int = 1) -> list[FrameResult]:
+               warmup: int = 1,
+               stats_path: Optional[str] = None) -> list[FrameResult]:
     """Render ``frames`` animated frames at a fixed WT size.
 
     The first ``warmup`` frames are rendered but dropped from the results
-    (cold caches).
+    (cold caches).  ``stats_path`` dumps every GPU component's statistics
+    to one JSON file after the run.
     """
     config = config or CS2Config()
     model = CASE_STUDY2_SCENES.get(workload, workload)
@@ -124,6 +126,9 @@ def run_static(workload: str, wt_size: int, frames: int,
         stats = gpu.run_frame(session.frame(index))
         if index >= warmup:
             results.append(FrameResult(wt_size, stats))
+    if stats_path is not None:
+        from repro.harness.report import gpu_stat_groups, write_stats_json
+        write_stats_json(gpu_stat_groups(gpu), stats_path)
     return results
 
 

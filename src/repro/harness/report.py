@@ -6,7 +6,39 @@ helpers keep the output uniform and diff-friendly.
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Sequence
+
+
+def gpu_stat_groups(gpu) -> list:
+    """Every :class:`StatGroup` inside an :class:`EmeraldGPU`, in a stable
+    order (GPU top-level, draw engine, L2, then per-cluster units)."""
+    groups = [gpu.stats, gpu.draw_engine.stats, gpu.l2.stats]
+    for cluster in gpu.clusters:
+        groups.append(cluster.stats)
+        groups.append(cluster.tc.stats)
+    for core in gpu.cores:
+        groups.append(core.stats)
+        groups.append(core.link.stats)
+        for l1 in (core.l1i, core.l1d, core.l1t, core.l1z, core.l1c):
+            groups.append(l1.stats)
+    return groups
+
+
+def write_stats_json(groups: Iterable, path: str) -> dict:
+    """Dump every group's flattened statistics into one JSON file.
+
+    Returns the written mapping ``{group_name: {stat: value}}``; groups
+    with duplicate names are merged (later wins per key), which only
+    happens if a caller passes the same group twice.
+    """
+    payload: dict[str, dict] = {}
+    for group in groups:
+        payload.setdefault(group.name, {}).update(group.dump())
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return payload
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence],

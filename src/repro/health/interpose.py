@@ -1,0 +1,191 @@
+"""Health hooks as port interpositions.
+
+PR 1 attached the watchdog, fault injector and retry ladder by hand-
+wrapping ``MemRequest.callback`` inside the NoC (the ``_Flight`` closure
+plumbing).  With the timing-port fabric those hooks become *taps* —
+:class:`~repro.common.ports.PortTap` stages interposed on the NoC's
+request path — which observe the same two points (request accepted
+downstream, response unwinding back) without touching the packet's
+callback:
+
+* :class:`WatchdogTap` registers every accepted request with the health
+  watchdog and retires it when its response unwinds past — so the
+  watchdog's view of "in flight" includes time spent queued in a bounded
+  link (sustained backpressure is visible as request age).
+* :class:`ResilienceTap` owns the fault/retry machinery: it draws the
+  injector's request-path latency spike (carried to the link via
+  ``metadata``), consults the reply fate on the unwind (drop / delay /
+  deliver), arms a per-attempt retry timer, re-injects clones below
+  itself, and deduplicates late originals racing their retries so the
+  issuer hears exactly once.
+
+Both taps are synchronous: interposing them on an unbounded path adds no
+events, preserving PR 1's health-off/watchdog-only bit-identity
+guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.events import EventQueue
+from repro.common.ports import PortTap, respond
+from repro.common.stats import StatGroup
+from repro.memory.request import MemRequest
+
+FLIGHT_KEY = "noc_flight"
+EXTRA_KEY = "noc_extra"
+
+
+class WatchdogTap(PortTap):
+    """Track/retire every request crossing this tap with the watchdog."""
+
+    def __init__(self, watchdog, name: str = "noc.watchdog") -> None:
+        super().__init__(name)
+        self.watchdog = watchdog
+
+    def on_request(self, request: MemRequest) -> None:
+        if request.complete_time is None:       # guard: already answered
+            self.watchdog.track(request)
+
+    def on_response(self, request: MemRequest) -> bool:
+        self.watchdog.retire(request)
+        return True
+
+
+@dataclass
+class _Flight:
+    """Delivery state of one logical request across retry attempts.
+
+    Lives in the request's shared ``metadata`` (original and clones see
+    the same dict), so it is garbage-collected with the request — no
+    registry to leak or clean up.
+    """
+
+    request: MemRequest                 # the original the issuer holds
+    delivered: bool = False
+    attempts: int = 1
+    timer: Optional[object] = None      # the armed timeout Event
+
+
+class ResilienceTap(PortTap):
+    """Fault-injected reply fates + timeout-driven retries, exactly once.
+
+    ``base_latency`` is the downstream link's nominal latency; retry
+    timers arm at ``base_latency + spike + deadline_for(attempt)``,
+    matching the PR 1 closure implementation tick for tick.
+    """
+
+    def __init__(self, events: EventQueue, injector=None, retry=None,
+                 base_latency: int = 0, stats: Optional[StatGroup] = None,
+                 name: str = "noc.resilience") -> None:
+        super().__init__(name)
+        self.events = events
+        self.injector = injector
+        self.retry = retry
+        self.base_latency = base_latency
+        self.stats = stats or StatGroup(name)
+
+    # -- request path ------------------------------------------------------------
+
+    def _recv_request(self, request: MemRequest) -> bool:
+        ok, extra = self._send_attempt(request)
+        if not ok:
+            return False
+        if self.retry is not None:
+            flight = _Flight(request=request)
+            request.metadata[FLIGHT_KEY] = flight
+            self._arm(flight, extra, request.attempt)
+        return True
+
+    def _send_attempt(self, request: MemRequest) -> tuple[bool, int]:
+        """Offer one attempt downstream; returns (accepted, spike_ticks).
+
+        The injector's latency spike is drawn once per attempt and parked
+        in ``metadata`` so (a) a backpressure re-send reuses the same draw
+        (RNG streams stay aligned with the accept/reject pattern) and
+        (b) the downstream link can consume it during its own receive.
+        """
+        extra = 0
+        if self.injector is not None:
+            if EXTRA_KEY not in request.metadata:
+                request.metadata[EXTRA_KEY] = \
+                    self.injector.noc_extra_latency(request)
+            extra = request.metadata[EXTRA_KEY]
+        return self.egress.try_send(request), extra
+
+    def _arm(self, flight: _Flight, extra: int, attempt: int) -> None:
+        wait = (self.base_latency + extra
+                + self.retry.deadline_for(attempt))
+        flight.timer = self.events.schedule(wait, self._timeout, flight,
+                                            owner="noc.retry")
+
+    # -- response path -----------------------------------------------------------
+
+    def on_response(self, request: MemRequest) -> bool:
+        if self.injector is not None:
+            fate, delay = self.injector.reply_fate(request)
+            if fate == "drop":
+                return False        # reply lost; the timeout (if armed)
+                                    # re-injects, else the watchdog reports
+            if fate == "delay":
+                self.events.schedule(delay, self._deliver_late, request,
+                                     owner="noc")
+                return False
+        return self._deliver(request)
+
+    def _deliver_late(self, request: MemRequest) -> None:
+        # The unwind was halted when the delay was injected; continue it
+        # from this tap's position now (the route above us is intact).
+        if self._deliver(request):
+            respond(request)
+
+    def _deliver(self, request: MemRequest) -> bool:
+        """Resolve one arriving reply; True = let the unwind continue."""
+        flight = request.metadata.get(FLIGHT_KEY)
+        if flight is None:
+            return True                         # no retry armed: pass through
+        if flight.delivered:
+            self.stats.counter("duplicate_replies").add()
+            return False
+        flight.delivered = True
+        if flight.timer is not None:
+            flight.timer.cancel()
+            flight.timer = None
+        original = flight.request
+        if request is not original:
+            # A retry clone carried the data back: surface completion on
+            # the original and continue up ITS route (the clone's route
+            # ends here; the original's still holds the hops above us).
+            original.complete_time = request.complete_time
+            original.issue_time = request.issue_time
+            original.attempt = request.attempt
+            respond(original)
+            return False
+        return True
+
+    def _timeout(self, flight: _Flight) -> None:
+        flight.timer = None
+        if flight.delivered:
+            return
+        if flight.attempts > self.retry.max_retries:
+            # Out of retries: leave the request in flight for the watchdog
+            # to report with its full age and attempt count.
+            self.stats.counter("retries_exhausted").add()
+            return
+        clone = flight.request.clone_for_retry()
+        clone.metadata.pop(EXTRA_KEY, None)     # fresh spike per attempt
+        ok, extra = self._send_attempt(clone)
+        if not ok:
+            # Bounded link saturated: repeat this ladder rung once the
+            # same deadline passes again instead of burning the attempt.
+            self.stats.counter("retries_blocked").add()
+            flight.timer = self.events.schedule(
+                self.retry.deadline_for(clone.attempt), self._timeout,
+                flight, owner="noc.retry")
+            return
+        flight.attempts += 1
+        flight.request.attempt = clone.attempt
+        self.stats.counter("retries").add()
+        self._arm(flight, extra, clone.attempt)

@@ -25,6 +25,7 @@ from typing import Optional, Protocol
 
 from repro.common.config import DRAMConfig
 from repro.common.events import EventQueue, Ticker
+from repro.common.ports import ResponsePort, respond
 from repro.common.stats import StatGroup
 from repro.memory.address_map import AddressMapping, DramCoord
 from repro.memory.request import MemRequest
@@ -83,10 +84,16 @@ class DRAMChannel:
         self.pending: list[QueuedRequest] = []
         self.stats = stats or StatGroup(f"dram.ch{channel_id}")
         self._owner = f"dram.ch{channel_id}"
+        self.ingress = ResponsePort(f"{self._owner}.in", self._recv,
+                                    owner=self)
         self._ticker = Ticker(queue, period=self.cycle_ticks,
                               callback=self._wake, owner=self._owner)
 
     # -- public -------------------------------------------------------------
+
+    def _recv(self, request: MemRequest) -> bool:
+        self.submit(request)
+        return True
 
     def submit(self, request: MemRequest) -> None:
         coord = self.mapping.decode(
@@ -181,8 +188,9 @@ class DRAMChannel:
         self.stats.histogram(f"latency.{source}").record(request.latency)
         self.stats.time_series(f"bandwidth.{source}", window=1000).add(
             self.events.now, request.size)
-        if request.callback is not None:
-            request.callback(request)
+        # Unwind the port route (health taps, links, the issuer's port) and
+        # fire the completion callback — all synchronous, zero extra events.
+        respond(request)
 
     def drain_flush_stats(self) -> None:
         """Flush per-bank open-row byte counts into the histogram."""

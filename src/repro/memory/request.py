@@ -24,6 +24,11 @@ class MemRequest:
     ``deadline`` is an optional absolute tick by which the issuer expects a
     reply — the health watchdog reports requests that outlive it;
     ``attempt`` counts NoC-level retries (0 = first issue).
+
+    ``route`` is the response path: every
+    :class:`~repro.common.ports.RequestPort` the packet traverses pushes
+    itself here, and :func:`~repro.common.ports.respond` unwinds the stack
+    LIFO at completion before firing ``callback``.
     """
 
     address: int
@@ -37,6 +42,7 @@ class MemRequest:
     complete_time: Optional[int] = None
     deadline: Optional[int] = None
     attempt: int = 0
+    route: list = field(default_factory=list, repr=False)
 
     @property
     def latency(self) -> int:
@@ -55,11 +61,13 @@ class MemRequest:
         """A fresh copy to re-inject after a lost reply.
 
         Completion state is reset and the attempt counter bumped; the clone
-        carries its own callback wiring (set by the retry layer), never the
-        original's.
+        carries its own callback wiring and response route (built as the
+        retry layer re-injects it), never the original's.  ``metadata`` IS
+        shared — the retry layer keys its flight state there so original
+        and clones resolve to one delivery decision.
         """
         return replace(self, callback=None, complete_time=None,
-                       issue_time=0, attempt=self.attempt + 1)
+                       issue_time=0, attempt=self.attempt + 1, route=[])
 
 
 def adapt_completion(callback: Optional[Callable]) -> \

@@ -13,6 +13,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.common.config import DRAMConfig
 from repro.common.events import EventQueue
+from repro.common.ports import RequestPort, ResponsePort
 from repro.memory.address_map import (
     AddressMapping,
     BASELINE_MAPPING,
@@ -110,6 +111,22 @@ class MemorySystem:
         # Ingress observation probes (health instrumentation).  Empty by
         # default so the hot path stays a single falsy check.
         self.probes: list[Callable[[MemRequest], None]] = []
+        # Timing-port surface: upstream components (NoC link, GPU L2)
+        # connect to ``ingress``; each channel hangs off its own request
+        # port.  Both hops are synchronous, so port-connected entry is
+        # event-identical to calling submit() directly.
+        self.ingress = ResponsePort("memory.in", self._recv, owner=self)
+        self._channel_ports = []
+        for channel in self.channels:
+            port = RequestPort(f"memory.ch{channel.channel_id}", owner=self)
+            port.connect(channel)
+            self._channel_ports.append(port)
+
+    def _recv(self, request: MemRequest) -> bool:
+        # Late-bound self.submit so trace recorders that wrap it still see
+        # port-delivered traffic.
+        self.submit(request)
+        return True
 
     def add_probe(self, probe: Callable[[MemRequest], None]) -> None:
         """Register an ingress probe called with every submitted request."""
@@ -140,7 +157,7 @@ class MemorySystem:
             for probe in self.probes:
                 probe(request)
         channel = self.router.route(request)
-        self.channels[channel].submit(request)
+        self._channel_ports[channel].send(request)
 
     # -- aggregate statistics ---------------------------------------------------
 

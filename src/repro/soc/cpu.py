@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.common.events import EventQueue
+from repro.common.ports import RequestPort
 from repro.common.stats import StatGroup
 from repro.memory.request import MemRequest, SourceType
 
@@ -49,15 +50,20 @@ class CPUCore:
     """One core's memory-side behavior (see module docstring)."""
 
     def __init__(self, events: EventQueue, core_id: int,
-                 submit: Callable[[MemRequest], None],
-                 config: CPUCoreConfig, base_address: int,
+                 submit, config: CPUCoreConfig, base_address: int,
                  seed: int = 0) -> None:
         self.events = events
         self.core_id = core_id
-        self.submit = submit
         self.config = config
         self.base_address = base_address
         self.stats = StatGroup(f"cpu{core_id}")
+        # ``submit`` may be a legacy callable or any port-connectable
+        # target (the NoC, a memory system); requests leave through a
+        # timing port so bounded links can backpressure the core.
+        self.port = RequestPort(f"cpu{core_id}.mem", owner=self,
+                                on_retry=self._retry_send)
+        self.port.connect(submit)
+        self._pending: Optional[MemRequest] = None   # blocked at the port
         self._rng = random.Random((seed << 8) | core_id)
         self._in_flight = 0
         self._run_remaining = 0
@@ -108,20 +114,40 @@ class CPUCore:
         return self._continuous or self._job_to_issue > 0
 
     def _pump(self) -> None:
-        while self._in_flight < self.config.outstanding and self._wants_to_issue:
+        while (self._pending is None
+               and self._in_flight < self.config.outstanding
+               and self._wants_to_issue):
             self._issue()
 
     def _issue(self) -> None:
-        if self._job_to_issue > 0:
-            self._job_to_issue -= 1
-        self._in_flight += 1
         address = self._next_address()
         write = self._rng.random() < self.config.write_fraction
-        self.stats.counter("requests").add()
         request = MemRequest(address=address, size=LINE, write=write,
                              source=SourceType.CPU, source_id=self.core_id,
                              callback=self._completed)
-        self.submit(request)
+        if self.port.try_send(request):
+            self._sent()
+        else:
+            # Backpressure: hold the request (its address/write draws are
+            # already made, so the RNG streams stay aligned) and stall the
+            # issue window until the port's retry.
+            self.stats.counter("stalled_sends").add()
+            self._pending = request
+
+    def _sent(self) -> None:
+        if self._job_to_issue > 0:
+            self._job_to_issue -= 1
+        self._in_flight += 1
+        self.stats.counter("requests").add()
+
+    def _retry_send(self) -> None:
+        request = self._pending
+        if request is None:
+            return
+        if self.port.try_send(request):
+            self._pending = None
+            self._sent()
+            self._pump()
 
     def _next_address(self) -> int:
         if self._run_remaining == 0:
@@ -158,8 +184,7 @@ class CPUCluster:
     The light threads (cores 2-3, UI/compositor-like) run continuously.
     """
 
-    def __init__(self, events: EventQueue,
-                 submit: Callable[[MemRequest], None],
+    def __init__(self, events: EventQueue, submit,
                  num_cores: int = 4, seed: int = 7,
                  base_address: int = 0x8000_0000) -> None:
         if num_cores < 1:

@@ -15,17 +15,17 @@ low expected progress and is therefore *non-urgent* (Fig. 14-6).
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.common.events import EventQueue
+from repro.common.ports import RequestPort
 from repro.common.stats import StatGroup
 from repro.memory.dash import DashState
 from repro.memory.request import MemRequest, SourceType
 
 
 class DisplayController:
-    def __init__(self, events: EventQueue,
-                 submit: Callable[[MemRequest], None],
+    def __init__(self, events: EventQueue, submit,
                  framebuffer_address: int, frame_bytes: int,
                  period_ticks: int, burst_bytes: int = 256,
                  outstanding: int = 4, abort_fraction: float = 0.5,
@@ -34,7 +34,13 @@ class DisplayController:
         if frame_bytes <= 0 or period_ticks <= 0:
             raise ValueError("frame_bytes and period_ticks must be positive")
         self.events = events
-        self.submit = submit
+        # Scanout bursts leave through a timing port so a bounded NoC link
+        # can backpressure the DMA engine (stalled bursts count toward the
+        # deadline, feeding the abort loop).
+        self.port = RequestPort("display.mem", owner=self,
+                                on_retry=self._retry_send)
+        self.port.connect(submit)
+        self._blocked: Optional[MemRequest] = None
         self.injector = injector
         self.framebuffer_address = framebuffer_address
         self.frame_bytes = frame_bytes
@@ -72,6 +78,7 @@ class DisplayController:
         self._frame_start = self.events.now
         self._cursor = 0
         self._aborted = False
+        self._blocked = None        # a stale-frame burst is dropped
         if self.dash_state is not None:
             self.dash_state.start_ip_period(SourceType.DISPLAY,
                                             self.events.now)
@@ -100,16 +107,22 @@ class DisplayController:
         if self._behind_schedule():
             self._abort_frame()
             return
-        while (self._in_flight < self.outstanding_limit
+        while (self._blocked is None
+               and self._in_flight < self.outstanding_limit
                and self._cursor < self._bursts_per_frame):
             address = (self.framebuffer_address
                        + self._cursor * self.burst_bytes)
+            request = MemRequest(address=address, size=self.burst_bytes,
+                                 write=False, source=SourceType.DISPLAY,
+                                 callback=self._completed)
+            if not self.port.try_send(request):
+                # Backpressure: park the burst until the port's retry.
+                self.stats.counter("stalled_sends").add()
+                self._blocked = request
+                break
             self._cursor += 1
             self._in_flight += 1
             self.stats.counter("requests").add()
-            self.submit(MemRequest(address=address, size=self.burst_bytes,
-                                   write=False, source=SourceType.DISPLAY,
-                                   callback=self._completed))
         if self.dash_state is not None:
             self.dash_state.report_ip_progress(SourceType.DISPLAY,
                                                self._progress(),
@@ -131,8 +144,23 @@ class DisplayController:
         self.events.schedule(self._issue_interval, self._issue,
                              owner="display")
 
+    def _retry_send(self) -> None:
+        request = self._blocked
+        if request is None:
+            return
+        if self._aborted or not self._running:
+            self._blocked = None
+            return
+        if self.port.try_send(request):
+            self._blocked = None
+            self._cursor += 1
+            self._in_flight += 1
+            self.stats.counter("requests").add()
+            self._issue()
+
     def _abort_frame(self) -> None:
         self._aborted = True
+        self._blocked = None
         self.stats.counter("frames_aborted").add()
 
     # -- results ---------------------------------------------------------------

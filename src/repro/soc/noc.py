@@ -1,56 +1,50 @@
-"""System interconnect: a latency hop between IPs and the memory system.
+"""System interconnect: a port-connected link between IPs and memory.
 
-The NoC is also where the health subsystem hooks the request path:
+The NoC is one :class:`~repro.common.ports.Link` from the IP-side ingress
+to the memory system.  The paper uses gem5's classic (coherent) system
+network; a fixed-latency link preserves the first-order effect — IP-to-
+DRAM distance — without a flit-level model, and the link's optional
+``capacity`` / ``bytes_per_cycle`` knobs add MGSim-style bounded
+bandwidth: under sustained overload requests queue in the link (visible
+as queue-occupancy/stall statistics and rising traversal latency) and
+backpressure propagates to the issuing IPs through the port retry
+handshake.
 
-* every request entering the memory system is registered with the
-  :class:`~repro.health.watchdog.Watchdog` (when armed) and retired when
-  its reply is delivered — the watchdog's view of "in flight" is the
-  issuer's view;
-* a :class:`~repro.health.faults.FaultInjector` can spike the request-path
-  latency and drop or delay replies on the response path;
-* a :class:`~repro.health.faults.RetryConfig` arms a per-request timeout:
-  a reply that does not arrive in time triggers re-injection of a cloned
-  request with exponential backoff, so a lost reply degrades to extra
-  latency instead of deadlocking the issuer.  Late duplicate replies
-  (original and retry both completing) are delivered exactly once.
+The health subsystem attaches as port taps interposed ahead of the link
+(see :mod:`repro.health.interpose`):
 
-With no health hooks attached the NoC schedules exactly the same events as
-the bare latency hop, keeping health-free runs bit-identical.
+* a :class:`~repro.health.interpose.WatchdogTap` registers every accepted
+  request and retires it when its reply unwinds back — the watchdog's
+  view of "in flight" is the issuer's view;
+* a :class:`~repro.health.interpose.ResilienceTap` injects request-path
+  latency spikes, applies reply fates (drop/delay), and arms the retry
+  ladder — a lost reply degrades to extra latency instead of deadlocking
+  the issuer, and late duplicates are delivered exactly once.
+
+With no health hooks and unbounded queues the NoC schedules exactly the
+same events as the bare latency hop, keeping default runs bit-identical
+to the seed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 from repro.common.events import EventQueue
+from repro.common.ports import Link, RequestPort
 from repro.common.stats import StatGroup
+from repro.health.interpose import EXTRA_KEY, ResilienceTap, WatchdogTap
 from repro.memory.request import MemRequest, SourceType, adapt_completion
 from repro.memory.system import MemorySystem
 
 
-@dataclass
-class _Flight:
-    """Delivery state of one logical request across retry attempts."""
-
-    request: MemRequest
-    original_callback: Optional[Callable[[MemRequest], None]] = None
-    delivered: bool = False
-    attempts: int = 1
-    timer: Optional[object] = None      # the armed timeout Event
-
-
 class SystemNoC:
-    """Adds a fixed latency to every request entering the memory system.
-
-    The paper uses gem5's classic (coherent) system network; a fixed-latency
-    hop preserves the first-order effect — IP-to-DRAM distance — without a
-    flit-level model.
-    """
+    """IP-side entry to the memory path; see module docstring."""
 
     def __init__(self, events: EventQueue, memory: MemorySystem,
                  latency: int = 12, watchdog=None, injector=None,
-                 retry=None) -> None:
+                 retry=None, capacity: Optional[int] = None,
+                 bytes_per_cycle: Optional[float] = None) -> None:
         self.events = events
         self.memory = memory
         self.latency = latency
@@ -58,23 +52,41 @@ class SystemNoC:
         self.injector = injector
         self.retry = retry
         self.stats = StatGroup("noc")
-
-    @property
-    def _plain(self) -> bool:
-        return (self.watchdog is None and self.injector is None
-                and self.retry is None)
+        extra_hook = None
+        if injector is not None:
+            # The ResilienceTap draws the spike (once per attempt) and
+            # parks it in metadata; the link consumes it on acceptance.
+            def extra_hook(request):
+                return request.metadata.pop(EXTRA_KEY, 0)
+        self.link = Link(events, "noc.link", latency=latency,
+                         capacity=capacity,
+                         bytes_per_cycle=bytes_per_cycle,
+                         extra_latency=extra_hook)
+        self.link.connect(memory)
+        head = self.link
+        self.resilience: Optional[ResilienceTap] = None
+        if injector is not None or retry is not None:
+            self.resilience = ResilienceTap(
+                events, injector=injector, retry=retry,
+                base_latency=latency, stats=self.stats)
+            head = self.resilience.connect(head)
+        self.watchdog_tap: Optional[WatchdogTap] = None
+        if watchdog is not None:
+            self.watchdog_tap = WatchdogTap(watchdog)
+            head = self.watchdog_tap.connect(head)
+        #: IP-facing ResponsePort — CPU cores, the display controller and
+        #: the GPU L2 connect their request ports here.
+        self.ingress = head.ingress
+        self._entry = RequestPort("noc.submit", owner=self)
+        self._entry.connect(head)
 
     def submit(self, request: MemRequest) -> None:
-        if self._plain:
-            # Health-free fast path: identical event schedule to the seed.
-            self.events.schedule(self.latency, self.memory.submit, request)
-            return
-        flight = _Flight(request=request,
-                         original_callback=request.callback)
-        if self.watchdog is not None:
-            self.watchdog.track(request)
-        request.callback = lambda completed: self._reply(flight, completed)
-        self._inject_attempt(flight, request)
+        """Callable entry kept for recorders and tests.
+
+        Raises on backpressure (bounded links) — flow-control-aware
+        callers connect a port to ``ingress`` instead.
+        """
+        self._entry.send(request)
 
     def access(self, address, size, write, callback):
         """Cache-port compatible entry (used behind the GPU L2).
@@ -86,66 +98,3 @@ class SystemNoC:
         self.submit(MemRequest(
             address=address, size=size, write=write, source=SourceType.GPU,
             callback=adapt_completion(callback)))
-
-    # -- health path ------------------------------------------------------------
-
-    def _inject_attempt(self, flight: _Flight, attempt: MemRequest) -> None:
-        """Send one attempt toward the memory system and arm its timeout."""
-        extra = (self.injector.noc_extra_latency(attempt)
-                 if self.injector is not None else 0)
-        self.events.schedule(self.latency + extra, self.memory.submit,
-                             attempt, owner="noc")
-        if self.retry is not None:
-            wait = (self.latency + extra
-                    + self.retry.deadline_for(attempt.attempt))
-            flight.timer = self.events.schedule(
-                wait, self._timeout, flight, owner="noc.retry")
-
-    def _reply(self, flight: _Flight, completed: MemRequest) -> None:
-        """Response path: the memory system finished one attempt."""
-        if self.injector is not None:
-            fate, delay = self.injector.reply_fate(completed)
-            if fate == "drop":
-                return              # reply lost; the timeout (if armed)
-                                    # re-injects, else the watchdog reports
-            if fate == "delay":
-                self.events.schedule(delay, self._deliver, flight, completed,
-                                     owner="noc")
-                return
-        self._deliver(flight, completed)
-
-    def _deliver(self, flight: _Flight, completed: MemRequest) -> None:
-        if flight.delivered:
-            self.stats.counter("duplicate_replies").add()
-            return
-        flight.delivered = True
-        if flight.timer is not None:
-            flight.timer.cancel()
-            flight.timer = None
-        # Surface completion state on the original request object even when
-        # a retry clone carried the data back.
-        original = flight.request
-        if completed is not original:
-            original.complete_time = completed.complete_time
-            original.issue_time = completed.issue_time
-            original.attempt = completed.attempt
-        if self.watchdog is not None:
-            self.watchdog.retire(original)
-        if flight.original_callback is not None:
-            flight.original_callback(original)
-
-    def _timeout(self, flight: _Flight) -> None:
-        flight.timer = None
-        if flight.delivered:
-            return
-        if flight.attempts > self.retry.max_retries:
-            # Out of retries: leave the request in flight for the watchdog
-            # to report with its full age and attempt count.
-            self.stats.counter("retries_exhausted").add()
-            return
-        flight.attempts += 1
-        clone = flight.request.clone_for_retry()
-        flight.request.attempt = clone.attempt
-        clone.callback = lambda completed: self._reply(flight, completed)
-        self.stats.counter("retries").add()
-        self._inject_attempt(flight, clone)

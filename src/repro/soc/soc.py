@@ -47,6 +47,11 @@ class SoCRunConfig:
     cpu_fixed_ticks: int = 0
     num_cpu_cores: int = 4
     noc_latency: int = 12
+    # Bounded-bandwidth NoC (None = unbounded, bit-identical to the seed):
+    # ``noc_capacity`` caps the link queue depth; ``noc_bytes_per_cycle``
+    # serializes packets so sustained overload queues (Fig. 12 regime).
+    noc_capacity: Optional[int] = None
+    noc_bytes_per_cycle: Optional[float] = None
     seed: int = 7
     # DASH epoch scaling: Table 3's quantum (1M cycles) assumes wall-clock-
     # scale workloads; scaled runs need the classifier to re-cluster within
@@ -81,6 +86,8 @@ class SoCResults:
     watchdog_reports: int = 0
     noc_retries: int = 0
     checkpoints_taken: int = 0
+    # Per-link port statistics (queue occupancy, stalls) keyed by link name.
+    link_stats: dict[str, dict[str, float]] = field(default_factory=dict)
 
 
 class EmeraldSoC:
@@ -131,16 +138,18 @@ class EmeraldSoC:
         self.noc = SystemNoC(self.events, self.memory,
                              latency=run_config.noc_latency,
                              watchdog=self.watchdog,
-                             injector=self.injector, retry=retry)
+                             injector=self.injector, retry=retry,
+                             capacity=run_config.noc_capacity,
+                             bytes_per_cycle=run_config.noc_bytes_per_cycle)
         self.gpu = EmeraldGPU(self.events, run_config.gpu,
                               run_config.width, run_config.height,
                               memory=self.memory, memory_port=self.noc)
-        self.cpus = CPUCluster(self.events, self.noc.submit,
+        self.cpus = CPUCluster(self.events, self.noc,
                                num_cores=run_config.num_cpu_cores,
                                seed=run_config.seed)
         frame_bytes = run_config.width * run_config.height * 4
         self.display = DisplayController(
-            self.events, self.noc.submit,
+            self.events, self.noc,
             framebuffer_address=framebuffer_address,
             frame_bytes=frame_bytes,
             period_ticks=run_config.display_period_ticks,
@@ -197,6 +206,27 @@ class EmeraldSoC:
         return (f" ({self.watchdog.in_flight} requests in flight; oldest "
                 f"from {oldest.owner} addr=0x{oldest.address:x})")
 
+    def stat_groups(self) -> list:
+        """Every component's :class:`StatGroup`, in a stable order — the
+        ``--dump-stats`` walk."""
+        from repro.harness.report import gpu_stat_groups
+        groups = [self.noc.stats, self.noc.link.stats]
+        groups.extend(gpu_stat_groups(self.gpu))
+        groups.append(self.loop.stats)
+        groups.append(self.display.stats)
+        groups.extend(core.stats for core in self.cpus.cores)
+        groups.extend(channel.stats for channel in self.memory.channels)
+        if self.watchdog is not None:
+            groups.append(self.watchdog.stats)
+        if self.injector is not None:
+            groups.append(self.injector.stats)
+        return groups
+
+    def _link_stats(self) -> dict[str, dict[str, float]]:
+        return {group.name: group.dump()
+                for group in self.stat_groups()
+                if group.name.endswith(".link")}
+
     def _results(self) -> SoCResults:
         memory = self.memory
         return SoCResults(
@@ -223,4 +253,5 @@ class EmeraldSoC:
             noc_retries=self.noc.stats.counter("retries").value,
             checkpoints_taken=(self.checkpoints.checkpoints_taken
                                if self.checkpoints is not None else 0),
+            link_stats=self._link_stats(),
         )

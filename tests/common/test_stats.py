@@ -187,3 +187,68 @@ class TestMARE:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             mean_abs_relative_error([], [])
+
+
+class TestHistogramReservoir:
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValueError):
+            Histogram("h", reservoir=0)
+
+    def test_exact_aggregates_survive_sampling(self):
+        """count/mean/min/max are running aggregates — exact regardless of
+        which samples the reservoir retains."""
+        capped = Histogram("lat", reservoir=50)
+        full = Histogram("lat")
+        for v in range(10_000):
+            capped.record(float(v))
+            full.record(float(v))
+        assert capped.count == full.count == 10_000
+        assert capped.mean == full.mean
+        assert capped.minimum == full.minimum == 0.0
+        assert capped.maximum == full.maximum == 9999.0
+        assert len(capped.values()) == 50
+
+    def test_percentile_estimate_within_tolerance(self):
+        """Reservoir percentiles track the exact ones on a uniform stream:
+        with k=500 of n=20000 the p50/p90/p99 estimates land within a few
+        percentile points of truth (binomial rank error ~ 1/sqrt(k))."""
+        h = Histogram("lat", reservoir=500)
+        n = 20_000
+        for v in range(n):
+            h.record(float(v))
+        for p in (50, 90, 99):
+            exact = p / 100.0 * n
+            estimate = h.percentile(p)
+            assert abs(estimate - exact) / n < 0.05
+
+    def test_sampling_is_deterministic_per_name(self):
+        a, b = Histogram("x", reservoir=10), Histogram("x", reservoir=10)
+        for v in range(1_000):
+            a.record(float(v))
+            b.record(float(v))
+        assert a.values() == b.values()
+
+    def test_reset_reseeds(self):
+        h = Histogram("x", reservoir=10)
+        for v in range(1_000):
+            h.record(float(v))
+        first = h.values()
+        h.reset()
+        assert h.count == 0
+        for v in range(1_000):
+            h.record(float(v))
+        assert h.values() == first
+
+    def test_group_creates_capped_histograms(self):
+        g = StatGroup("noc")
+        h = g.histogram("queue", reservoir=8)
+        assert h.reservoir == 8
+        assert g.histogram("queue") is h
+
+
+class TestStatGroupDumpSeries:
+    def test_dump_includes_time_series_totals(self):
+        g = StatGroup("link")
+        g.time_series("bytes").add(0, 64)
+        g.time_series("bytes").add(2_000, 128)
+        assert g.dump()["bytes.total"] == 192.0

@@ -1,0 +1,48 @@
+"""The ``--dump-stats`` walk: every component's StatGroup into one JSON."""
+
+import json
+
+from repro.__main__ import main
+from repro.common.stats import StatGroup
+from repro.harness.case_study2 import CS2Config, run_static
+from repro.harness.report import write_stats_json
+
+
+class TestWriteStatsJson:
+    def test_round_trips_groups(self, tmp_path):
+        a, b = StatGroup("alpha"), StatGroup("beta")
+        a.counter("hits").add(3)
+        b.histogram("lat").record(10)
+        b.time_series("bytes").add(0, 64)
+        path = tmp_path / "stats.json"
+        payload = write_stats_json([a, b], str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["alpha"]["hits"] == 3
+        assert on_disk["beta"]["lat.mean"] == 10
+        assert on_disk["beta"]["bytes.total"] == 64
+
+
+class TestDumpStatsCLI:
+    def test_cs1_dump_stats_writes_all_components(self, capsys, tmp_path):
+        path = tmp_path / "cs1.json"
+        assert main(["cs1", "M1", "BAS", "--frames", "2",
+                     "--dump-stats", str(path)]) == 0
+        stats = json.loads(path.read_text())
+        # One entry per component, including the per-link port stats.
+        assert stats["noc.link"]["packets"] > 0
+        assert "traversal.mean" in stats["noc.link"]
+        assert stats["display"]["requests"] > 0
+        assert stats["cpu0"]["requests"] > 0
+        assert stats["dram.ch0"]
+        assert stats["gpu.l2"]["accesses"] > 0
+        assert any(name.startswith("core0") for name in stats)
+
+    def test_cs2_run_static_dump(self, tmp_path):
+        path = tmp_path / "cs2.json"
+        config = CS2Config(width=48, height=36, texture_size=64)
+        run_static("cube", 2, 1, config, stats_path=str(path))
+        stats = json.loads(path.read_text())
+        assert stats["gpu"]["frames"] > 0
+        assert stats["core0.link"]["packets"] > 0
+        assert stats["core0.l1d"]
