@@ -54,3 +54,40 @@ def test_fig14_timeline(benchmark, cs1_high):
     render = [mean_cpu(r.cpu_done, r.gpu_done) for r in bas.frames[1:]]
     assert sum(prep) / len(prep) > sum(render) / len(render), \
         "CPU demand should drop during the GPU phase (frame-end idle)"
+
+
+def test_fig14_trace_smoke(tmp_path):
+    """One frame under tracing: phase spans must tile each app frame with
+    no gap and no overlap (the Fig. 14 decomposition), and the emitted
+    Chrome-trace JSON must be well-formed."""
+    from repro.harness.case_study1 import CS1Config, run_cs1
+    from repro.trace import TraceConfig, load_trace, validate_trace
+
+    path = tmp_path / "fig14-smoke-trace.json"
+    config = CS1Config(width=48, height=36, num_frames=1, texture_size=64,
+                       gpu_frame_period_ticks=120_000,
+                       display_period_ticks=60_000,
+                       cpu_work_per_frame=40, cpu_fixed_ticks=5_000)
+    results = run_cs1("M1", "BAS", "high", config=config,
+                      trace=TraceConfig(path=str(path), profile=True))
+
+    warnings = validate_trace(load_trace(str(path)))
+    assert all("async" in w for w in warnings)
+
+    attribution = results.profile
+    frames = attribution.frames("app")
+    assert frames, "tracing must capture at least one app frame"
+    for frame, phases in frames:
+        assert phases, f"{frame.name} has no phase spans"
+        cursor = frame.start
+        for phase in sorted(phases, key=lambda s: s.start):
+            assert phase.start == cursor, (
+                f"{phase.name} leaves a gap or overlaps in {frame.name}")
+            cursor = phase.end
+        assert cursor == frame.end, f"{frame.name} is not fully covered"
+
+    print()
+    print(attribution.format(buckets=40))
+
+    for track, busy in attribution.busy_ticks.items():
+        assert 0 <= busy <= attribution.end_tick, track

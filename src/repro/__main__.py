@@ -103,12 +103,21 @@ def _build_health(args):
     )
 
 
+def _build_trace(args):
+    """Translate the --trace / --profile flags into a TraceConfig."""
+    if not (args.trace or args.profile):
+        return None
+    from repro.trace import TraceConfig
+    return TraceConfig(path=args.trace, profile=args.profile)
+
+
 def _cmd_cs1(args) -> int:
     from repro.harness.case_study1 import CS1Config, run_cs1
     config = CS1Config(num_frames=args.frames)
     health = _build_health(args)
     results = run_cs1(args.model, args.config, args.load, config,
-                      health=health, stats_path=args.dump_stats)
+                      health=health, stats_path=args.dump_stats,
+                      trace=_build_trace(args))
     print(f"{args.model} {args.config} ({args.load} load):")
     if health is not None:
         print(f"  health: retries={results.noc_retries} "
@@ -123,6 +132,10 @@ def _cmd_cs1(args) -> int:
     print(f"  DRAM row-hit rate     : {results.row_hit_rate:.3f}")
     print(f"  mean DRAM latency     : "
           f"{ {k: round(v) for k, v in results.mean_latency.items()} }")
+    if results.profile is not None:
+        print(results.profile.format())
+    if args.trace:
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -138,11 +151,16 @@ def _cmd_cs2(args) -> int:
                        title=f"WT sweep — {args.workload}"))
     best = min(sweep, key=lambda wt: sweep[wt].time)
     print(f"best WT: {best}")
-    if args.dump_stats:
+    trace = _build_trace(args)
+    if args.dump_stats or trace is not None:
+        # Re-run the best WT for one frame to collect stats and/or a trace.
         from repro.harness.case_study2 import run_static
         run_static(args.workload, best, 1, config,
-                   stats_path=args.dump_stats)
-        print(f"stats written to {args.dump_stats}")
+                   stats_path=args.dump_stats, trace=trace)
+        if args.dump_stats:
+            print(f"stats written to {args.dump_stats}")
+        if args.trace:
+            print(f"trace written to {args.trace}")
     return 0
 
 
@@ -181,9 +199,14 @@ def _cmd_selftest(args) -> int:
         display_period_ticks=60_000,
         cpu_work_per_frame=40,
         health=HealthConfig(watchdog=True, checkpoint_every=1),
+        trace=_build_trace(args),
     )
     soc = EmeraldSoC(config, session.frame, session.framebuffer_address)
     results = soc.run()
+    if results.profile is not None:
+        print(results.profile.format())
+    if args.trace:
+        print(f"trace written to {args.trace}")
     ok = (soc.loop.finished
           and len(results.frames) == args.frames
           and results.watchdog_reports == 0
@@ -197,6 +220,14 @@ def _cmd_selftest(args) -> int:
           f"coverage={soc.gpu.fb.coverage():.3f}")
     print("selftest OK" if ok else "selftest FAILED")
     return 0 if ok else 1
+
+
+def _add_trace_flags(p) -> None:
+    p.add_argument("--trace", metavar="PATH",
+                   help="record the run as Chrome Trace Event Format JSON "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--profile", action="store_true",
+                   help="print a cycle-attribution report after the run")
 
 
 def main(argv=None) -> int:
@@ -239,11 +270,13 @@ def main(argv=None) -> int:
     p.add_argument("--dump-stats", metavar="PATH",
                    help="write every component's statistics (including "
                         "per-link port stats) to one JSON file")
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_cs1)
 
     p = sub.add_parser("selftest",
                        help="tiny watchdog-armed full-system smoke run")
     p.add_argument("--frames", type=int, default=1)
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_selftest)
 
     p = sub.add_parser("cs2", help="case study II WT sweep")
@@ -253,6 +286,7 @@ def main(argv=None) -> int:
     p.add_argument("--dump-stats", metavar="PATH",
                    help="re-run the best WT for one frame and write every "
                         "GPU component's statistics to one JSON file")
+    _add_trace_flags(p)
     p.set_defaults(func=_cmd_cs2)
 
     p = sub.add_parser("dfsl", help="run DFSL on a workload")

@@ -145,6 +145,10 @@ class EventQueue:
         self.error_policy = error_policy
         self.debug_provenance = debug_provenance
         self.errors: list[SimulationError] = []
+        # Optional trace sink (repro.trace.Tracer attaches itself here).
+        # Hooks below are a single None check when tracing is off, so the
+        # kernel's event schedule is untouched either way.
+        self.tracer = None
 
     @property
     def now(self) -> int:
@@ -176,6 +180,8 @@ class EventQueue:
             event.site = self._capture_site()
         heapq.heappush(self._heap, (event.time, self._seq, event))
         self._seq += 1
+        if self.tracer is not None:
+            self.tracer.kernel_scheduled(event)
         return event
 
     @staticmethod
@@ -220,6 +226,8 @@ class EventQueue:
         _, __, event = heapq.heappop(self._heap)
         self._now = event.time
         self._events_fired += 1
+        if self.tracer is not None:
+            self.tracer.kernel_fired(event)
         if self.error_policy == "propagate":
             event.callback(*event.args)
             return True
@@ -272,7 +280,12 @@ class EventQueue:
             self.step()
             count += 1
         if self._now < time:
-            self._now = time
+            # A budget stop can leave events pending at-or-before ``time``;
+            # advancing over them would let the next step() run time
+            # backwards.
+            next_time = self.peek_time()
+            if next_time is None or next_time > time:
+                self._now = time
         return RunResult(count, reason)
 
     def _drop_cancelled_head(self) -> None:

@@ -127,6 +127,18 @@ class RequestPort:
                 f"{self.name}: receiver busy — use try_send and honor "
                 f"the retry handshake")
 
+    def await_retry(self) -> None:
+        """Register for a retry wake without offering a packet.
+
+        Interposition stages relay retries one-for-one; a stage whose own
+        senders are still blocked uses this to stay subscribed to the
+        next freed slot even though its last forward succeeded."""
+        if self.peer is None:
+            raise PortProtocolError(f"{self.name} is not connected")
+        if not self.waiting:
+            self.waiting = True
+            self.peer._blocked.append(self)
+
     def _recv_retry(self) -> None:
         self.waiting = False
         if self.on_retry is not None:
@@ -215,8 +227,15 @@ class PortTap:
         return True
 
     def _recv_retry(self) -> None:
-        # Downstream freed up: wake our own blocked senders.
+        # Downstream freed a slot: wake one of our own blocked senders
+        # (one-for-one, mirroring send_retry's slot accounting).
         self.ingress.send_retry()
+        # The woken sender's re-send only re-registers our egress if it
+        # was itself rejected; with more senders still queued behind this
+        # tap we must stay subscribed, or the next freed slot's retry is
+        # lost and those senders stall forever.
+        if self.ingress._blocked:
+            self.egress.await_retry()
 
     def _recv_response(self, request) -> bool:
         return self.on_response(request)

@@ -291,6 +291,14 @@ class DrawEngine:
 
     def run_draw(self, draw: DrawCall, fb: Framebuffer, hiz: HiZBuffer,
                  wt_size: int, on_done: Callable[[], None]) -> DrawContext:
+        tracer = self.events.tracer
+        if tracer is not None:
+            span = f"draw:{draw.name}"
+            tracer.begin("gpu", span, args={"prims": draw.num_primitives})
+
+            def on_done(_done=on_done, _tracer=tracer, _span=span):
+                _tracer.end("gpu", _span)
+                _done()
         ctx = DrawContext(self, draw, fb, hiz, wt_size, on_done)
         for cluster in self.clusters:
             cluster.begin_draw(ctx)

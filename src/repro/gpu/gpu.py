@@ -122,6 +122,10 @@ class EmeraldGPU:
         stats = GPUFrameStats(frame_index=frame.index,
                               start_tick=self.events.now,
                               wt_size=self.work_tile_size)
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.begin("gpu", f"frame{frame.index}",
+                         args={"draws": len(frame.draw_calls)})
         snapshot = self._counter_snapshot()
         draws = list(frame.draw_calls)
         total = max(len(draws), 1)
@@ -166,6 +170,10 @@ class EmeraldGPU:
         stats.end_tick = self.events.now
         self._collect(stats, snapshot)
         self._frame_stats.append(stats)
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.end("gpu", f"frame{stats.frame_index}",
+                       args={"fragments": stats.fragments})
         self._busy = False
         if on_complete is not None:
             on_complete(stats)

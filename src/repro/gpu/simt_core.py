@@ -85,6 +85,8 @@ class SIMTCore:
         self._resident: list[_ResidentWarp] = []
         self._waiting: list[WarpTask] = []
         self._retire_candidates: list[_ResidentWarp] = []
+        self._track = f"core{core_id}"
+        self._trace_busy = False    # a "busy" span is open on our track
         self._rr_offset = 0
         self._ticker = Ticker(events, period=1, callback=self._cycle)
         self._latency = dict(DEFAULT_LATENCY)
@@ -99,6 +101,7 @@ class SIMTCore:
             self._install(task)
         else:
             self._waiting.append(task)
+        self._trace_activity()
         self._ticker.kick()
 
     def _install(self, task: WarpTask) -> None:
@@ -201,6 +204,21 @@ class SIMTCore:
                 warp.task.on_complete(warp.task)
         while self._waiting and len(self._resident) < self.config.max_warps:
             self._install(self._waiting.pop(0))
+        self._trace_activity()
+
+    def _trace_activity(self) -> None:
+        """Maintain the core's busy span + resident-warp occupancy counter."""
+        tracer = self.events.tracer
+        if tracer is None:
+            return
+        busy = bool(self._resident)
+        if busy != self._trace_busy:
+            self._trace_busy = busy
+            if busy:
+                tracer.begin(self._track, "busy")
+            else:
+                tracer.end(self._track, "busy")
+        tracer.counter(self._track, "resident_warps", len(self._resident))
 
     # -- aggregate stats ---------------------------------------------------------
 

@@ -71,13 +71,17 @@ class CS1Config:
 
 def run_cs1(model: str, config_name: str, load: str = "regular",
             config: Optional[CS1Config] = None,
-            health=None, stats_path: Optional[str] = None) -> SoCResults:
+            health=None, stats_path: Optional[str] = None,
+            trace=None) -> SoCResults:
     """One full-system run; returns everything Figs. 9-14 need.
 
     ``health`` (a :class:`repro.health.HealthConfig`) arms the watchdog /
     fault-injection / checkpointing subsystem; ``None`` keeps the run
     bit-identical to a health-free build.  ``stats_path`` dumps every
-    component's statistics to one JSON file after the run.
+    component's statistics to one JSON file after the run.  ``trace`` (a
+    :class:`repro.trace.TraceConfig`) records the run as Chrome-trace JSON
+    and/or reduces it into ``results.profile`` — either way the run's
+    event schedule is unchanged.
     """
     config = config or CS1Config()
     if load not in LOADS:
@@ -101,6 +105,7 @@ def run_cs1(model: str, config_name: str, load: str = "regular",
         noc_bytes_per_cycle=config.noc_bytes_per_cycle,
         seed=config.seed,
         health=health,
+        trace=trace,
     )
     soc = EmeraldSoC(run_config, session.frame, session.framebuffer_address)
     results = soc.run()

@@ -107,12 +107,15 @@ class FrameResult:
 def run_static(workload: str, wt_size: int, frames: int,
                config: Optional[CS2Config] = None,
                warmup: int = 1,
-               stats_path: Optional[str] = None) -> list[FrameResult]:
+               stats_path: Optional[str] = None,
+               trace=None) -> list[FrameResult]:
     """Render ``frames`` animated frames at a fixed WT size.
 
     The first ``warmup`` frames are rendered but dropped from the results
     (cold caches).  ``stats_path`` dumps every GPU component's statistics
-    to one JSON file after the run.
+    to one JSON file after the run.  ``trace`` (a
+    :class:`repro.trace.TraceConfig`) records the run as Chrome-trace JSON
+    and/or prints a cycle-attribution report.
     """
     config = config or CS2Config()
     model = CASE_STUDY2_SCENES.get(workload, workload)
@@ -121,6 +124,11 @@ def run_static(workload: str, wt_size: int, frames: int,
                            texture_size=config.texture_size,
                            orbit_step_radians=config.orbit_step)
     gpu = make_gpu(config, wt_size)
+    tracer = None
+    if trace is not None:
+        from repro.trace import Tracer
+        tracer = Tracer(gpu.events, categories=trace.categories,
+                        kernel_events=trace.kernel_events)
     results = []
     for index in range(frames + warmup):
         stats = gpu.run_frame(session.frame(index))
@@ -129,6 +137,12 @@ def run_static(workload: str, wt_size: int, frames: int,
     if stats_path is not None:
         from repro.harness.report import gpu_stat_groups, write_stats_json
         write_stats_json(gpu_stat_groups(gpu), stats_path)
+    if tracer is not None:
+        if trace.path:
+            tracer.write(trace.path)
+        if trace.profile:
+            from repro.trace import summarize
+            print(summarize(tracer).format())
     return results
 
 

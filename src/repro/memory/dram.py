@@ -103,6 +103,9 @@ class DRAMChannel:
         self.pending.append(QueuedRequest(request, coord, self.events.now))
         self.stats.counter("requests").add()
         self.stats.histogram("queue_depth").record(len(self.pending))
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.counter(self._owner, "queue_depth", len(self.pending))
         self._ticker.kick()
 
     @property
@@ -177,6 +180,14 @@ class DRAMChannel:
 
         source = entry.request.source.value
         self.stats.counter(f"bytes.{source}").add(entry.request.size)
+        tracer = self.events.tracer
+        if tracer is not None:
+            # The data bus serializes bursts, so these X spans never
+            # overlap on the channel's track.
+            tracer.complete(self._owner, source, data_start, done,
+                            cat="dram",
+                            args={"address": entry.request.address,
+                                  "row_hit": hit})
         self.events.schedule_at(done, self._complete, entry,
                                 owner=self._owner)
         self.scheduler.note_served(entry, now)

@@ -109,6 +109,10 @@ class RenderLoop:
             return
         record = FrameRecord(index=self._frame_index, start=self.events.now)
         self.records.append(record)
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.begin("app", f"frame{record.index}")
+            tracer.begin("app", "cpu_prepare")
         if self.on_phase is not None:
             self.on_phase("prepare")
         # CPU prepare = a compute-only portion (fixed) plus a memory-bound
@@ -120,6 +124,10 @@ class RenderLoop:
 
     def _cpu_done(self, record: FrameRecord) -> None:
         record.cpu_done = self.events.now
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.end("app", "cpu_prepare")
+            tracer.begin("app", "gpu_render")
         if self.on_phase is not None:
             self.on_phase("render")
         frame = self.frame_source(record.index)
@@ -166,6 +174,10 @@ class RenderLoop:
         self._poll.stop()
         record.gpu_done = self.events.now
         record.gpu_stats = stats
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.end("app", "gpu_render")
+            tracer.end("app", f"frame{record.index}")
         self._expected_fragments = max(stats.fragments, 1)
         self._prev_render_duration = max(record.gpu_time, 1)
         if self.dash_state is not None:

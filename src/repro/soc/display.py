@@ -55,6 +55,7 @@ class DisplayController:
         self._in_flight = 0
         self._frame_start = 0
         self._aborted = False
+        self._trace_open = False    # a scanout span is open on "display"
         self._bursts_per_frame = (frame_bytes + burst_bytes - 1) // burst_bytes
         # Pace issue so the frame finishes with ~10% slack.
         self._issue_interval = max(1, int(period_ticks * 0.9
@@ -74,11 +75,15 @@ class DisplayController:
     def _vsync(self) -> None:
         if not self._running:
             return
+        # A span still open from the previous period means scanout never
+        # finished before this vsync.
+        self._trace_scanout_end("overrun")
         self.stats.counter("vsyncs").add()
         self._frame_start = self.events.now
         self._cursor = 0
         self._aborted = False
         self._blocked = None        # a stale-frame burst is dropped
+        self._trace_scanout_begin()
         if self.dash_state is not None:
             self.dash_state.start_ip_period(SourceType.DISPLAY,
                                             self.events.now)
@@ -135,6 +140,7 @@ class DisplayController:
         if self._aborted:
             return
         if self._cursor >= self._bursts_per_frame and self._in_flight == 0:
+            self._trace_scanout_end("complete")
             self.stats.counter("frames_completed").add()
             margin = (self._frame_start + self.period_ticks
                       - self.events.now)
@@ -161,7 +167,27 @@ class DisplayController:
     def _abort_frame(self) -> None:
         self._aborted = True
         self._blocked = None
+        self._trace_scanout_end("abort")
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.instant("display", "frame_abort")
         self.stats.counter("frames_aborted").add()
+
+    # -- tracing ---------------------------------------------------------------
+
+    def _trace_scanout_begin(self) -> None:
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.begin("display", "scanout")
+            self._trace_open = True
+
+    def _trace_scanout_end(self, outcome: str) -> None:
+        if not self._trace_open:
+            return
+        self._trace_open = False
+        tracer = self.events.tracer
+        if tracer is not None:
+            tracer.end("display", "scanout", args={"outcome": outcome})
 
     # -- results ---------------------------------------------------------------
 

@@ -44,7 +44,8 @@ class SystemNoC:
     def __init__(self, events: EventQueue, memory: MemorySystem,
                  latency: int = 12, watchdog=None, injector=None,
                  retry=None, capacity: Optional[int] = None,
-                 bytes_per_cycle: Optional[float] = None) -> None:
+                 bytes_per_cycle: Optional[float] = None,
+                 tracer=None) -> None:
         self.events = events
         self.memory = memory
         self.latency = latency
@@ -74,6 +75,13 @@ class SystemNoC:
         if watchdog is not None:
             self.watchdog_tap = WatchdogTap(watchdog)
             head = self.watchdog_tap.connect(head)
+        self.trace_tap = None
+        if tracer is not None:
+            # Outermost, so retry clones (re-injected below the resilience
+            # tap) cross the trace tap only once per logical request.
+            from repro.trace.taps import TraceTap
+            self.trace_tap = TraceTap(tracer, track="noc")
+            head = self.trace_tap.connect(head)
         #: IP-facing ResponsePort — CPU cores, the display controller and
         #: the GPU L2 connect their request ports here.
         self.ingress = head.ingress

@@ -23,6 +23,7 @@ from repro.soc.android import FrameRecord, RenderLoop
 from repro.soc.cpu import CPUCluster
 from repro.soc.display import DisplayController
 from repro.soc.noc import SystemNoC
+from repro.trace import CycleAttribution, TraceConfig, Tracer, summarize
 
 
 @dataclass
@@ -61,6 +62,10 @@ class SoCRunConfig:
     # Health subsystem (watchdog / fault injection / checkpointing); None
     # keeps the run bit-identical to a health-free build.
     health: Optional[HealthConfig] = None
+    # Cycle-attribution tracing (repro.trace); None disables every hook.
+    # Even when enabled the tracer only records — it schedules no events
+    # and draws no randomness, so the run stays bit-identical either way.
+    trace: Optional[TraceConfig] = None
 
 
 @dataclass
@@ -88,6 +93,8 @@ class SoCResults:
     checkpoints_taken: int = 0
     # Per-link port statistics (queue occupancy, stalls) keyed by link name.
     link_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+    # Cycle-attribution report (set when SoCRunConfig.trace.profile is on).
+    profile: Optional[CycleAttribution] = None
 
 
 class EmeraldSoC:
@@ -102,6 +109,12 @@ class EmeraldSoC:
         self.events = EventQueue(
             error_policy=health.error_policy if health is not None
             else "propagate")
+        self.tracer: Optional[Tracer] = None
+        if run_config.trace is not None:
+            self.tracer = Tracer(
+                self.events,
+                categories=run_config.trace.categories,
+                kernel_events=run_config.trace.kernel_events)
         # -- health subsystem ------------------------------------------------
         self.watchdog: Optional[Watchdog] = None
         self.injector: Optional[FaultInjector] = None
@@ -140,7 +153,8 @@ class EmeraldSoC:
                              watchdog=self.watchdog,
                              injector=self.injector, retry=retry,
                              capacity=run_config.noc_capacity,
-                             bytes_per_cycle=run_config.noc_bytes_per_cycle)
+                             bytes_per_cycle=run_config.noc_bytes_per_cycle,
+                             tracer=self.tracer)
         self.gpu = EmeraldGPU(self.events, run_config.gpu,
                               run_config.width, run_config.height,
                               memory=self.memory, memory_port=self.noc)
@@ -173,6 +187,9 @@ class EmeraldSoC:
         self._start_tick = start_tick
 
     def _frame_done(self, record: FrameRecord) -> None:
+        if self.tracer is not None:
+            # Frame-boundary counter samples of every component's counters.
+            self.tracer.snapshot_stats(self.stat_groups())
         if self.checkpoints is not None:
             self.checkpoints.on_frame_done(record.index, self.events.now)
 
@@ -196,7 +213,14 @@ class EmeraldSoC:
                     + self._hang_context(), tick=self.events.now)
         self.cpus.stop_background()
         self.display.stop()
-        return self._results()
+        results = self._results()
+        trace = self.config.trace
+        if trace is not None and self.tracer is not None:
+            if trace.path:
+                self.tracer.write(trace.path)
+            if trace.profile:
+                results.profile = summarize(self.tracer)
+        return results
 
     def _hang_context(self) -> str:
         """What the watchdog knows about a stuck run (for error messages)."""

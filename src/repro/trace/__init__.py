@@ -1,0 +1,22 @@
+"""Opt-in cycle-attribution tracing (Chrome-trace export + profiler).
+
+See DESIGN.md §8 for the trace model, track naming scheme and the
+overhead contract.  Quick use::
+
+    from repro.trace import TraceConfig
+    config.trace = TraceConfig(path="frame.json", profile=True)
+"""
+
+from repro.trace.profiler import CycleAttribution, Span, profile, summarize
+from repro.trace.taps import TraceTap
+from repro.trace.tracer import (DEFAULT_CATEGORIES, TraceConfig, TraceError,
+                                Tracer, load_trace)
+from repro.trace.validate import TraceFormatError, validate_trace
+
+__all__ = [
+    "CycleAttribution", "Span", "profile", "summarize",
+    "TraceTap",
+    "DEFAULT_CATEGORIES", "TraceConfig", "TraceError", "Tracer",
+    "load_trace",
+    "TraceFormatError", "validate_trace",
+]

@@ -1,0 +1,220 @@
+"""Cycle-attribution profiler: reduce a Chrome-trace stream to a report.
+
+:func:`profile` replays an exported trace object (the dict form, straight
+from :meth:`~repro.trace.tracer.Tracer.to_dict` or
+:func:`~repro.trace.tracer.load_trace`) and produces a
+:class:`CycleAttribution`: per-track busy ticks (merged span coverage, so
+nested and overlapping spans are not double-counted), frame-phase spans,
+counter-series summaries (queue occupancy, in-flight depth), and the
+event-kernel per-owner totals.  ``format()`` renders the whole thing as a
+text report with a Fig. 14-style per-track activity timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+_BAR_LEVELS = " .:-=#"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One closed duration span (from B/E pairs or an X record)."""
+
+    track: str
+    name: str
+    start: int
+    end: int
+    depth: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class CounterSeries:
+    """All samples of one counter on one track, in emission order."""
+
+    track: str
+    name: str
+    samples: list = field(default_factory=list)     # [(ts, value), ...]
+
+    @property
+    def last(self) -> float:
+        return self.samples[-1][1]
+
+    @property
+    def peak(self) -> float:
+        return max(value for _, value in self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(value for _, value in self.samples) / len(self.samples)
+
+
+def _merge_coverage(intervals: list) -> int:
+    """Total ticks covered by a union of (start, end) intervals."""
+    covered = 0
+    cursor: Optional[int] = None
+    end_max = 0
+    for start, end in sorted(intervals):
+        if cursor is None or start > end_max:
+            if cursor is not None:
+                covered += end_max - cursor
+            cursor, end_max = start, end
+        else:
+            end_max = max(end_max, end)
+    if cursor is not None:
+        covered += end_max - cursor
+    return covered
+
+
+@dataclass
+class CycleAttribution:
+    """The reduced view of one trace: where the ticks went."""
+
+    end_tick: int
+    spans: list                                  # [Span, ...]
+    counters: dict                               # (track, name) -> CounterSeries
+    busy_ticks: dict                             # track -> covered ticks
+    kernel_scheduled: dict                       # owner -> count
+    kernel_fired: dict                           # owner -> count
+
+    def utilization(self, track: str) -> float:
+        if self.end_tick <= 0:
+            return 0.0
+        return self.busy_ticks.get(track, 0) / self.end_tick
+
+    def track_spans(self, track: str) -> list:
+        return [span for span in self.spans if span.track == track]
+
+    def frames(self, track: str = "app") -> list:
+        """(frame span, [child phase spans]) pairs on one track.
+
+        Depth-0 spans are frames; deeper spans falling inside a frame's
+        bounds are its phases — the Fig. 14 decomposition.
+        """
+        frames = [s for s in self.track_spans(track) if s.depth == 0]
+        children = [s for s in self.track_spans(track) if s.depth > 0]
+        return [(frame,
+                 [c for c in children
+                  if c.start >= frame.start and c.end <= frame.end])
+                for frame in frames]
+
+    # -- rendering ---------------------------------------------------------------
+
+    def timeline(self, buckets: int = 60) -> dict:
+        """Per-track activity density over ``buckets`` equal time slices."""
+        if self.end_tick <= 0:
+            return {}
+        width = self.end_tick / buckets
+        lines: dict[str, str] = {}
+        for track in sorted({span.track for span in self.spans}):
+            intervals = [(s.start, s.end) for s in self.track_spans(track)]
+            row = []
+            for b in range(buckets):
+                lo, hi = b * width, (b + 1) * width
+                clipped = [(max(lo, s), min(hi, e)) for s, e in intervals
+                           if e > lo and s < hi]
+                density = _merge_coverage(clipped) / width
+                level = min(len(_BAR_LEVELS) - 1,
+                            int(density * (len(_BAR_LEVELS) - 1) + 0.5))
+                row.append(_BAR_LEVELS[level])
+            lines[track] = "".join(row)
+        return lines
+
+    def format(self, buckets: int = 60) -> str:
+        lines = [f"cycle attribution over {self.end_tick} ticks"]
+        tracks = sorted(self.busy_ticks, key=self.busy_ticks.get,
+                        reverse=True)
+        if tracks:
+            width = max(len(t) for t in tracks)
+            lines.append("")
+            lines.append(f"{'track'.ljust(width)}  {'busy':>12}  util")
+            for track in tracks:
+                lines.append(f"{track.ljust(width)}  "
+                             f"{self.busy_ticks[track]:>12}  "
+                             f"{self.utilization(track):6.1%}")
+        timeline = self.timeline(buckets)
+        if timeline:
+            width = max(len(t) for t in timeline)
+            lines.append("")
+            lines.append(f"timeline ({buckets} buckets, "
+                         f"{self.end_tick / buckets:.0f} ticks each)")
+            for track, row in timeline.items():
+                lines.append(f"{track.ljust(width)} |{row}|")
+        if self.counters:
+            lines.append("")
+            lines.append("counters (last / peak / mean):")
+            for (track, name), series in sorted(self.counters.items()):
+                lines.append(f"  {track}.{name}: {series.last:g} / "
+                             f"{series.peak:g} / {series.mean:.2f}")
+        if self.kernel_fired:
+            lines.append("")
+            lines.append("kernel events fired by owner:")
+            for owner, count in sorted(self.kernel_fired.items(),
+                                       key=lambda kv: -kv[1]):
+                lines.append(f"  {owner}: {count}")
+        return "\n".join(lines)
+
+
+def profile(trace: dict) -> CycleAttribution:
+    """Reduce one exported trace object into a cycle-attribution report."""
+    events = trace.get("traceEvents", [])
+    track_names: dict[int, str] = {}
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            track_names[ev["tid"]] = ev["args"]["name"]
+
+    def track_of(tid: int) -> str:
+        return track_names.get(tid, f"tid{tid}")
+
+    spans: list[Span] = []
+    stacks: dict[int, list] = {}                # tid -> [(name, ts), ...]
+    counters: dict[tuple, CounterSeries] = {}
+    end_tick = 0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        ts = ev.get("ts", 0)
+        end_tick = max(end_tick, ts + ev.get("dur", 0))
+        tid = ev["tid"]
+        if ph == "B":
+            stacks.setdefault(tid, []).append((ev["name"], ts))
+        elif ph == "E":
+            stack = stacks.get(tid)
+            if stack:                           # tolerate stray E records
+                name, start = stack.pop()
+                spans.append(Span(track_of(tid), name, start, ts,
+                                  depth=len(stack)))
+        elif ph == "X":
+            spans.append(Span(track_of(tid), ev["name"], ts,
+                              ts + ev.get("dur", 0), depth=0))
+        elif ph == "C":
+            for name, value in ev.get("args", {}).items():
+                key = (track_of(tid), name)
+                counters.setdefault(
+                    key, CounterSeries(*key)).samples.append((ts, value))
+
+    other = trace.get("otherData", {})
+    end_tick = max(end_tick, other.get("end_tick", 0))
+    busy = {}
+    for track in {span.track for span in spans}:
+        busy[track] = _merge_coverage(
+            [(s.start, s.end) for s in spans if s.track == track])
+    return CycleAttribution(
+        end_tick=end_tick,
+        spans=sorted(spans, key=lambda s: (s.track, s.start, s.depth)),
+        counters=counters,
+        busy_ticks=busy,
+        kernel_scheduled=dict(other.get("events_scheduled", {})),
+        kernel_fired=dict(other.get("events_fired", {})),
+    )
+
+
+def summarize(tracer) -> CycleAttribution:
+    """Profile a live tracer (closes its open spans at the current tick)."""
+    return profile(tracer.to_dict())

@@ -1,0 +1,67 @@
+"""Per-link tracing as a port interposition.
+
+:class:`TraceTap` is the tracing analogue of the health taps
+(:mod:`repro.health.interpose`): a synchronous
+:class:`~repro.common.ports.PortTap` stage that records each memory
+request's flight across a link as a Chrome async span (``b``/``e``), plus
+retry/busy instants and an in-flight occupancy counter.
+
+Placement matters: the SoC interposes the TraceTap **outermost** on the
+NoC request path (above the watchdog and resilience taps), so retry
+clones — which the resilience tap re-injects below itself — cross the
+trace tap only once per logical request.  Span ids live in the request's
+shared ``metadata``, so a clone carrying the data back still closes the
+original's span on the unwind.
+
+Like every tap, this stage adds no events; interposing it on an unbounded
+path leaves the event schedule untouched.
+"""
+
+from __future__ import annotations
+
+from repro.common.ports import PortTap
+
+TRACE_KEY = "trace_span"
+
+
+class TraceTap(PortTap):
+    """Record request/response/retry activity crossing one link."""
+
+    def __init__(self, tracer, track: str = "noc",
+                 name: str = "noc.trace") -> None:
+        super().__init__(name)
+        self.tracer = tracer
+        self.track = track
+        self._in_flight = 0
+
+    def _recv_request(self, request) -> bool:
+        accepted = super()._recv_request(request)
+        if not accepted:
+            self.tracer.instant(self.track, "busy",
+                                args={"owner": request.owner})
+        return accepted
+
+    def _recv_retry(self) -> None:
+        self.tracer.instant(self.track, "retry")
+        super()._recv_retry()
+
+    def on_request(self, request) -> None:
+        rw = "w" if request.write else "r"
+        name = f"{request.owner}.{rw}"
+        aid = self.tracer.next_async_id()
+        request.metadata[TRACE_KEY] = (aid, name)
+        self._in_flight += 1
+        self.tracer.async_begin(self.track, name, aid,
+                                args={"address": request.address,
+                                      "size": request.size})
+        self.tracer.counter(self.track, "in_flight", self._in_flight)
+
+    def on_response(self, request) -> bool:
+        span = request.metadata.pop(TRACE_KEY, None)
+        if span is not None:
+            aid, name = span
+            self._in_flight -= 1
+            self.tracer.async_end(self.track, name, aid,
+                                  args={"attempt": request.attempt})
+            self.tracer.counter(self.track, "in_flight", self._in_flight)
+        return True

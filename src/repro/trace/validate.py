@@ -1,0 +1,116 @@
+"""Chrome Trace Event Format well-formedness checks.
+
+:func:`validate_trace` is the referee the trace test suite (and the
+acceptance criteria) lean on: it walks an exported trace object and
+verifies the structural invariants the tracer promises —
+
+* every record carries the required fields for its phase;
+* ``B``/``E`` duration spans balance per (pid, tid) track, close in LIFO
+  order with matching names, and never run backwards in time;
+* ``X`` complete spans have non-negative durations;
+* counter series tagged ``cat="monotonic"`` never decrease;
+* async ``e`` records match a previously opened ``b`` with the same
+  (category, id, name) key.
+
+Violations raise :class:`TraceFormatError`.  Conditions that are legal
+but worth surfacing (async spans still open at end of trace — requests
+in flight when the run stopped) come back as warning strings.
+"""
+
+from __future__ import annotations
+
+KNOWN_PHASES = frozenset({"B", "E", "X", "C", "i", "b", "e", "M"})
+
+
+class TraceFormatError(ValueError):
+    """The trace violates the Chrome Trace Event Format invariants."""
+
+
+def _require(condition: bool, index: int, message: str) -> None:
+    if not condition:
+        raise TraceFormatError(f"traceEvents[{index}]: {message}")
+
+
+def validate_trace(trace: dict) -> list[str]:
+    """Validate one exported trace object; returns a list of warnings."""
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise TraceFormatError("not a Chrome trace: missing 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceFormatError("'traceEvents' must be a list")
+
+    open_spans: dict[tuple, list[tuple]] = {}   # (pid,tid) -> [(name, ts)]
+    last_ts: dict[tuple, float] = {}            # (pid,tid) -> last B/E ts
+    monotonic: dict[tuple, float] = {}          # (tid,name,key) -> last value
+    open_async: dict[tuple, int] = {}           # (cat,id,name) -> open count
+    warnings: list[str] = []
+
+    for i, ev in enumerate(events):
+        _require(isinstance(ev, dict), i, "record is not an object")
+        ph = ev.get("ph")
+        _require(ph in KNOWN_PHASES, i, f"unknown phase {ph!r}")
+        _require(isinstance(ev.get("name"), str), i, "missing 'name'")
+        _require(isinstance(ev.get("pid"), int), i, "missing 'pid'")
+        _require(isinstance(ev.get("tid"), int), i, "missing 'tid'")
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        _require(isinstance(ts, (int, float)) and ts >= 0, i,
+                 f"bad timestamp {ts!r}")
+        track = (ev["pid"], ev["tid"])
+
+        if ph == "B":
+            _require(ts >= last_ts.get(track, 0), i,
+                     "B timestamp runs backwards on its track")
+            last_ts[track] = ts
+            open_spans.setdefault(track, []).append((ev["name"], ts))
+        elif ph == "E":
+            _require(ts >= last_ts.get(track, 0), i,
+                     "E timestamp runs backwards on its track")
+            last_ts[track] = ts
+            stack = open_spans.get(track)
+            _require(bool(stack), i,
+                     f"E {ev['name']!r} with no open B on pid/tid {track}")
+            name, start = stack.pop()
+            _require(name == ev["name"], i,
+                     f"E {ev['name']!r} does not close the innermost "
+                     f"B {name!r}")
+            _require(ts >= start, i, "span ends before it begins")
+        elif ph == "X":
+            dur = ev.get("dur")
+            _require(isinstance(dur, (int, float)) and dur >= 0, i,
+                     f"X record needs a non-negative 'dur', got {dur!r}")
+        elif ph == "C":
+            args = ev.get("args")
+            _require(isinstance(args, dict) and args, i,
+                     "C record needs non-empty 'args'")
+            for key, value in args.items():
+                _require(isinstance(value, (int, float)), i,
+                         f"counter series {key!r} has non-numeric value")
+                if ev.get("cat") == "monotonic":
+                    series = (ev["tid"], ev["name"], key)
+                    _require(value >= monotonic.get(series, value), i,
+                             f"monotonic counter {key!r} decreased")
+                    monotonic[series] = value
+        elif ph in ("b", "e"):
+            _require("id" in ev, i, f"async {ph!r} record needs an 'id'")
+            key = (ev.get("cat"), ev["id"], ev["name"])
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                _require(open_async.get(key, 0) > 0, i,
+                         f"async end {key!r} without a matching begin")
+                open_async[key] -= 1
+        elif ph == "i":
+            _require(ev.get("s") in ("t", "p", "g"), i,
+                     "instant record needs a scope 's'")
+
+    for track, stack in open_spans.items():
+        _require(not stack, len(events) - 1,
+                 f"unclosed B span(s) {[n for n, _ in stack]!r} on "
+                 f"pid/tid {track}")
+    still_open = sum(count for count in open_async.values() if count > 0)
+    if still_open:
+        warnings.append(f"{still_open} async span(s) still open at end of "
+                        f"trace (requests in flight when the run stopped)")
+    return warnings

@@ -381,3 +381,115 @@ class TestTickerEdgeCases:
         assert not t.active
         t.kick()                # must re-arm, not assume still scheduled
         assert t.active
+
+
+class TestCancelledHeads:
+    """The lazy-deletion path (_drop_cancelled_head) with runs of
+    cancelled events at the front of the heap."""
+
+    def test_consecutive_cancelled_heads_are_skipped(self):
+        q = EventQueue()
+        fired = []
+        events = [q.schedule(t, fired.append, t) for t in (1, 2, 3, 4)]
+        for event in events[:3]:
+            event.cancel()
+        assert q.peek_time() == 4           # drops all three in one sweep
+        assert q.step() is True
+        assert fired == [4]
+        assert q.now == 4
+        assert q.empty()
+
+    def test_queue_of_only_cancelled_events_is_empty(self):
+        q = EventQueue()
+        for event in [q.schedule(t, lambda: None) for t in (1, 2, 3)]:
+            event.cancel()
+        assert q.empty()
+        assert q.peek_time() is None
+        assert q.step() is False
+        assert q.events_fired == 0
+        assert q.now == 0                   # nothing fired, clock untouched
+
+    def test_cancelled_head_does_not_hide_later_same_tick_event(self):
+        q = EventQueue()
+        fired = []
+        first = q.schedule(5, fired.append, "cancelled")
+        q.schedule(5, fired.append, "live")
+        first.cancel()
+        q.run()
+        assert fired == ["live"]
+
+
+class TestScheduleAtBoundaries:
+    def test_schedule_at_now_is_allowed(self):
+        q = EventQueue()
+        q.run_until(10)
+        fired = []
+        q.schedule_at(10, fired.append, "boundary")
+        q.run()
+        assert fired == ["boundary"]
+        assert q.now == 10
+
+    def test_schedule_at_in_the_past_is_rejected(self):
+        q = EventQueue()
+        q.run_until(10)
+        with pytest.raises(ValueError, match="past"):
+            q.schedule_at(9, lambda: None)
+
+    def test_rejected_schedule_leaves_the_queue_intact(self):
+        q = EventQueue()
+        q.run_until(10)
+        with pytest.raises(ValueError):
+            q.schedule_at(3, lambda: None)
+        assert q.empty()
+        assert q.now == 10
+
+
+class TestRunUntilStopReasons:
+    """run_until must report *why* it stopped, for each StopReason."""
+
+    def test_drained(self):
+        q = EventQueue()
+        q.schedule(1, lambda: None)
+        result = q.run_until(10)
+        assert result.reason is StopReason.DRAINED
+        assert result.executed == 1
+        assert q.now == 10                  # still advances to the horizon
+
+    def test_horizon(self):
+        q = EventQueue()
+        q.schedule(1, lambda: None)
+        q.schedule(20, lambda: None)
+        result = q.run_until(10)
+        assert result.reason is StopReason.HORIZON
+        assert result.executed == 1
+        assert q.now == 10
+        assert q.peek_time() == 20          # pending event survives
+
+    def test_budget(self):
+        q = EventQueue()
+        for t in range(1, 6):
+            q.schedule(t, lambda: None)
+        result = q.run_until(10, max_events=2)
+        assert result.reason is StopReason.BUDGET
+        assert result.executed == 2
+        # Events remain at t=3..5 <= horizon: now must NOT jump over
+        # them, or the next step would run time backwards.
+        assert q.now == 2
+        assert q.peek_time() == 3
+
+    def test_budget_resume_keeps_time_monotonic(self):
+        q = EventQueue()
+        ticks = []
+        for t in range(1, 6):
+            q.schedule(t, lambda t=t: ticks.append(q.now))
+        q.run_until(10, max_events=2)
+        result = q.run_until(10)
+        assert result.reason is StopReason.DRAINED
+        assert ticks == sorted(ticks) == [1, 2, 3, 4, 5]
+
+    def test_budget_with_nothing_pending_advances_to_horizon(self):
+        q = EventQueue()
+        q.schedule(1, lambda: None)
+        result = q.run_until(10, max_events=1)
+        assert result.reason is StopReason.BUDGET
+        assert q.now == 10

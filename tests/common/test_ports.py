@@ -314,3 +314,54 @@ def test_bounded_link_holds_packets_while_downstream_busy():
     sink.ingress.send_retry()
     assert sink.received != []
     assert link.occupancy == 0
+
+
+def test_tap_keeps_relaying_retries_while_senders_remain_blocked():
+    """A tap with several senders queued behind it must stay subscribed
+    downstream: one freed slot wakes one sender, and the *next* freed
+    slot must still reach the others (regression: the tap dropped off the
+    downstream retry list after its first successful re-send, stranding
+    every remaining sender)."""
+    slots = {"free": 0}
+
+    class CountingSink(Sink):
+        def _recv(self, request):
+            if slots["free"] <= 0:
+                return False
+            slots["free"] -= 1
+            self.received.append(request)
+            return True
+
+    sink = CountingSink()
+    tap = PortTap("t").connect(sink)
+    senders = []
+    for i in range(3):
+        request = make_request(address=0x1000 * (i + 1))
+        port = RequestPort(f"p{i}")
+        port.connect(tap)
+        port.on_retry = (lambda p=port, r=request: p.try_send(r))
+        senders.append(port)
+        assert not port.try_send(request)
+
+    for _ in range(3):                      # free slots one at a time
+        slots["free"] += 1
+        sink.ingress.send_retry()
+
+    assert len(sink.received) == 3
+    assert sorted(r.address for r in sink.received) == [0x1000, 0x2000,
+                                                        0x3000]
+
+
+def test_await_retry_registers_once_and_requires_connection():
+    sink = Sink()
+    port = RequestPort("p")
+    with pytest.raises(PortProtocolError):
+        port.await_retry()
+    port.connect(sink)
+    port.await_retry()
+    port.await_retry()                      # idempotent while waiting
+    assert len(sink.ingress._blocked) == 1
+    woken = []
+    port.on_retry = lambda: woken.append(1)
+    sink.ingress.send_retry()
+    assert woken == [1] and not port.waiting

@@ -55,6 +55,15 @@ class TestExamples:
         assert "SAXPY over 4096 elements" in result.stdout
         assert "strided copy" in result.stdout
 
+    def test_trace_frame(self, tmp_path):
+        trace = tmp_path / "trace.json"
+        result = run_example("trace_frame.py", str(trace))
+        assert result.returncode == 0, result.stderr
+        assert "cycle attribution over" in result.stdout
+        assert "Frame decomposition" in result.stdout
+        assert "well-formed" in result.stdout
+        assert trace.exists()
+
     @pytest.mark.slow
     def test_dfsl_adaptive(self):
         result = run_example("dfsl_adaptive.py", timeout=1200)

@@ -4,6 +4,8 @@ These tests pin the *documented* configurations — the values the paper
 prints — independent of the scaled variants the experiment harness uses.
 """
 
+import pytest
+
 from repro.common.config import (
     DRAMConfig,
     case_study1_config,
@@ -93,3 +95,48 @@ class TestTable7CaseStudy2GPU:
         config = DRAMConfig(channels=4, data_rate_mbps=1600)
         assert config.channels == 4
         assert config.data_rate_mbps == 1600
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestTracingDeterminism:
+    """Tracing is a pure observer: with a tracer attached, a run must
+    reproduce the golden paper-table stats, the framebuffer CRC and the
+    exact event count captured on the seed tree (the overhead contract of
+    DESIGN.md §8)."""
+
+    def test_traced_run_matches_the_golden_pins(self):
+        import zlib
+
+        from repro.harness.scenes import SceneSession
+        from repro.soc.soc import EmeraldSoC
+        from repro.trace import TraceConfig, validate_trace
+        from tests.health.full_system import HEIGHT, WIDTH, tiny_config
+        from tests.soc.test_port_fabric import GOLDEN
+
+        session = SceneSession("cube", WIDTH, HEIGHT)
+        config = tiny_config(num_frames=2)
+        config.trace = TraceConfig()
+        soc = EmeraldSoC(config, session.frame, session.framebuffer_address)
+        results = soc.run()
+
+        assert results.end_tick == GOLDEN["end_tick"]
+        assert results.mean_gpu_time == GOLDEN["mean_gpu_time"]
+        assert results.mean_total_time == GOLDEN["mean_total_time"]
+        assert results.dram_bytes == GOLDEN["dram_bytes"]
+        assert results.row_hit_rate == GOLDEN["row_hit_rate"]
+        assert results.bytes_per_activation == GOLDEN["bytes_per_activation"]
+        assert results.display_requests == GOLDEN["display_requests"]
+        assert results.display_completed == GOLDEN["display_completed"]
+        assert results.display_aborted == GOLDEN["display_aborted"]
+        assert results.mean_latency == GOLDEN["mean_latency"]
+        assert zlib.crc32(soc.gpu.fb.color.tobytes()) == GOLDEN["fb_crc"]
+        assert soc.events.events_fired == GOLDEN["events_fired"]
+
+        # The recorded trace is itself well-formed, and its per-owner
+        # fired counts account for every event of the golden total.
+        trace = soc.tracer.to_dict()
+        warnings = validate_trace(trace)
+        assert all("async" in w for w in warnings)
+        assert (sum(trace["otherData"]["events_fired"].values())
+                == GOLDEN["events_fired"])

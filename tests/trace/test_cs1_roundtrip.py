@@ -1,0 +1,57 @@
+"""Round-trip: trace a (scaled-down) case-study-I run, reload, re-reduce."""
+
+import json
+
+import pytest
+
+from repro.harness.case_study1 import CS1Config, run_cs1
+from repro.trace import TraceConfig, load_trace, profile, validate_trace
+
+pytestmark = [pytest.mark.slow, pytest.mark.full_system]
+
+
+def _tiny_cs1() -> CS1Config:
+    return CS1Config(width=48, height=36, num_frames=2, texture_size=64,
+                     gpu_frame_period_ticks=120_000,
+                     display_period_ticks=60_000,
+                     cpu_work_per_frame=40, cpu_fixed_ticks=5_000)
+
+
+@pytest.fixture(scope="module")
+def traced_run(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "cs1.json"
+    results = run_cs1("M1", "BAS", config=_tiny_cs1(),
+                      trace=TraceConfig(path=str(path), profile=True))
+    return results, load_trace(str(path))
+
+
+def test_emitted_trace_is_well_formed(traced_run):
+    _, loaded = traced_run
+    warnings = validate_trace(loaded)
+    assert all("async" in w for w in warnings)
+
+
+def test_round_trip_preserves_every_record(traced_run):
+    _, loaded = traced_run
+    assert json.loads(json.dumps(loaded)) == loaded
+    assert loaded["traceEvents"], "trace must not be empty"
+    assert loaded["otherData"]["end_tick"] > 0
+
+
+def test_reloaded_trace_reduces_to_the_in_process_profile(traced_run):
+    results, loaded = traced_run
+    assert results.profile is not None
+    reduced = profile(loaded)
+    assert reduced.end_tick == results.profile.end_tick
+    assert reduced.busy_ticks == results.profile.busy_ticks
+    assert reduced.kernel_fired == results.profile.kernel_fired
+
+
+def test_profile_decomposes_the_frames(traced_run):
+    results, _ = traced_run
+    frames = results.profile.frames("app")
+    assert len(frames) == 2
+    for _, phases in frames:
+        assert {p.name for p in phases} == {"cpu_prepare", "gpu_render"}
+    assert results.profile.busy_ticks["app"] > 0
+    assert results.profile.utilization("app") <= 1.0

@@ -1,0 +1,153 @@
+"""Trace-JSON well-formedness: validator unit tests + a full-system trace."""
+
+import json
+
+import pytest
+
+from repro.harness.scenes import SceneSession
+from repro.soc.soc import EmeraldSoC
+from repro.trace import TraceConfig, TraceFormatError, validate_trace
+from tests.health.full_system import HEIGHT, WIDTH, tiny_config
+
+
+def _rec(ph, name, tid=1, ts=0, **extra):
+    record = {"name": name, "ph": ph, "pid": 1, "tid": tid, "ts": ts}
+    record.update(extra)
+    return record
+
+
+def _trace(*records):
+    return {"traceEvents": list(records)}
+
+
+class TestValidatorAccepts:
+    def test_empty_trace(self):
+        assert validate_trace(_trace()) == []
+
+    def test_balanced_nested_spans(self):
+        assert validate_trace(_trace(
+            _rec("B", "frame0", ts=0),
+            _rec("B", "cpu", ts=0),
+            _rec("E", "cpu", ts=40),
+            _rec("E", "frame0", ts=100),
+        )) == []
+
+    def test_per_track_stacks_are_independent(self):
+        assert validate_trace(_trace(
+            _rec("B", "a", tid=1, ts=0),
+            _rec("B", "b", tid=2, ts=5),
+            _rec("E", "a", tid=1, ts=10),
+            _rec("E", "b", tid=2, ts=10),
+        )) == []
+
+    def test_non_monotonic_counter_may_decrease(self):
+        assert validate_trace(_trace(
+            _rec("C", "depth", ts=0, cat="counter", args={"depth": 5}),
+            _rec("C", "depth", ts=1, cat="counter", args={"depth": 2}),
+        )) == []
+
+    def test_open_async_span_is_a_warning_not_an_error(self):
+        warnings = validate_trace(_trace(
+            _rec("b", "gpu.r", ts=0, cat="mem", id=1),
+        ))
+        assert len(warnings) == 1 and "still open" in warnings[0]
+
+
+class TestValidatorRejects:
+    def test_missing_trace_events(self):
+        with pytest.raises(TraceFormatError):
+            validate_trace({"otherData": {}})
+
+    def test_unknown_phase(self):
+        with pytest.raises(TraceFormatError, match="unknown phase"):
+            validate_trace(_trace(_rec("Q", "x")))
+
+    def test_end_without_begin(self):
+        with pytest.raises(TraceFormatError, match="no open B"):
+            validate_trace(_trace(_rec("E", "frame0", ts=1)))
+
+    def test_end_name_mismatch(self):
+        with pytest.raises(TraceFormatError, match="does not close"):
+            validate_trace(_trace(
+                _rec("B", "frame0", ts=0),
+                _rec("E", "frame1", ts=1),
+            ))
+
+    def test_unclosed_span_at_end_of_trace(self):
+        with pytest.raises(TraceFormatError, match="unclosed B"):
+            validate_trace(_trace(_rec("B", "frame0", ts=0)))
+
+    def test_backwards_timestamps_on_one_track(self):
+        with pytest.raises(TraceFormatError, match="backwards"):
+            validate_trace(_trace(
+                _rec("B", "a", ts=10),
+                _rec("E", "a", ts=20),
+                _rec("B", "b", ts=5),
+                _rec("E", "b", ts=6),
+            ))
+
+    def test_negative_complete_duration(self):
+        with pytest.raises(TraceFormatError, match="non-negative"):
+            validate_trace(_trace(_rec("X", "burst", ts=10, dur=-1)))
+
+    def test_counter_without_args(self):
+        with pytest.raises(TraceFormatError, match="non-empty 'args'"):
+            validate_trace(_trace(_rec("C", "depth", ts=0, args={})))
+
+    def test_counter_with_non_numeric_value(self):
+        with pytest.raises(TraceFormatError, match="non-numeric"):
+            validate_trace(_trace(
+                _rec("C", "depth", ts=0, args={"depth": "three"})))
+
+    def test_monotonic_counter_decreasing(self):
+        with pytest.raises(TraceFormatError, match="decreased"):
+            validate_trace(_trace(
+                _rec("C", "frames", ts=0, cat="monotonic",
+                     args={"frames": 3}),
+                _rec("C", "frames", ts=1, cat="monotonic",
+                     args={"frames": 2}),
+            ))
+
+    def test_async_end_without_begin(self):
+        with pytest.raises(TraceFormatError, match="without a matching"):
+            validate_trace(_trace(_rec("e", "gpu.r", ts=0, cat="mem", id=9)))
+
+    def test_instant_without_scope(self):
+        with pytest.raises(TraceFormatError, match="scope"):
+            validate_trace(_trace(_rec("i", "retry", ts=0)))
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestFullSystemTrace:
+    """An emitted trace from a real (tiny) SoC run is well-formed."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        session = SceneSession("cube", WIDTH, HEIGHT)
+        config = tiny_config(num_frames=1)
+        config.trace = TraceConfig()
+        soc = EmeraldSoC(config, session.frame, session.framebuffer_address)
+        soc.run()
+        return soc.tracer.to_dict()
+
+    def test_trace_validates(self, trace):
+        warnings = validate_trace(trace)
+        # In-flight async requests at loop end are the only tolerated
+        # irregularity.
+        assert all("async" in w for w in warnings)
+
+    def test_trace_is_json_serializable(self, trace):
+        assert json.loads(json.dumps(trace)) == trace
+
+    def test_expected_tracks_are_named(self, trace):
+        tracks = {r["args"]["name"] for r in trace["traceEvents"]
+                  if r["ph"] == "M" and r["name"] == "thread_name"}
+        assert {"app", "gpu", "display", "noc",
+                "core0", "core1", "dram.ch0", "dram.ch1"} <= tracks
+        assert any(t.startswith("stats.") for t in tracks)
+
+    def test_kernel_totals_recorded(self, trace):
+        other = trace["otherData"]
+        assert sum(other["events_fired"].values()) > 0
+        assert other["end_tick"] > 0

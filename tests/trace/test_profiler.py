@@ -1,0 +1,117 @@
+"""Profiler-reduction unit tests on a hand-built event stream."""
+
+from repro.common.events import EventQueue
+from repro.trace import Tracer, profile, summarize
+from repro.trace.profiler import _merge_coverage
+
+
+def _hand_built_tracer():
+    """Two app frames with cpu/gpu phases, overlapping DRAM bursts, and a
+    bouncing counter — small enough to check the reduction by hand."""
+    q = EventQueue()
+    tracer = Tracer(q)
+    for index, (mid, end) in enumerate(((40, 100), (130, 200))):
+        tracer.begin("app", f"frame{index}")
+        tracer.begin("app", "cpu_prepare")
+        q.run_until(mid)
+        tracer.end("app", "cpu_prepare")
+        tracer.begin("app", "gpu_render")
+        q.run_until(end)
+        tracer.end("app", "gpu_render")
+        tracer.end("app", f"frame{index}")
+    tracer.complete("dram.ch0", "gpu", 10, 50, cat="dram")
+    tracer.complete("dram.ch0", "gpu", 40, 80, cat="dram")   # overlaps
+    tracer.counter("noc", "in_flight", 2)
+    tracer.counter("noc", "in_flight", 5)
+    tracer.counter("noc", "in_flight", 1)
+    return tracer
+
+
+class TestMergeCoverage:
+    def test_empty(self):
+        assert _merge_coverage([]) == 0
+
+    def test_disjoint(self):
+        assert _merge_coverage([(0, 10), (20, 25)]) == 15
+
+    def test_overlapping_and_nested(self):
+        assert _merge_coverage([(0, 100), (10, 20), (50, 150)]) == 150
+
+    def test_touching_intervals_merge(self):
+        assert _merge_coverage([(0, 10), (10, 20)]) == 20
+
+
+class TestReduction:
+    def test_busy_ticks_merge_nested_spans(self):
+        attribution = summarize(_hand_built_tracer())
+        # Nested phases must not double-count against their frames.
+        assert attribution.busy_ticks["app"] == 200
+        assert attribution.busy_ticks["dram.ch0"] == 70
+
+    def test_end_tick_and_utilization(self):
+        attribution = summarize(_hand_built_tracer())
+        assert attribution.end_tick == 200
+        assert attribution.utilization("app") == 1.0
+        assert attribution.utilization("dram.ch0") == 0.35
+        assert attribution.utilization("unknown") == 0.0
+
+    def test_frames_pair_phases_with_their_frame(self):
+        attribution = summarize(_hand_built_tracer())
+        frames = attribution.frames("app")
+        assert [f.name for f, _ in frames] == ["frame0", "frame1"]
+        assert [(f.start, f.end) for f, _ in frames] == [(0, 100), (100, 200)]
+        for frame, phases in frames:
+            assert [p.name for p in phases] == ["cpu_prepare", "gpu_render"]
+            assert all(p.depth == 1 for p in phases)
+            assert frame.depth == 0
+            # Phases tile the frame exactly: no gap, no overlap.
+            cursor = frame.start
+            for phase in sorted(phases, key=lambda s: s.start):
+                assert phase.start == cursor
+                cursor = phase.end
+            assert cursor == frame.end
+
+    def test_counter_series_statistics(self):
+        attribution = summarize(_hand_built_tracer())
+        series = attribution.counters[("noc", "in_flight")]
+        assert series.last == 1
+        assert series.peak == 5
+        assert series.mean == (2 + 5 + 1) / 3
+
+    def test_profile_accepts_plain_dict(self):
+        attribution = profile(_hand_built_tracer().to_dict())
+        assert attribution.busy_ticks["app"] == 200
+
+    def test_kernel_totals_flow_through(self):
+        q = EventQueue()
+        tracer = Tracer(q)
+        q.schedule(1, lambda: None, owner="dram.ch0")
+        q.schedule(2, lambda: None, owner="dram.ch0")
+        q.run()
+        attribution = summarize(tracer)
+        assert attribution.kernel_scheduled == {"dram.ch0": 2}
+        assert attribution.kernel_fired == {"dram.ch0": 2}
+
+
+class TestRendering:
+    def test_timeline_density_rows(self):
+        attribution = summarize(_hand_built_tracer())
+        timeline = attribution.timeline(buckets=20)
+        assert set(timeline) == {"app", "dram.ch0"}
+        assert all(len(row) == 20 for row in timeline.values())
+        assert timeline["app"] == "#" * 20          # fully busy
+        assert " " in timeline["dram.ch0"]          # idle tail shows
+
+    def test_format_is_a_readable_report(self):
+        attribution = summarize(_hand_built_tracer())
+        report = attribution.format(buckets=20)
+        assert "cycle attribution over 200 ticks" in report
+        assert "app" in report and "dram.ch0" in report
+        assert "counters (last / peak / mean):" in report
+        assert "noc.in_flight: 1 / 5 / 2.67" in report
+
+    def test_empty_trace_formats(self):
+        attribution = profile({"traceEvents": []})
+        assert attribution.end_tick == 0
+        assert attribution.timeline() == {}
+        assert "cycle attribution" in attribution.format()

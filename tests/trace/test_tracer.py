@@ -1,0 +1,191 @@
+"""Unit tests for the Chrome-trace recorder (repro.trace.tracer)."""
+
+import json
+
+import pytest
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatGroup
+from repro.trace import (DEFAULT_CATEGORIES, TraceConfig, TraceError, Tracer,
+                         load_trace, validate_trace)
+
+
+def _events_of(tracer, ph=None):
+    records = tracer.to_dict()["traceEvents"]
+    if ph is None:
+        return records
+    return [r for r in records if r["ph"] == ph]
+
+
+class TestAttachment:
+    def test_constructing_attaches_to_the_queue(self):
+        q = EventQueue()
+        assert q.tracer is None
+        tracer = Tracer(q)
+        assert q.tracer is tracer
+
+    def test_default_categories_exclude_kernel(self):
+        assert "kernel" not in DEFAULT_CATEGORIES
+        assert "phase" in DEFAULT_CATEGORIES
+
+    def test_trace_config_defaults(self):
+        config = TraceConfig()
+        assert config.path is None
+        assert not config.profile
+        assert not config.kernel_events
+
+
+class TestSpans:
+    def test_begin_end_emit_balanced_records(self):
+        q = EventQueue()
+        tracer = Tracer(q)
+        tracer.begin("app", "frame0")
+        q.run_until(100)
+        tracer.end("app", "frame0")
+        b, e = _events_of(tracer, "B"), _events_of(tracer, "E")
+        assert [r["name"] for r in b] == ["frame0"]
+        assert [r["name"] for r in e] == ["frame0"]
+        assert b[0]["ts"] == 0 and e[0]["ts"] == 100
+        assert b[0]["tid"] == e[0]["tid"]
+
+    def test_tracks_get_tids_in_first_use_order_with_metadata(self):
+        q = EventQueue()
+        tracer = Tracer(q)
+        tracer.begin("zeta", "a")
+        tracer.begin("alpha", "b")
+        tracer.end("zeta")
+        tracer.end("alpha")
+        meta = [r for r in _events_of(tracer, "M")
+                if r["name"] == "thread_name"]
+        assert [(m["tid"], m["args"]["name"]) for m in meta] == \
+            [(1, "zeta"), (2, "alpha")]
+
+    def test_end_without_begin_raises(self):
+        tracer = Tracer(EventQueue())
+        with pytest.raises(TraceError):
+            tracer.end("app", "frame0")
+
+    def test_mismatched_end_name_raises(self):
+        tracer = Tracer(EventQueue())
+        tracer.begin("app", "frame0")
+        with pytest.raises(TraceError):
+            tracer.end("app", "frame1")
+
+    def test_unnamed_end_closes_innermost(self):
+        tracer = Tracer(EventQueue())
+        tracer.begin("app", "outer")
+        tracer.begin("app", "inner")
+        tracer.end("app")
+        assert _events_of(tracer, "E")[0]["name"] == "inner"
+
+    def test_open_spans_closed_at_export(self):
+        q = EventQueue()
+        tracer = Tracer(q)
+        tracer.begin("app", "frame0")
+        tracer.begin("app", "gpu_render")
+        q.run_until(500)
+        trace = tracer.to_dict()
+        closes = [r for r in trace["traceEvents"] if r["ph"] == "E"]
+        assert [r["name"] for r in closes] == ["gpu_render", "frame0"]
+        assert all(r["ts"] == 500 for r in closes)
+        assert all(r["args"]["closed_at_export"] for r in closes)
+        validate_trace(trace)
+
+    def test_complete_records_explicit_bounds(self):
+        tracer = Tracer(EventQueue())
+        tracer.complete("dram.ch0", "gpu", 120, 180)
+        (record,) = _events_of(tracer, "X")
+        assert record["ts"] == 120 and record["dur"] == 60
+
+
+class TestCountersAndInstants:
+    def test_monotonic_counters_carry_the_category(self):
+        tracer = Tracer(EventQueue())
+        tracer.counter("noc", "in_flight", 3)
+        tracer.counter("stats.app", "frames", 1, monotonic=True)
+        plain, mono = _events_of(tracer, "C")
+        assert plain["cat"] == "counter" and plain["args"] == {"in_flight": 3}
+        assert mono["cat"] == "monotonic" and mono["args"] == {"frames": 1}
+
+    def test_instant_has_thread_scope(self):
+        tracer = Tracer(EventQueue())
+        tracer.instant("display", "frame_abort")
+        (record,) = _events_of(tracer, "i")
+        assert record["s"] == "t"
+
+    def test_category_filter_suppresses_records(self):
+        tracer = Tracer(EventQueue(), categories=["phase"])
+        baseline = tracer.num_records
+        tracer.counter("noc", "in_flight", 1)
+        tracer.instant("noc", "retry")
+        tracer.async_begin("noc", "gpu.r", 1)
+        assert tracer.num_records == baseline
+        tracer.begin("app", "frame0")       # phase: still recorded
+        assert tracer.num_records > baseline
+
+    def test_snapshot_stats_emits_only_counters(self):
+        q = EventQueue()
+        tracer = Tracer(q)
+        group = StatGroup("app")
+        group.counter("frames").add(2)
+        group.rate("hit").record(True)
+        group.histogram("latency").record(10)
+        tracer.snapshot_stats([group])
+        samples = _events_of(tracer, "C")
+        assert [(r["name"], r["cat"]) for r in samples] == \
+            [("frames", "monotonic")]
+
+
+class TestAsyncSpans:
+    def test_async_ids_pair_begin_and_end(self):
+        tracer = Tracer(EventQueue())
+        a, b = tracer.next_async_id(), tracer.next_async_id()
+        assert a != b
+        tracer.async_begin("noc", "gpu.r", a)
+        tracer.async_begin("noc", "gpu.r", b)
+        tracer.async_end("noc", "gpu.r", a)
+        tracer.async_end("noc", "gpu.r", b)
+        validate_trace(tracer.to_dict())
+
+
+class TestKernelSink:
+    def test_schedule_and_fire_counted_per_owner(self):
+        q = EventQueue()
+        tracer = Tracer(q)
+        q.schedule(1, lambda: None, owner="dram.ch0")
+        q.schedule(2, lambda: None, owner="dram.ch0")
+        q.schedule(3, lambda: None)
+        q.run(max_events=2)
+        other = tracer.to_dict()["otherData"]
+        assert other["events_scheduled"] == {"(anonymous)": 1, "dram.ch0": 2}
+        assert other["events_fired"] == {"dram.ch0": 2}
+
+    def test_kernel_events_flag_emits_instants(self):
+        q = EventQueue()
+        tracer = Tracer(q, kernel_events=True)
+        q.schedule(1, lambda: None, owner="noc")
+        q.run()
+        names = [r["name"] for r in _events_of(tracer, "i")]
+        assert "schedule:noc" in names and "fire:noc" in names
+
+    def test_kernel_instants_off_by_default(self):
+        q = EventQueue()
+        tracer = Tracer(q)
+        q.schedule(1, lambda: None, owner="noc")
+        q.run()
+        assert _events_of(tracer, "i") == []
+
+
+class TestExport:
+    def test_write_and_load_round_trip(self, tmp_path):
+        q = EventQueue()
+        tracer = Tracer(q)
+        tracer.begin("app", "frame0")
+        q.run_until(10)
+        tracer.end("app", "frame0")
+        path = tmp_path / "trace.json"
+        written = tracer.write(str(path))
+        loaded = load_trace(str(path))
+        assert loaded == json.loads(json.dumps(written))
+        assert loaded["otherData"]["end_tick"] == 10
+        validate_trace(loaded)
