@@ -9,6 +9,7 @@ Commands:
 * ``dfsl``        — run DFSL on a workload
 * ``models``      — list the workload model zoo
 * ``selftest``    — smoke-run one tiny frame with the health watchdog armed
+* ``chaos``       — seeded fault sweep with the runtime sanitizer armed
 
 ``cs1`` accepts the health-subsystem flags: ``--watchdog`` arms request
 lifecycle tracking, ``--inject SPEC`` enables seeded fault injection (e.g.
@@ -16,6 +17,12 @@ lifecycle tracking, ``--inject SPEC`` enables seeded fault injection (e.g.
 faults degrade gracefully instead of deadlocking), and
 ``--checkpoint-every N`` snapshots the run every N frames for crash
 recovery.
+
+``cs1``, ``cs2`` and ``selftest`` also accept ``--sanitize`` (runtime
+invariant checking: port protocol, resource leaks, liveness, checkpoint
+round trips) and ``--triage-dir DIR`` (write a triage bundle — repro
+command, configs, trace tail, checkpoint, stats — when a sanitized run
+dies).  See DESIGN.md §9.
 """
 
 from __future__ import annotations
@@ -111,19 +118,33 @@ def _build_trace(args):
     return TraceConfig(path=args.trace, profile=args.profile)
 
 
+def _build_sanitize(args):
+    """Translate --sanitize / --triage-dir into a SanitizeConfig."""
+    if not (args.sanitize or args.triage_dir):
+        return None
+    from repro.sanitize import SanitizeConfig
+    return SanitizeConfig(
+        bundle_dir=args.triage_dir,
+        command="python -m repro " + " ".join(sys.argv[1:]))
+
+
 def _cmd_cs1(args) -> int:
     from repro.harness.case_study1 import CS1Config, run_cs1
     config = CS1Config(num_frames=args.frames)
     health = _build_health(args)
+    sanitize = _build_sanitize(args)
     results = run_cs1(args.model, args.config, args.load, config,
                       health=health, stats_path=args.dump_stats,
-                      trace=_build_trace(args))
+                      trace=_build_trace(args), sanitize=sanitize)
     print(f"{args.model} {args.config} ({args.load} load):")
     if health is not None:
         print(f"  health: retries={results.noc_retries} "
               f"watchdog_reports={results.watchdog_reports} "
               f"quarantined={results.quarantined_errors} "
               f"checkpoints={results.checkpoints_taken}")
+    if sanitize is not None:
+        print(f"  sanitizer: checks={results.sanitizer_checks} "
+              f"violations={results.sanitizer_violations}")
     print(f"  mean GPU frame time   : {results.mean_gpu_time:10.0f} ticks")
     print(f"  mean total frame time : {results.mean_total_time:10.0f} ticks")
     print(f"  frames meeting period : {results.fps_fraction * 100:.0f}%")
@@ -152,15 +173,20 @@ def _cmd_cs2(args) -> int:
     best = min(sweep, key=lambda wt: sweep[wt].time)
     print(f"best WT: {best}")
     trace = _build_trace(args)
-    if args.dump_stats or trace is not None:
-        # Re-run the best WT for one frame to collect stats and/or a trace.
+    sanitize = _build_sanitize(args)
+    if args.dump_stats or trace is not None or sanitize is not None:
+        # Re-run the best WT for one frame to collect stats, a trace,
+        # and/or a sanitized pass over the GPU memory hierarchy.
         from repro.harness.case_study2 import run_static
         run_static(args.workload, best, 1, config,
-                   stats_path=args.dump_stats, trace=trace)
+                   stats_path=args.dump_stats, trace=trace,
+                   sanitize=sanitize)
         if args.dump_stats:
             print(f"stats written to {args.dump_stats}")
         if args.trace:
             print(f"trace written to {args.trace}")
+        if sanitize is not None:
+            print("sanitizer: re-ran best WT armed — no violations")
     return 0
 
 
@@ -189,6 +215,7 @@ def _cmd_selftest(args) -> int:
     from repro.health import HealthConfig
     from repro.soc.soc import EmeraldSoC, SoCRunConfig
 
+    sanitize = _build_sanitize(args)
     session = SceneSession("cube", 48, 36)
     config = SoCRunConfig(
         width=48, height=36, num_frames=args.frames,
@@ -200,6 +227,7 @@ def _cmd_selftest(args) -> int:
         cpu_work_per_frame=40,
         health=HealthConfig(watchdog=True, checkpoint_every=1),
         trace=_build_trace(args),
+        sanitize=sanitize,
     )
     soc = EmeraldSoC(config, session.frame, session.framebuffer_address)
     results = soc.run()
@@ -207,12 +235,27 @@ def _cmd_selftest(args) -> int:
         print(results.profile.format())
     if args.trace:
         print(f"trace written to {args.trace}")
+    detection_ok = True
+    if sanitize is not None:
+        # Prove detection end-to-end: reintroduce a historic lost-retry
+        # bug in a sandboxed fabric and require the sanitizer to name it.
+        from repro.sanitize import detection_selftest
+        violation = detection_selftest()
+        detection_ok = violation is not None
+        print(f"  sanitizer: checks={results.sanitizer_checks} "
+              f"violations={results.sanitizer_violations}")
+        print("  deliberate-violation detection: "
+              + (f"caught {type(violation).__name__} at "
+                 f"{violation.details.get('port')}"
+                 if detection_ok else "MISSED"))
     ok = (soc.loop.finished
           and len(results.frames) == args.frames
           and results.watchdog_reports == 0
           and results.quarantined_errors == 0
           and results.checkpoints_taken == args.frames
-          and soc.gpu.fb.coverage() > 0.01)
+          and soc.gpu.fb.coverage() > 0.01
+          and (sanitize is None or results.sanitizer_violations == 0)
+          and detection_ok)
     print(f"selftest: frames={len(results.frames)} "
           f"end_tick={results.end_tick} "
           f"watchdog_reports={results.watchdog_reports} "
@@ -222,12 +265,54 @@ def _cmd_selftest(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    """Seeded fault sweep with the sanitizer armed (see repro.sanitize.chaos).
+
+    Exit 0 when every run degrades gracefully or dies with a typed,
+    bundled failure; exit 1 only on a contract breach (bare traceback).
+    """
+    from repro.sanitize.chaos import (SCENARIOS, format_report, run_chaos)
+
+    scenarios = SCENARIOS
+    if args.scenario:
+        scenarios = tuple(s for s in SCENARIOS if s.name == args.scenario)
+        if not scenarios:
+            known = ", ".join(s.name for s in SCENARIOS)
+            print(f"unknown scenario {args.scenario!r}; known: {known}")
+            return 2
+    seeds = tuple(int(s) for s in args.seeds.split(","))
+    report = run_chaos(
+        seeds, budget_events=args.budget_events, frames=args.frames,
+        bundle_dir=args.bundle_dir, scenarios=scenarios,
+        progress=lambda r: print(
+            f"  {r.scenario:<24} seed={r.seed}: {r.outcome}", flush=True))
+    print(format_report(report))
+    if args.bundle_dir:
+        print(f"triage bundles (failures only) under {args.bundle_dir}")
+    if not report.ok:
+        for failure in report.failures:
+            print(f"CONTRACT BREACH: {failure.scenario} seed={failure.seed} "
+                  f"-> {failure.detail}")
+        return 1
+    return 0
+
+
 def _add_trace_flags(p) -> None:
     p.add_argument("--trace", metavar="PATH",
                    help="record the run as Chrome Trace Event Format JSON "
                         "(open in Perfetto / chrome://tracing)")
     p.add_argument("--profile", action="store_true",
                    help="print a cycle-attribution report after the run")
+
+
+def _add_sanitize_flags(p) -> None:
+    p.add_argument("--sanitize", action="store_true",
+                   help="arm the runtime invariant sanitizer (port "
+                        "protocol, resource leaks, liveness, checkpoint "
+                        "round trips); bit-identical when quiet")
+    p.add_argument("--triage-dir", metavar="DIR",
+                   help="write a triage bundle here if the run dies "
+                        "(implies --sanitize)")
 
 
 def main(argv=None) -> int:
@@ -271,12 +356,14 @@ def main(argv=None) -> int:
                    help="write every component's statistics (including "
                         "per-link port stats) to one JSON file")
     _add_trace_flags(p)
+    _add_sanitize_flags(p)
     p.set_defaults(func=_cmd_cs1)
 
     p = sub.add_parser("selftest",
                        help="tiny watchdog-armed full-system smoke run")
     p.add_argument("--frames", type=int, default=1)
     _add_trace_flags(p)
+    _add_sanitize_flags(p)
     p.set_defaults(func=_cmd_selftest)
 
     p = sub.add_parser("cs2", help="case study II WT sweep")
@@ -287,7 +374,22 @@ def main(argv=None) -> int:
                    help="re-run the best WT for one frame and write every "
                         "GPU component's statistics to one JSON file")
     _add_trace_flags(p)
+    _add_sanitize_flags(p)
     p.set_defaults(func=_cmd_cs2)
+
+    p = sub.add_parser("chaos",
+                       help="seeded fault sweep with the sanitizer armed")
+    p.add_argument("--seeds", default="1,2,3",
+                   help="comma-separated RNG seeds (default: 1,2,3)")
+    p.add_argument("--budget-events", type=int, default=2_000_000,
+                   help="per-run event budget (hang backstop)")
+    p.add_argument("--frames", type=int, default=2,
+                   help="frames rendered per run")
+    p.add_argument("--scenario",
+                   help="run only this scenario (default: all)")
+    p.add_argument("--bundle-dir", metavar="DIR",
+                   help="write triage bundles for failing runs here")
+    p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("dfsl", help="run DFSL on a workload")
     p.add_argument("workload", help="W1..W6 or a model name")

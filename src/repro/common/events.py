@@ -149,6 +149,10 @@ class EventQueue:
         # Hooks below are a single None check when tracing is off, so the
         # kernel's event schedule is untouched either way.
         self.tracer = None
+        # Optional invariant checker (repro.sanitize.Sanitizer attaches
+        # itself here); its per-event hook rides the fired-event cadence
+        # so age scans never schedule events of their own.
+        self.sanitizer = None
 
     @property
     def now(self) -> int:
@@ -228,6 +232,11 @@ class EventQueue:
         self._events_fired += 1
         if self.tracer is not None:
             self.tracer.kernel_fired(event)
+        if self.sanitizer is not None:
+            # May raise a SanitizerViolation; deliberately outside the
+            # error-policy wrapping below — a violation is a verdict, not
+            # a component fault to quarantine.
+            self.sanitizer.on_event(self._now, self._events_fired)
         if self.error_policy == "propagate":
             event.callback(*event.args)
             return True

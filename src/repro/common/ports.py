@@ -42,7 +42,48 @@ from repro.common.stats import StatGroup
 
 
 class PortProtocolError(RuntimeError):
-    """A component violated the try_send/busy/retry handshake."""
+    """A component violated the try_send/busy/retry handshake.
+
+    Carries enough context to be actionable without a debugger: the
+    owning component of the offending port, the simulation tick (when the
+    raising site knows it), and the depth of the receiver's blocked-sender
+    queue at the moment of the violation.
+    """
+
+    def __init__(self, message: str, *, owner: Optional[str] = None,
+                 tick: Optional[int] = None,
+                 blocked_depth: Optional[int] = None) -> None:
+        context = []
+        if owner is not None:
+            context.append(f"owner={owner}")
+        if tick is not None:
+            context.append(f"tick={tick}")
+        if blocked_depth is not None:
+            context.append(f"blocked_queue_depth={blocked_depth}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+        self.owner = owner
+        self.tick = tick
+        self.blocked_depth = blocked_depth
+
+
+# Module-level sanitizer hook (repro.sanitize installs itself here).  A
+# single None check per protocol action when disarmed; the armed hooks
+# observe only — they schedule no events and draw no randomness — so an
+# armed-but-quiet run stays bit-identical to a bare one.
+_SANITIZER = None
+
+
+def set_sanitizer(sanitizer) -> None:
+    """Install (or, with None, remove) the fabric-wide sanitizer hook."""
+    global _SANITIZER
+    _SANITIZER = sanitizer
+
+
+def get_sanitizer():
+    """The currently installed sanitizer hook, or None."""
+    return _SANITIZER
 
 
 def respond(request) -> None:
@@ -60,6 +101,8 @@ def respond(request) -> None:
         if not port._recv_response(request):
             return
     if request.callback is not None:
+        if _SANITIZER is not None:
+            _SANITIZER.request_completed(request)
         request.callback(request)
 
 
@@ -97,6 +140,11 @@ class RequestPort:
         self.on_retry = on_retry
         self.peer: Optional[ResponsePort] = None
         self.waiting = False                # blocked, awaiting a retry
+        # Multiplexing egresses (PortTap) relay several logical senders'
+        # flows through one port, so offering a *different* packet while
+        # blocked is expected there; on a leaf sender port it is a
+        # protocol violation the sanitizer flags.
+        self.multiplexed = False
 
     def connect(self, target) -> "RequestPort":
         """Bind to a ResponsePort (or anything adaptable into one)."""
@@ -106,26 +154,36 @@ class RequestPort:
     def try_send(self, request) -> bool:
         """Offer a packet; False means busy — hold it and await retry."""
         if self.peer is None:
-            raise PortProtocolError(f"{self.name} is not connected")
+            raise PortProtocolError(f"{self.name} is not connected",
+                                    owner=self._owner_name())
+        if self.waiting and _SANITIZER is not None:
+            _SANITIZER.port_resend_while_blocked(self, request)
         request.route.append(self)
         if self.peer._recv(request):
+            if _SANITIZER is not None:
+                _SANITIZER.port_delivered(self, request)
             return True
         request.route.pop()
         if not self.waiting:
             self.waiting = True
             self.peer._blocked.append(self)
+            if _SANITIZER is not None:
+                _SANITIZER.port_blocked(self, request)
         return False
 
-    def send(self, request) -> None:
+    def send(self, request, tick: Optional[int] = None) -> None:
         """try_send that treats busy as a protocol error.
 
         For entry points that predate flow control (``SystemNoC.submit``);
-        only safe against unbounded receivers.
+        only safe against unbounded receivers.  ``tick`` (when the caller
+        knows the current simulation time) enriches the error report.
         """
         if not self.try_send(request):
             raise PortProtocolError(
                 f"{self.name}: receiver busy — use try_send and honor "
-                f"the retry handshake")
+                f"the retry handshake",
+                owner=self._owner_name(), tick=tick,
+                blocked_depth=len(self.peer._blocked))
 
     def await_retry(self) -> None:
         """Register for a retry wake without offering a packet.
@@ -134,13 +192,25 @@ class RequestPort:
         senders are still blocked uses this to stay subscribed to the
         next freed slot even though its last forward succeeded."""
         if self.peer is None:
-            raise PortProtocolError(f"{self.name} is not connected")
+            raise PortProtocolError(f"{self.name} is not connected",
+                                    owner=self._owner_name())
         if not self.waiting:
             self.waiting = True
             self.peer._blocked.append(self)
+            if _SANITIZER is not None:
+                _SANITIZER.port_blocked(self, None)
+
+    def _owner_name(self) -> str:
+        if self.owner is None:
+            return self.name
+        name = getattr(self.owner, "name", None)
+        return name if isinstance(name, str) else type(self.owner).__name__
 
     def _recv_retry(self) -> None:
+        was_waiting = self.waiting
         self.waiting = False
+        if _SANITIZER is not None:
+            _SANITIZER.port_retry(self, was_waiting)
         if self.on_retry is not None:
             self.on_retry()
 
@@ -215,6 +285,7 @@ class PortTap:
         self.egress = RequestPort(f"{name}.out", owner=self,
                                   on_response=self._recv_response,
                                   on_retry=self._recv_retry)
+        self.egress.multiplexed = True      # relays several senders' flows
 
     def connect(self, target) -> "PortTap":
         self.egress.connect(target)
@@ -338,7 +409,7 @@ class Link:
 
     def _deliver_direct(self, request) -> None:
         self.stats.time_series("bytes").add(self.events.now, request.size)
-        self.egress.send(request)
+        self.egress.send(request, tick=self.events.now)
 
     def _dequeue(self) -> None:
         self._ready.append(self._queue.popleft())

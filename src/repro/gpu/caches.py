@@ -80,6 +80,7 @@ class PerfectMemory:
 class _MSHREntry:
     waiters: list = field(default_factory=list)     # MemRequests to answer
     write: bool = False
+    allocated_at: int = 0       # tick of allocation (sanitizer leak scans)
 
 
 class Cache:
@@ -151,7 +152,7 @@ class Cache:
                 entry.waiters.append(request)
             entry.write |= request.write
             return
-        entry = _MSHREntry(write=request.write)
+        entry = _MSHREntry(write=request.write, allocated_at=self.events.now)
         if wants_reply:
             entry.waiters.append(request)
         self._mshrs[line] = entry

@@ -72,7 +72,7 @@ class CS1Config:
 def run_cs1(model: str, config_name: str, load: str = "regular",
             config: Optional[CS1Config] = None,
             health=None, stats_path: Optional[str] = None,
-            trace=None) -> SoCResults:
+            trace=None, sanitize=None) -> SoCResults:
     """One full-system run; returns everything Figs. 9-14 need.
 
     ``health`` (a :class:`repro.health.HealthConfig`) arms the watchdog /
@@ -80,8 +80,9 @@ def run_cs1(model: str, config_name: str, load: str = "regular",
     bit-identical to a health-free build.  ``stats_path`` dumps every
     component's statistics to one JSON file after the run.  ``trace`` (a
     :class:`repro.trace.TraceConfig`) records the run as Chrome-trace JSON
-    and/or reduces it into ``results.profile`` — either way the run's
-    event schedule is unchanged.
+    and/or reduces it into ``results.profile``; ``sanitize`` (a
+    :class:`repro.sanitize.SanitizeConfig`) arms runtime invariant
+    checking — like tracing, neither changes the run's event schedule.
     """
     config = config or CS1Config()
     if load not in LOADS:
@@ -106,6 +107,7 @@ def run_cs1(model: str, config_name: str, load: str = "regular",
         seed=config.seed,
         health=health,
         trace=trace,
+        sanitize=sanitize,
     )
     soc = EmeraldSoC(run_config, session.frame, session.framebuffer_address)
     results = soc.run()

@@ -108,14 +108,16 @@ def run_static(workload: str, wt_size: int, frames: int,
                config: Optional[CS2Config] = None,
                warmup: int = 1,
                stats_path: Optional[str] = None,
-               trace=None) -> list[FrameResult]:
+               trace=None, sanitize=None) -> list[FrameResult]:
     """Render ``frames`` animated frames at a fixed WT size.
 
     The first ``warmup`` frames are rendered but dropped from the results
     (cold caches).  ``stats_path`` dumps every GPU component's statistics
     to one JSON file after the run.  ``trace`` (a
     :class:`repro.trace.TraceConfig`) records the run as Chrome-trace JSON
-    and/or prints a cycle-attribution report.
+    and/or prints a cycle-attribution report.  ``sanitize`` (a
+    :class:`repro.sanitize.SanitizeConfig`) arms runtime invariant
+    checking over the GPU's ports, caches and DRAM queues for the run.
     """
     config = config or CS2Config()
     model = CASE_STUDY2_SCENES.get(workload, workload)
@@ -129,11 +131,23 @@ def run_static(workload: str, wt_size: int, frames: int,
         from repro.trace import Tracer
         tracer = Tracer(gpu.events, categories=trace.categories,
                         kernel_events=trace.kernel_events)
-    results = []
-    for index in range(frames + warmup):
-        stats = gpu.run_frame(session.frame(index))
-        if index >= warmup:
-            results.append(FrameResult(wt_size, stats))
+    sanitizer = None
+    if sanitize is not None:
+        from repro.sanitize import Sanitizer
+        sanitizer = Sanitizer(gpu.events, sanitize)
+        sanitizer.register_gpu(gpu)
+        for channel in gpu.memory.channels:
+            sanitizer.register_dram_channel(channel)
+        sanitizer.install()
+    try:
+        results = []
+        for index in range(frames + warmup):
+            stats = gpu.run_frame(session.frame(index))
+            if index >= warmup:
+                results.append(FrameResult(wt_size, stats))
+    finally:
+        if sanitizer is not None:
+            sanitizer.uninstall()
     if stats_path is not None:
         from repro.harness.report import gpu_stat_groups, write_stats_json
         write_stats_json(gpu_stat_groups(gpu), stats_path)

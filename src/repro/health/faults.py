@@ -116,6 +116,10 @@ class FaultInjector:
     drop+spike run agree on *which* requests drop.
     """
 
+    #: Stream name -> attribute, in serialization order (checkpointing).
+    STREAMS = {"drop": "_drop_rng", "delay": "_delay_rng",
+               "spike": "_spike_rng", "display": "_display_rng"}
+
     def __init__(self, config: FaultConfig) -> None:
         self.config = config
         self.stats = StatGroup("faults")
@@ -123,6 +127,32 @@ class FaultInjector:
         self._delay_rng = random.Random((config.seed << 4) | 2)
         self._spike_rng = random.Random((config.seed << 4) | 3)
         self._display_rng = random.Random((config.seed << 4) | 4)
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def rng_state(self) -> dict:
+        """JSON-serializable snapshot of all four RNG stream states.
+
+        A resumed run that restores this reproduces the same downstream
+        fault pattern as the uninterrupted run (``random.Random`` state is
+        ``(version, (int, ...), gauss_next)`` — lists after a JSON round
+        trip, which :meth:`restore_rng` converts back).
+        """
+        return {name: list(self._state_tuple(attr))
+                for name, attr in self.STREAMS.items()}
+
+    def _state_tuple(self, attr: str):
+        version, internal, gauss = getattr(self, attr).getstate()
+        return (version, list(internal), gauss)
+
+    def restore_rng(self, state: dict) -> None:
+        """Restore stream states captured by :meth:`rng_state`."""
+        for name, attr in self.STREAMS.items():
+            if name not in state:
+                continue
+            version, internal, gauss = state[name]
+            getattr(self, attr).setstate(
+                (version, tuple(internal), gauss))
 
     # -- request path -----------------------------------------------------------
 

@@ -29,12 +29,17 @@ class CheckpointManager:
     checkpoint — the on-disk state a crashed process recovers from.
     """
 
-    def __init__(self, every: int, path: Optional[str] = None) -> None:
+    def __init__(self, every: int, path: Optional[str] = None,
+                 injector=None) -> None:
         if every <= 0:
             raise ValueError(f"checkpoint interval must be positive, "
                              f"got {every}")
         self.every = every
         self.path = path
+        # When a FaultInjector rides the run, its RNG stream states are
+        # captured into every snapshot so a resume reproduces the same
+        # downstream fault pattern as an uninterrupted run.
+        self.injector = injector
         self.last: Optional[GraphicsCheckpoint] = None
         self.checkpoints_taken = 0
         self._frames: list[Frame] = []
@@ -56,8 +61,10 @@ class CheckpointManager:
         """Called after frame ``frame_index`` completes at ``tick``."""
         if (frame_index + 1) % self.every != 0:
             return
+        rng = (self.injector.rng_state()
+               if self.injector is not None else None)
         self.last = capture(list(self._frames), tick=tick,
-                            frame_index=frame_index + 1)
+                            frame_index=frame_index + 1, rng=rng)
         self.checkpoints_taken += 1
         if self.path is not None:
             with open(self.path, "w") as handle:
@@ -89,5 +96,10 @@ def resume_run(checkpoint: GraphicsCheckpoint, run_config,
                      start_tick=checkpoint.tick)
     if soc.checkpoints is not None:
         soc.checkpoints.seed(restored)
+    if checkpoint.rng is not None and soc.injector is not None:
+        # Re-align the fault RNG streams with the crashed run's position;
+        # without this a resume re-draws the whole fault sequence from the
+        # seed and diverges from the uninterrupted run.
+        soc.injector.restore_rng(checkpoint.rng)
     results = soc.run()
     return soc, results

@@ -112,6 +112,13 @@ class DRAMChannel:
     def queue_length(self) -> int:
         return len(self.pending)
 
+    def oldest_pending_age(self, now: int) -> int:
+        """Age in ticks of the longest-queued entry (0 when empty);
+        the sanitizer's dram-queue leak scan reads this."""
+        if not self.pending:
+            return 0
+        return now - min(entry.enqueue_time for entry in self.pending)
+
     def bank_of(self, coord: DramCoord) -> _Bank:
         return self.banks[coord.rank * self.config.banks + coord.bank]
 

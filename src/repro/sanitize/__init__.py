@@ -1,0 +1,43 @@
+"""Opt-in runtime invariant checking, chaos sweeps and failure triage.
+
+Public surface:
+
+* :class:`SanitizeConfig` / :class:`Sanitizer` — the invariant checker
+  (port protocol, resource leaks, liveness) that installs onto the port
+  fabric and event kernel;
+* the typed violation hierarchy rooted at :class:`SanitizerViolation`;
+* :func:`verify_roundtrip` — checkpoint serialize/restore/shadow-replay
+  diff (:mod:`repro.sanitize.roundtrip`);
+* :func:`write_bundle` — failure triage bundles (:mod:`repro.sanitize.
+  triage`);
+* the chaos harness lives in :mod:`repro.sanitize.chaos`, imported
+  lazily by the CLI (it pulls in the full SoC model).
+"""
+
+from repro.sanitize.sanitizer import (
+    SanitizeConfig,
+    Sanitizer,
+    detection_selftest,
+)
+from repro.sanitize.violations import (
+    CheckpointMismatchViolation,
+    DoubleDeliveryViolation,
+    LivenessViolation,
+    LostRetryViolation,
+    PortProtocolViolation,
+    ResourceLeakViolation,
+    SanitizerViolation,
+)
+
+__all__ = [
+    "SanitizeConfig",
+    "Sanitizer",
+    "detection_selftest",
+    "SanitizerViolation",
+    "PortProtocolViolation",
+    "DoubleDeliveryViolation",
+    "LostRetryViolation",
+    "ResourceLeakViolation",
+    "LivenessViolation",
+    "CheckpointMismatchViolation",
+]

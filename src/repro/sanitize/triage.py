@@ -1,0 +1,124 @@
+"""Failure triage bundles.
+
+When a sanitized run dies — a typed violation, a watchdog report, an
+event-limit hang — the facts needed to debug it are scattered across the
+process that just crashed.  :func:`write_bundle` gathers them into one
+directory, named by the run seed so sweeps (chaos, CI) file failures
+predictably:
+
+``<root>/seed-<seed>/``
+    * ``MANIFEST.json`` — what's in the bundle and the one-line repro
+      command;
+    * ``repro.sh`` — the exact command line to reproduce the failure;
+    * ``violation.json`` — the typed violation (kind, tick, owner,
+      machine-readable details), or the wrapped :class:`SimulationError`;
+    * ``config.json`` — fault + sanitizer + run configuration;
+    * ``trace_tail.json`` — the last N Chrome-trace events before death
+      (when a tracer rode the run);
+    * ``checkpoint.json`` — the latest graphics checkpoint (restart
+      point for a post-mortem resume);
+    * ``stats.json`` — every component's counters at the moment of death.
+
+Everything is plain JSON; nothing in a bundle requires the simulator to
+inspect.  A seed directory that already exists gains a ``-2``, ``-3`` …
+suffix rather than overwriting an earlier failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from repro.sanitize.violations import SanitizerViolation
+
+#: Default number of trailing trace events preserved in the bundle.
+TRACE_TAIL_EVENTS = 500
+
+
+def _error_payload(error: BaseException) -> dict:
+    if isinstance(error, SanitizerViolation):
+        return error.to_dict()
+    return {
+        "kind": type(error).__name__,
+        "message": str(error),
+        "tick": getattr(error, "tick", None),
+        "owner": getattr(error, "owner", None),
+        "details": {},
+    }
+
+
+def _bundle_dir(root: str, seed: int) -> str:
+    base = os.path.join(root, f"seed-{seed}")
+    path, suffix = base, 2
+    while os.path.exists(path):
+        path = f"{base}-{suffix}"
+        suffix += 1
+    os.makedirs(path)
+    return path
+
+
+def write_bundle(root: str, *, seed: int,
+                 error: Optional[BaseException] = None,
+                 command: Optional[str] = None,
+                 config: Optional[dict] = None,
+                 tracer=None,
+                 checkpoint=None,
+                 stat_groups=None,
+                 trace_tail: int = TRACE_TAIL_EVENTS) -> str:
+    """Write one triage bundle; returns the bundle directory path.
+
+    Every section is optional — a bundle from a trace-less run simply has
+    no ``trace_tail.json``.  When ``error`` is a
+    :class:`SanitizerViolation` its ``bundle_path`` is filled in so the
+    raiser's caller can point at the bundle.
+    """
+    path = _bundle_dir(root, seed)
+    contents = ["MANIFEST.json"]
+
+    def emit(name: str, payload) -> None:
+        with open(os.path.join(path, name), "w") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+            handle.write("\n")
+        contents.append(name)
+
+    if error is not None:
+        emit("violation.json", _error_payload(error))
+    if config is not None:
+        emit("config.json", config)
+    if tracer is not None:
+        doc = tracer.to_dict()
+        events = doc.get("traceEvents", [])
+        emit("trace_tail.json", {
+            "dropped_events": max(0, len(events) - trace_tail),
+            "traceEvents": events[-trace_tail:],
+            "otherData": doc.get("otherData", {}),
+        })
+    if checkpoint is not None:
+        with open(os.path.join(path, "checkpoint.json"), "w") as handle:
+            handle.write(checkpoint.to_json())
+            handle.write("\n")
+        contents.append("checkpoint.json")
+    if stat_groups is not None:
+        emit("stats.json", {group.name: group.dump()
+                            for group in stat_groups})
+    if command is not None:
+        script = os.path.join(path, "repro.sh")
+        with open(script, "w") as handle:
+            handle.write("#!/bin/sh\n# Reproduces the failure in this "
+                         "bundle.\n" + command + "\n")
+        os.chmod(script, 0o755)
+        contents.append("repro.sh")
+
+    with open(os.path.join(path, "MANIFEST.json"), "w") as handle:
+        json.dump({
+            "seed": seed,
+            "command": command,
+            "error": _error_payload(error) if error is not None else None,
+            "contents": sorted(contents),
+        }, handle, indent=2, default=str)
+        handle.write("\n")
+
+    if isinstance(error, SanitizerViolation):
+        error.bundle_path = path
+    return path

@@ -1,0 +1,97 @@
+"""Typed runtime-invariant violations raised by the sanitizer.
+
+Every violation is a :class:`~repro.common.events.SimulationError`, so it
+propagates out of the event loop unwrapped under every error policy and
+carries the tick/owner provenance the health subsystem already reports.
+On top of that each class names the *invariant* that broke (``kind``) and
+carries a machine-readable ``details`` dict — the payload the triage
+bundle serializes, so a violation is diagnosable from the bundle alone.
+
+The catalog (DESIGN.md §9 lists the invariants in full):
+
+* :class:`PortProtocolViolation` — a component broke the try_send/busy/
+  retry handshake (send-while-blocked with a different packet, retry
+  delivered to a port that never blocked);
+* :class:`DoubleDeliveryViolation` — one logical request completed twice
+  at its issuer;
+* :class:`LostRetryViolation` — a blocked sender aged past the configured
+  window without a ``send_retry`` wake (the PR 3 PortTap bug class);
+* :class:`ResourceLeakViolation` — an age-thresholded resource entry
+  (MSHR, DRAM queue slot, watchdog-tracked request, bounded-link buffer)
+  outlived its window;
+* :class:`LivenessViolation` — ticks advance but nothing completes while
+  work is outstanding (model-level livelock);
+* :class:`CheckpointMismatchViolation` — a checkpoint did not survive a
+  serialize → restore → shadow-replay round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.events import SimulationError
+
+
+class SanitizerViolation(SimulationError):
+    """Base class: a runtime invariant the sanitizer guards was broken."""
+
+    kind = "invariant"
+
+    def __init__(self, message: str, *, tick: int = 0,
+                 owner: Optional[str] = None,
+                 details: Optional[dict] = None) -> None:
+        super().__init__(f"sanitizer[{self.kind}]: {message}",
+                         tick=tick, owner=owner)
+        self.details = dict(details or {})
+        #: Filled in by the triage writer when a bundle is emitted.
+        self.bundle_path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        """JSON-serializable payload for the triage bundle."""
+        return {
+            "kind": self.kind,
+            "message": str(self),
+            "tick": self.tick,
+            "owner": self.owner,
+            "details": self.details,
+        }
+
+
+class PortProtocolViolation(SanitizerViolation):
+    """The try_send/busy/retry handshake was violated."""
+
+    kind = "port-protocol"
+
+
+class DoubleDeliveryViolation(SanitizerViolation):
+    """A logical request's completion callback fired more than once."""
+
+    kind = "double-delivery"
+
+
+class LostRetryViolation(SanitizerViolation):
+    """A blocked sender never received its ``send_retry`` wake."""
+
+    kind = "lost-retry-wake"
+
+
+class ResourceLeakViolation(SanitizerViolation):
+    """An age-thresholded resource entry outlived its window.
+
+    ``details["resource"]`` names the pool (``mshr``, ``dram-queue``,
+    ``inflight-request``, ``link-buffer``).
+    """
+
+    kind = "resource-leak"
+
+
+class LivenessViolation(SanitizerViolation):
+    """Ticks advance, work is outstanding, nothing completes."""
+
+    kind = "liveness"
+
+
+class CheckpointMismatchViolation(SanitizerViolation):
+    """A checkpoint failed the serialize/restore/shadow-replay diff."""
+
+    kind = "checkpoint-roundtrip"

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.gl.context import Frame
 from repro.gl.trace import TraceRecorder, replay
@@ -39,19 +40,30 @@ CHECKPOINT_VERSION = 1
 
 @dataclass
 class GraphicsCheckpoint:
-    """A serializable snapshot of graphics + loop state."""
+    """A serializable snapshot of graphics + loop state.
+
+    ``rng`` (optional) carries the fault injector's serialized RNG stream
+    states (:meth:`repro.health.faults.FaultInjector.rng_state`) so a
+    resumed run reproduces the *same* downstream fault pattern as an
+    uninterrupted one.  Absent (None) on runs without injection and in
+    pre-existing snapshots — the field is backward compatible both ways.
+    """
 
     trace_json: str
     tick: int
     frame_index: int
+    rng: Optional[dict] = None
 
     def to_json(self) -> str:
-        return json.dumps({
+        doc = {
             "version": CHECKPOINT_VERSION,
             "tick": self.tick,
             "frame_index": self.frame_index,
             "trace": json.loads(self.trace_json),
-        })
+        }
+        if self.rng is not None:
+            doc["rng"] = self.rng
+        return json.dumps(doc)
 
     @classmethod
     def from_json(cls, text: str) -> "GraphicsCheckpoint":
@@ -81,8 +93,12 @@ class GraphicsCheckpoint:
         if not isinstance(frames, list):
             raise CheckpointError(
                 "missing or not a list", field="trace.frames")
+        rng = doc.get("rng")
+        if rng is not None and not isinstance(rng, dict):
+            raise CheckpointError(
+                f"expected an object, got {type(rng).__name__}", field="rng")
         return cls(trace_json=json.dumps(trace), tick=tick,
-                   frame_index=frame_index)
+                   frame_index=frame_index, rng=rng)
 
     def restore_frames(self) -> list[Frame]:
         """Replay the recorded draw calls through a fresh GL context."""
@@ -102,11 +118,11 @@ def _require_int(doc: dict, key: str) -> int:
     return value
 
 
-def capture(frames: list[Frame], tick: int,
-            frame_index: int) -> GraphicsCheckpoint:
+def capture(frames: list[Frame], tick: int, frame_index: int,
+            rng: Optional[dict] = None) -> GraphicsCheckpoint:
     """Record rendered frames into a checkpoint."""
     recorder = TraceRecorder()
     for frame in frames:
         recorder.record_frame(frame)
     return GraphicsCheckpoint(trace_json=recorder.to_json(), tick=tick,
-                              frame_index=frame_index)
+                              frame_index=frame_index, rng=rng)

@@ -94,7 +94,7 @@ class SystemNoC:
         Raises on backpressure (bounded links) — flow-control-aware
         callers connect a port to ``ingress`` instead.
         """
-        self._entry.send(request)
+        self._entry.send(request, tick=self.events.now)
 
     def access(self, address, size, write, callback):
         """Cache-port compatible entry (used behind the GPU L2).

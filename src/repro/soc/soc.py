@@ -19,6 +19,9 @@ from repro.health import CheckpointManager, FaultInjector, HealthConfig
 from repro.health.watchdog import Watchdog
 from repro.memory.builders import build_memory_by_name
 from repro.memory.request import SourceType
+from repro.sanitize import SanitizeConfig, Sanitizer
+from repro.sanitize.roundtrip import verify_roundtrip
+from repro.sanitize.violations import CheckpointMismatchViolation
 from repro.soc.android import FrameRecord, RenderLoop
 from repro.soc.cpu import CPUCluster
 from repro.soc.display import DisplayController
@@ -66,6 +69,10 @@ class SoCRunConfig:
     # Even when enabled the tracer only records — it schedules no events
     # and draws no randomness, so the run stays bit-identical either way.
     trace: Optional[TraceConfig] = None
+    # Runtime invariant checking (repro.sanitize); None disables every
+    # hook.  Like the tracer, an armed-but-quiet sanitizer schedules no
+    # events and draws no randomness — bit-identical to a bare run.
+    sanitize: Optional[SanitizeConfig] = None
 
 
 @dataclass
@@ -95,6 +102,9 @@ class SoCResults:
     link_stats: dict[str, dict[str, float]] = field(default_factory=dict)
     # Cycle-attribution report (set when SoCRunConfig.trace.profile is on).
     profile: Optional[CycleAttribution] = None
+    # Sanitizer telemetry (zero on an unsanitized run).
+    sanitizer_checks: int = 0
+    sanitizer_violations: int = 0
 
 
 class EmeraldSoC:
@@ -139,7 +149,8 @@ class EmeraldSoC:
             retry = health.retry
             if health.checkpoint_every:
                 self.checkpoints = CheckpointManager(
-                    health.checkpoint_every, path=health.checkpoint_path)
+                    health.checkpoint_every, path=health.checkpoint_path,
+                    injector=self.injector)
                 frame_source = self.checkpoints.wrap_source(frame_source)
         from repro.memory.dash import DashConfig
         dash_config = DashConfig(quantum=run_config.dash_quantum_ticks,
@@ -185,6 +196,12 @@ class EmeraldSoC:
             on_frame_done=self._frame_done,
             start_frame=start_frame)
         self._start_tick = start_tick
+        # -- sanitizer (after assembly: it registers every component) --------
+        self.sanitizer: Optional[Sanitizer] = None
+        self._verified_checkpoints = 0
+        if run_config.sanitize is not None:
+            self.sanitizer = Sanitizer(self.events, run_config.sanitize)
+            self.sanitizer.register_soc(self)
 
     def _frame_done(self, record: FrameRecord) -> None:
         if self.tracer is not None:
@@ -192,8 +209,36 @@ class EmeraldSoC:
             self.tracer.snapshot_stats(self.stat_groups())
         if self.checkpoints is not None:
             self.checkpoints.on_frame_done(record.index, self.events.now)
+            self._verify_new_checkpoint()
+
+    def _verify_new_checkpoint(self) -> None:
+        """Round-trip every snapshot the moment it is taken (sanitizer)."""
+        if (self.sanitizer is None
+                or not self.sanitizer.config.verify_checkpoints
+                or self.checkpoints.checkpoints_taken
+                <= self._verified_checkpoints):
+            return
+        self._verified_checkpoints = self.checkpoints.checkpoints_taken
+        try:
+            verify_roundtrip(self.checkpoints.last, tick=self.events.now)
+        except CheckpointMismatchViolation as violation:
+            self.sanitizer.report(violation)    # re-raises in "raise" mode
 
     def run(self, max_events: int = 500_000_000) -> SoCResults:
+        if self.sanitizer is not None:
+            self.sanitizer.install()
+        try:
+            return self._run(max_events)
+        except SimulationError as error:
+            # Typed violations and wrapped hangs alike leave a triage
+            # bundle behind when the sanitizer is configured with one.
+            self._write_triage(error)
+            raise
+        finally:
+            if self.sanitizer is not None:
+                self.sanitizer.uninstall()
+
+    def _run(self, max_events: int) -> SoCResults:
         if self._start_tick:
             # Crash recovery: re-enter simulated time at the snapshot tick.
             self.events.advance_to(self._start_tick)
@@ -220,7 +265,32 @@ class EmeraldSoC:
                 self.tracer.write(trace.path)
             if trace.profile:
                 results.profile = summarize(self.tracer)
+        if self.sanitizer is not None and self.sanitizer.violations:
+            # Record-mode runs complete; still leave the evidence behind.
+            self._write_triage(self.sanitizer.violations[0])
         return results
+
+    def _write_triage(self, error: BaseException) -> None:
+        sanitize = self.config.sanitize
+        if sanitize is None or not sanitize.bundle_dir:
+            return
+        from dataclasses import asdict
+
+        from repro.sanitize.triage import write_bundle
+
+        config = {"sanitize": asdict(sanitize),
+                  "seed": self.config.seed,
+                  "memory_config": self.config.memory_config,
+                  "num_frames": self.config.num_frames}
+        health = self.config.health
+        if health is not None and health.faults is not None:
+            config["faults"] = asdict(health.faults)
+        write_bundle(
+            sanitize.bundle_dir, seed=self.config.seed, error=error,
+            command=sanitize.command, config=config, tracer=self.tracer,
+            checkpoint=(self.checkpoints.last
+                        if self.checkpoints is not None else None),
+            stat_groups=self.stat_groups())
 
     def _hang_context(self) -> str:
         """What the watchdog knows about a stuck run (for error messages)."""
@@ -244,6 +314,8 @@ class EmeraldSoC:
             groups.append(self.watchdog.stats)
         if self.injector is not None:
             groups.append(self.injector.stats)
+        if self.sanitizer is not None:
+            groups.append(self.sanitizer.stats)
         return groups
 
     def _link_stats(self) -> dict[str, dict[str, float]]:
@@ -278,4 +350,8 @@ class EmeraldSoC:
             checkpoints_taken=(self.checkpoints.checkpoints_taken
                                if self.checkpoints is not None else 0),
             link_stats=self._link_stats(),
+            sanitizer_checks=(self.sanitizer.checks_run
+                              if self.sanitizer is not None else 0),
+            sanitizer_violations=(len(self.sanitizer.violations)
+                                  if self.sanitizer is not None else 0),
         )

@@ -87,8 +87,29 @@ def test_double_block_registers_once():
 def test_send_raises_on_busy():
     sink = Sink(accept=False)
     port = RequestPort("p").connect(sink)
-    with pytest.raises(PortProtocolError):
+    with pytest.raises(PortProtocolError) as excinfo:
+        port.send(make_request(), tick=4_200)
+    error = excinfo.value
+    # The error carries enough provenance to triage without a debugger:
+    # who sent, when, and how deep the blocked queue behind the peer is.
+    assert error.owner == "p"
+    assert error.tick == 4_200
+    assert error.blocked_depth == 1
+    assert "owner=p" in str(error)
+    assert "tick=4200" in str(error)
+    assert "blocked_queue_depth=1" in str(error)
+
+
+def test_send_error_owner_prefers_the_owning_component():
+    class Component:
+        name = "noc"
+
+    sink = Sink(accept=False)
+    port = RequestPort("noc.submit", owner=Component()).connect(sink)
+    with pytest.raises(PortProtocolError) as excinfo:
         port.send(make_request())
+    assert excinfo.value.owner == "noc"
+    assert excinfo.value.tick is None       # caller didn't know the time
 
 
 def test_unconnected_port_raises():

@@ -104,6 +104,62 @@ class TestCacheBasics:
         assert memory.accesses == 1           # fill on write miss
 
 
+class TestMSHREdgeCases:
+    def test_secondary_write_miss_merges_dirty_into_read_fill(self):
+        """A write merging into a read miss's MSHR must dirty the filled
+        line, or the write is silently lost at eviction time."""
+        events, cache, memory = make_cache(size=1024, ways=2)
+        done = []
+        cache.access(0, 128, False, lambda: done.append("read"))
+        cache.access(0, 128, True, lambda: done.append("write"))
+        assert cache._mshrs[0].write        # the merge dirtied the entry
+        events.run()
+        assert sorted(done) == ["read", "write"]
+        assert cache.stats.counter("mshr_merges").value == 1
+        # Evict line 0 (2-way set, stride 512): the merged write must
+        # surface as a writeback.
+        cache.access(512, 128, False, None)
+        cache.access(1024, 128, False, None)
+        events.run()
+        assert cache.stats.counter("writebacks").value == 1
+
+    def test_concurrent_fills_racing_eviction_in_one_set(self):
+        """Three outstanding misses to a 2-way set: the last fill evicts a
+        line installed by an earlier fill of the same burst, and every
+        waiter still completes exactly once."""
+        events, cache, memory = make_cache(size=1024, ways=2)
+        done = []
+        for address in (0, 512, 1024):      # all map to set 0
+            cache.access(address, 128, False,
+                         lambda a=address: done.append(a))
+        assert len(cache._mshrs) == 3       # all in flight at once
+        events.run()
+        assert sorted(done) == [0, 512, 1024]
+        assert cache._mshrs == {}
+        assert cache.stats.counter("evictions").value == 1
+        resident = [a for a in (0, 512, 1024) if cache.contains(a)]
+        assert len(resident) == 2           # ways bound still holds
+
+    def test_mshr_occupancy_histogram_tracks_full_occupancy(self):
+        events, cache, memory = make_cache()
+        for index in range(8):
+            cache.access(index * 128, 128, False, None)
+        assert len(cache._mshrs) == 8
+        occupancy = cache.stats.histogram("mshr_occupancy")
+        assert occupancy.count == 8         # one sample per allocation
+        assert occupancy.maximum == 8       # recorded at peak
+        events.run()
+        assert cache._mshrs == {}           # all fills drained
+
+    def test_mshr_allocation_tick_is_current_time(self):
+        events, cache, memory = make_cache()
+        cache.access(0, 128, False, None)
+        events.run()
+        assert events.now >= 100
+        cache.access(4096, 128, False, None)
+        assert cache._mshrs[cache.line_of(4096)].allocated_at == events.now
+
+
 class TestLatencyPort:
     def test_adds_latency(self):
         events = EventQueue()

@@ -12,7 +12,7 @@ from repro.soc.soc import EmeraldSoC, SoCRunConfig
 WIDTH, HEIGHT = 48, 36
 
 
-def tiny_config(num_frames=1, health=None) -> SoCRunConfig:
+def tiny_config(num_frames=1, health=None, sanitize=None) -> SoCRunConfig:
     return SoCRunConfig(
         width=WIDTH, height=HEIGHT, num_frames=num_frames,
         memory_config="BAS",
@@ -22,10 +22,12 @@ def tiny_config(num_frames=1, health=None) -> SoCRunConfig:
         display_period_ticks=60_000,
         cpu_work_per_frame=40,
         health=health,
+        sanitize=sanitize,
     )
 
 
-def build_soc(num_frames=1, health=None):
+def build_soc(num_frames=1, health=None, sanitize=None):
     session = SceneSession("cube", WIDTH, HEIGHT)
-    config = tiny_config(num_frames=num_frames, health=health)
+    config = tiny_config(num_frames=num_frames, health=health,
+                         sanitize=sanitize)
     return EmeraldSoC(config, session.frame, session.framebuffer_address)

@@ -41,6 +41,63 @@ class TestCheckpointManager:
         assert len(restored.restore_frames()) == 1
 
 
+class TestCheckpointRNGCapture:
+    def test_checkpoints_carry_injector_streams(self):
+        from repro.health.faults import FaultConfig, FaultInjector
+
+        injector = FaultInjector(FaultConfig(seed=9, dram_drop=0.5))
+        manager = CheckpointManager(every=1, injector=injector)
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        source(0)
+        manager.on_frame_done(0, tick=500)
+        assert manager.last.rng is not None
+        assert sorted(manager.last.rng) == ["delay", "display", "drop",
+                                            "spike"]
+        # And the state survives the on-disk JSON format.
+        restored = GraphicsCheckpoint.from_json(manager.last.to_json())
+        assert restored.rng == manager.last.rng
+
+    def test_injector_free_checkpoints_omit_rng(self):
+        manager = CheckpointManager(every=1)
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        source(0)
+        manager.on_frame_done(0, tick=500)
+        assert manager.last.rng is None
+        assert "rng" not in manager.last.to_json()
+
+    def test_resume_run_restores_injector_streams(self, monkeypatch):
+        """resume_run must hand the snapshot's RNG state to the new SoC's
+        injector before any event runs."""
+        from repro.health.faults import FaultConfig, FaultInjector
+
+        donor = FaultInjector(FaultConfig(seed=4, display_underrun=0.5))
+        for _ in range(25):                     # mid-stream state
+            donor.display_underrun_now()
+        state = donor.rng_state()
+
+        applied = []
+        original = FaultInjector.restore_rng
+        monkeypatch.setattr(
+            FaultInjector, "restore_rng",
+            lambda self, rng: applied.append(rng) or original(self, rng))
+
+        source = SceneSession("cube", WIDTH, HEIGHT)
+        manager = CheckpointManager(every=1)
+        wrapped = manager.wrap_source(source.frame)
+        wrapped(0)
+        manager.on_frame_done(0, tick=500)
+        checkpoint = manager.last
+        checkpoint.rng = state
+
+        health = HealthConfig(checkpoint_every=1,
+                              faults=FaultConfig(seed=4, dram_delay=0.05))
+        resume_run(checkpoint, tiny_config(num_frames=1, health=health),
+                   source.frame, source.framebuffer_address)
+        assert applied == [state]
+
+
 @pytest.mark.full_system
 class TestCrashRecovery:
     def test_killed_run_resumes_to_same_final_frame(self):
@@ -75,6 +132,40 @@ class TestCrashRecovery:
         assert resumed_results.frames[0].index == checkpoint.frame_index
         # Simulated time re-entered at the snapshot tick, not at zero.
         assert resumed_results.end_tick > checkpoint.tick
+        assert np.array_equal(soc_resumed.gpu.fb.color, full_fb)
+
+    def test_killed_faulted_run_resumes_to_same_final_frame(self):
+        """Crash recovery still holds with fault injection armed: the
+        snapshot carries the injector's RNG streams, so the resumed run
+        faces the checkpointed fault pattern rather than a fresh one."""
+        from repro.health.faults import FaultConfig
+
+        frames = 3
+        health = HealthConfig(
+            checkpoint_every=1,
+            faults=FaultConfig(seed=5, dram_delay=0.05, noc_spike=0.05))
+
+        soc_full = build_soc(num_frames=frames, health=health)
+        soc_full.run()
+        full_fb = soc_full.gpu.fb.color.copy()
+        total_events = soc_full.events.events_fired
+        # The faults actually fired, and every snapshot carries RNG state.
+        assert (soc_full.injector.stats.counter("replies_delayed").value
+                + soc_full.injector.stats.counter("noc_spikes").value) > 0
+        assert soc_full.checkpoints.last.rng is not None
+
+        soc_killed = build_soc(num_frames=frames, health=health)
+        with pytest.raises(SimulationError):
+            soc_killed.run(max_events=int(total_events * 0.8))
+        checkpoint = soc_killed.checkpoints.last
+        assert 0 < checkpoint.frame_index < frames
+        assert checkpoint.rng is not None
+
+        session = SceneSession("cube", WIDTH, HEIGHT)
+        soc_resumed, resumed_results = resume_run(
+            checkpoint, tiny_config(num_frames=frames, health=health),
+            session.frame, session.framebuffer_address)
+        assert soc_resumed.loop.finished
         assert np.array_equal(soc_resumed.gpu.fb.color, full_fb)
 
     def test_resumed_run_checkpoints_cover_whole_trace(self):

@@ -1,0 +1,87 @@
+"""Chaos harness: outcome classification and the loud-death contract."""
+
+import os
+
+import pytest
+
+from repro.sanitize.chaos import (
+    ChaosReport,
+    ChaosResult,
+    SCENARIOS,
+    format_report,
+    run_one,
+)
+
+BY_NAME = {scenario.name: scenario for scenario in SCENARIOS}
+
+
+class TestCatalog:
+    def test_scenario_names_are_unique(self):
+        assert len(BY_NAME) == len(SCENARIOS)
+
+    def test_every_fault_class_is_exercised(self):
+        covered = set()
+        for scenario in SCENARIOS:
+            for name in ("dram_drop", "dram_delay", "noc_spike",
+                         "display_underrun"):
+                if getattr(scenario.faults, name):
+                    covered.add(name)
+        assert covered == {"dram_drop", "dram_delay", "noc_spike",
+                           "display_underrun"}
+
+    def test_unprotected_drop_scenario_documents_its_outcome(self):
+        assert BY_NAME["reply-drop-unprotected"].expect == "violation"
+        assert BY_NAME["reply-drop-unprotected"].retry is None
+
+
+class TestReport:
+    def test_only_failed_outcomes_break_the_contract(self):
+        report = ChaosReport(results=[
+            ChaosResult("a", 1, "ok"),
+            ChaosResult("a", 2, "violation"),
+            ChaosResult("b", 1, "detected"),
+        ])
+        assert report.ok
+        report.results.append(
+            ChaosResult("b", 2, "FAILED", detail="KeyError: 'x'"))
+        assert not report.ok
+        assert [r.scenario for r in report.failures] == ["b"]
+
+    def test_format_report_tabulates_and_summarizes(self):
+        report = ChaosReport(results=[
+            ChaosResult("baseline", 1, "ok", detail="0 retries"),
+            ChaosResult("reply-drop", 1, "FAILED", detail="boom"),
+        ])
+        text = format_report(report)
+        assert "baseline" in text
+        assert "FAILED" in text
+        assert "2 runs: 1 FAILED, 1 ok" in text
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestRunOne:
+    def test_baseline_completes_clean(self):
+        result = run_one(BY_NAME["baseline"], seed=1, frames=1)
+        assert result.outcome == "ok"
+        assert result.violations == 0
+        assert result.end_tick > 0
+
+    def test_event_budget_exhaustion_is_detected_not_failed(self):
+        """A livelock the sanitizer misses still dies loudly: the event
+        budget turns it into a wrapped SimulationError, never a hang."""
+        result = run_one(BY_NAME["baseline"], seed=1, frames=1,
+                         budget_events=2_000)
+        assert result.outcome == "detected"
+        assert result.detail            # names the budget error
+
+    def test_unprotected_drop_dies_loudly_with_a_bundle(self, tmp_path):
+        result = run_one(BY_NAME["reply-drop-unprotected"], seed=1,
+                         frames=2, bundle_dir=str(tmp_path))
+        assert result.outcome == "violation"
+        assert result.bundle is not None
+        assert os.path.basename(result.bundle).startswith("seed-1")
+        contents = os.listdir(result.bundle)
+        for name in ("MANIFEST.json", "violation.json", "config.json",
+                     "trace_tail.json", "repro.sh"):
+            assert name in contents

@@ -1,0 +1,278 @@
+"""Port-protocol invariants: the sanitizer's per-port state machines."""
+
+import pytest
+
+from repro.common.events import EventQueue
+from repro.common.ports import (
+    Link,
+    PortTap,
+    RequestPort,
+    ResponsePort,
+    respond,
+)
+from repro.memory.request import MemRequest, SourceType
+from repro.sanitize import (
+    DoubleDeliveryViolation,
+    LostRetryViolation,
+    PortProtocolViolation,
+    SanitizeConfig,
+    Sanitizer,
+    detection_selftest,
+)
+
+
+def make_request(callback=None, address=0x1000):
+    return MemRequest(address=address, size=64, write=False,
+                      source=SourceType.CPU, callback=callback)
+
+
+class Sink:
+    def __init__(self, accept=True):
+        self.accept = accept
+        self.received = []
+        self.ingress = ResponsePort("sink.in", self._recv, owner=self)
+
+    def _recv(self, request):
+        if not self.accept:
+            return False
+        self.received.append(request)
+        return True
+
+
+@pytest.fixture
+def events():
+    return EventQueue()
+
+
+def armed(events, **overrides):
+    return Sanitizer(events, SanitizeConfig(**overrides)).install()
+
+
+class TestSendWhileBlocked:
+    def test_different_packet_on_blocked_leaf_port_raises(self, events):
+        sanitizer = armed(events)
+        try:
+            sink = Sink(accept=False)
+            port = RequestPort("p").connect(sink)
+            port.try_send(make_request(address=0x1000))
+            with pytest.raises(PortProtocolViolation) as excinfo:
+                port.try_send(make_request(address=0x2000))
+            assert excinfo.value.details["event"] == "send-while-blocked"
+            assert excinfo.value.details["port"] == "p"
+        finally:
+            sanitizer.uninstall()
+
+    def test_reoffering_the_blocked_packet_is_legal(self, events):
+        sanitizer = armed(events)
+        try:
+            sink = Sink(accept=False)
+            port = RequestPort("p").connect(sink)
+            request = make_request()
+            port.try_send(request)
+            port.try_send(request)          # the fabric's re-offer idiom
+            assert sanitizer.violations == []
+        finally:
+            sanitizer.uninstall()
+
+    def test_multiplexed_egress_is_exempt(self, events):
+        """A PortTap egress carries several senders' flows: offering a
+        different packet while blocked is expected there, not a bug."""
+        sanitizer = armed(events)
+        try:
+            sink = Sink(accept=False)
+            tap = PortTap("t").connect(sink)
+            assert tap.egress.multiplexed
+            a = RequestPort("a").connect(tap)
+            b = RequestPort("b").connect(tap)
+            a.try_send(make_request(address=0x1000))
+            b.try_send(make_request(address=0x2000))   # tap egress re-offers
+            assert sanitizer.violations == []
+        finally:
+            sanitizer.uninstall()
+
+    def test_await_retry_subscription_accepts_any_later_offer(self, events):
+        """await_retry blocks without a packet; the first real offer after
+        it must not be mistaken for a swap."""
+        sanitizer = armed(events)
+        try:
+            sink = Sink(accept=False)
+            port = RequestPort("p").connect(sink)
+            port.await_retry()
+            sink.accept = True
+            assert port.try_send(make_request())
+            assert sanitizer.violations == []
+        finally:
+            sanitizer.uninstall()
+
+
+class TestRetryProtocol:
+    def test_retry_without_block_raises(self, events):
+        sanitizer = armed(events)
+        try:
+            sink = Sink()
+            port = RequestPort("p").connect(sink)
+            with pytest.raises(PortProtocolViolation) as excinfo:
+                port._recv_retry()          # buggy component: spurious wake
+            assert excinfo.value.details["event"] == "retry-without-block"
+        finally:
+            sanitizer.uninstall()
+
+    def test_clean_block_retry_resend_cycle(self, events):
+        sanitizer = armed(events)
+        try:
+            sink = Sink(accept=False)
+            port = RequestPort("p").connect(sink)
+            request = make_request()
+            port.on_retry = lambda: port.try_send(request)
+            port.try_send(request)
+            sink.accept = True
+            sink.ingress.send_retry()
+            assert sink.received == [request]
+            assert sanitizer.violations == []
+            assert sanitizer._blocked == {}     # record retired on wake
+        finally:
+            sanitizer.uninstall()
+
+
+class TestDoubleDelivery:
+    def test_second_completion_raises(self, events):
+        sanitizer = armed(events)
+        try:
+            done = []
+            request = make_request(callback=done.append)
+            respond(request)
+            assert done == [request]
+            with pytest.raises(DoubleDeliveryViolation) as excinfo:
+                respond(request)
+            assert done == [request]        # the duplicate never delivered
+            assert excinfo.value.details["address"] == 0x1000
+        finally:
+            sanitizer.uninstall()
+
+    def test_single_completion_is_clean(self, events):
+        sanitizer = armed(events)
+        try:
+            done = []
+            respond(make_request(callback=done.append))
+            assert len(done) == 1
+            assert sanitizer.violations == []
+        finally:
+            sanitizer.uninstall()
+
+
+class TestLostRetryWake:
+    def test_aged_block_raises_on_sweep(self, events):
+        sanitizer = armed(events, max_block_age=1_000)
+        try:
+            sink = Sink(accept=False)
+            port = RequestPort("p").connect(sink)
+            port.try_send(make_request())
+            sanitizer.sweep(500)            # young: fine
+            with pytest.raises(LostRetryViolation) as excinfo:
+                sanitizer.sweep(2_000)
+            assert excinfo.value.details["port"] == "p"
+            assert excinfo.value.details["age"] == 2_000
+        finally:
+            sanitizer.uninstall()
+
+    def test_check_drained_flags_any_blocked_sender(self, events):
+        """Post-drain, age windows no longer apply: a blocked sender with
+        an empty event queue is stranded forever."""
+        sanitizer = armed(events, max_block_age=10**9)
+        try:
+            sink = Sink(accept=False)
+            RequestPort("p").connect(sink).try_send(make_request())
+            with pytest.raises(LostRetryViolation, match="drained"):
+                sanitizer.check_drained()
+        finally:
+            sanitizer.uninstall()
+
+
+class TestRecordMode:
+    def test_violations_collect_without_raising(self, events):
+        sanitizer = armed(events, mode="record", max_block_age=100)
+        try:
+            sink = Sink(accept=False)
+            port = RequestPort("p").connect(sink)
+            port.try_send(make_request(address=0x1000))
+            port.try_send(make_request(address=0x2000))     # swap: recorded
+            sanitizer.sweep(10_000)                         # aged: recorded
+            kinds = [v.kind for v in sanitizer.violations]
+            assert "port-protocol" in kinds
+            assert "lost-retry-wake" in kinds
+            assert (sanitizer.stats.counter("violations").value
+                    == len(sanitizer.violations))
+        finally:
+            sanitizer.uninstall()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            SanitizeConfig(mode="explode")
+
+
+class TestBrokenTapRegression:
+    """The PR 3 regression, deliberately reintroduced: a tap that forwards
+    one retry wake but never re-subscribes downstream strands its
+    remaining senders.  Bare, the run just drains silently; under the
+    sanitizer it dies loudly with a typed violation naming the port."""
+
+    def test_lossy_tap_raises_instead_of_stranding_silently(self):
+        class LossyTap(PortTap):
+            def _recv_retry(self):
+                self.ingress.send_retry()   # no downstream re-subscription
+
+        events = EventQueue()
+        sink = Sink()
+        link = Link(events, "l", latency=1, capacity=1)
+        link.connect(sink)
+        tap = LossyTap("t").connect(link)
+        sanitizer = Sanitizer(events, SanitizeConfig(max_block_age=10))
+        with sanitizer:
+            for index in range(3):
+                request = make_request(address=0x1000 * (index + 1))
+                port = RequestPort(f"sender{index}").connect(tap)
+                port.on_retry = (lambda p=port, r=request: p.try_send(r))
+                port.try_send(request)
+            with pytest.raises(LostRetryViolation) as excinfo:
+                events.run()
+                sanitizer.check_drained()
+        # The bug loses exactly the wakes after the first: someone strands.
+        assert len(sink.received) < 3
+        assert "sender" in excinfo.value.details["port"]
+
+    def test_detection_selftest_catches_the_planted_bug(self):
+        violation = detection_selftest()
+        assert isinstance(violation, LostRetryViolation)
+        assert violation.details["port"].startswith("selftest.sender")
+
+    def test_correct_tap_is_quiet_under_the_same_load(self):
+        """Control: the fixed PortTap passes the identical scenario."""
+        events = EventQueue()
+        sink = Sink()
+        link = Link(events, "l", latency=1, capacity=1)
+        link.connect(sink)
+        tap = PortTap("t").connect(link)
+        sanitizer = Sanitizer(events, SanitizeConfig(max_block_age=10))
+        with sanitizer:
+            for index in range(3):
+                request = make_request(address=0x1000 * (index + 1))
+                port = RequestPort(f"sender{index}").connect(tap)
+                port.on_retry = (lambda p=port, r=request: p.try_send(r))
+                port.try_send(request)
+            events.run()
+            assert sanitizer.check_drained() == []
+        assert len(sink.received) == 3
+
+
+class TestLifecycle:
+    def test_install_uninstall_detach_cleanly(self, events):
+        sanitizer = Sanitizer(events)
+        with sanitizer:
+            assert events.sanitizer is sanitizer
+        assert events.sanitizer is None
+        # A bare run after uninstall sees no hooks at all.
+        sink = Sink(accept=False)
+        port = RequestPort("p").connect(sink)
+        port.try_send(make_request(address=0x1000))
+        port.try_send(make_request(address=0x2000))     # no sanitizer: legal
+        assert sanitizer.violations == []

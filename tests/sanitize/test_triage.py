@@ -1,0 +1,87 @@
+"""Triage bundle contents and layout."""
+
+import json
+import os
+
+from repro.common.stats import StatGroup
+from repro.sanitize import LostRetryViolation
+from repro.sanitize.triage import write_bundle
+
+
+def make_violation():
+    return LostRetryViolation("p blocked forever", tick=123, owner="noc",
+                              details={"port": "p", "age": 500})
+
+
+class TestWriteBundle:
+    def test_full_bundle_contents(self, tmp_path):
+        stats = StatGroup("sanitizer")
+        stats.counter("violations").add()
+        violation = make_violation()
+        path = write_bundle(
+            str(tmp_path), seed=7, error=violation,
+            command="python -m repro selftest --sanitize",
+            config={"seed": 7, "memory_config": "BAS"},
+            stat_groups=[stats])
+
+        assert os.path.basename(path) == "seed-7"
+        assert violation.bundle_path == path
+
+        manifest = json.load(open(os.path.join(path, "MANIFEST.json")))
+        assert manifest["seed"] == 7
+        assert manifest["error"]["kind"] == "lost-retry-wake"
+        assert manifest["contents"] == sorted(manifest["contents"])
+        for name in ("MANIFEST.json", "violation.json", "config.json",
+                     "stats.json", "repro.sh"):
+            assert name in manifest["contents"]
+            assert os.path.exists(os.path.join(path, name))
+
+        recorded = json.load(open(os.path.join(path, "violation.json")))
+        assert recorded["kind"] == "lost-retry-wake"
+        assert recorded["tick"] == 123
+        assert recorded["owner"] == "noc"
+        assert recorded["details"]["port"] == "p"
+
+        assert (json.load(open(os.path.join(path, "stats.json")))
+                ["sanitizer"]["violations"] == 1)
+
+        script = os.path.join(path, "repro.sh")
+        assert os.access(script, os.X_OK)
+        assert "python -m repro selftest --sanitize" in open(script).read()
+
+    def test_repeat_failures_get_suffixed_directories(self, tmp_path):
+        first = write_bundle(str(tmp_path), seed=3, error=make_violation())
+        second = write_bundle(str(tmp_path), seed=3, error=make_violation())
+        third = write_bundle(str(tmp_path), seed=3, error=make_violation())
+        assert os.path.basename(first) == "seed-3"
+        assert os.path.basename(second) == "seed-3-2"
+        assert os.path.basename(third) == "seed-3-3"
+
+    def test_minimal_bundle_is_just_the_manifest(self, tmp_path):
+        path = write_bundle(str(tmp_path), seed=1)
+        assert sorted(os.listdir(path)) == ["MANIFEST.json"]
+        manifest = json.load(open(os.path.join(path, "MANIFEST.json")))
+        assert manifest["error"] is None
+
+    def test_wrapped_generic_error_is_serializable(self, tmp_path):
+        from repro.common.events import SimulationError
+
+        error = SimulationError("watchdog: stuck", tick=9, owner="noc")
+        path = write_bundle(str(tmp_path), seed=2, error=error)
+        recorded = json.load(open(os.path.join(path, "violation.json")))
+        assert recorded["kind"] == "SimulationError"
+        assert recorded["tick"] == 9
+
+    def test_trace_tail_keeps_only_the_last_events(self, tmp_path):
+        class FakeTracer:
+            def to_dict(self):
+                return {"traceEvents": [{"ts": i} for i in range(40)],
+                        "otherData": {"events_fired": {"noc": 40}}}
+
+        path = write_bundle(str(tmp_path), seed=4, tracer=FakeTracer(),
+                            trace_tail=10)
+        tail = json.load(open(os.path.join(path, "trace_tail.json")))
+        assert tail["dropped_events"] == 30
+        assert len(tail["traceEvents"]) == 10
+        assert tail["traceEvents"][0]["ts"] == 30
+        assert tail["otherData"]["events_fired"]["noc"] == 40

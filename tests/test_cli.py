@@ -50,3 +50,27 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "selftest OK" in out
         assert "watchdog_reports=0" in out
+
+    def test_selftest_sanitize(self, capsys):
+        """--sanitize arms the invariant layer AND proves detection works
+        by catching one deliberately planted violation."""
+        assert main(["selftest", "--sanitize"]) == 0
+        out = capsys.readouterr().out
+        assert "selftest OK" in out
+        assert "sanitizer: checks=" in out
+        assert "violations=0" in out
+        assert ("deliberate-violation detection: caught LostRetryViolation"
+                in out)
+
+    def test_chaos_unknown_scenario_exits_2(self, capsys):
+        assert main(["chaos", "--scenario", "nonexistent"]) == 2
+        assert "unknown scenario" in capsys.readouterr().out
+
+    def test_chaos_single_scenario(self, capsys, tmp_path):
+        assert main(["chaos", "--scenario", "baseline", "--seeds", "1",
+                     "--frames", "1", "--budget-events", "400000",
+                     "--bundle-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "1 runs:" in out
+        assert "CONTRACT BREACH" not in out

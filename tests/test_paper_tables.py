@@ -140,3 +140,45 @@ class TestTracingDeterminism:
         assert all("async" in w for w in warnings)
         assert (sum(trace["otherData"]["events_fired"].values())
                 == GOLDEN["events_fired"])
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestSanitizerDeterminism:
+    """The sanitizer is a pure observer: armed but quiet, a run must
+    reproduce the golden paper-table stats, the framebuffer CRC and the
+    exact event count bit-identically (the overhead contract of
+    DESIGN.md §9 — zero scheduled events, zero RNG draws)."""
+
+    def test_armed_quiet_run_matches_the_golden_pins(self):
+        import zlib
+
+        from repro.harness.scenes import SceneSession
+        from repro.sanitize import SanitizeConfig
+        from repro.soc.soc import EmeraldSoC
+        from tests.health.full_system import HEIGHT, WIDTH, tiny_config
+        from tests.soc.test_port_fabric import GOLDEN
+
+        session = SceneSession("cube", WIDTH, HEIGHT)
+        config = tiny_config(num_frames=2, sanitize=SanitizeConfig())
+        soc = EmeraldSoC(config, session.frame, session.framebuffer_address)
+        results = soc.run()
+
+        assert results.end_tick == GOLDEN["end_tick"]
+        assert results.mean_gpu_time == GOLDEN["mean_gpu_time"]
+        assert results.mean_total_time == GOLDEN["mean_total_time"]
+        assert results.dram_bytes == GOLDEN["dram_bytes"]
+        assert results.row_hit_rate == GOLDEN["row_hit_rate"]
+        assert results.bytes_per_activation == GOLDEN["bytes_per_activation"]
+        assert results.display_requests == GOLDEN["display_requests"]
+        assert results.display_completed == GOLDEN["display_completed"]
+        assert results.display_aborted == GOLDEN["display_aborted"]
+        assert results.mean_latency == GOLDEN["mean_latency"]
+        assert zlib.crc32(soc.gpu.fb.color.tobytes()) == GOLDEN["fb_crc"]
+        assert soc.events.events_fired == GOLDEN["events_fired"]
+
+        # The sanitizer genuinely watched the run — and found it healthy.
+        assert results.sanitizer_checks > 0
+        assert results.sanitizer_violations == 0
+        assert (soc.sanitizer.stats.counter("sweeps").value
+                == results.sanitizer_checks)
