@@ -10,6 +10,8 @@ Commands:
 * ``models``      — list the workload model zoo
 * ``selftest``    — smoke-run one tiny frame with the health watchdog armed
 * ``chaos``       — seeded fault sweep with the runtime sanitizer armed
+* ``fleet``       — fault-tolerant sharded sweep across a supervised
+  worker pool (retry/backoff, checkpoint resume, result cache)
 
 ``cs1`` accepts the health-subsystem flags: ``--watchdog`` arms request
 lifecycle tracking, ``--inject SPEC`` enables seeded fault injection (e.g.
@@ -269,8 +271,14 @@ def _cmd_chaos(args) -> int:
     """Seeded fault sweep with the sanitizer armed (see repro.sanitize.chaos).
 
     Exit 0 when every run degrades gracefully or dies with a typed,
-    bundled failure; exit 1 only on a contract breach (bare traceback).
+    bundled failure; exit 1 on a contract breach (bare traceback); exit 3
+    when a scenario not cataloged to violate produced a violation —
+    still a typed, bundled death, but one CI must flag as a regression.
+    ``--summary PATH`` writes the whole report (per-scenario outcomes,
+    bundle paths) as machine-readable JSON for downstream tooling.
     """
+    import json
+
     from repro.sanitize.chaos import (SCENARIOS, format_report, run_chaos)
 
     scenarios = SCENARIOS
@@ -287,12 +295,136 @@ def _cmd_chaos(args) -> int:
         progress=lambda r: print(
             f"  {r.scenario:<24} seed={r.seed}: {r.outcome}", flush=True))
     print(format_report(report))
+    if args.summary:
+        with open(args.summary, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"summary written to {args.summary}")
     if args.bundle_dir:
         print(f"triage bundles (failures only) under {args.bundle_dir}")
     if not report.ok:
         for failure in report.failures:
             print(f"CONTRACT BREACH: {failure.scenario} seed={failure.seed} "
                   f"-> {failure.detail}")
+        return 1
+    if report.unexpected_violations:
+        for result in report.unexpected_violations:
+            print(f"UNEXPECTED VIOLATION: {result.scenario} "
+                  f"seed={result.seed} -> {result.detail[:100]}")
+        return 3
+    return 0
+
+
+def _parse_kill_specs(specs) -> dict:
+    """``--kill NAME:FRAME`` flags -> the supervisor's inject mapping.
+
+    Each flag SIGKILLs the named job's *first* attempt after FRAME
+    completes; later attempts consume no control and run clean — the
+    shape the CI smoke job uses to prove crash recovery.
+    """
+    inject: dict = {}
+    for item in specs or ():
+        name, sep, frame = item.rpartition(":")
+        if not sep or not name:
+            raise ValueError(
+                f"--kill wants NAME:FRAME, got {item!r}")
+        try:
+            controls = [{"kill_at_frame": int(frame)}]
+        except ValueError:
+            raise ValueError(
+                f"--kill frame must be an integer, got {frame!r}") from None
+        inject[name] = controls
+    return inject
+
+
+def _cmd_fleet(args) -> int:
+    """Run a sharded sweep under the fault-tolerant fleet (DESIGN.md §10).
+
+    Jobs come from ``--jobs specs.json`` (a list of JobSpec objects) or
+    are generated as the cross product of ``--models`` x ``--seeds``.
+    Exit 0 when every job ends ``ok`` (and, with ``--expect-cached``,
+    every job was served from the cache); exit 1 otherwise.
+    """
+    import json
+
+    from repro.fleet import (BackoffPolicy, FleetConfig, JobSpec,
+                             JobSpecError, run_sweep)
+
+    try:
+        if args.jobs:
+            with open(args.jobs) as handle:
+                docs = json.load(handle)
+            if not isinstance(docs, list):
+                raise JobSpecError(
+                    f"{args.jobs} must hold a JSON list of job specs")
+            specs = [JobSpec.from_dict(doc) for doc in docs]
+        else:
+            seeds = [int(s) for s in args.seeds.split(",")]
+            faults = None
+            if args.inject:
+                from repro.health import FaultConfig
+                parsed = FaultConfig.parse(args.inject)
+                faults = {name: value for name in
+                          ("dram_drop", "dram_delay", "noc_spike",
+                           "display_underrun")
+                          if (value := getattr(parsed, name))}
+            specs = [JobSpec(name=f"{model}-s{seed}", model=model,
+                             frames=args.frames,
+                             memory_config=args.memory_config, seed=seed,
+                             faults=faults, retries=args.retries)
+                     for model in args.models.split(",")
+                     for seed in seeds]
+        inject = _parse_kill_specs(args.kill)
+    except (JobSpecError, ValueError, OSError) as exc:
+        print(f"bad fleet invocation: {exc}")
+        return 2
+
+    config = FleetConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_attempts=args.max_attempts,
+        backoff=BackoffPolicy(base=args.backoff_base),
+        heartbeat_timeout=args.heartbeat_timeout,
+        preempt_after=args.preempt_after,
+        budget_events=args.budget_events,
+        cache_dir=args.cache_dir,
+        inject=inject,
+    )
+    report = run_sweep(specs, config, workdir=args.workdir)
+
+    rows = []
+    for record in report.records:
+        source = ("cache" if record.cache_hit
+                  else f"{len(record.attempts)} attempt(s)")
+        detail = ""
+        if record.attempts:
+            last = record.attempts[-1]
+            detail = last.detail[:60]
+            if any(a.resumed_from for a in record.attempts):
+                source += (", resumed@f"
+                           + str(max(a.resumed_from
+                                     for a in record.attempts)))
+        rows.append([record.spec.name, record.outcome, source,
+                     (record.payload or {}).get("fb_crc", "-"), detail])
+    print(format_table(["job", "outcome", "via", "fb_crc", "detail"], rows,
+                       title="Fleet sweep"))
+    counts = ", ".join(f"{count} {outcome}" for outcome, count
+                       in sorted(report.counts().items()))
+    print(f"{len(report.records)} jobs: {counts}; "
+          f"{report.executed} worker processes, {report.cached} cache hits")
+    bundles = [b for record in report.records for b in record.bundles]
+    if bundles:
+        print("triage bundles:")
+        for bundle in bundles:
+            print(f"  {bundle}")
+    if args.summary:
+        with open(args.summary, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"summary written to {args.summary}")
+    if not report.ok:
+        return 1
+    if args.expect_cached and report.cached != len(report.records):
+        print(f"EXPECTED CACHE-ONLY RERUN: {report.cached}/"
+              f"{len(report.records)} jobs served from cache")
         return 1
     return 0
 
@@ -389,7 +521,59 @@ def main(argv=None) -> int:
                    help="run only this scenario (default: all)")
     p.add_argument("--bundle-dir", metavar="DIR",
                    help="write triage bundles for failing runs here")
+    p.add_argument("--summary", metavar="PATH",
+                   help="write the machine-readable sweep summary "
+                        "(per-scenario outcomes, bundle paths) as JSON")
     p.set_defaults(func=_cmd_chaos)
+
+    p = sub.add_parser("fleet",
+                       help="fault-tolerant sharded sweep across a "
+                            "supervised worker pool")
+    p.add_argument("--models", default="cube",
+                   help="comma-separated workload models (default: cube)")
+    p.add_argument("--seeds", default="1,2,3",
+                   help="comma-separated RNG seeds (default: 1,2,3)")
+    p.add_argument("--frames", type=int, default=2,
+                   help="frames rendered per job")
+    p.add_argument("--memory-config", default="BAS",
+                   choices=["BAS", "DCB", "DTB", "HMC"])
+    p.add_argument("--inject", default="",
+                   help="fault spec applied to every job, e.g. "
+                        "dram_drop=0.01,noc_spike=0.05")
+    p.add_argument("--retries", action="store_true",
+                   help="arm the NoC retry ladder in every job")
+    p.add_argument("--jobs", metavar="PATH",
+                   help="JSON list of job specs (overrides "
+                        "--models/--seeds)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker pool size")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="crash/hang retries per job before 'failed'")
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="bounded submission queue (beyond: jobs are shed)")
+    p.add_argument("--backoff-base", type=float, default=0.25,
+                   help="first retry delay in seconds (doubles, capped)")
+    p.add_argument("--heartbeat-timeout", type=float, default=60.0,
+                   help="wall seconds without a worker heartbeat = hung")
+    p.add_argument("--preempt-after", type=float,
+                   help="ask attempts running longer than this many wall "
+                        "seconds to stop at the next checkpoint boundary")
+    p.add_argument("--budget-events", type=int, default=5_000_000,
+                   help="per-attempt event budget (hang backstop)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed result cache root")
+    p.add_argument("--workdir", default="fleet-work",
+                   help="per-job scratch space (checkpoints, heartbeats, "
+                        "triage bundles)")
+    p.add_argument("--kill", action="append", metavar="NAME:FRAME",
+                   help="SIGKILL job NAME's first attempt after FRAME "
+                        "completes (repeatable; CI crash-recovery smoke)")
+    p.add_argument("--summary", metavar="PATH",
+                   help="write the machine-readable fleet report as JSON")
+    p.add_argument("--expect-cached", action="store_true",
+                   help="also fail unless every job was served from the "
+                        "cache (CI determinism check)")
+    p.set_defaults(func=_cmd_fleet)
 
     p = sub.add_parser("dfsl", help="run DFSL on a workload")
     p.add_argument("workload", help="W1..W6 or a model name")

@@ -1,0 +1,68 @@
+"""Fault-tolerant simulation fleet (DESIGN.md §10).
+
+``repro.fleet`` turns the single-run simulator into a supervised,
+crash-tolerant service: an asyncio :class:`FleetSupervisor` shards
+benchmark sweeps, chaos seeds and user-submitted configs across a
+multiprocess worker pool, detects crashed and hung workers by heartbeat
+deadline (the :mod:`repro.health.watchdog` idiom in wall-clock time),
+requeues them with capped exponential backoff, resumes retried jobs from
+their last :class:`~repro.soc.checkpoint.GraphicsCheckpoint`, and caches
+deterministic results content-addressed on (config hash, seed, code
+version) with gem5-style manifests.  Failures surface as typed outcomes
+with PR 4 triage bundles attached — the chaos loud-death contract
+extended to the process-pool layer.
+
+Quickstart::
+
+    from repro.fleet import FleetConfig, JobSpec, run_sweep
+
+    specs = [JobSpec(name=f"cube-s{seed}", frames=2, seed=seed)
+             for seed in (1, 2, 3)]
+    report = run_sweep(specs,
+                       FleetConfig(workers=2, cache_dir="fleet-cache"),
+                       workdir="fleet-work")
+    assert report.ok        # rerun: served entirely from cache
+
+CLI: ``python -m repro fleet --seeds 1,2,3 --workers 2``.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.cache import CachedResult, ResultCache
+from repro.fleet.heartbeat import HeartbeatMonitor
+from repro.fleet.job import (ATTEMPT_OUTCOMES, JOB_OUTCOMES, JobAttempt,
+                             JobRecord, JobSpec, JobSpecError)
+from repro.fleet.manifest import (ManifestError, build_manifest, cache_key,
+                                  code_version, config_hash,
+                                  validate_manifest)
+from repro.fleet.supervisor import (BackoffPolicy, FleetConfig, FleetReport,
+                                    FleetSaturated, FleetSupervisor,
+                                    FleetWorkerFailure, run_sweep)
+from repro.fleet.worker import run_job, worker_entry
+
+__all__ = [
+    "ATTEMPT_OUTCOMES",
+    "BackoffPolicy",
+    "CachedResult",
+    "FleetConfig",
+    "FleetReport",
+    "FleetSaturated",
+    "FleetSupervisor",
+    "FleetWorkerFailure",
+    "HeartbeatMonitor",
+    "JOB_OUTCOMES",
+    "JobAttempt",
+    "JobRecord",
+    "JobSpec",
+    "JobSpecError",
+    "ManifestError",
+    "ResultCache",
+    "build_manifest",
+    "cache_key",
+    "code_version",
+    "config_hash",
+    "run_job",
+    "run_sweep",
+    "validate_manifest",
+    "worker_entry",
+]

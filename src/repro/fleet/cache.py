@@ -1,0 +1,125 @@
+"""Content-addressed deterministic result cache.
+
+Layout (two-level fan-out, gem5-artifact style)::
+
+    <root>/ab/abcdef.../MANIFEST.json     # provenance + validation
+    <root>/ab/abcdef.../result.json       # canonical deterministic payload
+
+Determinism (pinned since PR 2) makes hits exact: the same (config hash,
+seed, code version) address always maps to bit-identical ``result.json``
+bytes, so serving from cache *is* re-running the job.
+
+Robustness contract:
+
+* **Atomic publish** — an entry is staged in a scratch directory and
+  renamed into place; readers never observe a half-written entry.  Two
+  workers racing to publish the same key both succeed (the loser's
+  staging directory is discarded — determinism means the bytes agree).
+* **Corrupt entries are misses** — a damaged manifest or unreadable
+  payload quarantines the entry (renamed to ``*.corrupt-N``) and reports
+  a miss, so one bad disk block costs a re-run, not a crash or a wrong
+  answer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fleet.manifest import (MANIFEST_NAME, RESULT_NAME, ManifestError,
+                                  payload_bytes, validate_manifest)
+
+
+@dataclass
+class CachedResult:
+    """One validated cache entry."""
+
+    key: str
+    manifest: dict
+    payload: dict
+    result_bytes: bytes
+    path: str
+
+
+class ResultCache:
+    """The on-disk store; safe for concurrent writers on one filesystem."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        os.makedirs(root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.quarantined = 0
+
+    def entry_dir(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key)
+
+    def lookup(self, key: str) -> Optional[CachedResult]:
+        """Return the validated entry for ``key``, or None (a miss).
+
+        Anything wrong with the entry — missing files, truncated JSON, a
+        manifest that disagrees with its address — quarantines it and
+        counts as a miss.
+        """
+        path = self.entry_dir(key)
+        if not os.path.isdir(path):
+            self.misses += 1
+            return None
+        try:
+            with open(os.path.join(path, MANIFEST_NAME)) as handle:
+                manifest = validate_manifest(json.load(handle), key=key)
+            with open(os.path.join(path, RESULT_NAME), "rb") as handle:
+                raw = handle.read()
+            payload = json.loads(raw)
+            if payload_bytes(payload) != raw:
+                raise ManifestError("result payload is not canonical")
+        except (OSError, ValueError) as exc:   # ManifestError is a ValueError
+            self._quarantine(path, reason=str(exc))
+            self.misses += 1
+            return None
+        self.hits += 1
+        return CachedResult(key=key, manifest=manifest, payload=payload,
+                            result_bytes=raw, path=path)
+
+    def store(self, key: str, manifest: dict, payload: dict) -> str:
+        """Publish an entry atomically; returns its final path."""
+        final = self.entry_dir(key)
+        os.makedirs(os.path.dirname(final), exist_ok=True)
+        staging = f"{final}.staging-{os.getpid()}"
+        os.makedirs(staging, exist_ok=True)
+        try:
+            with open(os.path.join(staging, RESULT_NAME), "wb") as handle:
+                handle.write(payload_bytes(payload))
+            with open(os.path.join(staging, MANIFEST_NAME), "w") as handle:
+                json.dump(manifest, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            try:
+                os.rename(staging, final)
+            except OSError:
+                # A concurrent worker published first; deterministic
+                # results mean the winner's bytes equal ours.
+                shutil.rmtree(staging, ignore_errors=True)
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
+        return final
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        target, suffix = f"{path}.corrupt", 1
+        while os.path.exists(target):
+            suffix += 1
+            target = f"{path}.corrupt-{suffix}"
+        try:
+            os.rename(path, target)
+            with open(os.path.join(target, "QUARANTINE"), "w") as handle:
+                handle.write(reason + "\n")
+        except OSError:
+            pass                               # best effort; still a miss
+        self.quarantined += 1
+
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "quarantined": self.quarantined}

@@ -1,0 +1,73 @@
+"""Worker liveness: file-based heartbeats + the supervisor-side monitor.
+
+Workers beat by atomically rewriting a small JSON file at every frame
+boundary (the same cadence as checkpoints).  The supervisor polls the
+file and applies the watchdog's deadline idiom (``repro.health.watchdog``)
+in wall-clock time: a worker whose process is alive but whose heartbeat
+has not changed within the timeout is *hung* — killed and requeued — while
+a dead process with no result is *crashed*.  Files survive SIGKILL, so a
+violently killed worker leaves its last observed progress behind for the
+triage bundle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional
+
+
+def write_heartbeat(path: str, *, frame: int, tick: int, beats: int) -> None:
+    """Atomically publish one heartbeat (write-then-rename)."""
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump({"frame": frame, "tick": tick, "beats": beats,
+                   "pid": os.getpid()}, handle)
+    os.replace(tmp, path)
+
+
+def read_heartbeat(path: str) -> Optional[dict]:
+    """The last complete heartbeat, or None (absent / torn write)."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+class HeartbeatMonitor:
+    """Tracks one worker's heartbeat file; answers "is it stale?".
+
+    ``timeout`` is wall-clock seconds without an observed change before
+    the worker counts as hung.  The clock starts at construction (process
+    launch), so a worker that never beats at all also times out.
+    """
+
+    def __init__(self, path: str, timeout: float) -> None:
+        if timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        self.path = path
+        self.timeout = timeout
+        self._last_seen: Optional[dict] = None
+        self._changed_at = time.monotonic()
+
+    def poll(self) -> Optional[dict]:
+        """Re-read the file; returns the latest heartbeat (or None)."""
+        doc = read_heartbeat(self.path)
+        if doc is not None and doc != self._last_seen:
+            self._last_seen = doc
+            self._changed_at = time.monotonic()
+        return self._last_seen
+
+    @property
+    def last(self) -> Optional[dict]:
+        return self._last_seen
+
+    def age(self) -> float:
+        """Seconds since the heartbeat last changed (or since launch)."""
+        return time.monotonic() - self._changed_at
+
+    def stale(self) -> bool:
+        return self.age() > self.timeout

@@ -1,0 +1,190 @@
+"""Fleet job descriptions and the failure taxonomy.
+
+A :class:`JobSpec` is the unit of work the fleet schedules: one
+deterministic full-system run (model, resolution, frame count, memory
+configuration, seed, optional fault injection).  Everything in a spec is
+plain data — specs travel to worker processes as JSON, hash into the
+result cache's content address, and appear verbatim in manifests and
+triage bundles.
+
+The taxonomy (DESIGN.md §10) splits *attempt* outcomes — what one worker
+process did — from *job* outcomes — what the supervisor concluded after
+retries:
+
+===============  ==========================================================
+attempt outcome  meaning
+===============  ==========================================================
+``ok``           run completed; deterministic payload produced
+``preempted``    cooperative stop at a checkpoint boundary (resume point)
+``crashed``      worker process died without writing a result (SIGKILL,
+                 OOM kill, interpreter abort)
+``hung``         heartbeats went stale; the supervisor killed the worker
+``violation``    a typed SanitizerViolation; triage bundle written
+``detected``     a wrapped SimulationError (watchdog, event budget);
+                 triage bundle written
+``error``        any other exception, reported typed — never a bare
+                 traceback (the loud-death contract)
+===============  ==========================================================
+
+Job outcomes are ``ok`` (possibly via cache), ``failed`` (crash/hang
+retries exhausted), ``violation`` / ``detected`` / ``error`` (typed
+deterministic failures — retrying a deterministic simulation reproduces
+the same failure, so these are terminal on the first attempt), and
+``shed`` (rejected at submit time by the bounded queue —
+:class:`~repro.fleet.supervisor.FleetSaturated`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+#: Attempt-level outcomes (one worker process).
+ATTEMPT_OUTCOMES = ("ok", "preempted", "crashed", "hung", "violation",
+                    "detected", "error")
+#: Job-level outcomes (after the supervisor's retry policy).
+JOB_OUTCOMES = ("ok", "failed", "violation", "detected", "error", "shed")
+#: Attempt outcomes the supervisor retries (infrastructure failures, not
+#: deterministic simulation verdicts).
+RETRYABLE = ("crashed", "hung")
+
+
+class JobSpecError(ValueError):
+    """A job description failed validation (bad field, wrong type)."""
+
+
+#: FaultConfig knobs a spec may set (seed is carried separately).
+FAULT_FIELDS = ("dram_drop", "dram_delay", "noc_spike", "display_underrun")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One deterministic simulation job.
+
+    ``name`` is a scheduling label only; the cache key is derived from the
+    physical configuration + seed, so two names with identical configs
+    share one cached result.  ``faults`` is a plain dict of
+    :class:`~repro.health.faults.FaultConfig` probabilities (seed
+    excluded — the job seed drives the injector), ``retries`` arms the
+    NoC retry ladder that makes drops survivable.
+    """
+
+    name: str
+    model: str = "cube"
+    width: int = 48
+    height: int = 36
+    frames: int = 2
+    memory_config: str = "BAS"
+    seed: int = 7
+    faults: Optional[dict] = None
+    retries: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise JobSpecError("job name must be non-empty")
+        for attr in ("width", "height", "frames"):
+            value = getattr(self, attr)
+            if not isinstance(value, int) or value <= 0:
+                raise JobSpecError(
+                    f"{attr} must be a positive integer, got {value!r}")
+        if not isinstance(self.seed, int):
+            raise JobSpecError(f"seed must be an integer, got {self.seed!r}")
+        if self.faults is not None:
+            if not isinstance(self.faults, dict):
+                raise JobSpecError(
+                    f"faults must be an object, got "
+                    f"{type(self.faults).__name__}")
+            for key, value in self.faults.items():
+                if key not in FAULT_FIELDS:
+                    raise JobSpecError(
+                        f"unknown fault {key!r} (known: "
+                        f"{', '.join(FAULT_FIELDS)})")
+                if not isinstance(value, (int, float)) \
+                        or isinstance(value, bool):
+                    raise JobSpecError(
+                        f"fault {key!r} must be a number, got {value!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "model": self.model,
+            "width": self.width,
+            "height": self.height,
+            "frames": self.frames,
+            "memory_config": self.memory_config,
+            "seed": self.seed,
+            "faults": dict(self.faults) if self.faults else None,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "JobSpec":
+        if not isinstance(doc, dict):
+            raise JobSpecError(
+                f"job spec must be an object, got {type(doc).__name__}")
+        known = {"name", "model", "width", "height", "frames",
+                 "memory_config", "seed", "faults", "retries"}
+        unknown = set(doc) - known
+        if unknown:
+            raise JobSpecError(
+                f"unknown job spec fields: {', '.join(sorted(unknown))}")
+        if "name" not in doc:
+            raise JobSpecError("job spec missing 'name'")
+        return cls(**doc)
+
+    def identity(self) -> dict:
+        """The fields that determine the simulation's output — everything
+        but the scheduling label.  This is what the cache hashes."""
+        doc = self.to_dict()
+        del doc["name"]
+        return doc
+
+
+@dataclass
+class JobAttempt:
+    """What one worker process did with a job."""
+
+    outcome: str                         # one of ATTEMPT_OUTCOMES
+    detail: str = ""
+    resumed_from: int = 0                # checkpoint frame, 0 = scratch
+    backoff_delay: float = 0.0           # seconds waited before this attempt
+    bundle: Optional[str] = None         # triage bundle path, if one exists
+    payload_doc: Optional[dict] = None   # deterministic result (ok only)
+
+    def to_dict(self) -> dict:
+        return {"outcome": self.outcome, "detail": self.detail,
+                "resumed_from": self.resumed_from,
+                "backoff_delay": self.backoff_delay, "bundle": self.bundle}
+
+
+@dataclass
+class JobRecord:
+    """A job's full history: attempts, final outcome, payload."""
+
+    spec: JobSpec
+    outcome: str = "pending"
+    cache_hit: bool = False
+    payload: Optional[dict] = None       # the deterministic result
+    attempts: list[JobAttempt] = field(default_factory=list)
+    preemptions: int = 0
+    key: Optional[str] = None            # cache key, once computed
+    next_backoff: float = 0.0            # delay applied to the next attempt
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
+
+    @property
+    def bundles(self) -> list[str]:
+        return [a.bundle for a in self.attempts if a.bundle]
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "outcome": self.outcome,
+            "cache_hit": self.cache_hit,
+            "payload": self.payload,
+            "attempts": [a.to_dict() for a in self.attempts],
+            "preemptions": self.preemptions,
+            "key": self.key,
+        }

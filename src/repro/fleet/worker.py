@@ -1,0 +1,236 @@
+"""The fleet worker: one process, one job attempt, a typed result.
+
+``worker_entry`` is the :mod:`multiprocessing` target; ``run_job`` holds
+the actual logic (and is callable in-process for tests).  The worker's
+contract is the chaos harness's loud-death contract extended to a
+process boundary: **whatever happens, the job directory ends up with
+either an atomic ``result.json`` naming a typed outcome, or nothing at
+all** (the process was killed) — never a bare traceback, never a torn
+result a supervisor could misread.
+
+Per-attempt flow:
+
+1. If ``checkpoint.json`` exists (a previous attempt crashed or was
+   preempted), validate and load it; a
+   :class:`~repro.soc.checkpoint.CheckpointCorruptError` quarantines the
+   snapshot and falls back to a from-scratch run.
+2. Run the tiny full-system workload with the watchdog armed, per-frame
+   checkpoints written atomically, the sanitizer armed (triage bundles
+   under ``triage/``), and a frame hook that heartbeats and honors the
+   fault-injection controls CI / tests use (self-SIGKILL, deliberate
+   hang).
+3. Map the ending to the attempt taxonomy (:mod:`repro.fleet.job`) and
+   publish ``result.json`` write-then-rename.
+
+Determinism: the result payload is derived from the final framebuffer
+(bit-identical across crash/resume, pinned by the recovery tests), so a
+retried or preempted job publishes the same payload bytes as an
+uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import replace
+from typing import Optional
+
+from repro.fleet.job import JobSpec
+from repro.fleet.manifest import result_payload
+from repro.health import (FaultConfig, HealthConfig, PreemptionRequested,
+                          RetryConfig, load_checkpoint)
+from repro.soc.checkpoint import CheckpointError
+
+#: Job-directory file names (the worker/supervisor wire protocol).
+RESULT_FILE = "result.json"
+CHECKPOINT_FILE = "checkpoint.json"
+HEARTBEAT_FILE = "heartbeat.json"
+CONTROL_FILE = "control.json"
+PREEMPT_FLAG = "PREEMPT"
+TRIAGE_DIR = "triage"
+
+DEFAULT_BUDGET_EVENTS = 5_000_000
+
+
+def _read_control(jobdir: str) -> dict:
+    """Test/CI fault-injection controls (absent in production runs).
+
+    ``kill_at_frame`` — SIGKILL ourselves after that frame completes (a
+    real, uncatchable worker crash); ``hang_at_frame`` — stop beating and
+    sleep (a hung worker for the heartbeat monitor to catch).
+    """
+    try:
+        with open(os.path.join(jobdir, CONTROL_FILE)) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return {}
+    return doc if isinstance(doc, dict) else {}
+
+
+def _load_resume_checkpoint(jobdir: str):
+    """(checkpoint, fallback_reason) — corrupt snapshots are quarantined."""
+    path = os.path.join(jobdir, CHECKPOINT_FILE)
+    if not os.path.exists(path):
+        return None, None
+    try:
+        return load_checkpoint(path), None
+    except (CheckpointError, OSError) as exc:
+        # Typed corruption (CRC mismatch, truncation) or unreadable file:
+        # keep the evidence, rerun from scratch.
+        quarantine = path + ".corrupt"
+        try:
+            os.replace(path, quarantine)
+        except OSError:
+            pass
+        return None, f"{type(exc).__name__}: {exc}"
+
+
+def _fb_crc(soc) -> int:
+    import zlib
+    return zlib.crc32(soc.gpu.fb.color.tobytes())
+
+
+def _sanitize_config(jobdir: str, spec: JobSpec):
+    from repro.sanitize.chaos import CHAOS_SANITIZE
+    return replace(
+        CHAOS_SANITIZE,
+        bundle_dir=os.path.join(jobdir, TRIAGE_DIR),
+        command=f"python -m repro fleet --jobs - <<'EOF'\n"
+                f"[{json.dumps(spec.to_dict())}]\nEOF")
+
+
+def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check):
+    from repro.common.config import DRAMConfig, GPUConfig, scaled_gpu
+    from repro.soc.soc import SoCRunConfig
+
+    faults = None
+    if spec.faults:
+        faults = FaultConfig(seed=spec.seed, **spec.faults)
+    return SoCRunConfig(
+        width=spec.width, height=spec.height, num_frames=spec.frames,
+        memory_config=spec.memory_config,
+        dram=DRAMConfig(channels=2),
+        gpu=scaled_gpu(GPUConfig(num_clusters=2)),
+        gpu_frame_period_ticks=120_000,
+        display_period_ticks=60_000,
+        cpu_work_per_frame=40,
+        seed=spec.seed,
+        health=HealthConfig(
+            watchdog=True,
+            faults=faults,
+            retry=RetryConfig() if spec.retries else None,
+            checkpoint_every=1,
+            checkpoint_path=os.path.join(jobdir, CHECKPOINT_FILE),
+            preempt_check=preempt_check,
+            error_policy="wrap"),
+        sanitize=_sanitize_config(jobdir, spec),
+        frame_hook=frame_hook,
+    )
+
+
+def _write_result(jobdir: str, doc: dict) -> dict:
+    """Publish the attempt's verdict atomically."""
+    path = os.path.join(jobdir, RESULT_FILE)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def run_job(spec: JobSpec, jobdir: str,
+            budget_events: int = DEFAULT_BUDGET_EVENTS) -> dict:
+    """Run one attempt; always returns (and persists) a typed outcome."""
+    from repro.harness.scenes import SceneSession
+    from repro.health.recovery import resume_run
+    from repro.sanitize.violations import SanitizerViolation
+    from repro.soc.soc import EmeraldSoC
+    from repro.common.events import SimulationError
+
+    os.makedirs(jobdir, exist_ok=True)
+    control = _read_control(jobdir)
+    heartbeat_path = os.path.join(jobdir, HEARTBEAT_FILE)
+    preempt_flag = os.path.join(jobdir, PREEMPT_FLAG)
+    beats = 0
+
+    def frame_hook(frame_index: int, tick: int) -> None:
+        nonlocal beats
+        beats += 1
+        from repro.fleet.heartbeat import write_heartbeat
+        write_heartbeat(heartbeat_path, frame=frame_index, tick=tick,
+                        beats=beats)
+        if control.get("kill_at_frame") == frame_index:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if control.get("hang_at_frame") == frame_index:
+            time.sleep(3600)                    # a hang, for the monitor
+
+    def preempt_check(frames_done: int) -> bool:
+        # Never "preempt" a run whose final frame just finished — the
+        # loop is about to end normally and the result is in hand.
+        return (frames_done < spec.frames
+                and os.path.exists(preempt_flag))
+
+    checkpoint, fallback = _load_resume_checkpoint(jobdir)
+    resumed_from = checkpoint.frame_index if checkpoint is not None else 0
+    base = {"name": spec.name, "resumed_from": resumed_from,
+            "fallback": fallback}
+
+    session = SceneSession(spec.model, spec.width, spec.height)
+    from repro.fleet.heartbeat import write_heartbeat
+    write_heartbeat(heartbeat_path, frame=-1, tick=0, beats=0)
+
+    config = _run_config(spec, jobdir, frame_hook, preempt_check)
+    try:
+        if checkpoint is not None:
+            soc, results = resume_run(checkpoint, config, session.frame,
+                                      session.framebuffer_address,
+                                      max_events=budget_events)
+        else:
+            soc = EmeraldSoC(config, session.frame,
+                             session.framebuffer_address)
+            results = soc.run(max_events=budget_events)
+    except PreemptionRequested as preempted:
+        return _write_result(jobdir, {
+            **base, "outcome": "preempted",
+            "detail": str(preempted),
+            "checkpoint_frame": preempted.frame_index})
+    except SanitizerViolation as violation:
+        return _write_result(jobdir, {
+            **base, "outcome": "violation", "detail": str(violation),
+            "bundle": violation.bundle_path})
+    except SimulationError as error:
+        return _write_result(jobdir, {
+            **base, "outcome": "detected",
+            "detail": f"{type(error).__name__}: {error}"})
+    except Exception as exc:                    # loud-death contract:
+        return _write_result(jobdir, {          # typed, never a traceback
+            **base, "outcome": "error",
+            "detail": f"{type(exc).__name__}: {exc}"})
+
+    payload = result_payload(spec, _fb_crc(soc))
+    return _write_result(jobdir, {
+        **base, "outcome": "ok", "detail": "",
+        "payload": payload,
+        "end_tick": results.end_tick,
+        "checkpoints": results.checkpoints_taken,
+        "noc_retries": results.noc_retries})
+
+
+def worker_entry(spec_dict: dict, jobdir: str,
+                 budget_events: int = DEFAULT_BUDGET_EVENTS) -> None:
+    """Process target: nothing escapes — a result file or death only."""
+    try:
+        spec = JobSpec.from_dict(spec_dict)
+        run_job(spec, jobdir, budget_events=budget_events)
+    except BaseException as exc:    # pragma: no cover - last-ditch guard
+        try:
+            _write_result(jobdir, {
+                "name": spec_dict.get("name", "?"),
+                "outcome": "error",
+                "detail": f"{type(exc).__name__}: {exc}",
+                "resumed_from": 0, "fallback": None})
+        except BaseException:
+            pass

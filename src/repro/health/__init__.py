@@ -29,18 +29,20 @@ reproduce the identical fault pattern, stats and framebuffer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.common.events import SimulationError, StopReason, RunResult
 from repro.health.faults import FaultConfig, FaultInjector, RetryConfig
-from repro.health.recovery import (CheckpointManager, load_checkpoint,
-                                   resume_run)
+from repro.health.recovery import (CheckpointManager, PreemptionRequested,
+                                   load_checkpoint, resume_run)
 from repro.health.watchdog import Watchdog, WatchdogReport, WatchdogTimeout
-from repro.soc.checkpoint import CheckpointError
+from repro.soc.checkpoint import CheckpointCorruptError, CheckpointError
 
 __all__ = [
+    "CheckpointCorruptError",
     "CheckpointError",
     "CheckpointManager",
+    "PreemptionRequested",
     "FaultConfig",
     "FaultInjector",
     "HealthConfig",
@@ -69,6 +71,11 @@ class HealthConfig:
     retry: Optional[RetryConfig] = None
     checkpoint_every: int = 0            # frames between snapshots; 0 = off
     checkpoint_path: Optional[str] = None
+    # Cooperative preemption: consulted (with the completed-frame count)
+    # right after each snapshot; True raises PreemptionRequested so the
+    # run stops holding a fresh resume point.  The fleet worker polls its
+    # preempt flag file here.
+    preempt_check: Optional[Callable[[int], bool]] = None
 
     def active(self) -> bool:
         return bool(self.watchdog or self.checkpoint_every

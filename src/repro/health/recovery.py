@@ -14,10 +14,32 @@ frames — and the same final framebuffer — as an uninterrupted run.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Optional
 
+from repro.common.events import SimulationError
 from repro.gl.context import Frame
 from repro.soc.checkpoint import GraphicsCheckpoint, capture
+
+
+class PreemptionRequested(SimulationError):
+    """A run stopped cooperatively at a checkpoint boundary.
+
+    Raised by :class:`CheckpointManager` immediately *after* a snapshot is
+    taken (and persisted, when a path is configured), so the interrupted
+    run can always be resumed from the snapshot it just wrote.  This is a
+    control-flow signal, not a failure: supervisors (the fleet) requeue
+    the job for a checkpoint resume instead of writing a triage bundle.
+
+    Subclasses :class:`SimulationError` so the event loop's ``wrap``
+    policy re-raises it unchanged instead of burying it in a wrapper.
+    """
+
+    def __init__(self, frame_index: int, tick: int) -> None:
+        super().__init__(
+            f"preempted at checkpoint boundary (frame {frame_index}, "
+            f"tick {tick})", tick=tick, owner="checkpoints")
+        self.frame_index = frame_index
 
 
 class CheckpointManager:
@@ -30,12 +52,18 @@ class CheckpointManager:
     """
 
     def __init__(self, every: int, path: Optional[str] = None,
-                 injector=None) -> None:
+                 injector=None,
+                 preempt_check: Optional[Callable[[int], bool]] = None
+                 ) -> None:
         if every <= 0:
             raise ValueError(f"checkpoint interval must be positive, "
                              f"got {every}")
         self.every = every
         self.path = path
+        # ``preempt_check(frames_done)`` is consulted right after each
+        # snapshot lands; returning True raises PreemptionRequested, so a
+        # preempted run always holds a fresh resume point.
+        self.preempt_check = preempt_check
         # When a FaultInjector rides the run, its RNG stream states are
         # captured into every snapshot so a resume reproduces the same
         # downstream fault pattern as an uninterrupted run.
@@ -67,8 +95,17 @@ class CheckpointManager:
                             frame_index=frame_index + 1, rng=rng)
         self.checkpoints_taken += 1
         if self.path is not None:
-            with open(self.path, "w") as handle:
+            # Write-then-rename: a process SIGKILL'd mid-serialize leaves
+            # a stale ``.tmp`` behind, never a truncated snapshot — the
+            # previous complete snapshot at ``path`` survives and resume
+            # picks it up.
+            tmp = self.path + ".tmp"
+            with open(tmp, "w") as handle:
                 handle.write(self.last.to_json())
+            os.replace(tmp, self.path)
+        if (self.preempt_check is not None
+                and self.preempt_check(frame_index + 1)):
+            raise PreemptionRequested(frame_index + 1, tick)
 
 
 def load_checkpoint(path: str) -> GraphicsCheckpoint:
@@ -79,7 +116,8 @@ def load_checkpoint(path: str) -> GraphicsCheckpoint:
 
 def resume_run(checkpoint: GraphicsCheckpoint, run_config,
                frame_source: Callable[[int], Frame],
-               framebuffer_address: int):
+               framebuffer_address: int,
+               max_events: Optional[int] = None):
     """Resume a crashed run from ``checkpoint``.
 
     Rebuilds GL-side state by draw-call replay (which also validates the
@@ -101,5 +139,6 @@ def resume_run(checkpoint: GraphicsCheckpoint, run_config,
         # without this a resume re-draws the whole fault sequence from the
         # seed and diverges from the uninterrupted run.
         soc.injector.restore_rng(checkpoint.rng)
-    results = soc.run()
+    results = soc.run(max_events=max_events) if max_events is not None \
+        else soc.run()
     return soc, results

@@ -91,10 +91,23 @@ class ChaosResult:
     bundle: Optional[str] = None
     end_tick: int = 0
     violations: int = 0
+    expected: str = "ok"                # the scenario's documented outcome
 
     @property
     def failed(self) -> bool:
         return self.outcome == "FAILED"
+
+    @property
+    def unexpected_violation(self) -> bool:
+        """A violation in a scenario not cataloged to produce one —
+        machine consumers (the fleet, CI) treat this as a failure."""
+        return self.outcome == "violation" and self.expected != "violation"
+
+    def to_dict(self) -> dict:
+        return {"scenario": self.scenario, "seed": self.seed,
+                "outcome": self.outcome, "expected": self.expected,
+                "detail": self.detail, "bundle": self.bundle,
+                "end_tick": self.end_tick, "violations": self.violations}
 
 
 @dataclass
@@ -108,8 +121,27 @@ class ChaosReport:
         return [r for r in self.results if r.failed]
 
     @property
+    def unexpected_violations(self) -> list[ChaosResult]:
+        return [r for r in self.results if r.unexpected_violation]
+
+    @property
     def ok(self) -> bool:
         return not self.failures
+
+    def to_dict(self) -> dict:
+        """Machine-readable summary (per-scenario outcomes, bundle paths)
+        for the fleet and CI to consume."""
+        counts: dict[str, int] = {}
+        for result in self.results:
+            counts[result.outcome] = counts.get(result.outcome, 0) + 1
+        return {
+            "schema": "repro-chaos-summary/1",
+            "ok": self.ok,
+            "counts": counts,
+            "unexpected_violations": len(self.unexpected_violations),
+            "bundles": [r.bundle for r in self.results if r.bundle],
+            "results": [r.to_dict() for r in self.results],
+        }
 
 
 def _run_config(scenario: ChaosScenario, seed: int, frames: int,
@@ -161,20 +193,24 @@ def run_one(scenario: ChaosScenario, seed: int, *,
                            detail=str(violation),
                            bundle=violation.bundle_path,
                            end_tick=soc.events.now,
-                           violations=len(soc.sanitizer.violations))
+                           violations=len(soc.sanitizer.violations),
+                           expected=scenario.expect)
     except SimulationError as error:
         return ChaosResult(scenario.name, seed, "detected",
-                           detail=str(error), end_tick=soc.events.now)
+                           detail=str(error), end_tick=soc.events.now,
+                           expected=scenario.expect)
     except Exception as exc:            # the contract breach chaos exists
         return ChaosResult(scenario.name, seed, "FAILED",   # to catch
                            detail=f"{type(exc).__name__}: {exc}",
-                           end_tick=soc.events.now)
+                           end_tick=soc.events.now,
+                           expected=scenario.expect)
     return ChaosResult(scenario.name, seed, "ok",
                        detail=(f"{results.noc_retries} retries, "
                                f"{results.display_aborted} aborted frames, "
                                f"{results.checkpoints_taken} checkpoints"),
                        end_tick=results.end_tick,
-                       violations=results.sanitizer_violations)
+                       violations=results.sanitizer_violations,
+                       expected=scenario.expect)
 
 
 def run_chaos(seeds=DEFAULT_SEEDS, *, budget_events: int = DEFAULT_BUDGET,

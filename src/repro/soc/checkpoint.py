@@ -16,6 +16,7 @@ run from garbage.
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -35,7 +36,41 @@ class CheckpointError(ValueError):
         self.field = field
 
 
+class CheckpointCorruptError(CheckpointError):
+    """The snapshot bytes themselves are damaged (truncation, bit rot).
+
+    Distinct from a schema problem: the file is not a well-formed snapshot
+    at all — it was cut short mid-write or its embedded CRC no longer
+    matches the payload.  Callers holding an alternative (an older
+    snapshot, or a from-scratch rerun) should treat this as "discard and
+    fall back", which is exactly what the fleet's resume path does.
+    ``expected_crc`` / ``actual_crc`` carry the mismatch detail (None for
+    truncation, where no CRC could be read at all).
+    """
+
+    def __init__(self, message: str, field: str,
+                 expected_crc: Optional[int] = None,
+                 actual_crc: Optional[int] = None) -> None:
+        if expected_crc is not None and actual_crc is not None:
+            message = (f"{message} (crc 0x{expected_crc:08x} recorded, "
+                       f"0x{actual_crc:08x} computed)")
+        super().__init__(message, field=field)
+        self.expected_crc = expected_crc
+        self.actual_crc = actual_crc
+
+
 CHECKPOINT_VERSION = 1
+
+
+def _payload_crc(doc: dict) -> int:
+    """CRC32 over the canonical serialization of everything but ``crc``.
+
+    Canonical (sorted keys, no whitespace) so the digest is independent of
+    the formatting the snapshot happened to be written with.
+    """
+    body = {key: value for key, value in doc.items() if key != "crc"}
+    return zlib.crc32(
+        json.dumps(body, sort_keys=True, separators=(",", ":")).encode())
 
 
 @dataclass
@@ -63,6 +98,7 @@ class GraphicsCheckpoint:
         }
         if self.rng is not None:
             doc["rng"] = self.rng
+        doc["crc"] = _payload_crc(doc)
         return json.dumps(doc)
 
     @classmethod
@@ -70,11 +106,27 @@ class GraphicsCheckpoint:
         try:
             doc = json.loads(text)
         except json.JSONDecodeError as exc:
-            raise CheckpointError(f"not valid JSON ({exc})", field="$") \
-                from exc
+            # A process killed mid-write leaves a JSON prefix, not a
+            # document; that is corruption, not a schema mismatch.
+            raise CheckpointCorruptError(
+                f"truncated or not JSON ({exc})", field="$") from exc
         if not isinstance(doc, dict):
             raise CheckpointError(
                 f"expected an object, got {type(doc).__name__}", field="$")
+        crc = doc.get("crc")
+        if crc is not None:
+            # Snapshots written by this version embed a payload CRC;
+            # pre-CRC snapshots (no field) skip the check and rely on the
+            # schema validation below.
+            if isinstance(crc, bool) or not isinstance(crc, int):
+                raise CheckpointCorruptError(
+                    f"expected an integer, got {type(crc).__name__}",
+                    field="crc")
+            actual = _payload_crc(doc)
+            if actual != crc:
+                raise CheckpointCorruptError(
+                    "payload does not match its recorded CRC", field="crc",
+                    expected_crc=crc, actual_crc=actual)
         version = doc.get("version")
         if version != CHECKPOINT_VERSION:
             raise CheckpointError(

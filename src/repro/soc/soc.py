@@ -73,6 +73,10 @@ class SoCRunConfig:
     # hook.  Like the tracer, an armed-but-quiet sanitizer schedules no
     # events and draws no randomness — bit-identical to a bare run.
     sanitize: Optional[SanitizeConfig] = None
+    # Observation hook called as ``frame_hook(frame_index, tick)`` after
+    # every completed frame, before checkpointing.  The fleet worker uses
+    # it for heartbeats; it must not schedule events or draw randomness.
+    frame_hook: Optional[Callable[[int, int], None]] = None
 
 
 @dataclass
@@ -150,7 +154,8 @@ class EmeraldSoC:
             if health.checkpoint_every:
                 self.checkpoints = CheckpointManager(
                     health.checkpoint_every, path=health.checkpoint_path,
-                    injector=self.injector)
+                    injector=self.injector,
+                    preempt_check=health.preempt_check)
                 frame_source = self.checkpoints.wrap_source(frame_source)
         from repro.memory.dash import DashConfig
         dash_config = DashConfig(quantum=run_config.dash_quantum_ticks,
@@ -204,6 +209,8 @@ class EmeraldSoC:
             self.sanitizer.register_soc(self)
 
     def _frame_done(self, record: FrameRecord) -> None:
+        if self.config.frame_hook is not None:
+            self.config.frame_hook(record.index, self.events.now)
         if self.tracer is not None:
             # Frame-boundary counter samples of every component's counters.
             self.tracer.snapshot_stats(self.stat_groups())
@@ -225,10 +232,15 @@ class EmeraldSoC:
             self.sanitizer.report(violation)    # re-raises in "raise" mode
 
     def run(self, max_events: int = 500_000_000) -> SoCResults:
+        from repro.health.recovery import PreemptionRequested
         if self.sanitizer is not None:
             self.sanitizer.install()
         try:
             return self._run(max_events)
+        except PreemptionRequested:
+            # Cooperative stop at a checkpoint boundary — a resume point,
+            # not a failure; no triage bundle.
+            raise
         except SimulationError as error:
             # Typed violations and wrapped hangs alike leave a triage
             # bundle behind when the sanitizer is configured with one.

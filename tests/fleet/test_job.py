@@ -1,0 +1,80 @@
+"""JobSpec validation and the attempt/job failure taxonomy."""
+
+import pytest
+
+from repro.fleet.job import (ATTEMPT_OUTCOMES, JOB_OUTCOMES, RETRYABLE,
+                             JobAttempt, JobRecord, JobSpec, JobSpecError)
+
+
+class TestTaxonomy:
+    def test_retryable_outcomes_are_infrastructure_failures(self):
+        """Only crash/hang retries; deterministic verdicts are terminal."""
+        assert set(RETRYABLE) == {"crashed", "hung"}
+        assert set(RETRYABLE) <= set(ATTEMPT_OUTCOMES)
+        for deterministic in ("violation", "detected", "error"):
+            assert deterministic in ATTEMPT_OUTCOMES
+            assert deterministic in JOB_OUTCOMES
+            assert deterministic not in RETRYABLE
+        assert "shed" in JOB_OUTCOMES          # load shedding is job-level
+        assert "shed" not in ATTEMPT_OUTCOMES  # a shed job never ran
+
+
+class TestJobSpec:
+    def test_defaults_round_trip(self):
+        spec = JobSpec(name="cube-s7")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_faults_and_retries_round_trip(self):
+        spec = JobSpec(name="j", faults={"dram_drop": 0.02}, retries=True)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(JobSpecError, match="non-empty"):
+            JobSpec(name="")
+
+    @pytest.mark.parametrize("field", ["width", "height", "frames"])
+    def test_dimensions_must_be_positive_integers(self, field):
+        with pytest.raises(JobSpecError, match=field):
+            JobSpec(name="j", **{field: 0})
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(JobSpecError, match="unknown fault"):
+            JobSpec(name="j", faults={"cosmic_rays": 0.5})
+
+    def test_non_numeric_fault_rejected(self):
+        with pytest.raises(JobSpecError, match="must be a number"):
+            JobSpec(name="j", faults={"dram_drop": "lots"})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(JobSpecError, match="unknown job spec"):
+            JobSpec.from_dict({"name": "j", "speed": "ludicrous"})
+
+    def test_from_dict_requires_name(self):
+        with pytest.raises(JobSpecError, match="missing 'name'"):
+            JobSpec.from_dict({"seed": 1})
+
+    def test_identity_excludes_the_scheduling_label(self):
+        """Two names, same physics -> same identity (and same cache key)."""
+        a = JobSpec(name="first", seed=3)
+        b = JobSpec(name="second", seed=3)
+        assert a.identity() == b.identity()
+        assert "name" not in a.identity()
+
+
+class TestJobRecord:
+    def test_bundles_collects_across_attempts(self):
+        record = JobRecord(spec=JobSpec(name="j"))
+        record.attempts = [JobAttempt("crashed", bundle="/b/one"),
+                           JobAttempt("ok")]
+        assert record.bundles == ["/b/one"]
+        assert not record.ok
+        record.outcome = "ok"
+        assert record.ok
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+        record = JobRecord(spec=JobSpec(name="j"), outcome="failed",
+                           attempts=[JobAttempt("hung", detail="stale")])
+        doc = json.loads(json.dumps(record.to_dict()))
+        assert doc["outcome"] == "failed"
+        assert doc["attempts"][0]["outcome"] == "hung"

@@ -1,0 +1,138 @@
+"""Cache keys, manifests, and the content-addressed result store."""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet.cache import ResultCache
+from repro.fleet.job import JobSpec
+from repro.fleet.manifest import (MANIFEST_NAME, RESULT_NAME, ManifestError,
+                                  build_manifest, cache_key, canonical_json,
+                                  code_version, config_hash, payload_bytes,
+                                  result_payload, validate_manifest)
+
+SPEC = JobSpec(name="cube-s7", seed=7)
+
+
+class TestKeys:
+    def test_code_version_is_stable_within_a_process(self):
+        assert code_version() == code_version()
+        assert len(code_version()) == 16
+
+    def test_config_hash_ignores_name_and_seed(self):
+        assert config_hash(SPEC) == config_hash(
+            JobSpec(name="other", seed=99))
+
+    def test_config_hash_tracks_the_physics(self):
+        assert config_hash(SPEC) != config_hash(
+            JobSpec(name="cube-s7", seed=7, frames=3))
+        assert config_hash(SPEC) != config_hash(
+            JobSpec(name="cube-s7", seed=7, faults={"dram_drop": 0.02}))
+
+    def test_cache_key_separates_seeds(self):
+        """A seed sweep must not alias: seed is a key component."""
+        assert cache_key(SPEC) != cache_key(JobSpec(name="cube-s8", seed=8))
+
+    def test_cache_key_ignores_the_scheduling_label(self):
+        assert cache_key(SPEC) == cache_key(JobSpec(name="renamed", seed=7))
+
+
+class TestManifest:
+    def test_build_then_validate(self):
+        key = cache_key(SPEC)
+        doc = build_manifest(SPEC, key, outcome="ok",
+                             provenance={"attempts": 2})
+        assert validate_manifest(doc, key=key) is doc
+        assert doc["inputs"]["seed"] == 7
+        assert doc["provenance"]["attempts"] == 2
+
+    def test_wrong_schema_rejected(self):
+        doc = build_manifest(SPEC, "k", outcome="ok")
+        doc["schema"] = "repro-fleet-manifest/99"
+        with pytest.raises(ManifestError, match="schema"):
+            validate_manifest(doc)
+
+    def test_address_disagreement_rejected(self):
+        """A manifest copied to the wrong cache slot must not validate."""
+        doc = build_manifest(SPEC, "aaaa", outcome="ok")
+        with pytest.raises(ManifestError, match="disagrees"):
+            validate_manifest(doc, key="bbbb")
+
+    def test_missing_inputs_rejected(self):
+        doc = build_manifest(SPEC, "k", outcome="ok")
+        del doc["inputs"]["code_version"]
+        with pytest.raises(ManifestError, match="code_version"):
+            validate_manifest(doc)
+
+    def test_result_payload_is_resume_invariant_facts_only(self):
+        payload = result_payload(SPEC, 0xDEADBEEF)
+        assert payload["fb_crc"] == "0xdeadbeef"
+        assert payload["seed"] == 7
+        assert "name" not in payload           # not identity
+        assert "end_tick" not in payload       # volatile -> provenance
+
+    def test_payload_bytes_are_canonical(self):
+        payload = result_payload(SPEC, 1)
+        assert payload_bytes(payload) == payload_bytes(
+            json.loads(canonical_json(payload)))
+
+
+class TestResultCache:
+    def _store(self, cache, spec=SPEC):
+        key = cache_key(spec)
+        manifest = build_manifest(spec, key, outcome="ok")
+        cache.store(key, manifest, result_payload(spec, 0x12345678))
+        return key
+
+    def test_empty_cache_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        assert cache.lookup(cache_key(SPEC)) is None
+        assert cache.stats() == {"hits": 0, "misses": 1, "quarantined": 0}
+
+    def test_store_then_lookup(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = self._store(cache)
+        hit = cache.lookup(key)
+        assert hit is not None
+        assert hit.payload["fb_crc"] == "0x12345678"
+        assert hit.result_bytes == payload_bytes(hit.payload)
+        assert cache.stats()["hits"] == 1
+
+    def test_corrupt_manifest_is_a_quarantined_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        key = self._store(cache)
+        with open(os.path.join(cache.entry_dir(key), MANIFEST_NAME),
+                  "w") as handle:
+            handle.write('{"schema": "not-a-manifest"')   # truncated too
+        assert cache.lookup(key) is None
+        assert cache.quarantined == 1
+        quarantined = cache.entry_dir(key) + ".corrupt"
+        assert os.path.isdir(quarantined)
+        assert os.path.exists(os.path.join(quarantined, "QUARANTINE"))
+        # The slot is free again: a re-run can publish a fresh entry.
+        self._store(cache)
+        assert cache.lookup(key) is not None
+
+    def test_non_canonical_payload_is_a_quarantined_miss(self, tmp_path):
+        """Bit-for-bit means bit-for-bit: reformatted JSON (same values,
+        different bytes) fails the canonical-encoding check."""
+        cache = ResultCache(str(tmp_path))
+        key = self._store(cache)
+        result = os.path.join(cache.entry_dir(key), RESULT_NAME)
+        with open(result) as handle:
+            payload = json.load(handle)
+        with open(result, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        assert cache.lookup(key) is None
+        assert cache.quarantined == 1
+
+    def test_concurrent_publish_race_is_benign(self, tmp_path):
+        """The rename loser's staging dir is discarded, not an error."""
+        cache = ResultCache(str(tmp_path))
+        key = self._store(cache)
+        self._store(cache)                     # same key, second publish
+        assert cache.lookup(key) is not None
+        leftovers = [name for name in os.listdir(tmp_path / key[:2])
+                     if "staging" in name]
+        assert leftovers == []

@@ -1,0 +1,225 @@
+"""Supervisor scheduling: backoff, shedding, heartbeats, crash recovery."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.fleet import (BackoffPolicy, FleetConfig, FleetSaturated,
+                         FleetSupervisor, JobSpec, run_sweep)
+from repro.fleet.heartbeat import (HeartbeatMonitor, read_heartbeat,
+                                   write_heartbeat)
+
+#: Fast backoff for tests: same ladder shape, milliseconds not seconds.
+FAST_BACKOFF = BackoffPolicy(base=0.01, factor=2.0, cap=0.04)
+
+
+def tiny_spec(name, seed=1, frames=2, **kwargs):
+    return JobSpec(name=name, frames=frames, seed=seed, **kwargs)
+
+
+class TestBackoffPolicy:
+    def test_capped_exponential_ladder(self):
+        policy = BackoffPolicy(base=0.25, factor=2.0, cap=4.0)
+        assert policy.ladder(6) == [0.25, 0.5, 1.0, 2.0, 4.0, 4.0]
+
+    def test_deterministic(self):
+        policy = BackoffPolicy()
+        assert [policy.delay_for(i) for i in range(8)] == policy.ladder(8)
+
+
+class TestHeartbeat:
+    def test_write_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        write_heartbeat(path, frame=3, tick=9000, beats=4)
+        doc = read_heartbeat(path)
+        assert doc["frame"] == 3 and doc["beats"] == 4
+        assert doc["pid"] == os.getpid()
+
+    def test_torn_write_reads_as_absent(self, tmp_path):
+        path = tmp_path / "hb.json"
+        path.write_text('{"frame": 3, "tick"')
+        assert read_heartbeat(str(path)) is None
+
+    def test_monitor_tracks_changes(self, tmp_path):
+        path = str(tmp_path / "hb.json")
+        monitor = HeartbeatMonitor(path, timeout=0.05)
+        assert monitor.poll() is None
+        write_heartbeat(path, frame=0, tick=1, beats=1)
+        assert monitor.poll()["frame"] == 0
+        assert not monitor.stale()
+        time.sleep(0.08)                       # no new beat
+        monitor.poll()
+        assert monitor.stale()
+        write_heartbeat(path, frame=1, tick=2, beats=2)
+        monitor.poll()                         # fresh beat resets the clock
+        assert not monitor.stale()
+
+    def test_never_beating_worker_goes_stale(self, tmp_path):
+        monitor = HeartbeatMonitor(str(tmp_path / "none.json"),
+                                   timeout=0.01)
+        time.sleep(0.03)
+        monitor.poll()
+        assert monitor.stale()
+
+    def test_timeout_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(str(tmp_path / "hb.json"), timeout=0)
+
+
+class TestSubmission:
+    def test_duplicate_names_rejected(self, tmp_path):
+        supervisor = FleetSupervisor(FleetConfig(), str(tmp_path))
+        supervisor.submit(tiny_spec("a"))
+        with pytest.raises(ValueError, match="duplicate"):
+            supervisor.submit(tiny_spec("a"))
+
+    def test_saturation_sheds_with_a_typed_error(self, tmp_path):
+        supervisor = FleetSupervisor(FleetConfig(queue_limit=2),
+                                     str(tmp_path))
+        supervisor.submit(tiny_spec("a"))
+        supervisor.submit(tiny_spec("b", seed=2))
+        with pytest.raises(FleetSaturated) as info:
+            supervisor.submit(tiny_spec("c", seed=3))
+        assert info.value.pending == 2
+        assert info.value.limit == 2
+        shed = supervisor.records[-1]
+        assert shed.spec.name == "c"
+        assert shed.outcome == "shed"
+
+    def test_submit_sweep_records_shed_jobs(self, tmp_path):
+        supervisor = FleetSupervisor(FleetConfig(queue_limit=1),
+                                     str(tmp_path))
+        supervisor.submit_sweep([tiny_spec("a"), tiny_spec("b", seed=2)])
+        outcomes = {r.spec.name: r.outcome for r in supervisor.records}
+        assert outcomes == {"a": "pending", "b": "shed"}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="workers"):
+            FleetConfig(workers=0)
+        with pytest.raises(ValueError, match="queue_limit"):
+            FleetConfig(queue_limit=0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            FleetConfig(max_attempts=-1)
+
+    def test_empty_sweep_completes(self, tmp_path):
+        report = run_sweep([], FleetConfig(), workdir=str(tmp_path))
+        assert report.ok
+        assert report.records == []
+        assert report.executed == 0
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestFleetEndToEnd:
+    """The acceptance contract: injected crashes and hangs, nothing lost,
+    cache-served reruns bit-identical to a fault-free pass."""
+
+    def test_sweep_with_injected_kill_completes_and_caches(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        config = FleetConfig(
+            workers=2, backoff=FAST_BACKOFF, cache_dir=cache_dir,
+            # SIGKILL cube-s1's first attempt after frame 1: attempt 2
+            # consumes no control and resumes from the checkpoint.
+            inject={"cube-s1": [{"kill_at_frame": 1}]})
+        specs = [tiny_spec("cube-s1", seed=1), tiny_spec("cube-s2", seed=2)]
+        report = run_sweep(specs, config, workdir=str(tmp_path / "work"))
+
+        assert report.ok
+        assert report.counts() == {"ok": 2}
+        killed = next(r for r in report.records if r.spec.name == "cube-s1")
+        assert [a.outcome for a in killed.attempts] == ["crashed", "ok"]
+        assert killed.attempts[0].bundle            # triage for the crash
+        assert os.path.isdir(killed.attempts[0].bundle)
+        assert killed.attempts[1].resumed_from == 1  # checkpoint, not tick 0
+        assert killed.attempts[1].backoff_delay == FAST_BACKOFF.delay_for(0)
+
+        # Rerun: everything served from cache, zero workers spawned.
+        rerun = run_sweep(specs,
+                          FleetConfig(workers=2, cache_dir=cache_dir),
+                          workdir=str(tmp_path / "work2"))
+        assert rerun.ok
+        assert rerun.executed == 0
+        assert rerun.cached == 2
+        assert [r.payload for r in rerun.records] \
+            == [r.payload for r in report.records]
+
+    def test_retry_backoff_result_bit_identical_to_fault_free(self,
+                                                              tmp_path):
+        """Fail twice (SIGKILL), succeed on attempt 3; recorded delays
+        follow the capped exponential ladder and the cached bytes equal a
+        fault-free run's exactly."""
+        spec = tiny_spec("cube-s5", seed=5)
+        clean_cache = str(tmp_path / "clean-cache")
+        clean = run_sweep([spec],
+                          FleetConfig(workers=1, cache_dir=clean_cache),
+                          workdir=str(tmp_path / "clean"))
+        assert clean.ok and not clean.records[0].attempts[0].resumed_from
+
+        bumpy_cache = str(tmp_path / "bumpy-cache")
+        config = FleetConfig(
+            workers=1, max_attempts=3, backoff=FAST_BACKOFF,
+            cache_dir=bumpy_cache,
+            inject={"cube-s5": [{"kill_at_frame": 0},
+                                {"kill_at_frame": 1}]})
+        bumpy = run_sweep([spec], config, workdir=str(tmp_path / "bumpy"))
+        record = bumpy.records[0]
+        assert record.ok
+        assert [a.outcome for a in record.attempts] \
+            == ["crashed", "crashed", "ok"]
+        assert [a.backoff_delay for a in record.attempts] \
+            == [0.0] + FAST_BACKOFF.ladder(2)
+
+        key = record.key
+        clean_entry = os.path.join(clean_cache, key[:2], key, "result.json")
+        bumpy_entry = os.path.join(bumpy_cache, key[:2], key, "result.json")
+        with open(clean_entry, "rb") as handle:
+            clean_bytes = handle.read()
+        with open(bumpy_entry, "rb") as handle:
+            bumpy_bytes = handle.read()
+        assert clean_bytes == bumpy_bytes      # bit-identical, post-crash
+
+    def test_retries_exhausted_is_failed_not_lost(self, tmp_path):
+        config = FleetConfig(
+            workers=1, max_attempts=2, backoff=FAST_BACKOFF,
+            inject={"doomed": [{"kill_at_frame": 0},
+                               {"kill_at_frame": 0}]})
+        report = run_sweep([tiny_spec("doomed", frames=1)], config,
+                           workdir=str(tmp_path))
+        record = report.records[0]
+        assert record.outcome == "failed"
+        assert len(record.attempts) == 2
+        assert all(a.outcome == "crashed" for a in record.attempts)
+        assert all(a.bundle for a in record.attempts)
+
+    def test_hung_worker_is_detected_killed_and_retried(self, tmp_path):
+        config = FleetConfig(
+            workers=1, heartbeat_timeout=1.0, backoff=FAST_BACKOFF,
+            inject={"sleepy": [{"hang_at_frame": 0}]})
+        report = run_sweep([tiny_spec("sleepy", frames=1)], config,
+                           workdir=str(tmp_path))
+        record = report.records[0]
+        assert record.ok
+        assert [a.outcome for a in record.attempts] == ["hung", "ok"]
+        assert "no heartbeat" in record.attempts[0].detail
+
+    def test_preemption_resumes_and_costs_no_attempt(self, tmp_path):
+        config = FleetConfig(workers=1, preempt_after=0.0,
+                             cache_dir=str(tmp_path / "cache"))
+        report = run_sweep([tiny_spec("long", frames=2)], config,
+                           workdir=str(tmp_path / "work"))
+        record = report.records[0]
+        assert record.ok
+        assert record.preemptions >= 1
+        assert len(record.attempts) == 1       # preemptions aren't attempts
+        assert record.attempts[-1].resumed_from >= 1
+
+    def test_report_to_dict_is_json_shaped(self, tmp_path):
+        report = run_sweep([tiny_spec("one", frames=1)],
+                           FleetConfig(workers=1),
+                           workdir=str(tmp_path))
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["schema"] == "repro-fleet-report/1"
+        assert doc["ok"] is True
+        assert doc["jobs"][0]["spec"]["name"] == "one"

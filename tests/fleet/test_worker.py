@@ -1,0 +1,78 @@
+"""The worker's loud-death contract, in-process (no pool, no supervisor)."""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet.job import JobSpec
+from repro.fleet.worker import (CHECKPOINT_FILE, PREEMPT_FLAG, RESULT_FILE,
+                                run_job, worker_entry)
+
+
+def read_result(jobdir):
+    with open(os.path.join(jobdir, RESULT_FILE)) as handle:
+        return json.load(handle)
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestRunJob:
+    def test_clean_run_publishes_ok_result(self, tmp_path):
+        jobdir = str(tmp_path)
+        doc = run_job(JobSpec(name="clean", frames=1), jobdir)
+        assert doc == read_result(jobdir)      # returned == persisted
+        assert doc["outcome"] == "ok"
+        assert doc["resumed_from"] == 0
+        assert doc["payload"]["fb_crc"].startswith("0x")
+        assert doc["checkpoints"] == 1
+        # The resume substrate was exercised: a loadable checkpoint exists.
+        assert os.path.exists(os.path.join(jobdir, CHECKPOINT_FILE))
+
+    def test_corrupt_checkpoint_falls_back_to_scratch(self, tmp_path):
+        """A damaged snapshot is quarantined (typed, not a traceback) and
+        the attempt reruns from tick 0 — same payload either way."""
+        jobdir = str(tmp_path)
+        spec = JobSpec(name="fallback", frames=1)
+        clean = run_job(spec, jobdir)
+
+        checkpoint = os.path.join(jobdir, CHECKPOINT_FILE)
+        with open(checkpoint) as handle:
+            snapshot = handle.read()
+        with open(checkpoint, "w") as handle:
+            handle.write(snapshot[: len(snapshot) // 2])   # torn write
+
+        doc = run_job(spec, jobdir)
+        assert doc["outcome"] == "ok"
+        assert doc["resumed_from"] == 0
+        assert "CheckpointCorruptError" in doc["fallback"]
+        assert os.path.exists(checkpoint + ".corrupt")     # evidence kept
+        assert doc["payload"] == clean["payload"]
+
+    def test_preempt_flag_stops_at_checkpoint_boundary(self, tmp_path):
+        jobdir = str(tmp_path)
+        with open(os.path.join(jobdir, PREEMPT_FLAG), "w") as handle:
+            handle.write("test\n")
+        doc = run_job(JobSpec(name="stopme", frames=2), jobdir)
+        assert doc["outcome"] == "preempted"
+        assert doc["checkpoint_frame"] == 1
+        # ...and the resume attempt finishes the remaining frame.
+        os.remove(os.path.join(jobdir, PREEMPT_FLAG))
+        resumed = run_job(JobSpec(name="stopme", frames=2), jobdir)
+        assert resumed["outcome"] == "ok"
+        assert resumed["resumed_from"] == 1
+
+    def test_event_budget_exhaustion_is_detected(self, tmp_path):
+        doc = run_job(JobSpec(name="tiny-budget", frames=1),
+                      str(tmp_path), budget_events=2_000)
+        assert doc["outcome"] == "detected"
+        assert doc["detail"]                   # names the budget error
+
+    def test_worker_entry_reports_bad_specs_as_typed_errors(self, tmp_path):
+        """The process target never raises: even a spec that fails
+        validation becomes a typed error result."""
+        jobdir = str(tmp_path)
+        worker_entry({"name": "bad", "frames": -1}, jobdir)
+        doc = read_result(jobdir)
+        assert doc["outcome"] == "error"
+        assert "JobSpecError" in doc["detail"]

@@ -98,6 +98,84 @@ class TestCheckpointRNGCapture:
         assert applied == [state]
 
 
+class TestAtomicSnapshotWrites:
+    """A process killed between serialize and rename must never leave a
+    torn snapshot at ``path`` — the previous complete one survives."""
+
+    def _manager_with_one_snapshot(self, path):
+        manager = CheckpointManager(every=1, path=str(path))
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        source(0)
+        manager.on_frame_done(0, tick=1_000)
+        return manager, source
+
+    def test_death_before_rename_keeps_previous_snapshot(self, tmp_path,
+                                                         monkeypatch):
+        import os as os_module
+
+        path = tmp_path / "snap.json"
+        manager, source = self._manager_with_one_snapshot(path)
+
+        # SIGKILL lands after the serialize, before the rename: model it
+        # by making the rename itself die.  The destination must still
+        # hold the frame-1 snapshot, intact.
+        def killed(src, dst):
+            raise KeyboardInterrupt("SIGKILL between write and rename")
+        monkeypatch.setattr("repro.health.recovery.os.replace", killed)
+        source(1)
+        with pytest.raises(KeyboardInterrupt):
+            manager.on_frame_done(1, tick=2_000)
+        monkeypatch.setattr("repro.health.recovery.os.replace",
+                            os_module.replace)
+
+        survivor = load_checkpoint(str(path))
+        assert survivor.frame_index == 1       # the pre-crash snapshot
+        assert survivor.tick == 1_000
+        assert len(survivor.restore_frames()) == 1
+
+    def test_torn_tmp_never_shadows_the_snapshot(self, tmp_path):
+        """Resume reads ``path``; a stale ``.tmp`` from a killed writer is
+        invisible to it."""
+        path = tmp_path / "snap.json"
+        self._manager_with_one_snapshot(path)
+        (tmp_path / "snap.json.tmp").write_text('{"version": 1, "tick"')
+        assert load_checkpoint(str(path)).frame_index == 1
+
+
+class TestPreemption:
+    def test_preempt_check_consulted_after_snapshot_lands(self, tmp_path):
+        """The order is the contract: by the time PreemptionRequested
+        propagates, the resume point is already on disk."""
+        from repro.health import PreemptionRequested
+
+        path = tmp_path / "snap.json"
+        manager = CheckpointManager(every=1, path=str(path),
+                                    preempt_check=lambda done: done >= 1)
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        source(0)
+        with pytest.raises(PreemptionRequested) as excinfo:
+            manager.on_frame_done(0, tick=900)
+        assert excinfo.value.frame_index == 1
+        assert load_checkpoint(str(path)).frame_index == 1
+
+    def test_preemption_is_a_simulation_error(self):
+        """The event loop's wrap policy re-raises SimulationError
+        subclasses unchanged, so preemption crosses the loop intact."""
+        from repro.health import PreemptionRequested
+
+        assert issubclass(PreemptionRequested, SimulationError)
+
+    def test_no_preempt_check_means_no_preemption(self, tmp_path):
+        manager = CheckpointManager(every=1, path=str(tmp_path / "s.json"))
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        source(0)
+        manager.on_frame_done(0, tick=100)     # no raise
+        assert manager.checkpoints_taken == 1
+
+
 @pytest.mark.full_system
 class TestCrashRecovery:
     def test_killed_run_resumes_to_same_final_frame(self):

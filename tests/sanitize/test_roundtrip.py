@@ -37,13 +37,18 @@ class TestVerifyRoundtrip:
         assert summary["frames"] == 1
 
     def test_corrupting_serializer_is_caught(self):
+        from repro.soc.checkpoint import _payload_crc
+
         class Tampered(GraphicsCheckpoint):
             """A serializer bug: the snapshot written to disk disagrees
-            with the in-memory state it claims to capture."""
+            with the in-memory state it claims to capture — and keeps its
+            integrity CRC consistent, so only the round-trip comparison
+            can notice."""
 
             def to_json(self):
                 doc = json.loads(super().to_json())
                 doc["frame_index"] += 1
+                doc["crc"] = _payload_crc(doc)
                 return json.dumps(doc)
 
         good = take_checkpoint()
@@ -53,6 +58,23 @@ class TestVerifyRoundtrip:
             verify_roundtrip(bad, tick=7)
         assert excinfo.value.details["field"] == "frame_index"
         assert excinfo.value.tick == 7
+
+    def test_stale_crc_serializer_is_caught(self):
+        class StaleCRC(GraphicsCheckpoint):
+            """A serializer that mutates the payload after computing the
+            integrity CRC: the validator itself rejects the snapshot."""
+
+            def to_json(self):
+                doc = json.loads(super().to_json())
+                doc["frame_index"] += 1       # crc now disagrees
+                return json.dumps(doc)
+
+        good = take_checkpoint()
+        bad = StaleCRC(trace_json=good.trace_json, tick=good.tick,
+                       frame_index=good.frame_index)
+        with pytest.raises(CheckpointMismatchViolation) as excinfo:
+            verify_roundtrip(bad, tick=7)
+        assert excinfo.value.details["field"] == "crc"
 
     def test_snapshot_failing_its_own_validator_is_caught(self):
         class Truncated(GraphicsCheckpoint):

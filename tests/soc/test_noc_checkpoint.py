@@ -64,7 +64,13 @@ class TestSystemNoC:
 
 
 def _valid_doc() -> dict:
-    return json.loads(capture([], tick=123, frame_index=2).to_json())
+    doc = json.loads(capture([], tick=123, frame_index=2).to_json())
+    # Schema-validation tests below mutate one field at a time; drop the
+    # integrity CRC so the mutation reaches the validator under test
+    # instead of tripping the corruption check first (covered separately
+    # by TestCheckpointCorruption).
+    doc.pop("crc")
+    return doc
 
 
 class TestCheckpointValidation:
@@ -129,6 +135,62 @@ class TestCheckpointValidation:
         """Callers catching ValueError keep working."""
         with pytest.raises(ValueError):
             GraphicsCheckpoint.from_json("null")
+
+
+class TestCheckpointCorruption:
+    """The integrity layer: truncation and bit rot die typed, with CRC
+    detail, before schema validation even runs."""
+
+    def test_truncated_snapshot_is_corruption_not_schema(self):
+        from repro.soc.checkpoint import CheckpointCorruptError
+        text = capture([], tick=1, frame_index=1).to_json()
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            GraphicsCheckpoint.from_json(text[: len(text) // 2])
+        assert excinfo.value.field == "$"
+        assert "truncated" in str(excinfo.value)
+        assert excinfo.value.expected_crc is None    # no CRC readable
+
+    def test_bit_rot_trips_the_crc_with_both_digests(self):
+        from repro.soc.checkpoint import (CheckpointCorruptError,
+                                          _payload_crc)
+        doc = json.loads(capture([], tick=123, frame_index=2).to_json())
+        doc["tick"] = 124                            # one flipped value
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert excinfo.value.field == "crc"
+        assert excinfo.value.expected_crc == doc["crc"]
+        assert excinfo.value.actual_crc == _payload_crc(doc)
+        # The message carries both digests for the post-mortem.
+        assert f"0x{doc['crc']:08x}" in str(excinfo.value)
+
+    def test_non_integer_crc_is_corruption(self):
+        from repro.soc.checkpoint import CheckpointCorruptError
+        doc = json.loads(capture([], tick=1, frame_index=1).to_json())
+        doc["crc"] = "abc"
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert excinfo.value.field == "crc"
+
+    def test_pre_crc_snapshots_still_load(self):
+        """Snapshots written before the CRC existed have no field; they
+        skip the integrity check and rely on schema validation."""
+        doc = json.loads(capture([], tick=7, frame_index=1).to_json())
+        doc.pop("crc")
+        restored = GraphicsCheckpoint.from_json(json.dumps(doc))
+        assert restored.tick == 7
+
+    def test_corruption_is_a_checkpoint_error(self):
+        """Callers catching CheckpointError (the recovery path) also see
+        corruption — the subclass only adds detail."""
+        from repro.soc.checkpoint import CheckpointCorruptError
+        assert issubclass(CheckpointCorruptError, CheckpointError)
+
+    def test_crc_is_format_independent(self):
+        """Reformatting (indentation, key order) does not trip the CRC —
+        it digests the canonical serialization."""
+        doc = json.loads(capture([], tick=9, frame_index=1).to_json())
+        reformatted = json.dumps(doc, indent=2, sort_keys=True)
+        assert GraphicsCheckpoint.from_json(reformatted).tick == 9
 
 
 class TestCheckpointRoundTrip:
