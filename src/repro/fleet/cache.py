@@ -99,6 +99,11 @@ class ResultCache:
             try:
                 os.rename(staging, final)
             except OSError:
+                if not os.path.isdir(final):
+                    # Not the publish race — a genuine failure
+                    # (permissions, a file squatting at the entry path).
+                    # Swallowing it would silently never cache.
+                    raise
                 # A concurrent worker published first; deterministic
                 # results mean the winner's bytes equal ours.
                 shutil.rmtree(staging, ignore_errors=True)

@@ -169,6 +169,7 @@ class JobRecord:
     preemptions: int = 0
     key: Optional[str] = None            # cache key, once computed
     next_backoff: float = 0.0            # delay applied to the next attempt
+    cache_error: Optional[str] = None    # publish failed (job still ok)
 
     @property
     def ok(self) -> bool:
@@ -187,4 +188,5 @@ class JobRecord:
             "attempts": [a.to_dict() for a in self.attempts],
             "preemptions": self.preemptions,
             "key": self.key,
+            "cache_error": self.cache_error,
         }

@@ -43,9 +43,10 @@ from repro.fleet.cache import ResultCache
 from repro.fleet.heartbeat import HeartbeatMonitor
 from repro.fleet.job import RETRYABLE, JobAttempt, JobRecord, JobSpec
 from repro.fleet.manifest import build_manifest, cache_key
-from repro.fleet.worker import (CONTROL_FILE, DEFAULT_BUDGET_EVENTS,
-                                HEARTBEAT_FILE, PREEMPT_FLAG, RESULT_FILE,
-                                TRIAGE_DIR, worker_entry)
+from repro.fleet.worker import (CHECKPOINT_FILE, CONTROL_FILE,
+                                DEFAULT_BUDGET_EVENTS, HEARTBEAT_FILE,
+                                PREEMPT_FLAG, RESULT_FILE, TRIAGE_DIR,
+                                worker_entry)
 
 #: Hard ceiling on cooperative preemptions per job.  Every preemption
 #: advances the checkpoint by at least one frame, so this is unreachable
@@ -283,14 +284,21 @@ class FleetSupervisor:
             record.outcome = "ok"
             record.payload = attempt.payload_doc
             if self.cache is not None:
-                manifest = build_manifest(
-                    record.spec, record.key, outcome="ok",
-                    provenance={
-                        "attempts": len(record.attempts),
-                        "preemptions": record.preemptions,
-                        "resumed_from": attempt.resumed_from,
-                    })
-                self.cache.store(record.key, manifest, attempt.payload_doc)
+                # The job already succeeded: a cache publish failure
+                # (disk full, permissions) is recorded, never allowed to
+                # kill the slot and strand the rest of the sweep.
+                try:
+                    manifest = build_manifest(
+                        record.spec, record.key, outcome="ok",
+                        provenance={
+                            "attempts": len(record.attempts),
+                            "preemptions": record.preemptions,
+                            "resumed_from": attempt.resumed_from,
+                        })
+                    self.cache.store(record.key, manifest,
+                                     attempt.payload_doc)
+                except OSError as exc:
+                    record.cache_error = f"{type(exc).__name__}: {exc}"
             return
         if attempt.outcome == "preempted":
             record.preemptions += 1
@@ -329,6 +337,13 @@ class FleetSupervisor:
                               _job_dirname(spec.name))
         os.makedirs(jobdir, exist_ok=True)
         self._arm_controls(record, jobdir)
+        if not record.attempts and record.preemptions == 0:
+            # First attempt: a checkpoint or heartbeat left behind by a
+            # previous sweep in a reused workdir belongs to a different
+            # job — resuming it would publish a wrong payload under this
+            # job's cache key.
+            self._clear(os.path.join(jobdir, CHECKPOINT_FILE))
+            self._clear(os.path.join(jobdir, HEARTBEAT_FILE))
         self._clear(os.path.join(jobdir, RESULT_FILE))
         self._clear(os.path.join(jobdir, PREEMPT_FLAG))
 
@@ -367,8 +382,11 @@ class FleetSupervisor:
         exitcode_desc = process_exitcode_desc(process.exitcode)
         process.close()
 
+        # A published result supersedes the staleness verdict: a worker
+        # that finished just as the monitor killed it still did the work,
+        # and the result file is this attempt's (cleared before spawn).
         result = self._read_result(jobdir)
-        if result is not None and not hung:
+        if result is not None:
             return JobAttempt(
                 outcome=result.get("outcome", "error"),
                 detail=result.get("detail", ""),
@@ -414,7 +432,6 @@ class FleetSupervisor:
 
     @staticmethod
     def _checkpoint_frame(jobdir: str) -> int:
-        from repro.fleet.worker import CHECKPOINT_FILE
         from repro.health import load_checkpoint
         from repro.soc.checkpoint import CheckpointError
         try:
@@ -426,7 +443,6 @@ class FleetSupervisor:
     def _write_attempt_bundle(self, record: JobRecord, jobdir: str,
                               failure: FleetWorkerFailure) -> Optional[str]:
         """Triage bundle for an attempt that died without reporting."""
-        from repro.fleet.worker import CHECKPOINT_FILE
         from repro.health import load_checkpoint
         from repro.sanitize.triage import write_bundle
         from repro.soc.checkpoint import CheckpointError

@@ -38,7 +38,7 @@ from dataclasses import replace
 from typing import Optional
 
 from repro.fleet.job import JobSpec
-from repro.fleet.manifest import result_payload
+from repro.fleet.manifest import cache_key, result_payload
 from repro.health import (FaultConfig, HealthConfig, PreemptionRequested,
                           RetryConfig, load_checkpoint)
 from repro.soc.checkpoint import CheckpointError
@@ -59,7 +59,9 @@ def _read_control(jobdir: str) -> dict:
 
     ``kill_at_frame`` — SIGKILL ourselves after that frame completes (a
     real, uncatchable worker crash); ``hang_at_frame`` — stop beating and
-    sleep (a hung worker for the heartbeat monitor to catch).
+    sleep (a hung worker for the heartbeat monitor to catch);
+    ``hang_after_result`` — publish the result, then stop beating (the
+    publish-vs-staleness race: the supervisor must accept the result).
     """
     try:
         with open(os.path.join(jobdir, CONTROL_FILE)) as handle:
@@ -69,13 +71,19 @@ def _read_control(jobdir: str) -> dict:
     return doc if isinstance(doc, dict) else {}
 
 
-def _load_resume_checkpoint(jobdir: str):
-    """(checkpoint, fallback_reason) — corrupt snapshots are quarantined."""
+def _load_resume_checkpoint(jobdir: str, expected_job: Optional[str]):
+    """(checkpoint, fallback_reason) — corrupt snapshots are quarantined.
+
+    A snapshot owned by a different job (``checkpoint.job`` disagrees
+    with ``expected_job``) is set aside as ``.foreign`` and ignored:
+    resuming it would silently replay another job's state and publish a
+    wrong payload under this job's cache key.
+    """
     path = os.path.join(jobdir, CHECKPOINT_FILE)
     if not os.path.exists(path):
         return None, None
     try:
-        return load_checkpoint(path), None
+        checkpoint = load_checkpoint(path)
     except (CheckpointError, OSError) as exc:
         # Typed corruption (CRC mismatch, truncation) or unreadable file:
         # keep the evidence, rerun from scratch.
@@ -85,6 +93,15 @@ def _load_resume_checkpoint(jobdir: str):
         except OSError:
             pass
         return None, f"{type(exc).__name__}: {exc}"
+    if expected_job is not None and checkpoint.job != expected_job:
+        try:
+            os.replace(path, path + ".foreign")
+        except OSError:
+            pass
+        return None, (f"checkpoint owner {checkpoint.job!r} does not "
+                      f"match this job ({expected_job!r}); "
+                      f"rerunning from scratch")
+    return checkpoint, None
 
 
 def _fb_crc(soc) -> int:
@@ -101,7 +118,8 @@ def _sanitize_config(jobdir: str, spec: JobSpec):
                 f"[{json.dumps(spec.to_dict())}]\nEOF")
 
 
-def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check):
+def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check,
+                job_key: Optional[str] = None):
     from repro.common.config import DRAMConfig, GPUConfig, scaled_gpu
     from repro.soc.soc import SoCRunConfig
 
@@ -123,6 +141,7 @@ def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check):
             retry=RetryConfig() if spec.retries else None,
             checkpoint_every=1,
             checkpoint_path=os.path.join(jobdir, CHECKPOINT_FILE),
+            checkpoint_job=job_key,
             preempt_check=preempt_check,
             error_policy="wrap"),
         sanitize=_sanitize_config(jobdir, spec),
@@ -173,7 +192,8 @@ def run_job(spec: JobSpec, jobdir: str,
         return (frames_done < spec.frames
                 and os.path.exists(preempt_flag))
 
-    checkpoint, fallback = _load_resume_checkpoint(jobdir)
+    job_key = cache_key(spec)
+    checkpoint, fallback = _load_resume_checkpoint(jobdir, job_key)
     resumed_from = checkpoint.frame_index if checkpoint is not None else 0
     base = {"name": spec.name, "resumed_from": resumed_from,
             "fallback": fallback}
@@ -182,7 +202,8 @@ def run_job(spec: JobSpec, jobdir: str,
     from repro.fleet.heartbeat import write_heartbeat
     write_heartbeat(heartbeat_path, frame=-1, tick=0, beats=0)
 
-    config = _run_config(spec, jobdir, frame_hook, preempt_check)
+    config = _run_config(spec, jobdir, frame_hook, preempt_check,
+                         job_key=job_key)
     try:
         if checkpoint is not None:
             soc, results = resume_run(checkpoint, config, session.frame,
@@ -211,12 +232,15 @@ def run_job(spec: JobSpec, jobdir: str,
             "detail": f"{type(exc).__name__}: {exc}"})
 
     payload = result_payload(spec, _fb_crc(soc))
-    return _write_result(jobdir, {
+    doc = _write_result(jobdir, {
         **base, "outcome": "ok", "detail": "",
         "payload": payload,
         "end_tick": results.end_tick,
         "checkpoints": results.checkpoints_taken,
         "noc_retries": results.noc_retries})
+    if control.get("hang_after_result"):
+        time.sleep(3600)                        # result published, then hang
+    return doc
 
 
 def worker_entry(spec_dict: dict, jobdir: str,

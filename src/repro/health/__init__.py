@@ -71,6 +71,10 @@ class HealthConfig:
     retry: Optional[RetryConfig] = None
     checkpoint_every: int = 0            # frames between snapshots; 0 = off
     checkpoint_path: Optional[str] = None
+    # Ownership token stamped into every snapshot (None = unowned).  The
+    # fleet sets the job's cache key so a resume refuses snapshots a
+    # different job left behind in a reused directory.
+    checkpoint_job: Optional[str] = None
     # Cooperative preemption: consulted (with the completed-frame count)
     # right after each snapshot; True raises PreemptionRequested so the
     # run stops holding a fresh resume point.  The fleet worker polls its

@@ -53,13 +53,17 @@ class CheckpointManager:
 
     def __init__(self, every: int, path: Optional[str] = None,
                  injector=None,
-                 preempt_check: Optional[Callable[[int], bool]] = None
-                 ) -> None:
+                 preempt_check: Optional[Callable[[int], bool]] = None,
+                 job: Optional[str] = None) -> None:
         if every <= 0:
             raise ValueError(f"checkpoint interval must be positive, "
                              f"got {every}")
         self.every = every
         self.path = path
+        # Ownership token stamped into every snapshot (the fleet passes
+        # the job's cache key) so a resume in a reused directory can tell
+        # this job's snapshots from a previous occupant's.
+        self.job = job
         # ``preempt_check(frames_done)`` is consulted right after each
         # snapshot lands; returning True raises PreemptionRequested, so a
         # preempted run always holds a fresh resume point.
@@ -92,7 +96,8 @@ class CheckpointManager:
         rng = (self.injector.rng_state()
                if self.injector is not None else None)
         self.last = capture(list(self._frames), tick=tick,
-                            frame_index=frame_index + 1, rng=rng)
+                            frame_index=frame_index + 1, rng=rng,
+                            job=self.job)
         self.checkpoints_taken += 1
         if self.path is not None:
             # Write-then-rename: a process SIGKILL'd mid-serialize leaves

@@ -82,12 +82,19 @@ class GraphicsCheckpoint:
     resumed run reproduces the *same* downstream fault pattern as an
     uninterrupted one.  Absent (None) on runs without injection and in
     pre-existing snapshots — the field is backward compatible both ways.
+
+    ``job`` (optional) names the owning run — the fleet stores the job's
+    cache key here — so a resume path can refuse a snapshot left behind
+    by a *different* job in a reused directory instead of silently
+    replaying foreign state.  Absent (None) outside the fleet and in
+    pre-existing snapshots.
     """
 
     trace_json: str
     tick: int
     frame_index: int
     rng: Optional[dict] = None
+    job: Optional[str] = None
 
     def to_json(self) -> str:
         doc = {
@@ -98,6 +105,8 @@ class GraphicsCheckpoint:
         }
         if self.rng is not None:
             doc["rng"] = self.rng
+        if self.job is not None:
+            doc["job"] = self.job
         doc["crc"] = _payload_crc(doc)
         return json.dumps(doc)
 
@@ -149,8 +158,12 @@ class GraphicsCheckpoint:
         if rng is not None and not isinstance(rng, dict):
             raise CheckpointError(
                 f"expected an object, got {type(rng).__name__}", field="rng")
+        job = doc.get("job")
+        if job is not None and not isinstance(job, str):
+            raise CheckpointError(
+                f"expected a string, got {type(job).__name__}", field="job")
         return cls(trace_json=json.dumps(trace), tick=tick,
-                   frame_index=frame_index, rng=rng)
+                   frame_index=frame_index, rng=rng, job=job)
 
     def restore_frames(self) -> list[Frame]:
         """Replay the recorded draw calls through a fresh GL context."""
@@ -171,10 +184,11 @@ def _require_int(doc: dict, key: str) -> int:
 
 
 def capture(frames: list[Frame], tick: int, frame_index: int,
-            rng: Optional[dict] = None) -> GraphicsCheckpoint:
+            rng: Optional[dict] = None,
+            job: Optional[str] = None) -> GraphicsCheckpoint:
     """Record rendered frames into a checkpoint."""
     recorder = TraceRecorder()
     for frame in frames:
         recorder.record_frame(frame)
     return GraphicsCheckpoint(trace_json=recorder.to_json(), tick=tick,
-                              frame_index=frame_index, rng=rng)
+                              frame_index=frame_index, rng=rng, job=job)

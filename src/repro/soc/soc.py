@@ -155,7 +155,8 @@ class EmeraldSoC:
                 self.checkpoints = CheckpointManager(
                     health.checkpoint_every, path=health.checkpoint_path,
                     injector=self.injector,
-                    preempt_check=health.preempt_check)
+                    preempt_check=health.preempt_check,
+                    job=health.checkpoint_job)
                 frame_source = self.checkpoints.wrap_source(frame_source)
         from repro.memory.dash import DashConfig
         dash_config = DashConfig(quantum=run_config.dash_quantum_ticks,

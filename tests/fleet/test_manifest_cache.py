@@ -136,3 +136,18 @@ class TestResultCache:
         leftovers = [name for name in os.listdir(tmp_path / key[:2])
                      if "staging" in name]
         assert leftovers == []
+
+    def test_genuine_rename_failure_is_raised_not_swallowed(self, tmp_path):
+        """A file squatting at the entry path is a real publish failure
+        (no entry appears), not the benign concurrent-publish race —
+        callers must hear about it."""
+        cache = ResultCache(str(tmp_path))
+        key = cache_key(SPEC)
+        os.makedirs(os.path.dirname(cache.entry_dir(key)), exist_ok=True)
+        with open(cache.entry_dir(key), "w") as handle:
+            handle.write("squatter")
+        with pytest.raises(OSError):
+            self._store(cache)
+        leftovers = [name for name in os.listdir(tmp_path / key[:2])
+                     if "staging" in name]
+        assert leftovers == []                 # staging cleaned on the way out

@@ -215,6 +215,68 @@ class TestFleetEndToEnd:
         assert len(record.attempts) == 1       # preemptions aren't attempts
         assert record.attempts[-1].resumed_from >= 1
 
+    def test_reused_workdir_does_not_resume_a_stale_checkpoint(
+            self, tmp_path):
+        """A fresh sweep in a reused workdir (the CLI's default
+        ``fleet-work``) must start each job from scratch, not resume a
+        previous sweep's checkpoint — and must not poison the cache with
+        the previous config's payload."""
+        workdir = str(tmp_path / "work")
+        first = run_sweep([tiny_spec("wd-job", frames=2)],
+                          FleetConfig(workers=1), workdir=workdir)
+        assert first.ok
+
+        # Same job name, same workdir, different physics, fresh cache.
+        cached = str(tmp_path / "cache")
+        second = run_sweep([tiny_spec("wd-job", frames=1)],
+                           FleetConfig(workers=1, cache_dir=cached),
+                           workdir=workdir)
+        record = second.records[0]
+        assert record.ok
+        assert record.attempts[0].resumed_from == 0
+
+        # The cached payload equals a clean-workdir run's, bit-for-bit.
+        clean = run_sweep([tiny_spec("wd-job", frames=1)],
+                          FleetConfig(workers=1,
+                                      cache_dir=str(tmp_path / "cache2")),
+                          workdir=str(tmp_path / "fresh"))
+        assert record.payload == clean.records[0].payload
+
+    def test_published_result_supersedes_staleness_verdict(self, tmp_path):
+        """A worker that publishes its result and only then goes silent
+        was *done*: the result is accepted, not discarded for a wasted
+        retry."""
+        config = FleetConfig(
+            workers=1, heartbeat_timeout=1.0, backoff=FAST_BACKOFF,
+            inject={"racer": [{"hang_after_result": True}]})
+        report = run_sweep([tiny_spec("racer", frames=1)], config,
+                           workdir=str(tmp_path))
+        record = report.records[0]
+        assert record.ok
+        assert [a.outcome for a in record.attempts] == ["ok"]
+        assert report.executed == 1            # no retry burned
+
+    def test_cache_publish_failure_keeps_job_ok_and_sweep_alive(
+            self, tmp_path):
+        """An OSError from the cache publish (disk full) is recorded on
+        the record; the job stays ok and later jobs still run — the
+        supervisor loop never dies mid-sweep."""
+        supervisor = FleetSupervisor(
+            FleetConfig(workers=1, cache_dir=str(tmp_path / "cache")),
+            str(tmp_path / "work"))
+
+        def out_of_space(key, manifest, payload):
+            raise OSError(28, "No space left on device")
+
+        supervisor.cache.store = out_of_space
+        supervisor.submit(tiny_spec("nospace", frames=1))
+        supervisor.submit(tiny_spec("after", frames=1, seed=2))
+        report = supervisor.run()
+        assert report.ok
+        assert report.counts() == {"ok": 2}
+        assert all("No space left" in r.cache_error
+                   for r in report.records)
+
     def test_report_to_dict_is_json_shaped(self, tmp_path):
         report = run_sweep([tiny_spec("one", frames=1)],
                            FleetConfig(workers=1),

@@ -7,12 +7,50 @@ import pytest
 
 from repro.fleet.job import JobSpec
 from repro.fleet.worker import (CHECKPOINT_FILE, PREEMPT_FLAG, RESULT_FILE,
-                                run_job, worker_entry)
+                                _load_resume_checkpoint, run_job,
+                                worker_entry)
 
 
 def read_result(jobdir):
     with open(os.path.join(jobdir, RESULT_FILE)) as handle:
         return json.load(handle)
+
+
+class TestResumeOwnership:
+    """A snapshot left behind by a *different* job (reused workdir) is
+    set aside, never resumed — resuming it would publish a wrong payload
+    under the new job's cache key."""
+
+    def _plant(self, jobdir, job):
+        from repro.soc.checkpoint import capture
+        path = os.path.join(jobdir, CHECKPOINT_FILE)
+        with open(path, "w") as handle:
+            handle.write(
+                capture([], tick=9, frame_index=1, job=job).to_json())
+        return path
+
+    def test_foreign_checkpoint_is_set_aside(self, tmp_path):
+        path = self._plant(str(tmp_path), job="somebody-else")
+        checkpoint, fallback = _load_resume_checkpoint(str(tmp_path), "me")
+        assert checkpoint is None
+        assert "does not match" in fallback
+        assert not os.path.exists(path)            # no longer resumable
+        assert os.path.exists(path + ".foreign")   # evidence kept
+
+    def test_unowned_checkpoint_is_set_aside_too(self, tmp_path):
+        """Pre-ownership snapshots carry no token; with the job key
+        expected they are just as untrustworthy in a reused directory."""
+        self._plant(str(tmp_path), job=None)
+        checkpoint, fallback = _load_resume_checkpoint(str(tmp_path), "me")
+        assert checkpoint is None
+        assert "does not match" in fallback
+
+    def test_matching_checkpoint_is_resumed(self, tmp_path):
+        self._plant(str(tmp_path), job="me")
+        checkpoint, fallback = _load_resume_checkpoint(str(tmp_path), "me")
+        assert checkpoint is not None
+        assert fallback is None
+        assert checkpoint.frame_index == 1
 
 
 @pytest.mark.slow
@@ -61,6 +99,19 @@ class TestRunJob:
         resumed = run_job(JobSpec(name="stopme", frames=2), jobdir)
         assert resumed["outcome"] == "ok"
         assert resumed["resumed_from"] == 1
+
+    def test_stale_checkpoint_from_other_job_reruns_from_scratch(
+            self, tmp_path):
+        """The reviewer's reused-workdir scenario, worker side: a
+        leftover snapshot with a different physical config must not be
+        resumed for the new job."""
+        jobdir = str(tmp_path)
+        first = run_job(JobSpec(name="first", frames=2), jobdir)
+        assert first["outcome"] == "ok"
+        doc = run_job(JobSpec(name="second", frames=1, seed=3), jobdir)
+        assert doc["outcome"] == "ok"
+        assert doc["resumed_from"] == 0
+        assert "does not match" in doc["fallback"]
 
     def test_event_budget_exhaustion_is_detected(self, tmp_path):
         doc = run_job(JobSpec(name="tiny-budget", frames=1),

@@ -67,6 +67,42 @@ class TestCheckpointRNGCapture:
         assert manager.last.rng is None
         assert "rng" not in manager.last.to_json()
 
+
+class TestCheckpointOwnership:
+    """Snapshots carry their owning job's identity token (the fleet's
+    cache key) so a reused directory can't leak one job's state into
+    another's resume."""
+
+    def _snapshot(self, job=None):
+        manager = CheckpointManager(every=1, job=job)
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        source(0)
+        manager.on_frame_done(0, tick=500)
+        return manager.last
+
+    def test_job_token_survives_the_on_disk_format(self):
+        snapshot = self._snapshot(job="cafe0123")
+        assert snapshot.job == "cafe0123"
+        restored = GraphicsCheckpoint.from_json(snapshot.to_json())
+        assert restored.job == "cafe0123"
+
+    def test_unowned_snapshots_omit_the_field(self):
+        snapshot = self._snapshot()
+        assert snapshot.job is None
+        assert "job" not in snapshot.to_json()
+        assert GraphicsCheckpoint.from_json(snapshot.to_json()).job is None
+
+    def test_non_string_job_rejected(self):
+        import json
+
+        from repro.soc.checkpoint import CheckpointError, _payload_crc
+        doc = json.loads(self._snapshot(job="x").to_json())
+        doc["job"] = 7
+        doc["crc"] = _payload_crc(doc)       # keep the CRC consistent
+        with pytest.raises(CheckpointError, match="job"):
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+
     def test_resume_run_restores_injector_streams(self, monkeypatch):
         """resume_run must hand the snapshot's RNG state to the new SoC's
         injector before any event runs."""
