@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Design-space exploration in miniature: 4 topologies, one frontier.
+
+Builds a small topology grid (GPU cluster count x memory stack count),
+runs every point through the fault-tolerant fleet with metrics
+collection on, and prints the lumos-style report with the Pareto
+frontier over FPS / DRAM bandwidth / energy.  A second sweep against
+the same cache directory is served entirely from cache.
+
+Run:  python examples/dse_sweep.py [workdir]
+"""
+
+import sys
+import tempfile
+
+from repro.dse import DSEConfig, format_dse_report, run_dse, topology_grid
+
+
+def main() -> None:
+    root = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(
+        prefix="dse-sweep-")
+
+    grid = topology_grid(clusters=(2, 4), stacks=(1, 2),
+                         data_rates=(1333,), cpu_mixes=("sym",))
+    print(f"DSE sweep over {len(grid)} topology points:")
+    for topology in grid:
+        print(f"  {topology.name}  hash={topology.topology_hash()}")
+
+    config = DSEConfig(frames=2, workers=2,
+                       cache_dir=f"{root}/cache", workdir=f"{root}/work")
+    report = run_dse(grid, config)
+    print()
+    print(format_dse_report(report))
+
+    frontier = ", ".join(point.name for point in report.frontier)
+    print(f"Pareto-optimal points: {frontier}")
+
+    rerun = run_dse(grid, DSEConfig(
+        frames=2, workers=2, cache_dir=f"{root}/cache",
+        workdir=f"{root}/work2"))
+    hits = sum(1 for point in rerun.points if point.cache_hit)
+    print(f"warm rerun: {hits}/{len(rerun.points)} points served "
+          f"from cache, {rerun.fleet.executed} executed")
+
+
+if __name__ == "__main__":
+    main()

@@ -447,6 +447,52 @@ def _add_sanitize_flags(p) -> None:
                         "(implies --sanitize)")
 
 
+def _cmd_dse(args) -> int:
+    """Design-space exploration: a topology grid through the fleet.
+
+    Enumerates clusters x stacks x data-rates x CPU mixes, evaluates
+    every point as a cached fleet job, and prints the Pareto frontier
+    over FPS / DRAM bandwidth / energy.  Exit 0 when every point
+    evaluated ``ok`` (and, with ``--expect-cached``, entirely from
+    cache); exit 1 otherwise.
+    """
+    import json
+
+    from repro.common.config import ConfigError
+    from repro.dse import (DSEConfig, format_dse_report, run_dse,
+                           topology_grid)
+
+    try:
+        grid = topology_grid(
+            clusters=[int(v) for v in args.clusters.split(",")],
+            stacks=[int(v) for v in args.stacks.split(",")],
+            data_rates=[int(v) for v in args.rates.split(",")],
+            cpu_mixes=args.cpus.split(","))
+    except (ConfigError, ValueError) as exc:
+        print(f"bad dse invocation: {exc}")
+        return 2
+    config = DSEConfig(model=args.model, frames=args.frames,
+                       seed=args.seed, workers=args.workers,
+                       cache_dir=args.cache_dir, workdir=args.workdir,
+                       budget_events=args.budget_events)
+    report = run_dse(grid, config)
+    print(format_dse_report(report))
+    fleet = report.fleet
+    print(f"{len(report.points)} points: {fleet.executed} worker "
+          f"processes, {fleet.cached} cache hits")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"report written to {args.out}")
+    if not report.ok:
+        return 1
+    if args.expect_cached and fleet.cached != len(report.points):
+        print(f"EXPECTED CACHE-ONLY RERUN: {fleet.cached}/"
+              f"{len(report.points)} points served from cache")
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Emerald reproduction experiments")
@@ -574,6 +620,40 @@ def main(argv=None) -> int:
                    help="also fail unless every job was served from the "
                         "cache (CI determinism check)")
     p.set_defaults(func=_cmd_fleet)
+
+    p = sub.add_parser("dse",
+                       help="design-space exploration: a topology grid "
+                            "through the fleet, reduced to a Pareto "
+                            "frontier")
+    p.add_argument("--clusters", default="2,4",
+                   help="comma-separated GPU cluster counts (default: 2,4)")
+    p.add_argument("--stacks", default="1,2",
+                   help="comma-separated memory stack counts (default: 1,2)")
+    p.add_argument("--rates", default="1333,667",
+                   help="comma-separated DRAM data rates in Mb/s "
+                        "(default: 1333,667)")
+    p.add_argument("--cpus", default="sym",
+                   help="comma-separated CPU mixes: sym, biglittle "
+                        "(default: sym)")
+    p.add_argument("--model", default="cube",
+                   help="workload model evaluated at every point")
+    p.add_argument("--frames", type=int, default=2,
+                   help="frames rendered per point")
+    p.add_argument("--seed", type=int, default=7, help="RNG seed")
+    p.add_argument("--workers", type=int, default=2,
+                   help="fleet worker pool size")
+    p.add_argument("--budget-events", type=int, default=5_000_000,
+                   help="per-attempt event budget (hang backstop)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="content-addressed result cache root")
+    p.add_argument("--workdir", default="dse-work",
+                   help="per-job scratch space")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the machine-readable DSE report as JSON")
+    p.add_argument("--expect-cached", action="store_true",
+                   help="also fail unless every point was served from "
+                        "the cache (CI determinism check)")
+    p.set_defaults(func=_cmd_dse)
 
     p = sub.add_parser("dfsl", help="run DFSL on a workload")
     p.add_argument("workload", help="W1..W6 or a model name")

@@ -15,7 +15,13 @@ the paper's absolute sizes remain the default.
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import json
+import types
+import typing
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 
 @dataclass(frozen=True)
@@ -248,3 +254,339 @@ def scaled_gpu(config: GPUConfig) -> GPUConfig:
         l1i=CacheConfig(2 * 1024, ways=2),
     )
     return replace(config, core=core, l2=CacheConfig(64 * 1024, ways=8, hit_latency=20))
+
+
+# ---------------------------------------------------------------------------
+# Topology descriptors (DESIGN.md §11)
+#
+# A :class:`SoCTopology` is a typed, serializable description of *what to
+# assemble*: GPU cluster count, CPU core mix, one or more DRAM subsystems
+# (each with its own scheduler / router / per-channel address mappings),
+# and the NoC's per-link bandwidth budgets.  The assembly path
+# (:mod:`repro.memory.builders`, :mod:`repro.soc.noc`,
+# :class:`repro.soc.soc.EmeraldSoC`) consumes descriptors instead of
+# name-strings, and the fleet's result cache hashes them — two runs share
+# a cache entry only if they simulated the same machine.
+#
+# Serialization is canonical-JSON round-trippable and validation is
+# strict: unknown keys, wrong types and out-of-range values all raise
+# :class:`ConfigError` naming the offending dotted path, never a bare
+# TypeError deep inside a constructor.
+# ---------------------------------------------------------------------------
+
+
+class ConfigError(ValueError):
+    """A configuration value or document failed validation.
+
+    ``path`` names the offending field as a dotted path (``$`` is the
+    document root) so sweep tooling can say *which* knob is wrong.
+    """
+
+    def __init__(self, message: str, path: str = "$") -> None:
+        super().__init__(f"{path}: {message}" if path != "$" else message)
+        self.path = path
+
+
+def config_to_dict(obj):
+    """Serialize a (possibly nested) frozen config dataclass to plain data.
+
+    Inverse of :func:`config_from_dict`; tuples become lists (JSON has no
+    tuple), scalars pass through unchanged.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: config_to_dict(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, (list, tuple)):
+        return [config_to_dict(item) for item in obj]
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise ConfigError(f"cannot serialize {type(obj).__name__}")
+
+
+def _coerce(hint, value, path: str):
+    """Validate ``value`` against a type hint, recursing into dataclasses."""
+    origin = typing.get_origin(hint)
+    if origin is typing.Union or origin is getattr(types, "UnionType", None):
+        args = typing.get_args(hint)
+        if value is None:
+            if type(None) in args:
+                return None
+            raise ConfigError("must not be null", path)
+        inner = [a for a in args if a is not type(None)]
+        return _coerce(inner[0], value, path)
+    if origin is tuple:
+        item_hint = typing.get_args(hint)[0]
+        if not isinstance(value, (list, tuple)):
+            raise ConfigError(
+                f"expected a list, got {type(value).__name__}", path)
+        return tuple(_coerce(item_hint, item, f"{path}[{i}]")
+                     for i, item in enumerate(value))
+    if dataclasses.is_dataclass(hint):
+        return config_from_dict(hint, value, path=path)
+    if hint is bool:
+        if not isinstance(value, bool):
+            raise ConfigError(
+                f"expected a boolean, got {value!r}", path)
+        return value
+    if hint is int:
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ConfigError(
+                f"expected an integer, got {value!r}", path)
+        return value
+    if hint is float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigError(
+                f"expected a number, got {value!r}", path)
+        return float(value)
+    if hint is str:
+        if not isinstance(value, str):
+            raise ConfigError(
+                f"expected a string, got {value!r}", path)
+        return value
+    raise ConfigError(f"unsupported config field type {hint!r}", path)
+
+
+def config_from_dict(cls, doc, path: str = "$"):
+    """Parse plain data back into config dataclass ``cls``, strictly.
+
+    Unknown keys are rejected (a typo'd knob must not silently fall back
+    to its default), types are checked recursively, and any constructor
+    validation error (:class:`ValueError`) is re-raised as a
+    :class:`ConfigError` carrying the dotted path.
+    """
+    if not isinstance(doc, dict):
+        raise ConfigError(
+            f"expected an object for {cls.__name__}, "
+            f"got {type(doc).__name__}", path)
+    fields = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = set(doc) - set(fields)
+    if unknown:
+        raise ConfigError(
+            f"unknown {cls.__name__} fields: {', '.join(sorted(unknown))} "
+            f"(known: {', '.join(sorted(fields))})", path)
+    hints = typing.get_type_hints(cls)
+    kwargs = {}
+    for name, fld in fields.items():
+        sub = f"{path}.{name}" if path != "$" else name
+        if name in doc:
+            kwargs[name] = _coerce(hints[name], doc[name], sub)
+        elif (fld.default is dataclasses.MISSING
+                and fld.default_factory is dataclasses.MISSING):
+            raise ConfigError("missing required field", sub)
+    try:
+        return cls(**kwargs)
+    except ConfigError:
+        raise
+    except ValueError as exc:
+        raise ConfigError(str(exc), path) from exc
+
+
+#: Memory-endpoint scheduler disciplines (Table 6 column).
+MEMORY_SCHEDULERS = ("frfcfs", "dash-cpu", "dash-system")
+#: Memory-endpoint request routers: ``address`` decodes the channel from
+#: address bits (Table 4 interleave); ``source`` partitions channels by
+#: traffic class (the HMC organization).
+MEMORY_ROUTERS = ("address", "source")
+#: Per-channel address-mapping names (repro.memory.address_map).
+CHANNEL_MAPPING_NAMES = ("baseline", "ip")
+#: CPU core personality names (repro.soc.cpu.CORE_PROFILES).
+CPU_CORE_TYPES = ("app", "streaming", "interactive", "background",
+                  "big", "little")
+
+
+@dataclass(frozen=True)
+class MemoryTopology:
+    """One DRAM subsystem endpoint: geometry + scheduling + routing."""
+
+    name: str = "dram"
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    scheduler: str = "frfcfs"
+    router: str = "address"
+    # Per-channel address mappings; None resolves to the router's default
+    # (all-baseline for ``address``, the half-and-half HMC split for
+    # ``source``).
+    channel_mappings: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.channel_mappings, list):
+            object.__setattr__(self, "channel_mappings",
+                               tuple(self.channel_mappings))
+        if not self.name:
+            raise ConfigError("memory endpoint name must be non-empty",
+                              "name")
+        if self.scheduler not in MEMORY_SCHEDULERS:
+            raise ConfigError(
+                f"unknown scheduler {self.scheduler!r}; valid: "
+                f"{', '.join(MEMORY_SCHEDULERS)}", "scheduler")
+        if self.router not in MEMORY_ROUTERS:
+            raise ConfigError(
+                f"unknown router {self.router!r}; valid: "
+                f"{', '.join(MEMORY_ROUTERS)}", "router")
+        if self.router == "source" and self.dram.channels < 2:
+            raise ConfigError(
+                f"router 'source' partitions channels by traffic class "
+                f"and needs at least 2, got {self.dram.channels}",
+                "dram.channels")
+        if self.channel_mappings is not None:
+            if len(self.channel_mappings) != self.dram.channels:
+                raise ConfigError(
+                    f"{len(self.channel_mappings)} mappings for "
+                    f"{self.dram.channels} channels (need one per channel)",
+                    "channel_mappings")
+            for i, mapping in enumerate(self.channel_mappings):
+                if mapping not in CHANNEL_MAPPING_NAMES:
+                    raise ConfigError(
+                        f"unknown mapping {mapping!r}; valid: "
+                        f"{', '.join(CHANNEL_MAPPING_NAMES)}",
+                        f"channel_mappings[{i}]")
+
+
+@dataclass(frozen=True)
+class CPUClusterTopology:
+    """The CPU side: core count and (optionally) an explicit core mix.
+
+    ``core_types`` of None keeps the legacy graded four-profile cycle
+    (bit-identical to the seed); an explicit tuple assembles asymmetric
+    clusters, e.g. ``("app", "big", "little", "little")``.  Core 0 must be
+    the ``app`` thread — the render loop drives it.
+    """
+
+    num_cores: int = 4
+    core_types: Optional[tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.core_types, list):
+            object.__setattr__(self, "core_types", tuple(self.core_types))
+        if self.num_cores < 1:
+            raise ConfigError(
+                f"need at least one CPU core, got {self.num_cores}",
+                "num_cores")
+        if self.core_types is not None:
+            if len(self.core_types) != self.num_cores:
+                raise ConfigError(
+                    f"{len(self.core_types)} core types for "
+                    f"{self.num_cores} cores (need one per core)",
+                    "core_types")
+            for i, kind in enumerate(self.core_types):
+                if kind not in CPU_CORE_TYPES:
+                    raise ConfigError(
+                        f"unknown core type {kind!r}; valid: "
+                        f"{', '.join(CPU_CORE_TYPES)}", f"core_types[{i}]")
+            if self.core_types[0] != "app":
+                raise ConfigError(
+                    f"core 0 must be 'app' (the render loop's thread), "
+                    f"got {self.core_types[0]!r}", "core_types[0]")
+
+
+@dataclass(frozen=True)
+class NoCLinkBudget:
+    """Bandwidth/capacity budget for one NoC link (None = unbounded)."""
+
+    capacity: Optional[int] = None
+    bytes_per_cycle: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigError(
+                f"link capacity must be >= 1, got {self.capacity}",
+                "capacity")
+        if self.bytes_per_cycle is not None and self.bytes_per_cycle <= 0:
+            raise ConfigError(
+                f"bytes_per_cycle must be positive, "
+                f"got {self.bytes_per_cycle}", "bytes_per_cycle")
+
+
+@dataclass(frozen=True)
+class NoCTopology:
+    """System NoC: latency, endpoint interleave, per-link budgets.
+
+    ``links`` of None means every link is unbounded (bit-identical to the
+    seed's pure-latency hop); otherwise one budget per memory endpoint.
+    ``interleave_bytes`` is the address-interleave granularity across
+    endpoints when there is more than one.
+    """
+
+    latency: int = 12
+    interleave_bytes: int = 4096
+    links: Optional[tuple[NoCLinkBudget, ...]] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.links, list):
+            object.__setattr__(self, "links", tuple(self.links))
+        if self.latency < 0:
+            raise ConfigError(
+                f"latency must be non-negative, got {self.latency}",
+                "latency")
+        if self.interleave_bytes < 128 or self.interleave_bytes % 128:
+            raise ConfigError(
+                f"interleave_bytes must be a positive multiple of the "
+                f"128B line size, got {self.interleave_bytes}",
+                "interleave_bytes")
+
+
+@dataclass(frozen=True)
+class SoCTopology:
+    """The full declarative machine description (see section header)."""
+
+    name: str = "soc"
+    gpu: GPUConfig = field(default_factory=GPUConfig)
+    cpu: CPUClusterTopology = field(default_factory=CPUClusterTopology)
+    memory: tuple[MemoryTopology, ...] = field(
+        default_factory=lambda: (MemoryTopology(),))
+    noc: NoCTopology = field(default_factory=NoCTopology)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.memory, list):
+            object.__setattr__(self, "memory", tuple(self.memory))
+        if not self.memory:
+            raise ConfigError("need at least one memory endpoint", "memory")
+        names = [endpoint.name for endpoint in self.memory]
+        if len(set(names)) != len(names):
+            raise ConfigError(
+                f"memory endpoint names must be unique, got {names}",
+                "memory")
+        if len(self.memory) > 1:
+            for i, endpoint in enumerate(self.memory):
+                if endpoint.scheduler != "frfcfs":
+                    # DASH is one shared classifier state wired into the
+                    # render loop and display; it has no multi-endpoint
+                    # story yet.
+                    raise ConfigError(
+                        f"scheduler {endpoint.scheduler!r} supports a "
+                        f"single memory endpoint only",
+                        f"memory[{i}].scheduler")
+        if (self.noc.links is not None
+                and len(self.noc.links) != len(self.memory)):
+            raise ConfigError(
+                f"{len(self.noc.links)} link budgets for "
+                f"{len(self.memory)} memory endpoints (need one per "
+                f"endpoint)", "noc.links")
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "SoCTopology":
+        return config_from_dict(cls, doc)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SoCTopology":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"not valid JSON ({exc})") from exc
+        return cls.from_dict(doc)
+
+    def topology_hash(self) -> str:
+        """Digest of the *structure* (the label does not change the
+        machine): two topologies hash equal iff they assemble identical
+        systems."""
+        doc = self.to_dict()
+        del doc["name"]
+        canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()[:16]

@@ -1,0 +1,46 @@
+"""Design-space exploration over declarative SoC topologies (DESIGN.md §11).
+
+``repro.dse`` closes the loop the topology layer opens: enumerate a grid
+of :class:`~repro.common.config.SoCTopology` candidates
+(:func:`topology_grid`), dispatch every point as a cached, fault-tolerant
+fleet job (:func:`run_dse` over :mod:`repro.fleet`), collect the
+deterministic FPS / DRAM-bandwidth / energy metrics each worker folds
+into its result payload, and reduce them to a Pareto frontier
+(:func:`pareto_frontier`) with a lumos-style text report
+(:func:`format_dse_report`).
+
+Because cache keys hash the *real* topology document, a re-run of the
+same sweep is served entirely from cache, and two points differing only
+in cluster or channel count never alias.
+
+Quickstart::
+
+    from repro.dse import DSEConfig, run_dse, topology_grid
+
+    report = run_dse(topology_grid(), DSEConfig(workers=2,
+                                                cache_dir="dse-cache"))
+    for point in report.frontier:
+        print(point.name, point.metrics["fps"])
+
+CLI: ``python -m repro dse --workers 2 --out report.json``.
+"""
+
+from __future__ import annotations
+
+from repro.dse.driver import DSEConfig, DSEPoint, DSEReport, run_dse
+from repro.dse.grid import CPU_MIXES, topology_grid
+from repro.dse.pareto import OBJECTIVES, dominates, pareto_frontier
+from repro.dse.report import format_dse_report
+
+__all__ = [
+    "CPU_MIXES",
+    "DSEConfig",
+    "DSEPoint",
+    "DSEReport",
+    "OBJECTIVES",
+    "dominates",
+    "format_dse_report",
+    "pareto_frontier",
+    "run_dse",
+    "topology_grid",
+]

@@ -1,0 +1,55 @@
+"""Pareto-frontier reduction over DSE metrics.
+
+Plain multi-objective dominance: point A dominates point B when A is at
+least as good on every objective and strictly better on one.  The
+frontier is the set of non-dominated points — the designs worth showing
+an architect, every other point being strictly worse than something on
+the frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+#: Default objectives: (metric key, direction).  FPS up, DRAM bandwidth
+#: (bytes/tick — a proxy for memory-system pressure) down, energy down.
+OBJECTIVES: tuple[tuple[str, str], ...] = (
+    ("fps", "max"),
+    ("dram_bandwidth", "min"),
+    ("energy_uj", "min"),
+)
+
+
+def _oriented(metrics: dict, objectives) -> list[float]:
+    """Metric vector with every objective oriented as maximize."""
+    values = []
+    for key, direction in objectives:
+        if key not in metrics:
+            raise KeyError(f"metrics missing objective {key!r}")
+        value = float(metrics[key])
+        values.append(value if direction == "max" else -value)
+    return values
+
+
+def dominates(a: dict, b: dict,
+              objectives: Sequence = OBJECTIVES) -> bool:
+    """True when ``a`` is at least as good everywhere and better once."""
+    va = _oriented(a, objectives)
+    vb = _oriented(b, objectives)
+    return (all(x >= y for x, y in zip(va, vb))
+            and any(x > y for x, y in zip(va, vb)))
+
+
+def pareto_frontier(points: Sequence[dict],
+                    objectives: Sequence = OBJECTIVES) -> list[int]:
+    """Indices of the non-dominated points, in input order.
+
+    Duplicate metric vectors are all kept (neither strictly dominates
+    the other), so equally-good designs stay visible side by side.
+    """
+    frontier = []
+    for i, candidate in enumerate(points):
+        if not any(dominates(other, candidate, objectives)
+                   for j, other in enumerate(points) if j != i):
+            frontier.append(i)
+    return frontier

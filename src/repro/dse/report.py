@@ -1,0 +1,57 @@
+"""Lumos-style text report for a DSE sweep.
+
+A fixed-width design-point table (topology shape, objectives, frontier
+membership) plus a normalized FPS bar chart — the MPSoC design-space
+summary style of the lumos toolkit, rendered with the harness's existing
+table/bar helpers.
+"""
+
+from __future__ import annotations
+
+from repro.dse.driver import DSEReport
+from repro.harness.report import ascii_bars, format_table
+
+
+def _shape(point) -> str:
+    topology = point.topology
+    stacks = len(topology.memory)
+    rate = topology.memory[0].dram.data_rate_mbps
+    mix = "biglittle" if topology.cpu.core_types else "sym"
+    return (f"{topology.gpu.num_clusters}xGPU/{stacks}xMEM@{rate} "
+            f"{mix}")
+
+
+def format_dse_report(report: DSEReport) -> str:
+    """The human-facing sweep summary."""
+    rows = []
+    scored = []
+    for point in report.points:
+        metrics = point.metrics or {}
+        rows.append([
+            point.name,
+            _shape(point),
+            point.outcome + (" (cached)" if point.cache_hit else ""),
+            metrics.get("fps", float("nan")),
+            metrics.get("dram_bandwidth", float("nan")),
+            metrics.get("energy_uj", float("nan")),
+            "*" if point.pareto else "",
+        ])
+        if point.metrics is not None:
+            scored.append(point)
+    sections = [format_table(
+        ["point", "shape", "outcome", "fps", "bw B/tick", "energy uJ",
+         "pareto"],
+        rows, title="design-space sweep")]
+    if scored:
+        sections.append(ascii_bars(
+            [point.name for point in scored],
+            [point.metrics["fps"] for point in scored],
+            unit=" fps"))
+        frontier = ", ".join(point.name for point in report.frontier)
+        sections.append(
+            f"pareto frontier ({len(report.frontier)}/{len(report.points)} "
+            f"points): {frontier}")
+    objectives = ", ".join(f"{key}:{direction}"
+                           for key, direction in report.objectives)
+    sections.append(f"objectives: {objectives}")
+    return "\n\n".join(sections)

@@ -39,6 +39,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.common.config import ConfigError, SoCTopology
+
 #: Attempt-level outcomes (one worker process).
 ATTEMPT_OUTCOMES = ("ok", "preempted", "crashed", "hung", "violation",
                     "detected", "error")
@@ -67,6 +69,15 @@ class JobSpec:
     :class:`~repro.health.faults.FaultConfig` probabilities (seed
     excluded — the job seed drives the injector), ``retries`` arms the
     NoC retry ladder that makes drops survivable.
+
+    ``topology`` (optional) is a full
+    :class:`~repro.common.config.SoCTopology` document — the declarative
+    system the worker assembles instead of the default shape around
+    ``memory_config``.  It is part of the identity, so the cache key
+    hashes the *real* topology: two jobs differing only in cluster count
+    or channel count never alias.  ``collect_metrics`` asks the worker
+    to fold DSE metrics (FPS, DRAM bandwidth, energy) into the payload;
+    it is also identity because it changes the payload bytes.
     """
 
     name: str
@@ -78,6 +89,8 @@ class JobSpec:
     seed: int = 7
     faults: Optional[dict] = None
     retries: bool = False
+    topology: Optional[dict] = None
+    collect_metrics: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -103,6 +116,19 @@ class JobSpec:
                         or isinstance(value, bool):
                     raise JobSpecError(
                         f"fault {key!r} must be a number, got {value!r}")
+        if self.topology is not None:
+            if not isinstance(self.topology, dict):
+                raise JobSpecError(
+                    f"topology must be an object, got "
+                    f"{type(self.topology).__name__}")
+            try:
+                SoCTopology.from_dict(self.topology)
+            except ConfigError as exc:
+                raise JobSpecError(f"invalid topology: {exc}") from exc
+        if not isinstance(self.collect_metrics, bool):
+            raise JobSpecError(
+                f"collect_metrics must be a boolean, got "
+                f"{self.collect_metrics!r}")
 
     def to_dict(self) -> dict:
         return {
@@ -115,6 +141,9 @@ class JobSpec:
             "seed": self.seed,
             "faults": dict(self.faults) if self.faults else None,
             "retries": self.retries,
+            "topology": (dict(self.topology) if self.topology is not None
+                         else None),
+            "collect_metrics": self.collect_metrics,
         }
 
     @classmethod
@@ -123,7 +152,8 @@ class JobSpec:
             raise JobSpecError(
                 f"job spec must be an object, got {type(doc).__name__}")
         known = {"name", "model", "width", "height", "frames",
-                 "memory_config", "seed", "faults", "retries"}
+                 "memory_config", "seed", "faults", "retries",
+                 "topology", "collect_metrics"}
         unknown = set(doc) - known
         if unknown:
             raise JobSpecError(

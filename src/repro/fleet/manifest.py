@@ -133,7 +133,8 @@ def validate_manifest(doc, *, key: Optional[str] = None) -> dict:
     return doc
 
 
-def result_payload(spec: JobSpec, fb_crc: int) -> dict:
+def result_payload(spec: JobSpec, fb_crc: int,
+                   metrics: Optional[dict] = None) -> dict:
     """The deterministic result of a job — the bytes the cache stores.
 
     Only resume-invariant facts belong here: the framebuffer CRC is
@@ -142,12 +143,20 @@ def result_payload(spec: JobSpec, fb_crc: int) -> dict:
     payload compares bit-for-bit no matter how bumpy the road was.
     Volatile telemetry (attempt counts, end tick, wall time) lives in the
     manifest's provenance instead.
+
+    ``metrics`` (DSE runs, ``spec.collect_metrics``) is a nested block of
+    derived measurements — FPS, DRAM bandwidth, energy.  DSE jobs run
+    fault-free and uninterrupted, where every metric is a deterministic
+    function of the spec, so the payload stays content-addressable.
     """
-    return {
+    payload = {
         "schema": RESULT_SCHEMA,
         **spec.identity(),
         "fb_crc": f"0x{fb_crc:08x}",
     }
+    if metrics is not None:
+        payload["metrics"] = dict(metrics)
+    return payload
 
 
 def payload_bytes(payload: dict) -> bytes:

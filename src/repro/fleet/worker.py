@@ -120,12 +120,17 @@ def _sanitize_config(jobdir: str, spec: JobSpec):
 
 def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check,
                 job_key: Optional[str] = None):
-    from repro.common.config import DRAMConfig, GPUConfig, scaled_gpu
+    from repro.common.config import (DRAMConfig, GPUConfig, SoCTopology,
+                                     scaled_gpu)
     from repro.soc.soc import SoCRunConfig
 
     faults = None
     if spec.faults:
         faults = FaultConfig(seed=spec.seed, **spec.faults)
+    # A declarative spec carries the full system shape; name-string specs
+    # keep the fleet's historical default shape.
+    topology = (SoCTopology.from_dict(spec.topology)
+                if spec.topology is not None else None)
     return SoCRunConfig(
         width=spec.width, height=spec.height, num_frames=spec.frames,
         memory_config=spec.memory_config,
@@ -135,6 +140,7 @@ def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check,
         display_period_ticks=60_000,
         cpu_work_per_frame=40,
         seed=spec.seed,
+        topology=topology,
         health=HealthConfig(
             watchdog=True,
             faults=faults,
@@ -147,6 +153,33 @@ def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check,
         sanitize=_sanitize_config(jobdir, spec),
         frame_hook=frame_hook,
     )
+
+
+def _metrics(soc, results) -> dict:
+    """DSE metrics from a finished run (``spec.collect_metrics``).
+
+    Deterministic for the fault-free, uninterrupted runs the DSE driver
+    dispatches; runs with kill/preempt controls should not request
+    metrics (the frame-time means cover resumed frames only).
+    """
+    from repro.gpu.energy import soc_energy
+    from repro.memory.request import SourceType
+
+    end_tick = max(1, results.end_tick)
+    mean_total = results.mean_total_time
+    total_bytes = soc.memory.total_bytes()
+    return {
+        "end_tick": results.end_tick,
+        "mean_gpu_time": results.mean_gpu_time,
+        "mean_total_time": mean_total,
+        "fps_fraction": results.fps_fraction,
+        "fps": (1e6 / mean_total) if mean_total else 0.0,
+        "dram_bytes": {src.value: soc.memory.total_bytes(src)
+                       for src in SourceType},
+        "dram_bandwidth": total_bytes / end_tick,
+        "energy_uj": soc_energy(soc).total_uj,
+        "topology_hash": soc.topology.topology_hash(),
+    }
 
 
 def _write_result(jobdir: str, doc: dict) -> dict:
@@ -231,7 +264,15 @@ def run_job(spec: JobSpec, jobdir: str,
             **base, "outcome": "error",
             "detail": f"{type(exc).__name__}: {exc}"})
 
-    payload = result_payload(spec, _fb_crc(soc))
+    metrics = _metrics(soc, results) if spec.collect_metrics else None
+    payload = result_payload(spec, _fb_crc(soc), metrics=metrics)
+    if spec.collect_metrics:
+        # A full stats dump (with the topology block) rides along for
+        # DSE post-mortems; not part of the cached payload.
+        from repro.harness.report import write_stats_json
+        write_stats_json(soc.stat_groups(),
+                         os.path.join(jobdir, "stats.json"),
+                         topology=soc.topology)
     doc = _write_result(jobdir, {
         **base, "outcome": "ok", "detail": "",
         "payload": payload,

@@ -97,6 +97,41 @@ def gpu_activity_snapshot(gpu) -> dict[str, int]:
     return {"issued": issued, "l1_accesses": l1}
 
 
+def soc_energy(soc, model: EnergyModel | None = None) -> EnergyBreakdown:
+    """Whole-run GPU-side energy for a finished full-system run.
+
+    Reads the cumulative activity counters an :class:`EmeraldSoC` run
+    leaves behind (no per-frame snapshotting needed) and prices them with
+    the same coefficients as :func:`frame_energy`; leakage integrates
+    over the GPU's *active* cycles (sum of per-frame render windows), so
+    the DFSL story — same work, fewer active cycles, less leakage —
+    carries over to whole-run comparisons.  Deterministic for a given
+    topology + workload, which is what lets the DSE driver treat energy
+    as a cacheable objective.
+    """
+    model = model or EnergyModel()
+    gpu = soc.gpu
+    activity = gpu_activity_snapshot(gpu)
+    breakdown = EnergyBreakdown()
+    breakdown.execution = activity["issued"] * model.alu_op_pj
+    l1_misses = sum(
+        cache.miss_count for core in gpu.cores
+        for cache in (core.l1i, core.l1d, core.l1t, core.l1z, core.l1c))
+    breakdown.l1 = (activity["l1_accesses"] * model.l1_access_pj
+                    + l1_misses * model.l1_miss_extra_pj)
+    breakdown.l2 = (gpu.l2.stats.counter("accesses").value
+                    * model.l2_access_pj)
+    from repro.memory.request import SourceType
+    breakdown.dram = (soc.memory.total_bytes(SourceType.GPU)
+                      * model.dram_byte_pj)
+    frames = gpu.frame_history
+    breakdown.fixed_function = (sum(fs.tc_tiles for fs in frames)
+                                * model.raster_tile_pj)
+    breakdown.leakage = (sum(fs.cycles for fs in frames)
+                         * model.leakage_pj_per_cycle)
+    return breakdown
+
+
 def measure_frame_energy(gpu, frame, model: EnergyModel | None = None):
     """Render a frame (standalone mode) and return (stats, energy)."""
     before = gpu_activity_snapshot(gpu)

@@ -113,7 +113,8 @@ def run_cs1(model: str, config_name: str, load: str = "regular",
     results = soc.run()
     if stats_path is not None:
         from repro.harness.report import write_stats_json
-        write_stats_json(soc.stat_groups(), stats_path)
+        write_stats_json(soc.stat_groups(), stats_path,
+                         topology=soc.topology)
     return results
 
 

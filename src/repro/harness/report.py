@@ -25,16 +25,24 @@ def gpu_stat_groups(gpu) -> list:
     return groups
 
 
-def write_stats_json(groups: Iterable, path: str) -> dict:
+def write_stats_json(groups: Iterable, path: str, topology=None) -> dict:
     """Dump every group's flattened statistics into one JSON file.
 
     Returns the written mapping ``{group_name: {stat: value}}``; groups
     with duplicate names are merged (later wins per key), which only
     happens if a caller passes the same group twice.
+
+    ``topology`` (a :class:`repro.common.config.SoCTopology`) adds a
+    ``topology`` block — descriptor hash plus the fully resolved
+    parameters — so a stats dump is self-describing about the system
+    that produced it.
     """
     payload: dict[str, dict] = {}
     for group in groups:
         payload.setdefault(group.name, {}).update(group.dump())
+    if topology is not None:
+        payload["topology"] = {"hash": topology.topology_hash(),
+                               "parameters": topology.to_dict()}
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")

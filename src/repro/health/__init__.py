@@ -36,11 +36,13 @@ from repro.health.faults import FaultConfig, FaultInjector, RetryConfig
 from repro.health.recovery import (CheckpointManager, PreemptionRequested,
                                    load_checkpoint, resume_run)
 from repro.health.watchdog import Watchdog, WatchdogReport, WatchdogTimeout
-from repro.soc.checkpoint import CheckpointCorruptError, CheckpointError
+from repro.soc.checkpoint import (CheckpointCorruptError, CheckpointError,
+                                  CheckpointTopologyError)
 
 __all__ = [
     "CheckpointCorruptError",
     "CheckpointError",
+    "CheckpointTopologyError",
     "CheckpointManager",
     "PreemptionRequested",
     "FaultConfig",

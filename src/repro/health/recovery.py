@@ -19,7 +19,8 @@ from typing import Callable, Optional
 
 from repro.common.events import SimulationError
 from repro.gl.context import Frame
-from repro.soc.checkpoint import GraphicsCheckpoint, capture
+from repro.soc.checkpoint import (CheckpointTopologyError,
+                                  GraphicsCheckpoint, capture)
 
 
 class PreemptionRequested(SimulationError):
@@ -54,7 +55,8 @@ class CheckpointManager:
     def __init__(self, every: int, path: Optional[str] = None,
                  injector=None,
                  preempt_check: Optional[Callable[[int], bool]] = None,
-                 job: Optional[str] = None) -> None:
+                 job: Optional[str] = None,
+                 topology: Optional[str] = None) -> None:
         if every <= 0:
             raise ValueError(f"checkpoint interval must be positive, "
                              f"got {every}")
@@ -64,6 +66,9 @@ class CheckpointManager:
         # the job's cache key) so a resume in a reused directory can tell
         # this job's snapshots from a previous occupant's.
         self.job = job
+        # Topology hash of the producing system, stamped at snapshot time
+        # so a resume onto differently-assembled hardware can be refused.
+        self.topology = topology
         # ``preempt_check(frames_done)`` is consulted right after each
         # snapshot lands; returning True raises PreemptionRequested, so a
         # preempted run always holds a fresh resume point.
@@ -97,7 +102,7 @@ class CheckpointManager:
                if self.injector is not None else None)
         self.last = capture(list(self._frames), tick=tick,
                             frame_index=frame_index + 1, rng=rng,
-                            job=self.job)
+                            job=self.job, topology=self.topology)
         self.checkpoints_taken += 1
         if self.path is not None:
             # Write-then-rename: a process SIGKILL'd mid-serialize leaves
@@ -130,9 +135,18 @@ def resume_run(checkpoint: GraphicsCheckpoint, run_config,
     snapshot tick and the render loop at the snapshot frame index.  Returns
     ``(soc, results)`` — the results cover the resumed frames only, but the
     final framebuffer matches an uninterrupted run.
+
+    A snapshot stamped with a topology hash is checked against the
+    topology ``run_config`` would assemble *before* any state is rebuilt;
+    a mismatch raises :class:`CheckpointTopologyError`.
     """
     from repro.soc.soc import EmeraldSoC   # late import: soc imports health
 
+    if checkpoint.topology is not None:
+        config_hash = run_config.resolve_topology().topology_hash()
+        if checkpoint.topology != config_hash:
+            raise CheckpointTopologyError(
+                snapshot_hash=checkpoint.topology, config_hash=config_hash)
     restored = checkpoint.restore_frames()
     soc = EmeraldSoC(run_config, frame_source, framebuffer_address,
                      start_frame=checkpoint.frame_index,

@@ -15,10 +15,8 @@ from __future__ import annotations
 
 from repro.common.config import DRAMConfig
 from repro.common.events import EventQueue
-from repro.memory.address_map import BASELINE_MAPPING, IP_CHANNEL_MAPPING
 from repro.memory.dram import DEFAULT_ROWS
-from repro.memory.frfcfs import FRFCFSScheduler
-from repro.memory.system import MemorySystem, SourceTypeRouter
+from repro.memory.system import MemorySystem
 
 
 def build_hmc_memory(events: EventQueue, config: DRAMConfig,
@@ -27,20 +25,12 @@ def build_hmc_memory(events: EventQueue, config: DRAMConfig,
     """An HMC memory system: half the channels for CPU, half for IPs.
 
     With the paper's 2-channel configuration (Table 4) this is one channel
-    per source class.
+    per source class.  The organization is the ``HMC`` preset of the
+    declarative topology layer — a ``source`` router over a
+    baseline/IP-striped mapping split; fewer than two channels fails
+    topology validation (:class:`~repro.common.config.ConfigError`).
     """
-    if config.channels < 2:
-        raise ValueError("HMC needs at least two channels to partition")
-    half = config.channels // 2
-    cpu_channels = list(range(half))
-    ip_channels = list(range(half, config.channels))
-    mappings = [BASELINE_MAPPING] * half + \
-        [IP_CHANNEL_MAPPING] * (config.channels - half)
-    return MemorySystem(
-        events, config, gpu_clock_ghz=gpu_clock_ghz,
-        scheduler_factory=lambda channel_id: FRFCFSScheduler(),
-        channel_mappings=mappings,
-        router=SourceTypeRouter(cpu_channels, ip_channels),
-        rows=rows,
-        decode_channels=1,
-    )
+    from repro.memory.builders import build_memory, memory_topology_by_name
+    system, _ = build_memory(events, memory_topology_by_name("HMC", config),
+                             gpu_clock_ghz=gpu_clock_ghz, rows=rows)
+    return system

@@ -212,3 +212,62 @@ class MemorySystem:
                 bucket = (time // window) * window
                 merged[bucket] = merged.get(bucket, 0.0) + value
         return sorted(merged.items())
+
+
+class MemoryFabric:
+    """Aggregate statistics view over several :class:`MemorySystem`
+    endpoints (a multi-endpoint topology's DRAM side).
+
+    Duck-typed like one MemorySystem for every *read-side* consumer (the
+    SoC results, the stats dump, the energy model); the request path does
+    NOT go through here — the NoC routes to each endpoint's own ingress.
+    """
+
+    def __init__(self, systems: Sequence[MemorySystem]) -> None:
+        if not systems:
+            raise ValueError("need at least one memory endpoint")
+        self.systems = list(systems)
+
+    @property
+    def channels(self):
+        return [channel for system in self.systems
+                for channel in system.channels]
+
+    def stats_dump(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for index, system in enumerate(self.systems):
+            for key, value in system.stats_dump().items():
+                out[f"ep{index}.{key}"] = value
+        return out
+
+    def row_hit_rate(self) -> float:
+        hits = sum(c.stats.rate("row_hit").hits for c in self.channels)
+        total = sum(c.stats.rate("row_hit").total for c in self.channels)
+        return hits / total if total else 0.0
+
+    def bytes_per_activation(self) -> float:
+        for channel in self.channels:
+            channel.drain_flush_stats()
+        values = []
+        for channel in self.channels:
+            values.extend(
+                channel.stats.histogram("bytes_per_activation").values())
+        return sum(values) / len(values) if values else 0.0
+
+    def total_bytes(self, source: Optional[SourceType] = None) -> int:
+        return sum(system.total_bytes(source) for system in self.systems)
+
+    def mean_latency(self, source: SourceType) -> float:
+        values = []
+        for channel in self.channels:
+            values.extend(channel.stats.histogram(
+                f"latency.{source.value}").values())
+        return sum(values) / len(values) if values else 0.0
+
+    def bandwidth_series(self, source: SourceType,
+                         window: int = 1000) -> list[tuple[int, float]]:
+        merged: dict[int, float] = {}
+        for system in self.systems:
+            for time, value in system.bandwidth_series(source, window=window):
+                merged[time] = merged.get(time, 0.0) + value
+        return sorted(merged.items())

@@ -36,6 +36,26 @@ class CheckpointError(ValueError):
         self.field = field
 
 
+class CheckpointTopologyError(CheckpointError):
+    """The snapshot was taken on a different SoC topology.
+
+    A checkpoint records the topology hash of the system that produced it
+    (:meth:`repro.common.config.SoCTopology.topology_hash`); restoring it
+    onto a system assembled from a *different* descriptor would replay
+    graphics state into mismatched hardware — addresses would interleave
+    across a different channel count, timing would diverge silently.
+    ``snapshot_hash`` / ``config_hash`` carry both sides of the mismatch.
+    """
+
+    def __init__(self, snapshot_hash: str, config_hash: str) -> None:
+        super().__init__(
+            f"snapshot taken on topology {snapshot_hash}, but the resume "
+            f"config assembles topology {config_hash}; refusing to restore "
+            f"graphics state onto mismatched hardware", field="topology")
+        self.snapshot_hash = snapshot_hash
+        self.config_hash = config_hash
+
+
 class CheckpointCorruptError(CheckpointError):
     """The snapshot bytes themselves are damaged (truncation, bit rot).
 
@@ -88,6 +108,12 @@ class GraphicsCheckpoint:
     by a *different* job in a reused directory instead of silently
     replaying foreign state.  Absent (None) outside the fleet and in
     pre-existing snapshots.
+
+    ``topology`` (optional) is the producing system's topology hash
+    (:meth:`repro.common.config.SoCTopology.topology_hash`); a resume onto
+    a differently-assembled SoC raises :class:`CheckpointTopologyError`
+    instead of replaying state into mismatched hardware.  Absent (None)
+    in pre-topology snapshots, which resume unchecked.
     """
 
     trace_json: str
@@ -95,6 +121,7 @@ class GraphicsCheckpoint:
     frame_index: int
     rng: Optional[dict] = None
     job: Optional[str] = None
+    topology: Optional[str] = None
 
     def to_json(self) -> str:
         doc = {
@@ -107,6 +134,8 @@ class GraphicsCheckpoint:
             doc["rng"] = self.rng
         if self.job is not None:
             doc["job"] = self.job
+        if self.topology is not None:
+            doc["topology"] = self.topology
         doc["crc"] = _payload_crc(doc)
         return json.dumps(doc)
 
@@ -162,8 +191,14 @@ class GraphicsCheckpoint:
         if job is not None and not isinstance(job, str):
             raise CheckpointError(
                 f"expected a string, got {type(job).__name__}", field="job")
+        topology = doc.get("topology")
+        if topology is not None and not isinstance(topology, str):
+            raise CheckpointError(
+                f"expected a string, got {type(topology).__name__}",
+                field="topology")
         return cls(trace_json=json.dumps(trace), tick=tick,
-                   frame_index=frame_index, rng=rng, job=job)
+                   frame_index=frame_index, rng=rng, job=job,
+                   topology=topology)
 
     def restore_frames(self) -> list[Frame]:
         """Replay the recorded draw calls through a fresh GL context."""
@@ -185,10 +220,12 @@ def _require_int(doc: dict, key: str) -> int:
 
 def capture(frames: list[Frame], tick: int, frame_index: int,
             rng: Optional[dict] = None,
-            job: Optional[str] = None) -> GraphicsCheckpoint:
+            job: Optional[str] = None,
+            topology: Optional[str] = None) -> GraphicsCheckpoint:
     """Record rendered frames into a checkpoint."""
     recorder = TraceRecorder()
     for frame in frames:
         recorder.record_frame(frame)
     return GraphicsCheckpoint(trace_json=recorder.to_json(), tick=tick,
-                              frame_index=frame_index, rng=rng, job=job)
+                              frame_index=frame_index, rng=rng, job=job,
+                              topology=topology)

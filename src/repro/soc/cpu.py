@@ -173,47 +173,90 @@ class CPUCore:
             self.events.schedule(self.config.think_time, self._pump)
 
 
+#: Named core personalities for asymmetric (big/little) clusters.  Each
+#: entry is ``(traffic shape, frame_coupled)`` — frame-coupled cores run
+#: during the CPU prepare phase and pause while the GPU renders.  The
+#: first four are the legacy graded mix (see :data:`LEGACY_CORE_MIX`);
+#: ``big``/``little`` model a heterogeneous cluster: big cores do heavy,
+#: frame-coupled work, little cores tick along continuously with light,
+#: latency-sensitive traffic.
+CORE_PROFILES: dict[str, tuple[CPUCoreConfig, bool]] = {
+    # The app thread: bursty, sequential (row-hit-friendly) frame
+    # preparation.  FR-FCFS already serves streams like this well, so
+    # DASH's CPU priority changes its service only modestly — matching
+    # the paper, where DASH does not speed the app up.
+    "app": (CPUCoreConfig(think_time=40, outstanding=8, run_length=32,
+                          active=False), False),
+    # A streaming, memory-intensive service thread — the TCM classifier's
+    # "intensive" population.  It must dominate total CPU bandwidth so
+    # the 15% cluster budget (Table 3) puts the other threads in the
+    # non-intensive cluster.  Its long row-hit runs are what FR-FCFS
+    # naturally favors.
+    "streaming": (CPUCoreConfig(think_time=2, outstanding=8,
+                                run_length=32), True),
+    # Latency-sensitive, low-locality threads — the "non-intensive"
+    # population DASH always prioritizes.  Their row-miss requests are
+    # served *last* by FR-FCFS but *first* by DASH, where each one breaks
+    # a GPU row-hit run (the Fig. 9/14 mechanism).
+    "interactive": (CPUCoreConfig(think_time=70, outstanding=2,
+                                  run_length=1), False),
+    "background": (CPUCoreConfig(think_time=140, outstanding=1,
+                                 run_length=1), False),
+    # Asymmetric big/little personalities (topology-assembled clusters).
+    "big": (CPUCoreConfig(think_time=8, outstanding=8, run_length=16),
+            True),
+    "little": (CPUCoreConfig(think_time=160, outstanding=1, run_length=2),
+               False),
+}
+
+#: The pre-topology default: profiles cycled in this order, core 1 the
+#: only frame-coupled core.  Kept exactly as the seed wired it so default
+#: runs stay bit-identical.
+LEGACY_CORE_MIX = ("app", "streaming", "interactive", "background")
+
+
 class CPUCluster:
     """Core 0 is the app thread; the rest are background threads.
 
     Background intensities are graded (heavy, moderate, light, ...) so the
-    TCM classifier sees a realistic mix.  The heavy streaming thread
-    (core 1) is *frame-coupled*: it runs during the CPU prepare phase and
-    pauses while the GPU renders — like the paper's app-side traffic in
-    Figs. 10/14, which rises before a frame and falls during rendering.
-    The light threads (cores 2-3, UI/compositor-like) run continuously.
+    TCM classifier sees a realistic mix; see :data:`CORE_PROFILES` for the
+    personalities.  With ``core_types=None`` the legacy graded four-profile
+    cycle is used (bit-identical to the seed); an explicit tuple of
+    profile names (validated against
+    :data:`repro.common.config.CPU_CORE_TYPES`) assembles an asymmetric
+    cluster — e.g. ``("app", "big", "little", "little")``.
     """
 
     def __init__(self, events: EventQueue, submit,
                  num_cores: int = 4, seed: int = 7,
-                 base_address: int = 0x8000_0000) -> None:
+                 base_address: int = 0x8000_0000,
+                 core_types: Optional[tuple[str, ...]] = None) -> None:
         if num_cores < 1:
             raise ValueError("need at least one CPU core")
         self.events = events
         self.cores: list[CPUCore] = []
-        profiles = [
-            # The app thread: bursty, sequential (row-hit-friendly) frame
-            # preparation.  FR-FCFS already serves streams like this well,
-            # so DASH's CPU priority changes its service only modestly —
-            # matching the paper, where DASH does not speed the app up.
-            CPUCoreConfig(think_time=40, outstanding=8, run_length=32,
-                          active=False),
-            # A streaming, memory-intensive service thread — the TCM
-            # classifier's "intensive" population.  It must dominate total
-            # CPU bandwidth so the 15% cluster budget (Table 3) puts the
-            # other threads in the non-intensive cluster.  Its long
-            # row-hit runs are what FR-FCFS naturally favors.
-            CPUCoreConfig(think_time=2, outstanding=8, run_length=32),
-            # Latency-sensitive, low-locality threads — the "non-intensive"
-            # population DASH always prioritizes.  Their row-miss requests
-            # are served *last* by FR-FCFS but *first* by DASH, where each
-            # one breaks a GPU row-hit run (the Fig. 9/14 mechanism).
-            CPUCoreConfig(think_time=70, outstanding=2, run_length=1),
-            CPUCoreConfig(think_time=140, outstanding=1, run_length=1),
-        ]
+        if core_types is None:
+            profiles = [CORE_PROFILES[name][0] for name in LEGACY_CORE_MIX]
+            configs = [profiles[core_id % len(profiles)]
+                       for core_id in range(num_cores)]
+            # The legacy cluster hardwires core 1 as the sole
+            # frame-coupled core regardless of cycling.
+            self._frame_coupled = [1] if num_cores > 1 else []
+        else:
+            if len(core_types) != num_cores:
+                raise ValueError(
+                    f"{len(core_types)} core types for {num_cores} cores")
+            unknown = [t for t in core_types if t not in CORE_PROFILES]
+            if unknown:
+                raise ValueError(
+                    f"unknown core types {unknown}; known: "
+                    f"{', '.join(CORE_PROFILES)}")
+            configs = [CORE_PROFILES[name][0] for name in core_types]
+            self._frame_coupled = [i for i, name in enumerate(core_types)
+                                   if CORE_PROFILES[name][1]]
+        self.core_types = core_types
         for core_id in range(num_cores):
-            profile = profiles[core_id % len(profiles)]
-            core = CPUCore(events, core_id, submit, profile,
+            core = CPUCore(events, core_id, submit, configs[core_id],
                            base_address=base_address + core_id * 0x0100_0000,
                            seed=seed)
             self.cores.append(core)
@@ -224,8 +267,8 @@ class CPUCluster:
 
     @property
     def frame_coupled_cores(self) -> list[CPUCore]:
-        """Cores whose activity follows the frame lifecycle (core 1)."""
-        return self.cores[1:2]
+        """Cores whose activity follows the frame lifecycle."""
+        return [self.cores[i] for i in self._frame_coupled]
 
     def start_background(self) -> None:
         for core in self.cores[1:]:

@@ -11,14 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.common.config import DRAMConfig, GPUConfig
+from repro.common.config import (CPUClusterTopology, DRAMConfig, GPUConfig,
+                                 NoCLinkBudget, NoCTopology, SoCTopology)
 from repro.common.events import EventQueue, SimulationError
 from repro.gl.context import Frame
 from repro.gpu.gpu import EmeraldGPU
 from repro.health import CheckpointManager, FaultInjector, HealthConfig
 from repro.health.watchdog import Watchdog
-from repro.memory.builders import build_memory_by_name
+from repro.memory.builders import build_memory, memory_topology_by_name
 from repro.memory.request import SourceType
+from repro.memory.system import MemoryFabric
 from repro.sanitize import SanitizeConfig, Sanitizer
 from repro.sanitize.roundtrip import verify_roundtrip
 from repro.sanitize.violations import CheckpointMismatchViolation
@@ -77,6 +79,34 @@ class SoCRunConfig:
     # every completed frame, before checkpointing.  The fleet worker uses
     # it for heartbeats; it must not schedule events or draw randomness.
     frame_hook: Optional[Callable[[int, int], None]] = None
+    # Declarative assembly: an explicit :class:`SoCTopology` descriptor
+    # overrides the knob-derived system shape (memory_config / dram /
+    # num_cpu_cores / noc_*).  None derives an equivalent descriptor from
+    # those knobs — see :meth:`resolve_topology` — so every run, legacy or
+    # declarative, has a canonical topology (and hash).
+    topology: Optional[SoCTopology] = None
+
+    def resolve_topology(self) -> SoCTopology:
+        """The :class:`SoCTopology` this run assembles.
+
+        The explicit descriptor when one is set; otherwise one derived
+        from the legacy knobs.  A default config and its hand-written
+        descriptor equivalent resolve to equal descriptors — and thus the
+        same topology hash — which is what lets checkpoint/cache
+        identities survive the declarative migration.
+        """
+        if self.topology is not None:
+            return self.topology
+        links = None
+        if self.noc_capacity is not None or self.noc_bytes_per_cycle is not None:
+            links = (NoCLinkBudget(capacity=self.noc_capacity,
+                                   bytes_per_cycle=self.noc_bytes_per_cycle),)
+        return SoCTopology(
+            name=self.memory_config,
+            gpu=self.gpu,
+            cpu=CPUClusterTopology(num_cores=self.num_cpu_cores),
+            memory=(memory_topology_by_name(self.memory_config, self.dram),),
+            noc=NoCTopology(latency=self.noc_latency, links=links))
 
 
 @dataclass
@@ -112,13 +142,39 @@ class SoCResults:
 
 
 class EmeraldSoC:
-    """The assembled system; create, then :meth:`run`."""
+    """The assembled system; create, then :meth:`run`.
+
+    Assembly is a staged builder pipeline over the run's resolved
+    :class:`~repro.common.config.SoCTopology` — events/health, memory
+    endpoints, NoC, IPs, render loop, sanitizer, in that order (each
+    stage consumes what the previous ones built).  A run assembled from
+    the legacy name-string knobs and one assembled from the equivalent
+    explicit descriptor build object-for-object identical systems.
+    """
 
     def __init__(self, run_config: SoCRunConfig,
                  frame_source: Callable[[int], Frame],
                  framebuffer_address: int,
                  start_frame: int = 0, start_tick: int = 0) -> None:
         self.config = run_config
+        self.topology = run_config.resolve_topology()
+        frame_source = self._build_events_and_health(run_config, frame_source)
+        self._build_memory(run_config)
+        self._build_noc(run_config)
+        self._build_ips(run_config, framebuffer_address)
+        self._build_loop(run_config, frame_source, start_frame, start_tick)
+        self._build_sanitizer(run_config)
+
+    # -- assembly stages -----------------------------------------------------
+
+    def _build_events_and_health(self, run_config: SoCRunConfig,
+                                 frame_source: Callable[[int], Frame]
+                                 ) -> Callable[[int], Frame]:
+        """Event queue, tracer, and the health subsystem.
+
+        Returns the (possibly checkpoint-observing) frame source the
+        render loop should pull from.
+        """
         health = run_config.health
         self.events = EventQueue(
             error_policy=health.error_policy if health is not None
@@ -129,11 +185,10 @@ class EmeraldSoC:
                 self.events,
                 categories=run_config.trace.categories,
                 kernel_events=run_config.trace.kernel_events)
-        # -- health subsystem ------------------------------------------------
         self.watchdog: Optional[Watchdog] = None
         self.injector: Optional[FaultInjector] = None
         self.checkpoints: Optional[CheckpointManager] = None
-        retry = None
+        self._retry = None
         if health is not None:
             if health.watchdog:
                 timeout = health.watchdog_timeout
@@ -150,34 +205,73 @@ class EmeraldSoC:
                     stall_window=health.stall_window)
             if health.faults is not None and health.faults.active():
                 self.injector = FaultInjector(health.faults)
-            retry = health.retry
+            self._retry = health.retry
             if health.checkpoint_every:
                 self.checkpoints = CheckpointManager(
                     health.checkpoint_every, path=health.checkpoint_path,
                     injector=self.injector,
                     preempt_check=health.preempt_check,
-                    job=health.checkpoint_job)
+                    job=health.checkpoint_job,
+                    topology=self.topology.topology_hash())
                 frame_source = self.checkpoints.wrap_source(frame_source)
+        return frame_source
+
+    def _build_memory(self, run_config: SoCRunConfig) -> None:
+        """One :class:`MemorySystem` per topology memory endpoint.
+
+        ``self.memory`` is the read-side facade every consumer (GPU
+        telemetry, results, stats dump) sees: the bare system for one
+        endpoint, a :class:`MemoryFabric` aggregate for several.
+        """
         from repro.memory.dash import DashConfig
-        dash_config = DashConfig(quantum=run_config.dash_quantum_ticks,
-                                 switching_unit=run_config.dash_switching_ticks)
-        self.memory, self.dash_state = build_memory_by_name(
-            run_config.memory_config, self.events, run_config.dram,
-            gpu_clock_ghz=run_config.gpu.clock_ghz,
-            dash_config=dash_config)
-        self.noc = SystemNoC(self.events, self.memory,
-                             latency=run_config.noc_latency,
+        self.memory_endpoints = []
+        self.dash_state = None
+        for index, endpoint in enumerate(self.topology.memory):
+            dash_config = DashConfig(
+                quantum=run_config.dash_quantum_ticks,
+                switching_unit=run_config.dash_switching_ticks)
+            system, state = build_memory(
+                self.events, endpoint,
+                gpu_clock_ghz=self.topology.gpu.clock_ghz,
+                dash_config=dash_config)
+            if state is not None:
+                self.dash_state = state
+            self.memory_endpoints.append(system)
+        if len(self.memory_endpoints) == 1:
+            self.memory = self.memory_endpoints[0]
+        else:
+            # Disambiguate per-channel stat groups across endpoints
+            # ("dram.ch0" would otherwise collide in the stats dump).
+            for index, system in enumerate(self.memory_endpoints):
+                for channel in system.channels:
+                    channel.stats.name = (
+                        f"dram{index}.ch{channel.channel_id}")
+            self.memory = MemoryFabric(self.memory_endpoints)
+
+    def _build_noc(self, run_config: SoCRunConfig) -> None:
+        noc_topo = self.topology.noc
+        memory = (self.memory_endpoints[0]
+                  if len(self.memory_endpoints) == 1
+                  else self.memory_endpoints)
+        self.noc = SystemNoC(self.events, memory,
+                             latency=noc_topo.latency,
                              watchdog=self.watchdog,
-                             injector=self.injector, retry=retry,
+                             injector=self.injector, retry=self._retry,
                              capacity=run_config.noc_capacity,
                              bytes_per_cycle=run_config.noc_bytes_per_cycle,
-                             tracer=self.tracer)
-        self.gpu = EmeraldGPU(self.events, run_config.gpu,
+                             tracer=self.tracer,
+                             link_budgets=noc_topo.links,
+                             interleave_bytes=noc_topo.interleave_bytes)
+
+    def _build_ips(self, run_config: SoCRunConfig,
+                   framebuffer_address: int) -> None:
+        self.gpu = EmeraldGPU(self.events, self.topology.gpu,
                               run_config.width, run_config.height,
                               memory=self.memory, memory_port=self.noc)
         self.cpus = CPUCluster(self.events, self.noc,
-                               num_cores=run_config.num_cpu_cores,
-                               seed=run_config.seed)
+                               num_cores=self.topology.cpu.num_cores,
+                               seed=run_config.seed,
+                               core_types=self.topology.cpu.core_types)
         frame_bytes = run_config.width * run_config.height * 4
         self.display = DisplayController(
             self.events, self.noc,
@@ -191,6 +285,10 @@ class EmeraldSoC:
                 SourceType.GPU, run_config.gpu_frame_period_ticks)
             self.dash_state.register_ip(
                 SourceType.DISPLAY, run_config.display_period_ticks)
+
+    def _build_loop(self, run_config: SoCRunConfig,
+                    frame_source: Callable[[int], Frame],
+                    start_frame: int, start_tick: int) -> None:
         self.loop = RenderLoop(
             self.events, self.gpu, self.cpus.app_core, frame_source,
             num_frames=run_config.num_frames,
@@ -202,7 +300,9 @@ class EmeraldSoC:
             on_frame_done=self._frame_done,
             start_frame=start_frame)
         self._start_tick = start_tick
-        # -- sanitizer (after assembly: it registers every component) --------
+
+    def _build_sanitizer(self, run_config: SoCRunConfig) -> None:
+        # Last: the sanitizer registers every component built above.
         self.sanitizer: Optional[Sanitizer] = None
         self._verified_checkpoints = 0
         if run_config.sanitize is not None:
@@ -317,7 +417,8 @@ class EmeraldSoC:
         """Every component's :class:`StatGroup`, in a stable order — the
         ``--dump-stats`` walk."""
         from repro.harness.report import gpu_stat_groups
-        groups = [self.noc.stats, self.noc.link.stats]
+        groups = [self.noc.stats]
+        groups.extend(link.stats for link in self.noc.links)
         groups.extend(gpu_stat_groups(self.gpu))
         groups.append(self.loop.stats)
         groups.append(self.display.stats)
@@ -339,7 +440,9 @@ class EmeraldSoC:
     def _results(self) -> SoCResults:
         memory = self.memory
         return SoCResults(
-            config_name=self.config.memory_config,
+            config_name=(self.topology.name
+                         if self.config.topology is not None
+                         else self.config.memory_config),
             frames=list(self.loop.records),
             mean_gpu_time=self.loop.mean_gpu_time(),
             mean_total_time=self.loop.mean_total_time(),

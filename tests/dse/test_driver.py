@@ -1,0 +1,110 @@
+"""The DSE driver end-to-end: grid -> fleet -> metrics -> frontier.
+
+Kept tiny (two points, one frame) — the full 8-point sweep is the CI
+smoke job's business.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import ConfigError
+from repro.dse import (DSEConfig, DSEReport, format_dse_report, run_dse,
+                       topology_grid)
+from repro.dse.driver import DSE_REPORT_SCHEMA, dse_jobs
+
+
+class TestGrid:
+    def test_default_grid_is_eight_points(self):
+        grid = topology_grid()
+        assert len(grid) == 8
+        assert len({t.name for t in grid}) == 8
+        assert len({t.topology_hash() for t in grid}) == 8
+
+    def test_axes_multiply(self):
+        grid = topology_grid(clusters=(2,), stacks=(1, 2),
+                             data_rates=(1333,),
+                             cpu_mixes=("sym", "biglittle"))
+        assert len(grid) == 4
+        mixes = {t.cpu.core_types for t in grid}
+        assert None in mixes
+        assert ("app", "big", "little", "little") in mixes
+
+    def test_two_stack_points_have_two_endpoints(self):
+        grid = topology_grid(clusters=(2,), stacks=(2,), data_rates=(1333,))
+        assert len(grid[0].memory) == 2
+        assert {m.dram.channels for m in grid[0].memory} == {1}
+
+    def test_unknown_cpu_mix_is_typed(self):
+        with pytest.raises(ConfigError) as excinfo:
+            topology_grid(cpu_mixes=("quantum",))
+        assert "biglittle" in str(excinfo.value)
+
+    def test_jobs_carry_topology_and_metrics_flag(self):
+        grid = topology_grid(clusters=(2,), stacks=(1,), data_rates=(1333,))
+        jobs = dse_jobs(grid, DSEConfig())
+        assert jobs[0].topology == grid[0].to_dict()
+        assert jobs[0].collect_metrics
+
+
+class TestDriver:
+    @pytest.fixture(scope="class")
+    def sweep(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("dse")
+        grid = topology_grid(clusters=(2,), stacks=(1, 2),
+                             data_rates=(1333,))
+        config = DSEConfig(frames=1, workers=2,
+                           cache_dir=str(root / "cache"),
+                           workdir=str(root / "work"))
+        report = run_dse(grid, config)
+        return grid, config, root, report
+
+    def test_sweep_evaluates_every_point(self, sweep):
+        _, _, _, report = sweep
+        assert report.ok
+        assert len(report.points) == 2
+        for point in report.points:
+            assert point.metrics is not None
+            for key in ("fps", "dram_bandwidth", "energy_uj",
+                        "topology_hash", "dram_bytes"):
+                assert key in point.metrics
+            assert point.metrics["topology_hash"] == \
+                point.topology.topology_hash()
+
+    def test_frontier_is_nonempty_and_flagged(self, sweep):
+        _, _, _, report = sweep
+        assert report.frontier
+        assert all(point.pareto for point in report.frontier)
+
+    def test_report_schema(self, sweep):
+        _, _, _, report = sweep
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["schema"] == DSE_REPORT_SCHEMA
+        assert doc["ok"] is True
+        assert doc["frontier"]
+        assert [o[0] for o in doc["objectives"]] == \
+            ["fps", "dram_bandwidth", "energy_uj"]
+        for point in doc["points"]:
+            assert set(point) == {"name", "topology_hash", "topology",
+                                  "outcome", "cache_hit", "metrics",
+                                  "pareto"}
+
+    def test_rerun_is_cache_only_and_identical(self, sweep):
+        grid, config, root, first = sweep
+        rerun_config = DSEConfig(frames=1, workers=2,
+                                 cache_dir=config.cache_dir,
+                                 workdir=str(root / "work2"))
+        rerun = run_dse(grid, rerun_config)
+        assert rerun.ok
+        assert rerun.fleet.executed == 0
+        assert all(point.cache_hit for point in rerun.points)
+        assert [p.metrics for p in rerun.points] == \
+            [p.metrics for p in first.points]
+
+    def test_text_report_renders(self, sweep):
+        _, _, _, report = sweep
+        text = format_dse_report(report)
+        assert "pareto frontier" in text
+        assert "fps:max" in text
+        for point in report.points:
+            assert point.name in text

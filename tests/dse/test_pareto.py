@@ -1,0 +1,58 @@
+"""Pareto reduction: dominance math and frontier membership."""
+
+import pytest
+
+from repro.dse import OBJECTIVES, dominates, pareto_frontier
+
+
+def point(fps, bw, energy):
+    return {"fps": fps, "dram_bandwidth": bw, "energy_uj": energy}
+
+
+class TestDominance:
+    def test_better_everywhere_dominates(self):
+        assert dominates(point(100, 1.0, 2.0), point(90, 1.5, 3.0))
+
+    def test_tradeoff_does_not_dominate(self):
+        fast_hot = point(100, 1.0, 5.0)
+        slow_cool = point(60, 1.0, 1.0)
+        assert not dominates(fast_hot, slow_cool)
+        assert not dominates(slow_cool, fast_hot)
+
+    def test_equal_points_do_not_dominate_each_other(self):
+        a = point(100, 1.0, 2.0)
+        assert not dominates(a, dict(a))
+
+    def test_weak_improvement_on_one_axis_suffices(self):
+        assert dominates(point(100, 1.0, 1.9), point(100, 1.0, 2.0))
+
+    def test_missing_objective_raises(self):
+        with pytest.raises(KeyError):
+            dominates({"fps": 1.0}, point(1, 1, 1))
+
+
+class TestFrontier:
+    def test_dominated_points_are_excluded(self):
+        points = [point(100, 1.0, 2.0),     # frontier
+                  point(90, 1.5, 3.0),      # dominated by 0
+                  point(60, 0.5, 1.0)]      # frontier (cheap + cool)
+        assert pareto_frontier(points) == [0, 2]
+
+    def test_duplicates_all_survive(self):
+        points = [point(100, 1.0, 2.0), point(100, 1.0, 2.0)]
+        assert pareto_frontier(points) == [0, 1]
+
+    def test_single_point_is_its_own_frontier(self):
+        assert pareto_frontier([point(1, 1, 1)]) == [0]
+
+    def test_empty_input(self):
+        assert pareto_frontier([]) == []
+
+    def test_custom_objectives(self):
+        points = [{"latency": 5}, {"latency": 3}]
+        assert pareto_frontier(points,
+                               objectives=(("latency", "min"),)) == [1]
+
+    def test_default_objectives_shape(self):
+        assert OBJECTIVES == (("fps", "max"), ("dram_bandwidth", "min"),
+                              ("energy_uj", "min"))

@@ -1,0 +1,63 @@
+"""Topology-aware job specs: validation, identity, cache keys."""
+
+import pytest
+
+from repro.common.config import SoCTopology
+from repro.fleet import JobSpec, JobSpecError, cache_key, config_hash
+from repro.fleet.manifest import result_payload
+
+
+def _topology_doc(**overrides):
+    doc = SoCTopology(name="point").to_dict()
+    doc.update(overrides)
+    return doc
+
+
+class TestTopologySpecs:
+    def test_round_trips_through_dict(self):
+        spec = JobSpec(name="p", topology=_topology_doc(),
+                       collect_metrics=True)
+        restored = JobSpec.from_dict(spec.to_dict())
+        assert restored == spec
+        assert restored.topology == _topology_doc()
+
+    def test_invalid_topology_is_a_typed_spec_error(self):
+        bad = _topology_doc()
+        bad["warp_drive"] = True
+        with pytest.raises(JobSpecError) as excinfo:
+            JobSpec(name="p", topology=bad)
+        assert "warp_drive" in str(excinfo.value)
+
+    def test_topology_must_be_an_object(self):
+        with pytest.raises(JobSpecError):
+            JobSpec(name="p", topology="g2c2")
+
+    def test_collect_metrics_must_be_bool(self):
+        with pytest.raises(JobSpecError):
+            JobSpec(name="p", collect_metrics=1)
+
+    def test_topology_is_identity(self):
+        plain = JobSpec(name="p")
+        declared = JobSpec(name="p", topology=_topology_doc())
+        assert "topology" in plain.identity()
+        assert config_hash(plain) != config_hash(declared)
+        assert cache_key(plain) != cache_key(declared)
+
+    def test_same_topology_same_key_regardless_of_name(self):
+        a = JobSpec(name="alpha", topology=_topology_doc())
+        b = JobSpec(name="beta", topology=_topology_doc())
+        assert cache_key(a) == cache_key(b)
+
+    def test_collect_metrics_is_identity(self):
+        quiet = JobSpec(name="p")
+        measured = JobSpec(name="p", collect_metrics=True)
+        assert cache_key(quiet) != cache_key(measured)
+
+    def test_payload_metrics_block_is_optional(self):
+        spec = JobSpec(name="p", collect_metrics=True)
+        bare = result_payload(spec, 0xDEAD)
+        assert "metrics" not in bare
+        measured = result_payload(spec, 0xDEAD, metrics={"fps": 1.0})
+        assert measured["metrics"] == {"fps": 1.0}
+        # The resume-invariance contract: no top-level end_tick.
+        assert "end_tick" not in measured

@@ -75,3 +75,11 @@ class TestExamples:
         result = run_example("soc_frame_lifecycle.py", timeout=1200)
         assert result.returncode == 0, result.stderr
         assert "Frame lifecycle" in result.stdout
+
+    @pytest.mark.slow
+    def test_dse_sweep(self, tmp_path):
+        result = run_example("dse_sweep.py", str(tmp_path), timeout=1200)
+        assert result.returncode == 0, result.stderr
+        assert "DSE sweep over 4 topology points" in result.stdout
+        assert "Pareto-optimal points:" in result.stdout
+        assert "4/4 points served" in result.stdout
