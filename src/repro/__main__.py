@@ -114,10 +114,21 @@ def _build_health(args):
 
 def _build_trace(args):
     """Translate the --trace / --profile flags into a TraceConfig."""
-    if not (args.trace or args.profile):
+    top_sinks = getattr(args, "top_sinks", False)
+    if not (args.trace or args.profile or top_sinks):
         return None
     from repro.trace import TraceConfig
-    return TraceConfig(path=args.trace, profile=args.profile)
+    return TraceConfig(path=args.trace, profile=args.profile or top_sinks)
+
+
+def _print_profile(results, args) -> None:
+    """Render the post-run attribution: full report and/or ranked sinks."""
+    if results.profile is None:
+        return
+    if getattr(args, "top_sinks", False):
+        print(results.profile.format_top_sinks())
+    if args.profile:
+        print(results.profile.format())
 
 
 def _build_sanitize(args):
@@ -155,8 +166,7 @@ def _cmd_cs1(args) -> int:
     print(f"  DRAM row-hit rate     : {results.row_hit_rate:.3f}")
     print(f"  mean DRAM latency     : "
           f"{ {k: round(v) for k, v in results.mean_latency.items()} }")
-    if results.profile is not None:
-        print(results.profile.format())
+    _print_profile(results, args)
     if args.trace:
         print(f"trace written to {args.trace}")
     return 0
@@ -205,6 +215,36 @@ def _cmd_dfsl(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Fastpath measurement discipline: run the tracked benchmarks.
+
+    Runs each workload fastpath-on and fastpath-off, verifies the two
+    modes computed the identical simulation, and writes one
+    ``BENCH_<name>.json`` artifact per benchmark (see
+    :mod:`repro.bench`).  ``--gate`` turns the machine-independent checks
+    (identity + on-not-slower-than-off) into the exit code — the CI
+    smoke job runs ``bench --scale smoke --gate``.
+    """
+    from repro import bench
+
+    names = args.only or list(bench.BENCHMARKS)
+    failures: list[str] = []
+    for name in names:
+        report = bench.run([name], scale=args.scale)[0]
+        if args.out is not None:
+            path = bench.write_report(report, args.out)
+            print(f"wrote {path}")
+        if args.summary or not args.out:
+            print(bench.format_summary(report))
+        failures.extend(bench.gate(report))
+    if failures:
+        for failure in failures:
+            print(f"BENCH GATE: {failure}")
+        if args.gate:
+            return 1
+    return 0
+
+
 def _cmd_selftest(args) -> int:
     """Health smoke test: one tiny full-system run, watchdog armed.
 
@@ -233,8 +273,7 @@ def _cmd_selftest(args) -> int:
     )
     soc = EmeraldSoC(config, session.frame, session.framebuffer_address)
     results = soc.run()
-    if results.profile is not None:
-        print(results.profile.format())
+    _print_profile(results, args)
     if args.trace:
         print(f"trace written to {args.trace}")
     detection_ok = True
@@ -435,6 +474,9 @@ def _add_trace_flags(p) -> None:
                         "(open in Perfetto / chrome://tracing)")
     p.add_argument("--profile", action="store_true",
                    help="print a cycle-attribution report after the run")
+    p.add_argument("--top-sinks", action="store_true",
+                   help="print a ranked table of the busiest spans and "
+                        "kernel-event owners (implies --profile)")
 
 
 def _add_sanitize_flags(p) -> None:
@@ -536,6 +578,24 @@ def main(argv=None) -> int:
     _add_trace_flags(p)
     _add_sanitize_flags(p)
     p.set_defaults(func=_cmd_cs1)
+
+    p = sub.add_parser("bench",
+                       help="fastpath benchmarks: on-vs-off wall time, "
+                            "identity check, BENCH_*.json artifacts")
+    p.add_argument("--scale", choices=("default", "smoke", "micro"),
+                   default="default",
+                   help="workload size (default = the recorded operating "
+                        "points, smoke = CI seconds-scale, micro = tests)")
+    p.add_argument("--only", action="append",
+                   choices=("fig14", "pipeline"),
+                   help="run a subset (repeatable; default: all)")
+    p.add_argument("--out", help="directory for BENCH_<name>.json artifacts")
+    p.add_argument("--summary", action="store_true",
+                   help="print the human-readable table")
+    p.add_argument("--gate", action="store_true",
+                   help="exit 1 when identity or the on-vs-off speed "
+                        "check fails (machine-independent checks only)")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("selftest",
                        help="tiny watchdog-armed full-system smoke run")

@@ -1,0 +1,267 @@
+"""Fastpath measurement discipline: reproducible benchmark artifacts.
+
+The fastpath layer (DESIGN.md §12) is only allowed to exist because it is
+*measured*: every claimed speedup is pinned to a JSON artifact produced by
+this module, and every artifact embeds the bit-identity fingerprint that
+proves the optimized run computed the same simulation.  Two reference
+workloads are tracked:
+
+* ``fig14`` — the case-study-I unit behind Fig. 14 (M1 under the BAS
+  memory system, high-load scenario): DRAM-scheduler-bound, the worst
+  case for the event kernel and the FR-FCFS scan.
+* ``pipeline`` — one :class:`~repro.gpu.gpu.EmeraldGPU` teapot frame:
+  shader/raster-bound, the worst case for per-op dispatch.
+
+Each benchmark runs the workload twice — fastpath on, fastpath off — in
+that order, compares the identity fingerprint (end tick / cycles, events
+fired, framebuffer CRC), and reports wall time, events/sec and (for the
+GPU frame) fragments/sec plus the on-vs-off speedup.  ``scale="default"``
+additionally reports the speedup against :data:`SEED_BASELINE`, the wall
+time recorded for the same workload at the pre-fastpath seed commit.
+
+Machine-independence: the on-vs-off ratio and the identity fingerprint
+are meaningful on any host — CI gates on those (:func:`gate`).  The
+seed-baseline speedup is only meaningful on hardware comparable to the
+machine the baseline was recorded on; it is reported, never gated.
+
+Entry points: ``python -m repro bench --summary`` (writes
+``BENCH_fig14.json`` / ``BENCH_pipeline.json``), the CI smoke job
+(``--scale smoke --gate``), and the ``benchmarks/`` pytest modules.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+import zlib
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro import fastpath
+
+#: Wall times recorded for the ``scale="default"`` workloads at the seed
+#: commit (the tree immediately before the fastpath layer landed), same
+#: timing boundary (run only, assembly excluded), same machine as the
+#: committed BENCH_*.json artifacts.  ``events_fired`` doubles as an
+#: identity check: the fastpath must fire exactly as many events as the
+#: seed did.
+SEED_BASELINE = {
+    "commit": "f9eb076",
+    "fig14": {"wall_s": 2.875, "end_tick": 1_357_432,
+              "events_fired": 274_152},
+    "pipeline": {"wall_s": 1.914, "cycles": 35_612,
+                 "events_fired": 125_678, "fb_crc": 2197508556},
+}
+
+BENCHMARKS = ("fig14", "pipeline")
+SCALES = ("default", "smoke", "micro")
+
+#: Identity keys compared between the two modes, per benchmark.
+_IDENTITY = {
+    "fig14": ("end_tick", "events_fired", "fb_crc", "row_hit_rate",
+              "mean_gpu_time"),
+    "pipeline": ("cycles", "fragments", "events_fired", "fb_crc",
+                 "dram_bytes"),
+}
+
+
+def _timed(fn: Callable):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def _host() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+    }
+
+
+def _fig14_config(scale: str):
+    from repro.harness.case_study1 import CS1Config
+
+    if scale == "default":
+        # The benchmarks/conftest.py quick-mode operating point.
+        return CS1Config(num_frames=4)
+    if scale == "smoke":
+        # The CI trace-smoke operating point: seconds, not minutes.
+        return CS1Config(width=48, height=36, num_frames=2,
+                         texture_size=64,
+                         gpu_frame_period_ticks=120_000,
+                         display_period_ticks=60_000,
+                         cpu_work_per_frame=40, cpu_fixed_ticks=5_000)
+    if scale == "micro":
+        return CS1Config(width=48, height=36, num_frames=1,
+                         texture_size=64,
+                         gpu_frame_period_ticks=120_000,
+                         display_period_ticks=60_000,
+                         cpu_work_per_frame=40, cpu_fixed_ticks=5_000)
+    raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+def run_fig14(scale: str = "default") -> dict:
+    """Benchmark the Fig. 14 unit (M1 / BAS / high load), on vs off."""
+    from repro.harness.case_study1 import make_cs1_soc
+
+    config = _fig14_config(scale)
+
+    def once(fast: bool) -> dict:
+        with fastpath.use_fastpath(fast):
+            soc = make_cs1_soc("M1", "BAS", "high", config=config)
+            wall, results = _timed(soc.run)
+        events = soc.events.events_fired
+        return {
+            "wall_s": round(wall, 4),
+            "events_fired": events,
+            "events_per_s": round(events / wall, 1),
+            "end_tick": results.end_tick,
+            "fb_crc": zlib.crc32(soc.gpu.fb.color.tobytes()),
+            "row_hit_rate": results.row_hit_rate,
+            "mean_gpu_time": results.mean_gpu_time,
+        }
+
+    workload = {
+        "name": "cs1 M1/BAS/high",
+        "width": config.width, "height": config.height,
+        "num_frames": config.num_frames,
+    }
+    return _report("fig14", scale, workload, once)
+
+
+def run_pipeline(scale: str = "default") -> dict:
+    """Benchmark one EmeraldGPU teapot frame (shader/raster bound)."""
+    from repro.common.config import DRAMConfig, GPUConfig
+    from repro.common.events import EventQueue
+    from repro.gpu.gpu import EmeraldGPU
+    from repro.harness.scenes import SceneSession
+    from repro.memory.builders import build_baseline_memory
+
+    sizes = {"default": (256, 192), "smoke": (128, 96), "micro": (64, 48)}
+    if scale not in sizes:
+        raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+    width, height = sizes[scale]
+
+    def once(fast: bool) -> dict:
+        with fastpath.use_fastpath(fast):
+            session = SceneSession("teapot", width, height)
+            frame = session.frame(0)
+            events = EventQueue()
+            memory = build_baseline_memory(events, DRAMConfig(channels=2))
+            gpu = EmeraldGPU(events, GPUConfig(num_clusters=4),
+                             width, height, memory=memory)
+            wall, stats = _timed(lambda: gpu.run_frame(frame))
+        fired = events.events_fired
+        return {
+            "wall_s": round(wall, 4),
+            "events_fired": fired,
+            "events_per_s": round(fired / wall, 1),
+            "cycles": stats.cycles,
+            "fragments": stats.fragments,
+            "fragments_per_s": round(stats.fragments / wall, 1),
+            "dram_bytes": stats.dram_bytes,
+            "fb_crc": zlib.crc32(gpu.fb.color.tobytes()),
+        }
+
+    workload = {"name": "gpu teapot frame", "width": width,
+                "height": height, "clusters": 4, "channels": 2}
+    return _report("pipeline", scale, workload, once)
+
+
+def _report(name: str, scale: str, workload: dict, once: Callable) -> dict:
+    on = once(True)
+    off = once(False)
+    keys = _IDENTITY[name]
+    identity = {key: on[key] for key in keys}
+    identical = all(on[key] == off[key] for key in keys)
+    seed = SEED_BASELINE[name] if scale == "default" else None
+    seed_wall = seed.get("wall_s") if seed else None
+    return {
+        "benchmark": name,
+        "scale": scale,
+        "workload": workload,
+        "fastpath_on": on,
+        "fastpath_off": off,
+        "identical": identical,
+        "identity": identity,
+        "speedup_on_vs_off": round(off["wall_s"] / on["wall_s"], 3),
+        "seed_baseline": dict(seed, commit=SEED_BASELINE["commit"])
+        if seed else None,
+        "speedup_vs_seed": round(seed_wall / on["wall_s"], 3)
+        if seed_wall else None,
+        "host": _host(),
+        "generated_by": "python -m repro bench",
+    }
+
+
+def gate(report: dict, min_on_off: float = 0.9) -> list:
+    """Machine-independent pass/fail checks for one report.
+
+    Returns a list of failure strings (empty = pass).  Identity is a hard
+    requirement; the speed check only fails when fastpath-on is *slower*
+    than fastpath-off beyond the noise allowance (``min_on_off``), since
+    absolute wall times vary across hosts.
+    """
+    failures = []
+    name = report["benchmark"]
+    if not report["identical"]:
+        keys = _IDENTITY[name]
+        diffs = [key for key in keys
+                 if report["fastpath_on"][key] != report["fastpath_off"][key]]
+        failures.append(f"{name}: fastpath on/off runs differ on "
+                        f"{', '.join(diffs)} — optimization changed the model")
+    if report["speedup_on_vs_off"] < min_on_off:
+        failures.append(
+            f"{name}: fastpath-on is slower than fastpath-off "
+            f"({report['fastpath_on']['wall_s']:.3f}s vs "
+            f"{report['fastpath_off']['wall_s']:.3f}s, ratio "
+            f"{report['speedup_on_vs_off']:.3f} < {min_on_off})")
+    seed = report.get("seed_baseline") or {}
+    for key in ("end_tick", "events_fired", "cycles", "fb_crc"):
+        expected = seed.get(key)
+        if expected is not None and report["identity"].get(key) != expected:
+            failures.append(
+                f"{name}: {key} {report['identity'][key]} != seed-recorded "
+                f"{expected} — the schedule drifted from the seed commit")
+    return failures
+
+
+def artifact_name(report: dict) -> str:
+    return f"BENCH_{report['benchmark']}.json"
+
+
+def write_report(report: dict, out_dir: str = ".") -> Path:
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / artifact_name(report)
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def format_summary(report: dict) -> str:
+    """Human-readable one-benchmark summary for ``bench --summary``."""
+    on, off = report["fastpath_on"], report["fastpath_off"]
+    lines = [f"{report['benchmark']} ({report['scale']}): "
+             f"{report['workload']['name']} "
+             f"{report['workload']['width']}x{report['workload']['height']}"]
+    lines.append(f"  {'mode':<12}  {'wall':>8}  {'events/s':>12}"
+                 + (f"  {'frags/s':>10}" if "fragments_per_s" in on else ""))
+    for label, row in (("fastpath on", on), ("fastpath off", off)):
+        extra = (f"  {row['fragments_per_s']:>10,.0f}"
+                 if "fragments_per_s" in row else "")
+        lines.append(f"  {label:<12}  {row['wall_s']:>7.3f}s  "
+                     f"{row['events_per_s']:>12,.0f}{extra}")
+    lines.append(f"  identical: {report['identical']}   "
+                 f"on vs off: {report['speedup_on_vs_off']:.2f}x"
+                 + (f"   vs seed {report['seed_baseline']['commit']}: "
+                    f"{report['speedup_vs_seed']:.2f}x"
+                    if report["speedup_vs_seed"] else ""))
+    return "\n".join(lines)
+
+
+def run(names=BENCHMARKS, scale: str = "default") -> list:
+    runners = {"fig14": run_fig14, "pipeline": run_pipeline}
+    return [runners[name](scale) for name in names]

@@ -18,15 +18,28 @@ Robustness (the ``repro.health`` subsystem builds on these hooks):
   raising callback can be wrapped into a :class:`SimulationError` that
   reports it — with a configurable fail-fast vs. quarantine-and-continue
   policy (``propagate`` keeps the seed behaviour of re-raising unchanged).
+
+Performance (the ``repro.fastpath`` layer, DESIGN.md §12): the queue has a
+*bucketed* calendar mode, on by default, that drains all same-tick events
+from a FIFO bucket instead of re-heapifying per event — MGSim's kernel
+idiom.  Ordering proof sketch: the bucket for tick T is filled from the
+heap in ascending ``seq`` order (heap pops at equal time break ties on
+``seq``), and any event scheduled *at* T while T is draining carries a
+``seq`` larger than every event already issued, so appending it at the
+tail preserves the global (time, seq) total order exactly.  Both modes are
+therefore bit-identical; the golden tests pin this.
 """
 
 from __future__ import annotations
 
 import enum
-import sys
-from dataclasses import dataclass
 import heapq
+import sys
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
+
+from repro import fastpath
 
 
 class SimulationError(RuntimeError):
@@ -70,6 +83,7 @@ class StopReason(enum.Enum):
     DRAINED = "drained"          # no live events remain
     BUDGET = "budget"            # max_events executed
     HORIZON = "horizon"          # next event lies beyond the time limit
+    STOPPED = "stopped"          # a callback called request_stop()
 
 
 @dataclass(frozen=True)
@@ -84,26 +98,41 @@ class RunResult:
         return self.reason is StopReason.DRAINED
 
 
-@dataclass
 class Event:
     """A scheduled callback.
 
     The queue orders events by (time, sequence number) so simultaneous
     events fire in the order they were scheduled; the ordering lives in
     the heap entries (plain tuples, compared at C speed), not here.
+
+    A ``__slots__`` class rather than a dataclass: one is constructed per
+    scheduled event — millions per simulated frame — and slot storage both
+    shrinks the instance and speeds attribute access on the hot path.
     """
 
-    time: int
-    seq: int
-    callback: Callable[..., Any]
-    args: tuple = ()
-    cancelled: bool = False
-    owner: Optional[str] = None
-    site: Optional[str] = None
+    __slots__ = ("time", "seq", "callback", "args", "cancelled",
+                 "owner", "site")
+
+    def __init__(self, time: int, seq: int, callback: Callable[..., Any],
+                 args: tuple = (), owner: Optional[str] = None,
+                 site: Optional[str] = None) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.owner = owner
+        self.site = site
 
     def cancel(self) -> None:
         """Deschedule this event; a cancelled event's callback never runs."""
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        flags = " cancelled" if self.cancelled else ""
+        return (f"Event(time={self.time}, seq={self.seq}, "
+                f"callback={name}{flags})")
 
 
 #: Error policies for :class:`EventQueue`.
@@ -121,6 +150,11 @@ class EventQueue:
     * ``"quarantine"`` — record the wrapped error in :attr:`errors` and
       keep running (a poisoned component is sidelined, the frame survives).
 
+    ``bucketed`` selects the calendar-bucket drain for same-tick events
+    (see module docstring); ``None`` defers to the global
+    :mod:`repro.fastpath` switch.  Both modes fire the same events in the
+    same (time, seq) order — the mode is a constant-factor choice only.
+
     >>> q = EventQueue()
     >>> fired = []
     >>> _ = q.schedule(5, fired.append, "a")
@@ -132,7 +166,8 @@ class EventQueue:
     """
 
     def __init__(self, error_policy: str = "propagate",
-                 debug_provenance: bool = False) -> None:
+                 debug_provenance: bool = False,
+                 bucketed: Optional[bool] = None) -> None:
         if error_policy not in ERROR_POLICIES:
             raise ValueError(f"error_policy must be one of {ERROR_POLICIES},"
                              f" got {error_policy!r}")
@@ -142,6 +177,14 @@ class EventQueue:
         self._now: int = 0
         self._seq: int = 0
         self._events_fired: int = 0
+        # Calendar bucket: the FIFO of events at the tick currently being
+        # drained.  ``_bucket_time`` is the tick the bucket belongs to
+        # (-1 = no bucket yet); schedule() appends same-tick work here
+        # directly, skipping the heap round-trip.
+        self._bucketed = fastpath.enabled() if bucketed is None else bucketed
+        self._bucket: deque[Event] = deque()
+        self._bucket_time: int = -1
+        self._stop_requested = False
         self.error_policy = error_policy
         self.debug_provenance = debug_provenance
         self.errors: list[SimulationError] = []
@@ -164,13 +207,17 @@ class EventQueue:
         """Total number of events executed so far (for debugging/limits)."""
         return self._events_fired
 
+    @property
+    def bucketed(self) -> bool:
+        """Whether the same-tick calendar-bucket drain is active."""
+        return self._bucketed
+
     def schedule(self, delay: int, callback: Callable[..., Any], *args: Any,
                  owner: Optional[str] = None) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` ticks from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + int(delay), callback, *args,
-                                owner=owner)
+        return self._push(self._now + int(delay), callback, args, owner)
 
     def schedule_at(self, time: int, callback: Callable[..., Any], *args: Any,
                     owner: Optional[str] = None) -> Event:
@@ -179,11 +226,31 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule into the past (time={time}, now={self._now})"
             )
-        event = Event(int(time), self._seq, callback, args, owner=owner)
+        return self._push(int(time), callback, args, owner)
+
+    def _push(self, time: int, callback: Callable[..., Any], args: tuple,
+              owner: Optional[str]) -> Event:
+        seq = self._seq
+        # Event construction spelled out (__new__ + slot stores) to skip
+        # the __init__ call frame — this is the per-event allocation site.
+        event = Event.__new__(Event)
+        event.time = time
+        event.seq = seq
+        event.callback = callback
+        event.args = args
+        event.cancelled = False
+        event.owner = owner
+        event.site = None
+        self._seq = seq + 1
         if self.debug_provenance:
             event.site = self._capture_site()
-        heapq.heappush(self._heap, (event.time, self._seq, event))
-        self._seq += 1
+        if time == self._bucket_time and self._bucketed:
+            # Same-tick schedule while (or after) that tick's bucket is
+            # live: the new seq exceeds every pending one, so a tail
+            # append preserves (time, seq) order with no heap traffic.
+            self._bucket.append(event)
+        else:
+            heapq.heappush(self._heap, (time, seq, event))
         if self.tracer is not None:
             self.tracer.kernel_scheduled(event)
         return event
@@ -214,21 +281,50 @@ class EventQueue:
 
     def empty(self) -> bool:
         """True when no live events remain."""
-        self._drop_cancelled_head()
-        return not self._heap
+        return self.peek_time() is None
 
     def peek_time(self) -> Optional[int]:
         """Time of the next live event, or ``None`` when the queue is empty."""
+        bucket = self._bucket
+        while bucket and bucket[0].cancelled:
+            bucket.popleft()
+        if bucket:
+            return self._bucket_time
         self._drop_cancelled_head()
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
+        if self._bucketed:
+            bucket = self._bucket
+            while bucket:
+                event = bucket.popleft()
+                if not event.cancelled:
+                    return self._fire(event)
+            heap = self._heap
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+            if not heap:
+                return False
+            time, _, event = heapq.heappop(heap)
+            self._now = time
+            self._bucket_time = time
+            # Pull the whole same-tick cohort out of the heap in one pass
+            # (pops at equal time come out in seq order); the drain above
+            # then runs them FIFO with no further heap traffic.
+            while heap and heap[0][0] == time:
+                bucket.append(heapq.heappop(heap)[2])
+            return self._fire(event)
+        # Reference path (seed behaviour): one heap pop per event.
         self._drop_cancelled_head()
         if not self._heap:
             return False
         _, __, event = heapq.heappop(self._heap)
         self._now = event.time
+        return self._fire(event)
+
+    def _fire(self, event: Event) -> bool:
+        """Execute one event at ``self._now`` under the error policy."""
         self._events_fired += 1
         if self.tracer is not None:
             self.tracer.kernel_fired(event)
@@ -237,21 +333,29 @@ class EventQueue:
             # error-policy wrapping below — a violation is a verdict, not
             # a component fault to quarantine.
             self.sanitizer.on_event(self._now, self._events_fired)
-        if self.error_policy == "propagate":
-            event.callback(*event.args)
-            return True
+        # The policy check lives in the except clause so the happy path
+        # pays nothing for it (try/except entry is free on CPython 3.11).
         try:
             event.callback(*event.args)
         except SimulationError:
             raise               # already wrapped (e.g. a watchdog report)
         except Exception as exc:
-            error = SimulationError.from_event(event, self._now, exc)
-            error.__cause__ = exc
-            if self.error_policy == "quarantine":
-                self.errors.append(error)
-            else:
-                raise error from exc
+            self._apply_error_policy(event, exc)
         return True
+
+    def _apply_error_policy(self, event: Event, exc: Exception) -> None:
+        """Shared except-clause body for :meth:`_fire` and the fused loops.
+
+        Must be called from inside an active ``except`` block (the bare
+        ``raise`` re-raises the exception being handled)."""
+        if self.error_policy == "propagate":
+            raise
+        error = SimulationError.from_event(event, self._now, exc)
+        error.__cause__ = exc
+        if self.error_policy == "quarantine":
+            self.errors.append(error)
+        else:
+            raise error from exc
 
     def run(self, max_events: Optional[int] = None) -> RunResult:
         """Run until the queue drains (or ``max_events`` fire).
@@ -259,14 +363,82 @@ class EventQueue:
         Returns a :class:`RunResult` saying how many events executed and
         *why* the loop stopped — callers must not infer "finished" from a
         count alone (a drained queue and an exhausted budget can both
-        return ``max_events``).
+        return ``max_events``).  A callback may call :meth:`request_stop`
+        to make the loop return (reason ``STOPPED``) after that event.
+
+        This is the whole-simulation hot loop: the pop/fire cycle of
+        step()+_fire() is fused into one frame (no per-event method
+        calls, locals bound once).  It fires the exact same events in the
+        exact same (time, seq) order as repeated :meth:`step` calls.
         """
+        budget = sys.maxsize if max_events is None else max_events
         count = 0
-        while max_events is None or count < max_events:
-            if not self.step():
+        heappop = heapq.heappop
+        heap = self._heap
+        self._stop_requested = False
+        if self._bucketed:
+            bucket = self._bucket
+            while count < budget:
+                event = None
+                while bucket:
+                    head = bucket.popleft()
+                    if not head.cancelled:
+                        event = head
+                        break
+                if event is None:
+                    while heap and heap[0][2].cancelled:
+                        heappop(heap)
+                    if not heap:
+                        return RunResult(count, StopReason.DRAINED)
+                    time, _, event = heappop(heap)
+                    self._now = time
+                    self._bucket_time = time
+                    while heap and heap[0][0] == time:
+                        bucket.append(heappop(heap)[2])
+                self._events_fired += 1
+                if self.tracer is not None:
+                    self.tracer.kernel_fired(event)
+                if self.sanitizer is not None:
+                    self.sanitizer.on_event(self._now, self._events_fired)
+                try:
+                    event.callback(*event.args)
+                except SimulationError:
+                    raise
+                except Exception as exc:
+                    self._apply_error_policy(event, exc)
+                count += 1
+                if self._stop_requested:
+                    return RunResult(count, StopReason.STOPPED)
+            return RunResult(count, StopReason.BUDGET)
+        while count < budget:
+            while heap and heap[0][2].cancelled:
+                heappop(heap)
+            if not heap:
                 return RunResult(count, StopReason.DRAINED)
+            _, __, event = heappop(heap)
+            self._now = event.time
+            self._events_fired += 1
+            if self.tracer is not None:
+                self.tracer.kernel_fired(event)
+            if self.sanitizer is not None:
+                self.sanitizer.on_event(self._now, self._events_fired)
+            try:
+                event.callback(*event.args)
+            except SimulationError:
+                raise
+            except Exception as exc:
+                self._apply_error_policy(event, exc)
             count += 1
+            if self._stop_requested:
+                return RunResult(count, StopReason.STOPPED)
         return RunResult(count, StopReason.BUDGET)
+
+    def request_stop(self) -> None:
+        """Make the active :meth:`run` loop return after the current event.
+
+        Called from inside an event callback (e.g. the app loop's last
+        frame completing); cleared on every :meth:`run` entry."""
+        self._stop_requested = True
 
     def run_until(self, time: int,
                   max_events: Optional[int] = None) -> RunResult:
@@ -274,7 +446,10 @@ class EventQueue:
 
         Advances ``now`` to ``time`` even if the queue drains earlier.
         Returns a :class:`RunResult` (reason ``HORIZON`` when stopped by
-        the time limit with events still pending).
+        the time limit with events still pending).  Events scheduled at
+        the current tick *during* a same-tick bucket drain still execute
+        this tick — they join the live bucket, which is re-checked every
+        iteration (no lost wakeup).
         """
         count = 0
         reason = StopReason.BUDGET
@@ -310,6 +485,9 @@ class Ticker:
     wake up only while they have work, instead of being ticked every cycle.
     """
 
+    __slots__ = ("_queue", "_period", "_callback", "_owner", "_pending",
+                 "_firing", "_kick_requested", "_stopped_during_fire")
+
     def __init__(self, queue: EventQueue, period: int,
                  callback: Callable[[], bool],
                  owner: Optional[str] = None):
@@ -317,7 +495,9 @@ class Ticker:
         if period <= 0:
             raise ValueError(f"period must be positive, got {period}")
         self._queue = queue
-        self._period = period
+        # schedule() truncates delays with int(); doing it once here keeps
+        # the inlined reschedule in _fire bit-identical for float periods.
+        self._period = int(period)
         self._callback = callback
         self._owner = owner
         self._pending: Optional[Event] = None
@@ -357,6 +537,7 @@ class Ticker:
         self._stopped_during_fire = self._firing
 
     def _fire(self) -> None:
+        event = self._pending        # the Event object now firing
         self._pending = None
         self._firing = True
         self._kick_requested = False
@@ -367,5 +548,25 @@ class Ticker:
             self._stopped_during_fire = False
             return
         if keep_going or self._kick_requested:
-            self._pending = self._queue.schedule(self._period, self._fire,
-                                                 owner=self._owner)
+            # Inlined self._queue.schedule(self._period, ...): this is the
+            # single hottest schedule site (every ticking component, every
+            # cycle), and the period is validated positive at construction.
+            queue = self._queue
+            if event is not None and not queue.debug_provenance:
+                # Recycle the just-fired Event: the kernel dropped its
+                # reference when it popped it (a fired event is never
+                # cancelled), and the period is >= 1 so the new time is
+                # strictly in the future — a plain heap push, never a
+                # same-tick bucket append.  A fresh seq keeps the global
+                # (time, seq) order identical to allocating a new Event.
+                seq = queue._seq
+                queue._seq = seq + 1
+                event.time = time = queue._now + self._period
+                event.seq = seq
+                heapq.heappush(queue._heap, (time, seq, event))
+                if queue.tracer is not None:
+                    queue.tracer.kernel_scheduled(event)
+                self._pending = event
+            else:
+                self._pending = queue._push(queue._now + self._period,
+                                            self._fire, (), self._owner)

@@ -352,6 +352,15 @@ class Link:
         self.bytes_per_cycle = bytes_per_cycle
         self.extra_latency = extra_latency
         self.stats = stats or StatGroup(name)
+        # Hot-path handles: the per-packet stats are bound once here so
+        # _recv/_deliver_direct skip the StatGroup dict lookup per packet,
+        # and the unbounded/int-latency facts are precomputed so the
+        # common case is a straight-line schedule.
+        self._unbounded = capacity is None and bytes_per_cycle is None
+        self._int_latency = int(latency)
+        self._ctr_packets = self.stats.counter("packets")
+        self._hist_traversal = self.stats.histogram("traversal")
+        self._ts_bytes = self.stats.time_series("bytes")
         self.ingress = ResponsePort(f"{name}.in", self._recv, owner=self)
         self.egress = RequestPort(f"{name}.out", owner=self,
                                   on_retry=self._drain_ready)
@@ -375,13 +384,22 @@ class Link:
     # -- receive side ------------------------------------------------------------
 
     def _recv(self, request) -> bool:
-        if not self.bounded:
-            extra = (self.extra_latency(request)
-                     if self.extra_latency is not None else 0)
-            self.stats.counter("packets").add()
-            self.stats.histogram("traversal").record(self.latency + extra)
-            self.events.schedule(self.latency + extra, self._deliver_direct,
-                                 request, owner=self.name)
+        if self._unbounded:
+            self._ctr_packets.add()
+            if self.extra_latency is None:
+                # The common case, flat-out: same event (time, callback,
+                # owner) as schedule() would create, minus the delay
+                # validation the int latency makes redundant.
+                self._hist_traversal.record(self.latency)
+                events = self.events
+                events._push(events._now + self._int_latency,
+                             self._deliver_direct, (request,), self.name)
+            else:
+                extra = self.extra_latency(request)
+                self._hist_traversal.record(self.latency + extra)
+                self.events.schedule(self.latency + extra,
+                                     self._deliver_direct, request,
+                                     owner=self.name)
             return True
         now = self.events.now
         if self.capacity is not None and self.occupancy >= self.capacity:
@@ -408,8 +426,9 @@ class Link:
     # -- delivery side -----------------------------------------------------------
 
     def _deliver_direct(self, request) -> None:
-        self.stats.time_series("bytes").add(self.events.now, request.size)
-        self.egress.send(request, tick=self.events.now)
+        now = self.events._now
+        self._ts_bytes.add(now, request.size)
+        self.egress.send(request, tick=now)
 
     def _dequeue(self) -> None:
         self._ready.append(self._queue.popleft())
@@ -423,7 +442,7 @@ class Link:
                                             # re-enters here
             self._ready.popleft()
             now = self.events.now
-            self.stats.counter("packets").add()
-            self.stats.histogram("traversal").record(now - arrival)
-            self.stats.time_series("bytes").add(now, request.size)
+            self._ctr_packets.add()
+            self._hist_traversal.record(now - arrival)
+            self._ts_bytes.add(now, request.size)
             self.ingress.send_retry()       # one buffer slot freed

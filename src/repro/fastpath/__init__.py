@@ -1,0 +1,59 @@
+"""Global switch for the vectorized hot paths (DESIGN.md §12).
+
+The fastpath layer swaps three drop-in implementations behind stable
+interfaces — the compiled shader dispatch tables
+(:mod:`repro.shader.dispatch`), the bucketed event kernel
+(:class:`repro.common.events.EventQueue` ``bucketed`` mode), and the
+batched raster/fragment grouping — all of which are required to be
+bit-identical to the reference paths (same stats, same framebuffer CRC,
+same event count).  Because they are bit-identical they default to *on*;
+the switch exists so the golden on/off test matrix and the benchmark
+harness can measure one mode against the other.
+
+Precedence: :func:`set_enabled` override > ``REPRO_FASTPATH`` environment
+variable (``0``/``false``/``off`` disable) > default on.
+
+The flag is sampled at *construction* time (queue creation, dispatch-table
+lookup), so toggles must wrap the whole run — :func:`use_fastpath` does
+exactly that for tests.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+_FALSEY = frozenset({"0", "false", "off", "no"})
+
+#: Session override; ``None`` means "consult the environment".
+_override: Optional[bool] = None
+
+
+def enabled() -> bool:
+    """Is the fastpath layer active for newly constructed components?"""
+    if _override is not None:
+        return _override
+    value = os.environ.get("REPRO_FASTPATH")
+    if value is None:
+        return True
+    return value.strip().lower() not in _FALSEY
+
+
+def set_enabled(flag: Optional[bool]) -> None:
+    """Force the fastpath on/off (``None`` restores environment control)."""
+    global _override
+    _override = None if flag is None else bool(flag)
+
+
+@contextmanager
+def use_fastpath(flag: bool) -> Iterator[None]:
+    """Scoped override for tests: everything *constructed and run* inside
+    the block uses the requested mode."""
+    global _override
+    previous = _override
+    _override = bool(flag)
+    try:
+        yield
+    finally:
+        _override = previous

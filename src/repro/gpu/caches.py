@@ -95,6 +95,14 @@ class Cache:
         self.next_level = next_level
         self.source = source
         self.stats = stats or StatGroup(name)
+        # Hot-path handles: a cache sees one _handle() per memory access,
+        # so the stat objects and config scalars are bound once here
+        # rather than looked up through dicts/dataclasses per access.
+        self._ctr_accesses = self.stats.counter("accesses")
+        self._rate_hit = self.stats.rate("hit")
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._hit_latency = int(config.hit_latency)
         # sets: list of OrderedDict tag -> dirty flag (LRU order: oldest first)
         self._sets: list[OrderedDict[int, bool]] = [
             OrderedDict() for _ in range(config.num_sets)]
@@ -128,23 +136,26 @@ class Cache:
             else (lambda completed: callback())))
 
     def _handle(self, request: MemRequest) -> None:
-        line = self.line_of(request.address)
-        cache_set = self._sets[self._set_index(line)]
-        self.stats.counter("accesses").add()
+        line = request.address // self._line_bytes
+        cache_set = self._sets[line % self._num_sets]
+        self._ctr_accesses.add()
         wants_reply = request.callback is not None
         if not wants_reply:
             # Fire-and-forget (writebacks): the transaction terminates
             # here, nobody upstream awaits the unwind.
             request.route.clear()
         if line in cache_set:
-            self.stats.rate("hit").record(True)
+            self._rate_hit.record(True)
             dirty = cache_set.pop(line)
             cache_set[line] = dirty or request.write
             if wants_reply:
-                self.events.schedule(self.config.hit_latency, respond,
-                                     request)
+                # Inlined schedule(hit_latency, respond, request): the
+                # same event (owner None) without the delay validation.
+                events = self.events
+                events._push(events._now + self._hit_latency, respond,
+                             (request,), None)
             return
-        self.stats.rate("hit").record(False)
+        self._rate_hit.record(False)
         if line in self._mshrs:
             entry = self._mshrs[line]
             self.stats.counter("mshr_merges").add()

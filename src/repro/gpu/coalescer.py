@@ -14,7 +14,7 @@ from repro.shader.interpreter import MemAccess
 from repro.shader.isa import MemSpace
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CoalescedAccess:
     """One line-aligned transaction produced by the coalescer."""
 
@@ -34,11 +34,16 @@ def coalesce(accesses: list[MemAccess], line_bytes: int = 128) -> list[Coalesced
         raise ValueError("line_bytes must be positive")
     seen: dict[tuple[MemSpace, int, bool], None] = {}
     for access in accesses:
-        first_line = access.address // line_bytes
-        last_line = (access.address + max(access.size, 1) - 1) // line_bytes
-        for line in range(first_line, last_line + 1):
-            key = (access.space, line * line_bytes, access.write)
-            seen.setdefault(key, None)
+        address = access.address
+        first_line = address // line_bytes
+        last_line = (address + max(access.size, 1) - 1) // line_bytes
+        if first_line == last_line:
+            # Hot case: the access fits one line (re-assignment of an
+            # existing key keeps the dict's first-insertion order).
+            seen[(access.space, first_line * line_bytes, access.write)] = None
+        else:
+            for line in range(first_line, last_line + 1):
+                seen[(access.space, line * line_bytes, access.write)] = None
     return [CoalescedAccess(space, addr, write)
             for (space, addr, write) in seen]
 

@@ -27,6 +27,7 @@ from repro.common.ports import Link
 from repro.common.stats import StatGroup
 from repro.gpu.caches import Cache
 from repro.gpu.coalescer import coalesce
+from repro.memory.request import MemRequest
 from repro.shader.interpreter import WarpTrace
 from repro.shader.isa import DEFAULT_LATENCY, LatencyClass, MemSpace
 
@@ -46,13 +47,14 @@ class WarpTask:
 
 
 class _ResidentWarp:
-    __slots__ = ("task", "op_index", "ready_at", "outstanding")
+    __slots__ = ("task", "op_index", "ready_at", "outstanding", "num_ops")
 
     def __init__(self, task: WarpTask) -> None:
         self.task = task
         self.op_index = 0
         self.ready_at = 0
         self.outstanding = 0        # pending memory transactions
+        self.num_ops = len(task.trace.ops)   # scan-loop bound, len()-free
 
 
 class SIMTCore:
@@ -92,11 +94,29 @@ class SIMTCore:
         self._latency = dict(DEFAULT_LATENCY)
         self._latency[LatencyClass.ALU] = config.alu_latency
         self._latency[LatencyClass.SFU] = config.sfu_latency
+        # Hot-path caches: the scheduler cycle fires every GPU tick while
+        # work is resident, so per-cycle dict lookups and attribute chains
+        # add up.  Counters are bound lazily (first increment) to keep the
+        # stats dump's creation-order contract unchanged.
+        self._l1d_line_bytes = config.l1d.line_bytes
+        self._l1i_line_bytes = config.l1i.line_bytes
+        self._num_schedulers = config.num_schedulers
+        self._unblocked = 0         # resident warps with outstanding == 0
+        self._next_ready = 0        # lower bound on the next issueable tick
+        self._ctr_issued = None
+        self._ctr_busy = None
+        self._ctr_mem = None
+        self._ctr_retired = None
+        self._ctr_kinds: dict[str, object] = {}
 
     # -- submission ---------------------------------------------------------------
 
     def submit(self, task: WarpTask) -> None:
-        self.stats.counter(f"warps.{task.kind}").add()
+        counter = self._ctr_kinds.get(task.kind)
+        if counter is None:
+            counter = self._ctr_kinds[task.kind] = self.stats.counter(
+                f"warps.{task.kind}")
+        counter.add()
         if len(self._resident) < self.config.max_warps:
             self._install(task)
         else:
@@ -106,8 +126,11 @@ class SIMTCore:
 
     def _install(self, task: WarpTask) -> None:
         warp = _ResidentWarp(task)
-        warp.ready_at = self.events.now
+        warp.ready_at = now = self.events.now
         self._resident.append(warp)
+        self._unblocked += 1
+        if now < self._next_ready:
+            self._next_ready = now
         if not task.trace.ops:
             self._retire_candidates.append(warp)
 
@@ -125,62 +148,112 @@ class SIMTCore:
     # -- the scheduler cycle --------------------------------------------------------
 
     def _cycle(self) -> bool:
-        now = self.events.now
+        now = self.events._now
         issued = 0
-        count = len(self._resident)
+        resident = self._resident
+        count = len(resident)
+        # Idle fast exit: when no retire is pending and either every warp
+        # is blocked on memory or none becomes ready before ``_next_ready``
+        # (a conservative lower bound), this cycle's scan would issue
+        # nothing and touch no stats — only the round-robin offset moves.
+        if (count and not self._retire_candidates
+                and (self._unblocked == 0 or now < self._next_ready)):
+            self._rr_offset = (self._rr_offset + 1) % count
+            return self._unblocked > 0
         if count:
-            order = [(self._rr_offset + i) % count for i in range(count)]
-            self._rr_offset = (self._rr_offset + 1) % max(count, 1)
-            for index in order:
-                if issued >= self.config.num_schedulers:
+            # Loose round-robin without materializing an index list: start
+            # at the (normalized) offset and wrap once — same visit order
+            # as the seed's ``(offset + i) % count`` construction.
+            budget = self._num_schedulers
+            index = self._rr_offset % count
+            self._rr_offset = (self._rr_offset + 1) % count
+            for _ in range(count):
+                if issued >= budget:
                     break
-                warp = self._resident[index]
+                warp = resident[index]
+                index += 1
+                if index == count:
+                    index = 0
                 if (warp.outstanding > 0 or warp.ready_at > now
-                        or warp.op_index >= len(warp.task.trace.ops)):
+                        or warp.op_index >= warp.num_ops):
                     continue
                 self._issue(warp, now)
                 issued += 1
+        if not issued:
+            # The scan proved nothing is issueable right now; tighten the
+            # bound so the fast exit covers the wait until the next warp's
+            # latency expires (memory wake-ups lower it via _mem_done).
+            bound = 1 << 62
+            for warp in resident:
+                if (warp.outstanding == 0 and warp.op_index < warp.num_ops
+                        and warp.ready_at < bound):
+                    bound = warp.ready_at
+            self._next_ready = bound
         if issued:
-            self.stats.counter("issued").add(issued)
-            self.stats.counter("busy_cycles").add()
-        self._retire_finished()
-        # Keep ticking while any warp could issue soon.
-        if not self._resident:
-            return False
-        if any(w.outstanding == 0 for w in self._resident):
-            return True
-        return False    # all blocked on memory; callbacks re-kick
+            ctr = self._ctr_issued
+            if ctr is None:
+                ctr = self._ctr_issued = self.stats.counter("issued")
+                self._ctr_busy = self.stats.counter("busy_cycles")
+            ctr.add(issued)
+            self._ctr_busy.add()
+        if self._retire_candidates:
+            self._retire_finished()
+        # Keep ticking while any warp could issue soon; all-blocked cores
+        # go idle and are re-kicked by memory callbacks.  ``_unblocked``
+        # tracks resident warps with no outstanding transactions, making
+        # this a counter check instead of a per-cycle scan.
+        return bool(resident) and self._unblocked > 0
 
     def _issue(self, warp: _ResidentWarp, now: int) -> None:
-        op = warp.task.trace.ops[warp.op_index]
+        task = warp.task
+        op = task.trace.ops[warp.op_index]
         warp.op_index += 1
-        if warp.op_index >= len(warp.task.trace.ops):
+        if warp.op_index >= warp.num_ops:
             self._retire_candidates.append(warp)
         if warp.op_index % OPS_PER_ILINE == 1:
-            iline = (PROGRAM_BASE + warp.task.program_id * 4096
-                     + (op.pc // OPS_PER_ILINE) * self.config.l1i.line_bytes)
-            self.l1i.access(iline, self.config.l1i.line_bytes, False, None)
+            line_bytes = self._l1i_line_bytes
+            iline = (PROGRAM_BASE + task.program_id * 4096
+                     + (op.pc // OPS_PER_ILINE) * line_bytes)
+            l1i = self.l1i
+            l1i._handle(MemRequest(address=iline, size=line_bytes,
+                                   write=False, source=l1i.source))
         latency_class = op.latency_class
         if latency_class is LatencyClass.MEM and op.accesses:
-            transactions = coalesce(op.accesses,
-                                    line_bytes=self.config.l1d.line_bytes)
+            line_bytes = self._l1d_line_bytes
+            transactions = coalesce(op.accesses, line_bytes=line_bytes)
             warp.outstanding = len(transactions)
-            self.stats.counter("mem_transactions").add(len(transactions))
+            self._unblocked -= 1
+            ctr = self._ctr_mem
+            if ctr is None:
+                ctr = self._ctr_mem = self.stats.counter("mem_transactions")
+            ctr.add(len(transactions))
+            routes = self._space_routes
+            mem_done = self._mem_done
+            # One completion closure per op (every transaction wakes the
+            # same warp) handed straight to _handle — the access() shim
+            # would wrap a zero-arg lambda per transaction on top of it.
+            callback = lambda completed, w=warp: mem_done(w)  # noqa: E731
             for transaction in transactions:
-                cache = self._space_routes[transaction.space]
-                cache.access(transaction.line_address,
-                             self.config.l1d.line_bytes,
-                             transaction.write,
-                             lambda w=warp: self._mem_done(w))
+                cache = routes[transaction.space]
+                cache._handle(MemRequest(address=transaction.line_address,
+                                         size=line_bytes,
+                                         write=transaction.write,
+                                         source=cache.source,
+                                         callback=callback))
         else:
             if latency_class is LatencyClass.MEM:
                 latency_class = LatencyClass.ALU     # masked-out memory op
-            warp.ready_at = now + self._latency[latency_class]
+            warp.ready_at = ready = now + self._latency[latency_class]
+            if ready < self._next_ready:
+                self._next_ready = ready
 
     def _mem_done(self, warp: _ResidentWarp) -> None:
         warp.outstanding -= 1
         if warp.outstanding == 0:
-            warp.ready_at = self.events.now
+            self._unblocked += 1
+            warp.ready_at = now = self.events._now
+            if now < self._next_ready:
+                self._next_ready = now
             self._ticker.kick()
 
     def _retire_finished(self) -> None:
@@ -197,9 +270,13 @@ class SIMTCore:
         self._retire_candidates = still_pending
         if not finished:
             return
+        ctr = self._ctr_retired
+        if ctr is None:
+            ctr = self._ctr_retired = self.stats.counter("warps_retired")
         for warp in finished:
             self._resident.remove(warp)
-            self.stats.counter("warps_retired").add()
+            self._unblocked -= 1        # finished warps have outstanding == 0
+            ctr.add()
             if warp.task.on_complete is not None:
                 warp.task.on_complete(warp.task)
         while self._waiting and len(self._resident) < self.config.max_warps:

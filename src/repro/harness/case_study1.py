@@ -69,20 +69,15 @@ class CS1Config:
     seed: int = 7
 
 
-def run_cs1(model: str, config_name: str, load: str = "regular",
-            config: Optional[CS1Config] = None,
-            health=None, stats_path: Optional[str] = None,
-            trace=None, sanitize=None) -> SoCResults:
-    """One full-system run; returns everything Figs. 9-14 need.
+def make_cs1_soc(model: str, config_name: str, load: str = "regular",
+                 config: Optional[CS1Config] = None,
+                 health=None, trace=None, sanitize=None) -> EmeraldSoC:
+    """Assemble (but do not run) the case-study-I SoC for one grid cell.
 
-    ``health`` (a :class:`repro.health.HealthConfig`) arms the watchdog /
-    fault-injection / checkpointing subsystem; ``None`` keeps the run
-    bit-identical to a health-free build.  ``stats_path`` dumps every
-    component's statistics to one JSON file after the run.  ``trace`` (a
-    :class:`repro.trace.TraceConfig`) records the run as Chrome-trace JSON
-    and/or reduces it into ``results.profile``; ``sanitize`` (a
-    :class:`repro.sanitize.SanitizeConfig`) arms runtime invariant
-    checking — like tracing, neither changes the run's event schedule.
+    Split out of :func:`run_cs1` so callers that need the live system —
+    the benchmark harness reads ``soc.events.events_fired`` and hashes
+    ``soc.gpu.fb`` after the run — can hold the SoC object instead of
+    just the reduced :class:`SoCResults`.
     """
     config = config or CS1Config()
     if load not in LOADS:
@@ -109,7 +104,26 @@ def run_cs1(model: str, config_name: str, load: str = "regular",
         trace=trace,
         sanitize=sanitize,
     )
-    soc = EmeraldSoC(run_config, session.frame, session.framebuffer_address)
+    return EmeraldSoC(run_config, session.frame, session.framebuffer_address)
+
+
+def run_cs1(model: str, config_name: str, load: str = "regular",
+            config: Optional[CS1Config] = None,
+            health=None, stats_path: Optional[str] = None,
+            trace=None, sanitize=None) -> SoCResults:
+    """One full-system run; returns everything Figs. 9-14 need.
+
+    ``health`` (a :class:`repro.health.HealthConfig`) arms the watchdog /
+    fault-injection / checkpointing subsystem; ``None`` keeps the run
+    bit-identical to a health-free build.  ``stats_path`` dumps every
+    component's statistics to one JSON file after the run.  ``trace`` (a
+    :class:`repro.trace.TraceConfig`) records the run as Chrome-trace JSON
+    and/or reduces it into ``results.profile``; ``sanitize`` (a
+    :class:`repro.sanitize.SanitizeConfig`) arms runtime invariant
+    checking — like tracing, neither changes the run's event schedule.
+    """
+    soc = make_cs1_soc(model, config_name, load, config,
+                       health=health, trace=trace, sanitize=sanitize)
     results = soc.run()
     if stats_path is not None:
         from repro.harness.report import write_stats_json

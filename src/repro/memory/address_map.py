@@ -36,6 +36,7 @@ class AddressMapping:
             raise ValueError(f"order must be a permutation of {self.FIELDS}")
         self.order = order
         self.line_bytes = line_bytes
+        self._compiled: dict[tuple, object] = {}
 
     def field_sizes(self, channels: int, ranks: int, banks: int,
                     rows: int, columns: int) -> dict[str, int]:
@@ -56,6 +57,33 @@ class AddressMapping:
         return DramCoord(channel=values["channel"], rank=values["rank"],
                          bank=values["bank"], row=values["row"],
                          column=values["column"])
+
+    def compiled(self, channels: int, ranks: int, banks: int,
+                 rows: int, columns: int):
+        """A decoder specialized to one geometry: ``fn(address) -> DramCoord``.
+
+        Same arithmetic as :meth:`decode` with the per-call dict building
+        hoisted out — memory controllers decode every transaction, so the
+        geometry-invariant work is paid once here.
+        """
+        key = (channels, ranks, banks, rows, columns)
+        fn = self._compiled.get(key)
+        if fn is None:
+            sizes = self.field_sizes(channels, ranks, banks, rows, columns)
+            pairs = tuple((name, sizes[name])
+                          for name in reversed(self.order))
+            line_bytes = self.line_bytes
+
+            def fn(address: int) -> DramCoord:
+                block = address // line_bytes
+                values = {}
+                for name, size in pairs:
+                    values[name] = block % size
+                    block //= size
+                return DramCoord(**values)
+
+            self._compiled[key] = fn
+        return fn
 
 
 # Table 4 mappings.

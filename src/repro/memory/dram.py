@@ -34,11 +34,16 @@ ISSUE_WINDOW = 4            # transactions committed per scheduler wake
 DEFAULT_ROWS = 4096
 
 
-@dataclass
+@dataclass(slots=True)
 class QueuedRequest:
     request: MemRequest
     coord: DramCoord
     enqueue_time: int
+    # Resolved once at enqueue so scheduler scans compare two attributes
+    # (``bank.open_row == row``) instead of re-deriving bank and row per
+    # queue entry per wake.
+    bank: "_Bank" = None
+    row: int = 0
 
 
 class Scheduler(Protocol):
@@ -84,10 +89,28 @@ class DRAMChannel:
         self.pending: list[QueuedRequest] = []
         self.stats = stats or StatGroup(f"dram.ch{channel_id}")
         self._owner = f"dram.ch{channel_id}"
+        self._run_ahead_ticks = ISSUE_WINDOW * max(
+            1, 128 // int(config.peak_bytes_per_ctrl_cycle)) * self.cycle_ticks
         self.ingress = ResponsePort(f"{self._owner}.in", self._recv,
                                     owner=self)
         self._ticker = Ticker(queue, period=self.cycle_ticks,
                               callback=self._wake, owner=self._owner)
+        # Hot-path handles: one submit/commit/complete per DRAM transaction
+        # pays these stats; binding them once skips the StatGroup dict
+        # lookup (and f-string key build for the per-source ones) per
+        # transaction.  The decoder is specialized to this geometry.
+        self._decode = mapping.compiled(
+            decode_channels, config.ranks, config.banks, rows, self.columns)
+        self._ctr_requests = self.stats.counter("requests")
+        self._hist_queue_depth = self.stats.histogram("queue_depth")
+        self._rate_row_hit = self.stats.rate("row_hit")
+        self._ctr_activations = self.stats.counter("activations")
+        self._hist_bytes_per_act = self.stats.histogram("bytes_per_activation")
+        self._timing = config.timing
+        self._peak_bytes = int(config.peak_bytes_per_ctrl_cycle)
+        self._ctr_bytes: dict[str, object] = {}
+        self._hist_latency: dict[str, object] = {}
+        self._ts_bandwidth: dict[str, object] = {}
 
     # -- public -------------------------------------------------------------
 
@@ -96,13 +119,11 @@ class DRAMChannel:
         return True
 
     def submit(self, request: MemRequest) -> None:
-        coord = self.mapping.decode(
-            request.address, channels=self.decode_channels,
-            ranks=self.config.ranks, banks=self.config.banks,
-            rows=self.rows, columns=self.columns)
-        self.pending.append(QueuedRequest(request, coord, self.events.now))
-        self.stats.counter("requests").add()
-        self.stats.histogram("queue_depth").record(len(self.pending))
+        coord = self._decode(request.address)
+        self.pending.append(QueuedRequest(request, coord, self.events._now,
+                                          self.bank_of(coord), coord.row))
+        self._ctr_requests.add()
+        self._hist_queue_depth.record(len(self.pending))
         tracer = self.events.tracer
         if tracer is not None:
             tracer.counter(self._owner, "queue_depth", len(self.pending))
@@ -134,10 +155,7 @@ class DRAMChannel:
         # bursts of "now".  Committing the whole queue eagerly would freeze
         # the service order and make scheduler priorities meaningless for
         # anything arriving during a burst.
-        burst_ticks = max(
-            1, 128 // int(self.config.peak_bytes_per_ctrl_cycle)
-        ) * self.cycle_ticks
-        max_ahead = now + ISSUE_WINDOW * burst_ticks
+        max_ahead = now + self._run_ahead_ticks
         while (self.pending and committed < ISSUE_WINDOW
                and self.bus_free <= max_ahead):
             index = self.scheduler.choose(self.pending, self, now)
@@ -156,37 +174,41 @@ class DRAMChannel:
         self._ticker.kick()
 
     def _commit(self, entry: QueuedRequest, now: int) -> None:
-        timing = self.config.timing
-        bank = self.bank_of(entry.coord)
-        hit = bank.open_row == entry.coord.row
+        timing = self._timing
+        bank = entry.bank
+        request = entry.request
+        hit = bank.open_row == entry.row
         if hit:
             prep_cycles = timing.t_cas
         elif bank.open_row is None:
             prep_cycles = timing.t_rcd + timing.t_cas
         else:
             prep_cycles = timing.t_rp + timing.t_rcd + timing.t_cas
-        burst_cycles = max(
-            1, entry.request.size // int(self.config.peak_bytes_per_ctrl_cycle))
-        prep_done = max(now, bank.ready) + prep_cycles * self.cycle_ticks
+        burst_cycles = max(1, request.size // self._peak_bytes)
+        cycle_ticks = self.cycle_ticks
+        prep_done = max(now, bank.ready) + prep_cycles * cycle_ticks
         data_start = max(prep_done, self.bus_free)
-        done = data_start + burst_cycles * self.cycle_ticks
-        extra = timing.t_wr * self.cycle_ticks if entry.request.write else 0
+        done = data_start + burst_cycles * cycle_ticks
+        extra = timing.t_wr * cycle_ticks if request.write else 0
         bank.ready = done + extra
         self.bus_free = done
 
         # Row-buffer bookkeeping.
-        self.stats.rate("row_hit").record(hit)
+        self._rate_row_hit.record(hit)
         if not hit:
             if bank.bytes_since_activate:
-                self.stats.histogram("bytes_per_activation").record(
-                    bank.bytes_since_activate)
+                self._hist_bytes_per_act.record(bank.bytes_since_activate)
             bank.bytes_since_activate = 0
-            bank.open_row = entry.coord.row
-            self.stats.counter("activations").add()
-        bank.bytes_since_activate += entry.request.size
+            bank.open_row = entry.row
+            self._ctr_activations.add()
+        bank.bytes_since_activate += request.size
 
-        source = entry.request.source.value
-        self.stats.counter(f"bytes.{source}").add(entry.request.size)
+        source = request.source.value
+        ctr = self._ctr_bytes.get(source)
+        if ctr is None:
+            ctr = self._ctr_bytes[source] = self.stats.counter(
+                f"bytes.{source}")
+        ctr.add(request.size)
         tracer = self.events.tracer
         if tracer is not None:
             # The data bus serializes bursts, so these X spans never
@@ -201,11 +223,17 @@ class DRAMChannel:
 
     def _complete(self, entry: QueuedRequest) -> None:
         request = entry.request
-        request.complete_time = self.events.now
+        now = self.events._now
+        request.complete_time = now
         source = request.source.value
-        self.stats.histogram(f"latency.{source}").record(request.latency)
-        self.stats.time_series(f"bandwidth.{source}", window=1000).add(
-            self.events.now, request.size)
+        hist = self._hist_latency.get(source)
+        if hist is None:
+            hist = self._hist_latency[source] = self.stats.histogram(
+                f"latency.{source}")
+            self._ts_bandwidth[source] = self.stats.time_series(
+                f"bandwidth.{source}", window=1000)
+        hist.record(now - request.issue_time)
+        self._ts_bandwidth[source].add(now, request.size)
         # Unwind the port route (health taps, links, the issuer's port) and
         # fire the completion callback — all synchronous, zero extra events.
         respond(request)

@@ -2,6 +2,13 @@
 
 Row hits are serviced before row misses; ties break by arrival order.
 This is the ``BAS`` configuration of case study I (Table 6).
+
+The queue is append-only between pops, so ``enqueue_time`` is
+non-decreasing in list order (and along any ascending candidate index
+list).  "Oldest" is therefore always the *first* entry considered, and
+the scan can return the first row hit it meets — identical choices to
+the reference min-scan, in one early-exit pass.  Row hit tests compare
+the bank/row pair resolved at enqueue (see ``QueuedRequest``).
 """
 
 from __future__ import annotations
@@ -14,18 +21,10 @@ class FRFCFSScheduler:
 
     def choose(self, queue: list[QueuedRequest], channel: DRAMChannel,
                now: int) -> int:
-        best_hit = None
         for index, entry in enumerate(queue):
-            if channel.is_row_hit(entry.coord):
-                if best_hit is None or entry.enqueue_time < queue[best_hit].enqueue_time:
-                    best_hit = index
-        if best_hit is not None:
-            return best_hit
-        oldest = 0
-        for index, entry in enumerate(queue):
-            if entry.enqueue_time < queue[oldest].enqueue_time:
-                oldest = index
-        return oldest
+            if entry.bank.open_row == entry.row:
+                return index
+        return 0
 
     def note_served(self, entry: QueuedRequest, now: int) -> None:
         pass
@@ -33,16 +32,9 @@ class FRFCFSScheduler:
 
 def frfcfs_within(queue: list[QueuedRequest], channel: DRAMChannel,
                   candidates: list[int]) -> int:
-    """FR-FCFS restricted to a candidate subset (used by DASH classes)."""
-    best_hit = None
+    """FR-FCFS restricted to an ascending candidate subset (DASH classes)."""
     for index in candidates:
-        if channel.is_row_hit(queue[index].coord):
-            if best_hit is None or queue[index].enqueue_time < queue[best_hit].enqueue_time:
-                best_hit = index
-    if best_hit is not None:
-        return best_hit
-    oldest = candidates[0]
-    for index in candidates:
-        if queue[index].enqueue_time < queue[oldest].enqueue_time:
-            oldest = index
-    return oldest
+        entry = queue[index]
+        if entry.bank.open_row == entry.row:
+            return index
+    return candidates[0]

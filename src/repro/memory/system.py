@@ -44,13 +44,11 @@ class AddressRouter:
         self.config = config
         self.rows = rows
         self.columns = max(1, config.row_bytes // mapping.line_bytes)
+        self._decode = mapping.compiled(config.channels, config.ranks,
+                                        config.banks, rows, self.columns)
 
     def route(self, request: MemRequest) -> int:
-        coord = self.mapping.decode(
-            request.address, channels=self.config.channels,
-            ranks=self.config.ranks, banks=self.config.banks,
-            rows=self.rows, columns=self.columns)
-        return coord.channel
+        return self._decode(request.address).channel
 
 
 class SourceTypeRouter:

@@ -79,29 +79,41 @@ class FragmentWarp:
 
 
 def pack_fragments(xs, ys, z, inv_w, varyings, warp_size: int = 32) -> list[FragmentWarp]:
-    """Chunk fragment arrays into warp-sized :class:`FragmentWarp` packets."""
+    """Chunk fragment arrays into warp-sized :class:`FragmentWarp` packets.
+
+    One padded bulk copy per array, then disjoint slice views per warp —
+    value-identical to packing each warp separately (zero-padded tails,
+    ``inv_w`` padded with ones), without 6 allocations per warp.
+    """
     total = len(xs)
+    if total == 0:
+        return []
     num_vary = varyings.shape[1] if varyings.ndim == 2 else 1
-    warps = []
-    for start in range(0, total, warp_size):
-        end = min(start + warp_size, total)
-        count = end - start
-        warp = FragmentWarp(
-            xs=np.zeros(warp_size, dtype=np.int64),
-            ys=np.zeros(warp_size, dtype=np.int64),
-            z=np.zeros(warp_size),
-            inv_w=np.ones(warp_size),
-            varyings=np.zeros((warp_size, num_vary)),
-            active=np.zeros(warp_size, dtype=bool),
+    num_warps = -(-total // warp_size)
+    padded = num_warps * warp_size
+    all_xs = np.zeros(padded, dtype=np.int64)
+    all_ys = np.zeros(padded, dtype=np.int64)
+    all_z = np.zeros(padded)
+    all_inv_w = np.ones(padded)
+    all_vary = np.zeros((padded, num_vary))
+    all_active = np.zeros(padded, dtype=bool)
+    all_xs[:total] = xs
+    all_ys[:total] = ys
+    all_z[:total] = z
+    all_inv_w[:total] = inv_w
+    all_vary[:total] = varyings
+    all_active[:total] = True
+    return [
+        FragmentWarp(
+            xs=all_xs[start:start + warp_size],
+            ys=all_ys[start:start + warp_size],
+            z=all_z[start:start + warp_size],
+            inv_w=all_inv_w[start:start + warp_size],
+            varyings=all_vary[start:start + warp_size],
+            active=all_active[start:start + warp_size],
         )
-        warp.xs[:count] = xs[start:end]
-        warp.ys[:count] = ys[start:end]
-        warp.z[:count] = z[start:end]
-        warp.inv_w[:count] = inv_w[start:end]
-        warp.varyings[:count] = varyings[start:end]
-        warp.active[:count] = True
-        warps.append(warp)
-    return warps
+        for start in range(0, padded, warp_size)
+    ]
 
 
 class FragmentShaderEnv:
@@ -171,44 +183,44 @@ class FragmentShaderEnv:
     def zread(self, mask: np.ndarray):
         values = self.fb.read_depth(self.warp.xs, self.warp.ys)
         addresses = self.fb.depth_address(self.warp.xs, self.warp.ys)
-        accesses = [MemAccess(MemSpace.DEPTH, int(addresses[lane]), 4)
-                    for lane in np.flatnonzero(mask)]
+        accesses = [MemAccess(MemSpace.DEPTH, int(a), 4)
+                    for a in addresses[mask]]
         return values, accesses
 
     def zwrite(self, values: np.ndarray, mask: np.ndarray):
         self.fb.write_depth(self.warp.xs[mask], self.warp.ys[mask],
                             values[mask])
         addresses = self.fb.depth_address(self.warp.xs, self.warp.ys)
-        return [MemAccess(MemSpace.DEPTH, int(addresses[lane]), 4, write=True)
-                for lane in np.flatnonzero(mask)]
+        return [MemAccess(MemSpace.DEPTH, int(a), 4, write=True)
+                for a in addresses[mask]]
 
     def sread(self, mask: np.ndarray):
         values = self.fb.read_stencil(self.warp.xs, self.warp.ys)
         addresses = self.fb.stencil_address(self.warp.xs, self.warp.ys)
-        accesses = [MemAccess(MemSpace.DEPTH, int(addresses[lane]), 1)
-                    for lane in np.flatnonzero(mask)]
+        accesses = [MemAccess(MemSpace.DEPTH, int(a), 1)
+                    for a in addresses[mask]]
         return values.astype(np.float64), accesses
 
     def swrite(self, values: np.ndarray, mask: np.ndarray):
         self.fb.write_stencil(self.warp.xs[mask], self.warp.ys[mask],
                               values[mask])
         addresses = self.fb.stencil_address(self.warp.xs, self.warp.ys)
-        return [MemAccess(MemSpace.DEPTH, int(addresses[lane]), 1, write=True)
-                for lane in np.flatnonzero(mask)]
+        return [MemAccess(MemSpace.DEPTH, int(a), 1, write=True)
+                for a in addresses[mask]]
 
     def fb_read(self, mask: np.ndarray):
         rgba = self.fb.read_color(self.warp.xs, self.warp.ys)
         addresses = self.fb.color_address(self.warp.xs, self.warp.ys)
-        accesses = [MemAccess(MemSpace.COLOR, int(addresses[lane]), 4)
-                    for lane in np.flatnonzero(mask)]
+        accesses = [MemAccess(MemSpace.COLOR, int(a), 4)
+                    for a in addresses[mask]]
         return rgba, accesses
 
     def fb_write(self, rgba: np.ndarray, mask: np.ndarray):
         self.fb.write_color(self.warp.xs[mask], self.warp.ys[mask],
                             rgba[mask])
         addresses = self.fb.color_address(self.warp.xs, self.warp.ys)
-        return [MemAccess(MemSpace.COLOR, int(addresses[lane]), 4, write=True)
-                for lane in np.flatnonzero(mask)]
+        return [MemAccess(MemSpace.COLOR, int(a), 4, write=True)
+                for a in addresses[mask]]
 
     def ld_global(self, addresses, mask):
         raise RuntimeError("generic global loads unused in fragment stage")

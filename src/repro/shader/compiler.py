@@ -889,3 +889,28 @@ def compile_shader(source: str, stage: str, name: str = "shader") -> Program:
     gen.gen_body(ast.body)
     gen.flush_outputs()
     return gen.program.finalize()
+
+
+# ---------------------------------------------------------------------------
+# Compiled dispatch-table cache (fastpath, DESIGN.md §12)
+# ---------------------------------------------------------------------------
+
+# Keyed by (Program.digest, warp size): the digest is cached on the program
+# object, so a per-warp-launch lookup is one dict probe — instruction decode
+# happens once per program, not once per fragment warp.  Assembled and
+# GLSL-compiled programs alike land here (the key is content, not source).
+_DISPATCH_CACHE: dict = {}
+_DISPATCH_CACHE_MAX = 512
+
+
+def dispatch_for(program: Program, warp_size: int):
+    """The cached :class:`repro.shader.dispatch.CompiledProgram` for
+    ``program`` at ``warp_size`` lanes (built on first use)."""
+    key = (program.digest, warp_size)
+    compiled = _DISPATCH_CACHE.get(key)
+    if compiled is None:
+        from repro.shader.dispatch import CompiledProgram
+        if len(_DISPATCH_CACHE) >= _DISPATCH_CACHE_MAX:
+            _DISPATCH_CACHE.clear()     # unbounded-growth backstop
+        compiled = _DISPATCH_CACHE[key] = CompiledProgram(program, warp_size)
+    return compiled

@@ -19,6 +19,7 @@ from typing import NamedTuple, Optional, Protocol
 
 import numpy as np
 
+from repro import fastpath
 from repro.shader.isa import (
     Imm,
     Instruction,
@@ -44,9 +45,12 @@ class MemAccess(NamedTuple):
     write: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceOp:
-    """One dynamic warp instruction in the recorded stream."""
+    """One dynamic warp instruction in the recorded stream.
+
+    Slotted: one per dynamic warp instruction, hundreds of thousands per
+    frame, and the timing model touches ``op``/``accesses`` per issue."""
 
     op: Opcode
     pc: int
@@ -58,7 +62,7 @@ class TraceOp:
         return self.op.latency_class
 
 
-@dataclass
+@dataclass(slots=True)
 class WarpTrace:
     """Recorded dynamic instruction stream for one warp execution."""
 
@@ -133,7 +137,7 @@ class ExecEnv(Protocol):
         ...
 
 
-@dataclass
+@dataclass(slots=True)
 class _StackEntry:
     pc: int
     rpc: int
@@ -160,6 +164,22 @@ class WarpInterpreter:
         self.max_dynamic_instructions = max_dynamic_instructions
 
     def run(self, initial_mask: Optional[np.ndarray] = None) -> ExecResult:
+        """Execute one warp.
+
+        With the fastpath on, execution goes through the per-program
+        compiled dispatch table (:mod:`repro.shader.dispatch`, cached by
+        :func:`repro.shader.compiler.dispatch_for`) — bit-identical to the
+        reference loop below, which remains the off-mode implementation
+        and the equivalence oracle for ``tests/shader/test_dispatch.py``.
+        """
+        if fastpath.enabled():
+            from repro.shader.compiler import dispatch_for
+            return dispatch_for(self.program, self.warp_size).run(
+                self.env, initial_mask, self.max_dynamic_instructions)
+        return self._run_interpreted(initial_mask)
+
+    def _run_interpreted(
+            self, initial_mask: Optional[np.ndarray] = None) -> ExecResult:
         width = self.warp_size
         program = self.program
         instructions = program.instructions

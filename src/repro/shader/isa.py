@@ -28,6 +28,11 @@ class LatencyClass(enum.Enum):
     MEM = "mem"
     CTRL = "ctrl"
 
+    # Members are singletons compared by identity, so the id-based C-level
+    # hash is sound — and markedly cheaper than Enum's Python-level
+    # __hash__ on the timing model's per-access dict lookups.
+    __hash__ = object.__hash__
+
 
 class MemSpace(enum.Enum):
     """Which cache a memory access is routed to (Table 2)."""
@@ -39,6 +44,8 @@ class MemSpace(enum.Enum):
     COLOR = "color"       # L1D: framebuffer color
     GLOBAL = "global"     # L1D: generic global memory
     INSTRUCTION = "inst"  # L1I
+
+    __hash__ = object.__hash__      # identity hash; see LatencyClass
 
 
 class Opcode(enum.Enum):
@@ -97,6 +104,8 @@ class Opcode(enum.Enum):
     def __init__(self, mnemonic: str, latency_class: LatencyClass) -> None:
         self.mnemonic = mnemonic
         self.latency_class = latency_class
+
+    __hash__ = object.__hash__      # identity hash; see LatencyClass
 
 
 # Default latencies per class, overridable via SIMTCoreConfig.

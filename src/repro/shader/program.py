@@ -11,6 +11,7 @@ IPDOM mechanism GPGPU-Sim's SIMT stack uses.
 
 from __future__ import annotations
 
+import hashlib
 import re
 from dataclasses import dataclass, field
 from typing import Optional
@@ -88,6 +89,10 @@ class Program:
     def __post_init__(self) -> None:
         if self.stage not in ("vertex", "fragment"):
             raise ValueError(f"stage must be vertex|fragment, got {self.stage!r}")
+        # Lazy caches (not dataclass fields): both are derived from the
+        # instruction list, which is immutable once finalized.
+        self._digest: Optional[str] = None
+        self._has_discard: Optional[bool] = None
 
     @property
     def num_outputs(self) -> int:
@@ -97,7 +102,29 @@ class Program:
 
     @property
     def has_discard(self) -> bool:
-        return any(i.op is Opcode.DISCARD for i in self.instructions)
+        if self._has_discard is None:
+            self._has_discard = any(
+                i.op is Opcode.DISCARD for i in self.instructions)
+        return self._has_discard
+
+    @property
+    def digest(self) -> str:
+        """Stable content hash of the finalized program (hex string).
+
+        Computed once and cached on the object — this is the key for the
+        compiled dispatch-table cache (DESIGN.md §12), looked up per warp
+        launch, so recomputing it per lookup would dominate small warps.
+        """
+        if self._digest is None:
+            hasher = hashlib.sha1()
+            hasher.update(
+                f"{self.stage}|{self.name}|{self.num_regs}|"
+                f"{self.num_preds}|{self.writes_depth}".encode())
+            for instr in self.instructions:
+                hasher.update(
+                    f"{instr!r}|{instr.target}|{instr.reconv}\n".encode())
+            self._digest = hasher.hexdigest()
+        return self._digest
 
     def finalize(self) -> "Program":
         """Resolve register counts and reconvergence points; validate."""

@@ -13,7 +13,7 @@ from typing import Callable, Optional
 
 from repro.common.config import (CPUClusterTopology, DRAMConfig, GPUConfig,
                                  NoCLinkBudget, NoCTopology, SoCTopology)
-from repro.common.events import EventQueue, SimulationError
+from repro.common.events import EventQueue, SimulationError, StopReason
 from repro.gl.context import Frame
 from repro.gpu.gpu import EmeraldGPU
 from repro.health import CheckpointManager, FaultInjector, HealthConfig
@@ -298,6 +298,7 @@ class EmeraldSoC:
             on_phase=self.cpus.set_phase,
             dash_state=self.dash_state,
             on_frame_done=self._frame_done,
+            on_finished=self.events.request_stop,
             start_frame=start_frame)
         self._start_tick = start_tick
 
@@ -360,12 +361,19 @@ class EmeraldSoC:
         self.loop.start()
         executed = 0
         while not self.loop.finished:
-            if not self.events.step():
+            # The kernel's fused drain loop does the per-event work; the
+            # loop's completion callback calls events.request_stop(), which
+            # returns control here after the finishing event — the same
+            # stop point as the old one-step()-per-iteration loop.
+            result = self.events.run(max_events=max_events - executed)
+            executed += result.executed
+            if result.reason is StopReason.STOPPED:
+                continue                # finished flag re-checked above
+            if result.drained:
                 raise SimulationError(
                     "event queue drained before loop finished"
                     + self._hang_context(), tick=self.events.now)
-            executed += 1
-            if executed > max_events:
+            if not self.loop.finished:
                 raise SimulationError(
                     f"event limit ({max_events}) exceeded — hung simulation?"
                     + self._hang_context(), tick=self.events.now)

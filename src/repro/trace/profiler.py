@@ -103,6 +103,44 @@ class CycleAttribution:
                   if c.start >= frame.start and c.end <= frame.end])
                 for frame in frames]
 
+    def top_sinks(self, limit: int = 15) -> list:
+        """Ranked cycle sinks: ``(track, name, busy_ticks, span_count)``.
+
+        One row per distinct (track, span name), busiest first.  Busy
+        ticks are merged span coverage — self-overlapping or repeated
+        spans of the same sink are not double-counted, so a sink's share
+        of ``end_tick`` is a real duty cycle, never >100%.
+        """
+        groups: dict[tuple, list] = {}
+        for span in self.spans:
+            groups.setdefault((span.track, span.name), []).append(
+                (span.start, span.end))
+        rows = [(track, name, _merge_coverage(intervals), len(intervals))
+                for (track, name), intervals in groups.items()]
+        rows.sort(key=lambda row: (-row[2], row[0], row[1]))
+        return rows[:limit]
+
+    def format_top_sinks(self, limit: int = 15) -> str:
+        """The ``--top-sinks`` report: ranked sinks + kernel-event owners."""
+        lines = [f"top cycle sinks over {self.end_tick} ticks"]
+        rows = self.top_sinks(limit)
+        if rows:
+            width = max(len(f"{track}/{name}") for track, name, _, _ in rows)
+            lines.append(f"{'#':>2}  {'sink'.ljust(width)}  "
+                         f"{'busy':>12}  {'share':>6}  spans")
+            for rank, (track, name, busy, count) in enumerate(rows, 1):
+                share = busy / self.end_tick if self.end_tick > 0 else 0.0
+                lines.append(f"{rank:>2}  {f'{track}/{name}'.ljust(width)}  "
+                             f"{busy:>12}  {share:6.1%}  {count}")
+        if self.kernel_fired:
+            total = sum(self.kernel_fired.values())
+            lines.append("")
+            lines.append(f"kernel events fired by owner ({total} total):")
+            for owner, count in sorted(self.kernel_fired.items(),
+                                       key=lambda kv: (-kv[1], kv[0]))[:limit]:
+                lines.append(f"  {owner}: {count} ({count / total:.1%})")
+        return "\n".join(lines)
+
     # -- rendering ---------------------------------------------------------------
 
     def timeline(self, buckets: int = 60) -> dict:

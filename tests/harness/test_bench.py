@@ -1,0 +1,135 @@
+"""Tier-1 coverage for the fastpath measurement discipline (repro.bench).
+
+The micro scale keeps these fast enough for every test run; the heavier
+operating points live in ``benchmarks/`` and CI's bench smoke job.
+"""
+
+import json
+
+import pytest
+
+from repro import bench
+
+
+@pytest.fixture(scope="module")
+def micro_pipeline():
+    return bench.run_pipeline("micro")
+
+
+@pytest.fixture(scope="module")
+def micro_fig14():
+    return bench.run_fig14("micro")
+
+
+class TestMicroRuns:
+    def test_pipeline_identity(self, micro_pipeline):
+        report = micro_pipeline
+        assert report["identical"], report["identity"]
+        for key in ("cycles", "fragments", "events_fired", "fb_crc",
+                    "dram_bytes"):
+            assert report["fastpath_on"][key] == report["fastpath_off"][key]
+        assert report["fastpath_on"]["fragments"] > 0
+        assert report["speedup_vs_seed"] is None  # only at default scale
+
+    def test_fig14_identity(self, micro_fig14):
+        report = micro_fig14
+        assert report["identical"], report["identity"]
+        for key in ("end_tick", "events_fired", "fb_crc", "row_hit_rate",
+                    "mean_gpu_time"):
+            assert report["fastpath_on"][key] == report["fastpath_off"][key]
+        assert report["fastpath_on"]["events_fired"] > 0
+
+    def test_report_shape(self, micro_pipeline):
+        report = micro_pipeline
+        for key in ("benchmark", "scale", "workload", "fastpath_on",
+                    "fastpath_off", "identical", "identity",
+                    "speedup_on_vs_off", "host"):
+            assert key in report
+        # The artifact must round-trip through JSON (CI uploads it).
+        assert json.loads(json.dumps(report)) == report
+
+    def test_write_report(self, micro_pipeline, tmp_path):
+        path = bench.write_report(micro_pipeline, tmp_path / "artifacts")
+        assert path.name == "BENCH_pipeline.json"
+        assert json.loads(path.read_text())["benchmark"] == "pipeline"
+
+    def test_format_summary(self, micro_pipeline):
+        text = bench.format_summary(micro_pipeline)
+        assert "pipeline (micro)" in text
+        assert "fastpath on" in text and "fastpath off" in text
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            bench.run_pipeline("huge")
+        with pytest.raises(ValueError):
+            bench.run_fig14("huge")
+
+
+def _fake_report(**overrides):
+    report = {
+        "benchmark": "pipeline",
+        "scale": "default",
+        "fastpath_on": {"wall_s": 1.0, "cycles": 100, "fragments": 10,
+                        "events_fired": 50, "fb_crc": 123, "dram_bytes": 640},
+        "fastpath_off": {"wall_s": 1.5, "cycles": 100, "fragments": 10,
+                         "events_fired": 50, "fb_crc": 123,
+                         "dram_bytes": 640},
+        "identical": True,
+        "identity": {"cycles": 100, "fragments": 10, "events_fired": 50,
+                     "fb_crc": 123, "dram_bytes": 640},
+        "speedup_on_vs_off": 1.5,
+        "seed_baseline": None,
+    }
+    report.update(overrides)
+    return report
+
+
+class TestGate:
+    def test_passes_clean_report(self):
+        assert bench.gate(_fake_report()) == []
+
+    def test_fails_on_identity_mismatch(self):
+        report = _fake_report(identical=False)
+        report["fastpath_on"] = dict(report["fastpath_on"], fb_crc=999)
+        failures = bench.gate(report)
+        assert len(failures) == 1
+        assert "fb_crc" in failures[0]
+
+    def test_fails_when_fastpath_slower(self):
+        report = _fake_report(speedup_on_vs_off=0.7)
+        report["fastpath_on"] = dict(report["fastpath_on"], wall_s=2.0)
+        failures = bench.gate(report)
+        assert len(failures) == 1
+        assert "slower" in failures[0]
+
+    def test_noise_allowance(self):
+        # Mild regressions within the noise band don't fail CI.
+        assert bench.gate(_fake_report(speedup_on_vs_off=0.95)) == []
+        assert bench.gate(_fake_report(speedup_on_vs_off=0.95),
+                          min_on_off=0.99) != []
+
+    def test_detects_seed_schedule_drift(self):
+        report = _fake_report(
+            seed_baseline={"wall_s": 2.0, "cycles": 100, "events_fired": 51,
+                           "fb_crc": 123, "commit": "abc1234"})
+        failures = bench.gate(report)
+        assert len(failures) == 1
+        assert "drifted" in failures[0]
+        assert "events_fired" in failures[0]
+
+    def test_seed_match_passes(self):
+        report = _fake_report(
+            seed_baseline={"wall_s": 2.0, "cycles": 100, "events_fired": 50,
+                           "fb_crc": 123, "commit": "abc1234"})
+        assert bench.gate(report) == []
+
+
+class TestSeedBaseline:
+    def test_records_identity_pins(self):
+        # The recorded seed fingerprints must match the committed goldens;
+        # if either workload's schedule legitimately changes, re-measure
+        # the seed baseline, don't just edit these numbers.
+        assert bench.SEED_BASELINE["fig14"]["end_tick"] == 1_357_432
+        assert bench.SEED_BASELINE["fig14"]["events_fired"] == 274_152
+        assert bench.SEED_BASELINE["pipeline"]["cycles"] == 35_612
+        assert bench.SEED_BASELINE["pipeline"]["events_fired"] == 125_678

@@ -1,0 +1,145 @@
+"""Compiled-dispatch equivalence: the fastpath table vs the interpreter.
+
+The reference loop (``WarpInterpreter._run_interpreted``) is the oracle:
+for every opcode family the compiled program must produce bit-identical
+environment side effects, discard/complete masks and recorded traces —
+not merely "close" results, since the timing model replays the trace and
+any drift changes the event schedule.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fastpath import use_fastpath
+from repro.shader.compiler import _DISPATCH_CACHE, dispatch_for
+from repro.shader.interpreter import WarpInterpreter
+from repro.shader.program import assemble
+
+from tests.shader.fake_env import FakeEnv
+
+
+def env_pair(**kwargs):
+    return FakeEnv(**kwargs), FakeEnv(**kwargs)
+
+
+def run_both(asm, stage="fragment", env_kwargs=None, initial_mask=None):
+    program = assemble(asm, stage=stage)
+    fast_env, ref_env = env_pair(**(env_kwargs or {}))
+    with use_fastpath(True):
+        fast = WarpInterpreter(program, fast_env).run(initial_mask)
+    with use_fastpath(False):
+        ref = WarpInterpreter(program, ref_env).run(initial_mask)
+    return fast, ref, fast_env, ref_env
+
+
+def assert_identical(fast, ref, fast_env, ref_env):
+    assert np.array_equal(fast.discarded, ref.discarded)
+    assert np.array_equal(fast.completed, ref.completed)
+    assert len(fast.trace.ops) == len(ref.trace.ops)
+    for fop, rop in zip(fast.trace.ops, ref.trace.ops):
+        assert fop.op is rop.op
+        assert fop.pc == rop.pc
+        assert fop.active_lanes == rop.active_lanes
+        assert [(a.space, a.address, a.size, a.write) for a in fop.accesses] \
+            == [(a.space, a.address, a.size, a.write) for a in rop.accesses]
+    assert sorted(fast_env.outputs) == sorted(ref_env.outputs)
+    for slot, values in fast_env.outputs.items():
+        assert np.array_equal(values, ref_env.outputs[slot])
+    assert np.array_equal(fast_env.depth, ref_env.depth)
+    assert np.array_equal(fast_env.color, ref_env.color)
+    assert fast_env.global_memory == ref_env.global_memory
+
+
+class TestEquivalence:
+    def test_straight_line_alu(self):
+        fast, ref, fe, re_ = run_both("""
+            mov r0, 2.0
+            add r1, r0, 3.0
+            mul r2, r1, r1
+            mad r3, r2, r0, r1
+            rsqrt r4, r2
+            min r5, r3, r4
+            st.out o0, r5
+            exit
+        """)
+        assert_identical(fast, ref, fe, re_)
+
+    def test_divergent_branch_reconverges(self):
+        fast, ref, fe, re_ = run_both("""
+            ld.vary r0, v0
+            setp.lt p0, r0, 4.0
+            @p0 bra small
+            mul r1, r0, 2.0
+            bra join
+        small:
+            add r1, r0, 100.0
+        join:
+            st.out o0, r1
+            exit
+        """, env_kwargs={"varyings": {0: np.arange(8.0)}})
+        assert_identical(fast, ref, fe, re_)
+
+    def test_predicated_discard(self):
+        fast, ref, fe, re_ = run_both("""
+            ld.vary r0, v0
+            setp.ge p0, r0, 5.0
+            @p0 discard
+            st.out o0, r0
+            exit
+        """, env_kwargs={"varyings": {0: np.arange(8.0)}})
+        assert fast.discarded.sum() == 3
+        assert_identical(fast, ref, fe, re_)
+
+    def test_memory_ops_and_trace_addresses(self):
+        fast, ref, fe, re_ = run_both("""
+            zread r0
+            mov r1, 0.25
+            zwrite r1
+            fb.read r2, r3, r4, r5
+            fb.write r1, r1, r1, r1
+            exit
+        """)
+        assert_identical(fast, ref, fe, re_)
+
+    def test_partial_initial_mask(self):
+        mask = np.array([1, 0, 1, 0, 1, 0, 1, 0], dtype=bool)
+        fast, ref, fe, re_ = run_both("""
+            ld.vary r0, v0
+            add r0, r0, 1.0
+            st.out o0, r0
+            exit
+        """, env_kwargs={"varyings": {0: np.arange(8.0)}},
+            initial_mask=mask)
+        assert fast.trace.ops[0].active_lanes == 4
+        assert_identical(fast, ref, fe, re_)
+
+
+class TestDispatchCache:
+    def test_cache_hit_keyed_by_digest_and_width(self):
+        asm = "mov r0, 1.0\nst.out o0, r0\nexit"
+        a = assemble(asm, stage="fragment")
+        b = assemble(asm, stage="fragment")
+        first = dispatch_for(a, 8)
+        assert dispatch_for(b, 8) is first          # same digest, same table
+        assert dispatch_for(a, 16) is not first     # width is part of the key
+
+    def test_distinct_programs_get_distinct_tables(self):
+        a = assemble("mov r0, 1.0\nexit", stage="fragment")
+        b = assemble("mov r0, 2.0\nexit", stage="fragment")
+        assert a.digest != b.digest
+        assert dispatch_for(a, 8) is not dispatch_for(b, 8)
+
+    def test_cache_backstop_clears_instead_of_growing(self):
+        from repro.shader import compiler
+        saved = dict(_DISPATCH_CACHE)
+        try:
+            _DISPATCH_CACHE.clear()
+            _DISPATCH_CACHE.update({
+                ("fake", i): None for i in range(compiler._DISPATCH_CACHE_MAX)
+            })
+            program = assemble("exit", stage="fragment")
+            dispatch_for(program, 8)
+            assert len(_DISPATCH_CACHE) == 1
+        finally:
+            _DISPATCH_CACHE.clear()
+            _DISPATCH_CACHE.update(saved)

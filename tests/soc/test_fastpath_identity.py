@@ -1,0 +1,109 @@
+"""Golden bit-identity matrix: fastpath on vs off, cs1 + cs2 presets.
+
+The fastpath (compiled shader dispatch + bucketed event kernel + the
+hot-path micro-optimizations they gate) is an *optimization*, never a
+model change: with it on or off, a run must produce identical statistics,
+an identical framebuffer and the identical number of fired events.  The
+matrix covers the two case-study presets and a checkpoint round trip
+whose resume crosses the mode boundary in both directions.
+"""
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.fastpath import use_fastpath
+from repro.harness.scenes import SceneSession
+from repro.health import HealthConfig
+from repro.health.recovery import resume_run
+
+from tests.health.full_system import HEIGHT, WIDTH, build_soc, tiny_config
+
+
+def run_cs1_soc(fast, num_frames=2, health=None):
+    with use_fastpath(fast):
+        soc = build_soc(num_frames=num_frames, health=health)
+        results = soc.run()
+    return soc, results
+
+
+def cs1_fingerprint(soc, results):
+    return {
+        "end_tick": results.end_tick,
+        "mean_gpu_time": results.mean_gpu_time,
+        "mean_total_time": results.mean_total_time,
+        "dram_bytes": results.dram_bytes,
+        "row_hit_rate": results.row_hit_rate,
+        "mean_latency": results.mean_latency,
+        "fb_crc": zlib.crc32(soc.gpu.fb.color.tobytes()),
+        "events_fired": soc.events.events_fired,
+    }
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestCS1Matrix:
+    def test_on_off_runs_are_bit_identical(self):
+        soc_on, res_on = run_cs1_soc(fast=True)
+        soc_off, res_off = run_cs1_soc(fast=False)
+        assert cs1_fingerprint(soc_on, res_on) \
+            == cs1_fingerprint(soc_off, res_off)
+        assert np.array_equal(soc_on.gpu.fb.depth, soc_off.gpu.fb.depth)
+        # Core-level stats dumps, not just the aggregated results.
+        for core_on, core_off in zip(soc_on.gpu.cores, soc_off.gpu.cores):
+            assert core_on.stats.dump() == core_off.stats.dump()
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestCS2Matrix:
+    def test_on_off_runs_are_bit_identical(self):
+        from repro.harness.case_study2 import CS2Config, make_gpu
+
+        def run(fast):
+            with use_fastpath(fast):
+                config = CS2Config(width=64, height=48, texture_size=64)
+                session = SceneSession("cube", config.width, config.height,
+                                       texture_size=config.texture_size)
+                gpu = make_gpu(config, wt_size=4)
+                stats = gpu.run_frame(session.frame(0))
+            return gpu, stats
+
+        gpu_on, stats_on = run(fast=True)
+        gpu_off, stats_off = run(fast=False)
+        assert stats_on.cycles == stats_off.cycles
+        assert stats_on.fragment_cycles == stats_off.fragment_cycles
+        assert stats_on.fragments == stats_off.fragments
+        assert stats_on.dram_bytes == stats_off.dram_bytes
+        assert gpu_on.events.events_fired == gpu_off.events.events_fired
+        assert np.array_equal(gpu_on.fb.color, gpu_off.fb.color)
+        for core_on, core_off in zip(gpu_on.cores, gpu_off.cores):
+            assert core_on.stats.dump() == core_off.stats.dump()
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestCheckpointAcrossModes:
+    @pytest.mark.parametrize("first,second", [(True, False), (False, True)])
+    def test_resume_crossing_the_mode_boundary(self, first, second):
+        """A snapshot taken under one kernel mode must resume cleanly under
+        the other and still converge to the uninterrupted framebuffer —
+        checkpoints carry simulation state, not kernel internals."""
+        health = HealthConfig(checkpoint_every=1)
+        soc_full, _ = run_cs1_soc(fast=second, num_frames=2)
+        golden_crc = zlib.crc32(soc_full.gpu.fb.color.tobytes())
+
+        # Snapshot after frame 1 under the first mode...
+        soc_half, _ = run_cs1_soc(fast=first, num_frames=1, health=health)
+        checkpoint = soc_half.checkpoints.last
+        assert checkpoint is not None and checkpoint.frame_index == 1
+
+        # ...resume the remaining frame under the second mode.
+        session = SceneSession("cube", WIDTH, HEIGHT)
+        with use_fastpath(second):
+            soc_resumed, results = resume_run(
+                checkpoint, tiny_config(num_frames=2),
+                session.frame, session.framebuffer_address)
+        assert len(results.frames) >= 1
+        assert zlib.crc32(soc_resumed.gpu.fb.color.tobytes()) == golden_crc

@@ -115,3 +115,31 @@ class TestRendering:
         assert attribution.end_tick == 0
         assert attribution.timeline() == {}
         assert "cycle attribution" in attribution.format()
+
+
+class TestTopSinks:
+    """The --top-sinks ranked cycle-attribution report (PR 8 satellite)."""
+
+    def test_rows_ranked_by_merged_coverage(self):
+        attribution = summarize(_hand_built_tracer())
+        rows = attribution.top_sinks()
+        assert rows[0] == ("app", "gpu_render", 130, 2)
+        by_sink = {(track, name): (busy, count)
+                   for track, name, busy, count in rows}
+        # The two overlapping DRAM bursts merge: 10..80 = 70 ticks, 2 spans.
+        assert by_sink[("dram.ch0", "gpu")] == (70, 2)
+        assert by_sink[("app", "cpu_prepare")] == (70, 2)    # 40 + 30
+        assert by_sink[("app", "gpu_render")] == (130, 2)    # 60 + 70
+        busies = [busy for _, _, busy, _ in rows]
+        assert busies == sorted(busies, reverse=True)
+
+    def test_limit_truncates(self):
+        attribution = summarize(_hand_built_tracer())
+        assert len(attribution.top_sinks(limit=2)) == 2
+
+    def test_format_reports_share_and_owners(self):
+        attribution = summarize(_hand_built_tracer())
+        text = attribution.format_top_sinks(limit=3)
+        assert "top cycle sinks over 200 ticks" in text
+        assert "app/gpu_render" in text
+        assert "65.0%" in text                   # 130 / 200
