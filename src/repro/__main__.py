@@ -12,6 +12,8 @@ Commands:
 * ``chaos``       — seeded fault sweep with the runtime sanitizer armed
 * ``fleet``       — fault-tolerant sharded sweep across a supervised
   worker pool (retry/backoff, checkpoint resume, result cache)
+* ``ffwd``        — replay-driven fast-forward / sampled simulation,
+  with the functional-vs-detailed equivalence verifier (``--verify``)
 
 ``cs1`` accepts the health-subsystem flags: ``--watchdog`` arms request
 lifecycle tracking, ``--inject SPEC`` enables seeded fault injection (e.g.
@@ -141,11 +143,67 @@ def _build_sanitize(args):
         command="python -m repro " + " ".join(sys.argv[1:]))
 
 
+def _print_sampled(sampled) -> None:
+    """Render a SampledRunResult: estimates with error bars + projections."""
+    rows = []
+    for name, est in sampled.estimates.items():
+        low, high = est.ci95
+        rows.append([name, f"{est.mean:.1f}", f"{est.stderr:.2f}",
+                     f"[{low:.1f}, {high:.1f}]", est.windows])
+    print(format_table(
+        ["metric (per frame)", "mean", "stderr", "ci95", "windows"], rows,
+        title="Sampled estimates"))
+    ex = sampled.extrapolated
+    print(f"  extrapolated FPS        : {ex.fps:.2f}")
+    print(f"  extrapolated DRAM bytes : {ex.dram_bytes_total:.0f}")
+    print(f"  extrapolated energy     : {ex.energy_uj_total:.2f} uJ")
+    print(f"  detailed coverage       : {sampled.schedule.coverage * 100:.0f}%"
+          f" ({sampled.frames_detailed}/{sampled.schedule.total_frames} "
+          f"frames)")
+    print(f"  wall clock              : {sampled.wall_functional:.2f}s "
+          f"functional + {sampled.wall_detailed:.2f}s detailed")
+
+
+def _cs1_ffwd_or_sample(args, config, sanitize) -> int:
+    """cs1's --ffwd / --sample paths (sampling owns the checkpointing)."""
+    from repro.harness.case_study1 import make_cs1_setup
+    from repro.sampling import fast_forward, parse_sample_spec, run_sampled
+
+    run_config, factory = make_cs1_setup(args.model, args.config, args.load,
+                                         config, sanitize=sanitize)
+    if args.sample:
+        schedule = parse_sample_spec(args.sample, config.num_frames)
+        sampled = run_sampled(run_config, factory, schedule)
+        print(f"{args.model} {args.config} ({args.load} load), "
+              f"sampled {schedule.spec()}:")
+        _print_sampled(sampled)
+        return 0
+    result = fast_forward(run_config, factory, args.ffwd)
+    print(f"{args.model} {args.config} ({args.load} load), "
+          f"ffwd {args.ffwd}/{config.num_frames} frames:")
+    print(f"  functional frames       : {result.frames_functional} "
+          f"({result.wall_functional:.2f}s)")
+    print(f"  detailed frames         : {result.frames_detailed} "
+          f"({result.wall_detailed:.2f}s)")
+    print(f"  mean GPU frame time     : "
+          f"{result.results.mean_gpu_time:10.0f} ticks")
+    print(f"  mean total frame time   : "
+          f"{result.results.mean_total_time:10.0f} ticks")
+    print(f"  final fb CRC            : 0x{result.final_fb_crc:08x}")
+    return 0
+
+
 def _cmd_cs1(args) -> int:
     from repro.harness.case_study1 import CS1Config, run_cs1
     config = CS1Config(num_frames=args.frames)
     health = _build_health(args)
     sanitize = _build_sanitize(args)
+    if args.ffwd or args.sample:
+        if health is not None:
+            print("--ffwd/--sample own the run's checkpointing; combine "
+                  "them with the health flags via `repro ffwd` instead")
+            return 2
+        return _cs1_ffwd_or_sample(args, config, sanitize)
     results = run_cs1(args.model, args.config, args.load, config,
                       health=health, stats_path=args.dump_stats,
                       trace=_build_trace(args), sanitize=sanitize)
@@ -186,13 +244,21 @@ def _cmd_cs2(args) -> int:
     print(f"best WT: {best}")
     trace = _build_trace(args)
     sanitize = _build_sanitize(args)
-    if args.dump_stats or trace is not None or sanitize is not None:
+    if (args.dump_stats or trace is not None or sanitize is not None
+            or args.ffwd):
         # Re-run the best WT for one frame to collect stats, a trace,
-        # and/or a sanitized pass over the GPU memory hierarchy.
-        from repro.harness.case_study2 import run_static
-        run_static(args.workload, best, 1, config,
-                   stats_path=args.dump_stats, trace=trace,
-                   sanitize=sanitize)
+        # and/or a sanitized pass over the GPU memory hierarchy; --ffwd
+        # fast-forwards the warmup frame functionally (GL state advances,
+        # nothing hits the timing GPU) before the measured frame.
+        import zlib
+
+        from repro.harness.case_study2 import run_static_gpu
+        gpu, _ = run_static_gpu(args.workload, best, 1, config,
+                                stats_path=args.dump_stats, trace=trace,
+                                sanitize=sanitize, ffwd=args.ffwd)
+        if args.ffwd:
+            print(f"ffwd re-run (best WT, ffwd={args.ffwd}): fb CRC "
+                  f"0x{zlib.crc32(gpu.fb.color.tobytes()):08x}")
         if args.dump_stats:
             print(f"stats written to {args.dump_stats}")
         if args.trace:
@@ -200,6 +266,73 @@ def _cmd_cs2(args) -> int:
         if sanitize is not None:
             print("sanitizer: re-ran best WT armed — no violations")
     return 0
+
+
+def _cmd_ffwd(args) -> int:
+    """Replay-driven fast-forward / sampled simulation driver (§13).
+
+    ``--verify`` runs the four-check functional-vs-detailed equivalence
+    suite and turns it into the exit code — the CI ffwd smoke job's
+    gate.  ``--sample`` runs the periodic-sampling mode instead and
+    reports extrapolated metrics with standard-error bars.  Plain
+    ``--ffwd K`` fast-forwards K frames and runs the rest detailed.
+    """
+    import json
+
+    from repro.harness.case_study1 import CS1Config, make_cs1_setup
+    from repro.sampling import (fast_forward, parse_sample_spec,
+                                run_sampled, verify_equivalence)
+
+    config = CS1Config(num_frames=args.frames)
+    run_config, factory = make_cs1_setup(args.model, args.config,
+                                         args.load, config)
+    report: dict
+    status = 0
+    if args.verify:
+        ffwd = args.ffwd or max(1, args.frames // 2)
+        report = verify_equivalence(run_config, factory, ffwd)
+        print(f"{args.model} {args.config} equivalence "
+              f"(ffwd {ffwd}/{args.frames} frames):")
+        for name, passed in report["checks"].items():
+            print(f"  {name:<24}: {'ok' if passed else 'FAILED'}")
+        wall = report["wall"]
+        print(f"  wall: ffwd {wall['ffwd']:.2f}s (functional portion "
+              f"{wall['ffwd_functional']:.2f}s) vs full detail "
+              f"{wall['full_detail']:.2f}s")
+        print("equivalence OK" if report["ok"] else "equivalence FAILED")
+        status = 0 if report["ok"] else 1
+    elif args.sample:
+        schedule = parse_sample_spec(args.sample, args.frames)
+        sampled = run_sampled(run_config, factory, schedule)
+        print(f"{args.model} {args.config} sampled {schedule.spec()} "
+              f"over {args.frames} frames:")
+        _print_sampled(sampled)
+        report = sampled.as_dict()
+    else:
+        if not args.ffwd:
+            print("nothing to do: give --ffwd K, --sample D:P, or --verify")
+            return 2
+        result = fast_forward(run_config, factory, args.ffwd)
+        print(f"{args.model} {args.config} ffwd "
+              f"{args.ffwd}/{args.frames} frames:")
+        print(f"  functional: {result.frames_functional} frames in "
+              f"{result.wall_functional:.2f}s; detailed: "
+              f"{result.frames_detailed} frames in "
+              f"{result.wall_detailed:.2f}s")
+        print(f"  final fb CRC: 0x{result.final_fb_crc:08x}")
+        report = {
+            "model": args.model, "config": args.config,
+            "ffwd_frames": args.ffwd, "total_frames": args.frames,
+            "final_fb_crc": result.final_fb_crc,
+            "fingerprint": result.fingerprint(),
+            "wall": {"functional": result.wall_functional,
+                     "detailed": result.wall_detailed},
+        }
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"report written to {args.out}")
+    return status
 
 
 def _cmd_dfsl(args) -> int:
@@ -516,7 +649,8 @@ def _cmd_dse(args) -> int:
     config = DSEConfig(model=args.model, frames=args.frames,
                        seed=args.seed, workers=args.workers,
                        cache_dir=args.cache_dir, workdir=args.workdir,
-                       budget_events=args.budget_events)
+                       budget_events=args.budget_events,
+                       ffwd=args.ffwd, sample=args.sample)
     report = run_dse(grid, config)
     print(format_dse_report(report))
     fleet = report.fleet
@@ -572,6 +706,13 @@ def main(argv=None) -> int:
                    help="snapshot the run every N frames (0 = off)")
     p.add_argument("--checkpoint-path",
                    help="write the latest snapshot to this file")
+    p.add_argument("--ffwd", type=int, default=0, metavar="K",
+                   help="fast-forward the first K frames functionally "
+                        "(zero timing events), then run detailed")
+    p.add_argument("--sample", metavar="D:P[:W]",
+                   help="periodic sampling: D detailed frames per period "
+                        "of P, W warmup frames per window; extrapolates "
+                        "with error bars")
     p.add_argument("--dump-stats", metavar="PATH",
                    help="write every component's statistics (including "
                         "per-link port stats) to one JSON file")
@@ -587,7 +728,7 @@ def main(argv=None) -> int:
                    help="workload size (default = the recorded operating "
                         "points, smoke = CI seconds-scale, micro = tests)")
     p.add_argument("--only", action="append",
-                   choices=("fig14", "pipeline"),
+                   choices=("fig14", "pipeline", "ffwd"),
                    help="run a subset (repeatable; default: all)")
     p.add_argument("--out", help="directory for BENCH_<name>.json artifacts")
     p.add_argument("--summary", action="store_true",
@@ -604,10 +745,35 @@ def main(argv=None) -> int:
     _add_sanitize_flags(p)
     p.set_defaults(func=_cmd_selftest)
 
+    p = sub.add_parser("ffwd",
+                       help="replay-driven fast-forward / sampled "
+                            "simulation (with the functional-vs-detailed "
+                            "equivalence verifier)")
+    p.add_argument("model", choices=["M1", "M2", "M3", "M4"])
+    p.add_argument("config", choices=["BAS", "DCB", "DTB", "HMC"])
+    p.add_argument("--load", choices=["regular", "high"], default="regular")
+    p.add_argument("--frames", type=int, default=5)
+    p.add_argument("--ffwd", type=int, default=0, metavar="K",
+                   help="functional frames before the detailed region "
+                        "(with --verify, defaults to frames//2)")
+    p.add_argument("--sample", metavar="D:P[:W]",
+                   help="periodic sampling spec instead of a single "
+                        "fast-forward")
+    p.add_argument("--verify", action="store_true",
+                   help="run the 4-check functional-vs-detailed "
+                        "equivalence suite; exit 1 on any failure "
+                        "(the CI gate)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the machine-readable report as JSON")
+    p.set_defaults(func=_cmd_ffwd)
+
     p = sub.add_parser("cs2", help="case study II WT sweep")
     p.add_argument("workload", help="W1..W6 or a model name")
     p.add_argument("--min-wt", type=int, default=1)
     p.add_argument("--max-wt", type=int, default=10)
+    p.add_argument("--ffwd", type=int, default=0, metavar="K",
+                   help="re-run the best WT fast-forwarding K frames "
+                        "functionally before the measured frame")
     p.add_argument("--dump-stats", metavar="PATH",
                    help="re-run the best WT for one frame and write every "
                         "GPU component's statistics to one JSON file")
@@ -700,6 +866,12 @@ def main(argv=None) -> int:
     p.add_argument("--frames", type=int, default=2,
                    help="frames rendered per point")
     p.add_argument("--seed", type=int, default=7, help="RNG seed")
+    p.add_argument("--ffwd", type=int, default=0, metavar="K",
+                   help="fast-forward every point's first K frames "
+                        "functionally before detailed timing")
+    p.add_argument("--sample", metavar="D:P[:W]",
+                   help="evaluate every point with periodic sampling "
+                        "(extrapolated metrics carry error bars)")
     p.add_argument("--workers", type=int, default=2,
                    help="fleet worker pool size")
     p.add_argument("--budget-events", type=int, default=5_000_000,

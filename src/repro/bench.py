@@ -11,6 +11,13 @@ workloads are tracked:
   case for the event kernel and the FR-FCFS scan.
 * ``pipeline`` — one :class:`~repro.gpu.gpu.EmeraldGPU` teapot frame:
   shader/raster-bound, the worst case for per-op dispatch.
+* ``ffwd`` — sampled simulation (DESIGN.md §13) against full detail on
+  the Fig. 14 scene: wall-clock speedup, per-metric extrapolation error
+  vs a symmetric per-frame ground truth, and the fast-forward
+  framebuffer-CRC identity check.  Unlike the fastpath benchmarks this
+  one compares an *approximation* to the exact run, so the gate bounds
+  the error (≤5 %) rather than demanding bit identity of the estimates —
+  the CRC identity of the fast-forwarded run stays exact.
 
 Each benchmark runs the workload twice — fastpath on, fastpath off — in
 that order, compares the identity fingerprint (end tick / cycles, events
@@ -54,7 +61,7 @@ SEED_BASELINE = {
                  "events_fired": 125_678, "fb_crc": 2197508556},
 }
 
-BENCHMARKS = ("fig14", "pipeline")
+BENCHMARKS = ("fig14", "pipeline", "ffwd")
 SCALES = ("default", "smoke", "micro")
 
 #: Identity keys compared between the two modes, per benchmark.
@@ -63,7 +70,18 @@ _IDENTITY = {
               "mean_gpu_time"),
     "pipeline": ("cycles", "fragments", "events_fired", "fb_crc",
                  "dram_bytes"),
+    "ffwd": ("fb_crc",),
 }
+
+#: Largest relative extrapolation error the ffwd gate tolerates, per
+#: metric, at the default (Fig. 14) operating point.  The estimates are
+#: deterministic simulation quantities, so this check is
+#: machine-independent.  The reduced scales carry their own looser bound
+#: (see :func:`_ffwd_operating_point`): their detailed windows measure
+#: only one frame each, and per-frame variance at the tiny 48x36
+#: workload is ~25% of the mean, so a 5% bound would gate on sampling
+#: noise rather than bias.
+FFWD_ERROR_BOUND = 0.05
 
 
 def _timed(fn: Callable):
@@ -171,6 +189,153 @@ def run_pipeline(scale: str = "default") -> dict:
     return _report("pipeline", scale, workload, once)
 
 
+def _ffwd_operating_point(scale: str):
+    """(CS1Config, sample spec, ffwd frames, error bound) per scale.
+
+    The reduced scales use warmup 2: the post-switch cold transient at
+    the 48x36 workload lasts ~2 frames (the first detailed frame after a
+    mode switch runs ~5x steady state, the second ~2x), so a warmup-1
+    schedule would measure frames still inside the transient.
+    """
+    from repro.harness.case_study1 import CS1Config
+
+    if scale == "default":
+        # Fig. 14 scene at its real resolution; 1/6 detailed coverage.
+        return CS1Config(num_frames=36), "2:12:1", 18, FFWD_ERROR_BOUND
+    small = dict(width=48, height=36, texture_size=64,
+                 gpu_frame_period_ticks=120_000,
+                 display_period_ticks=60_000,
+                 cpu_work_per_frame=40, cpu_fixed_ticks=5_000)
+    if scale == "smoke":
+        return CS1Config(num_frames=24, **small), "3:8:2", 12, 0.10
+    if scale == "micro":
+        return CS1Config(num_frames=8, **small), "3:4:2", 4, 0.10
+    raise ValueError(f"scale must be one of {SCALES}, got {scale!r}")
+
+
+def run_ffwd(scale: str = "default") -> dict:
+    """Benchmark sampled simulation against full detail (Fig. 14 scene).
+
+    Three runs of M1 / BAS / high load:
+
+    1. **full detail** — the exact run, with a per-frame activity hook so
+       the ground-truth per-frame metrics are computed *the same way* the
+       sampler computes its window samples (deltas between frame
+       boundaries, app warmup frame 0 excluded) — asymmetric definitions
+       would report definition error as extrapolation error;
+    2. **sampled** — functional/detailed alternation under the scale's
+       schedule, extrapolated with error bars;
+    3. **fast-forward** — half the frames functional, rest detailed; its
+       final framebuffer must be CRC-identical to the full-detail run's
+       (the mode-switch exactness check, same contract CI's
+       ``repro ffwd --verify`` gates on).
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.gpu.energy import frame_energy, gpu_activity_snapshot
+    from repro.harness.case_study1 import make_cs1_setup
+    from repro.sampling import fast_forward, parse_sample_spec, run_sampled
+    from repro.sampling.stats import SAMPLE_METRICS
+    from repro.soc.soc import EmeraldSoC
+
+    config, spec, ffwd_frames, error_bound = _ffwd_operating_point(scale)
+    run_config, factory = make_cs1_setup("M1", "BAS", "high", config=config)
+    schedule = parse_sample_spec(spec, config.num_frames)
+
+    # 1. Full detail with symmetric per-frame ground truth.
+    per_frame: list[dict] = []
+    cell: dict = {}
+
+    def hook(frame_index: int, tick: int) -> None:
+        soc = cell["soc"]
+        activity = gpu_activity_snapshot(soc.gpu)
+        per_frame.append({"frame": frame_index,
+                          "total_bytes": soc.memory.total_bytes(),
+                          "issued": activity["issued"],
+                          "l1_accesses": activity["l1_accesses"]})
+
+    session = factory()
+    soc = EmeraldSoC(dc_replace(run_config, frame_hook=hook),
+                     session.frame, session.framebuffer_address)
+    cell["soc"] = soc
+    wall_full, results = _timed(soc.run)
+    full_fb_crc = zlib.crc32(soc.gpu.fb.color.tobytes())
+
+    previous = {"total_bytes": 0, "issued": 0, "l1_accesses": 0}
+    by_index = {entry["frame"]: entry for entry in per_frame}
+    rows: list[tuple] = []
+    for record in results.frames:
+        entry = by_index[record.index]
+        delta_bytes = entry["total_bytes"] - previous["total_bytes"]
+        delta_issued = entry["issued"] - previous["issued"]
+        delta_l1 = entry["l1_accesses"] - previous["l1_accesses"]
+        previous = entry
+        if record.index == 0:
+            continue                      # app warmup: excluded both sides
+        rows.append((record.gpu_time, record.total_time, delta_bytes,
+                     frame_energy(record.gpu_stats, delta_issued,
+                                  delta_l1).total_uj))
+    ground_truth = {
+        metric: sum(row[i] for row in rows) / len(rows)
+        for i, metric in enumerate(SAMPLE_METRICS)
+    }
+
+    # 2. Sampled run + extrapolation.
+    wall_sampled, sampled = _timed(
+        lambda: run_sampled(run_config, factory, schedule))
+    errors = {
+        metric: abs(sampled.estimates[metric].mean - ground_truth[metric])
+        / abs(ground_truth[metric])
+        for metric in SAMPLE_METRICS
+    }
+
+    # 3. Fast-forward CRC identity.
+    wall_ffwd, ffwd = _timed(
+        lambda: fast_forward(run_config, factory, ffwd_frames))
+    crc_identical = ffwd.final_fb_crc == full_fb_crc
+
+    workload = {
+        "name": "cs1 M1/BAS/high sampled",
+        "width": config.width, "height": config.height,
+        "num_frames": config.num_frames, "sample": schedule.spec(),
+        "ffwd_frames": ffwd_frames,
+    }
+    return {
+        "benchmark": "ffwd",
+        "scale": scale,
+        "workload": workload,
+        "full_detail": {
+            "wall_s": round(wall_full, 4),
+            "fb_crc": full_fb_crc,
+            "per_frame": {k: round(v, 4) for k, v in ground_truth.items()},
+        },
+        "sampled": {
+            "wall_s": round(wall_sampled, 4),
+            "wall_functional": round(sampled.wall_functional, 4),
+            "wall_detailed": round(sampled.wall_detailed, 4),
+            "coverage": schedule.coverage,
+            "windows": len(sampled.samples),
+            "estimates": {name: est.as_dict()
+                          for name, est in sampled.estimates.items()},
+            "fps": sampled.extrapolated.fps,
+        },
+        "ffwd": {
+            "wall_s": round(wall_ffwd, 4),
+            "final_fb_crc": ffwd.final_fb_crc,
+            "speedup_vs_full": round(wall_full / wall_ffwd, 3),
+        },
+        "errors": {k: round(v, 5) for k, v in errors.items()},
+        "error_bound": error_bound,
+        "identical": crc_identical,
+        "identity": {"fb_crc": full_fb_crc},
+        "speedup_sampled_vs_full": round(wall_full / wall_sampled, 3),
+        "seed_baseline": None,
+        "speedup_vs_seed": None,
+        "host": _host(),
+        "generated_by": "python -m repro bench",
+    }
+
+
 def _report(name: str, scale: str, workload: dict, once: Callable) -> dict:
     on = once(True)
     off = once(False)
@@ -207,6 +372,26 @@ def gate(report: dict, min_on_off: float = 0.9) -> list:
     """
     failures = []
     name = report["benchmark"]
+    if name == "ffwd":
+        if not report["identical"]:
+            failures.append(
+                f"ffwd: fast-forwarded final framebuffer CRC "
+                f"{report['ffwd']['final_fb_crc']} != full-detail "
+                f"{report['full_detail']['fb_crc']} — the mode switch "
+                f"changed the simulation")
+        bound = report["error_bound"]
+        for metric, error in report["errors"].items():
+            if error > bound:
+                failures.append(
+                    f"ffwd: {metric} extrapolation error {error * 100:.2f}% "
+                    f"exceeds the {bound * 100:.0f}% bound")
+        if report["speedup_sampled_vs_full"] < min_on_off:
+            failures.append(
+                f"ffwd: sampled run is slower than full detail "
+                f"({report['sampled']['wall_s']:.3f}s vs "
+                f"{report['full_detail']['wall_s']:.3f}s, ratio "
+                f"{report['speedup_sampled_vs_full']:.3f} < {min_on_off})")
+        return failures
     if not report["identical"]:
         keys = _IDENTITY[name]
         diffs = [key for key in keys
@@ -243,6 +428,26 @@ def write_report(report: dict, out_dir: str = ".") -> Path:
 
 def format_summary(report: dict) -> str:
     """Human-readable one-benchmark summary for ``bench --summary``."""
+    if report["benchmark"] == "ffwd":
+        full, sampled = report["full_detail"], report["sampled"]
+        lines = [f"ffwd ({report['scale']}): {report['workload']['name']} "
+                 f"{report['workload']['width']}x"
+                 f"{report['workload']['height']} "
+                 f"x{report['workload']['num_frames']} frames, "
+                 f"sample {report['workload']['sample']}"]
+        lines.append(f"  full detail   {full['wall_s']:>7.3f}s")
+        lines.append(f"  sampled       {sampled['wall_s']:>7.3f}s  "
+                     f"({sampled['coverage'] * 100:.0f}% coverage, "
+                     f"{sampled['windows']} windows)  "
+                     f"{report['speedup_sampled_vs_full']:.2f}x")
+        lines.append(f"  fast-forward  {report['ffwd']['wall_s']:>7.3f}s  "
+                     f"{report['ffwd']['speedup_vs_full']:.2f}x  "
+                     f"(fb CRC identical: {report['identical']})")
+        errors = "  ".join(f"{k} {v * 100:.2f}%"
+                           for k, v in report["errors"].items())
+        lines.append(f"  extrapolation error (bound "
+                     f"{report['error_bound'] * 100:.0f}%): {errors}")
+        return "\n".join(lines)
     on, off = report["fastpath_on"], report["fastpath_off"]
     lines = [f"{report['benchmark']} ({report['scale']}): "
              f"{report['workload']['name']} "
@@ -263,5 +468,6 @@ def format_summary(report: dict) -> str:
 
 
 def run(names=BENCHMARKS, scale: str = "default") -> list:
-    runners = {"fig14": run_fig14, "pipeline": run_pipeline}
+    runners = {"fig14": run_fig14, "pipeline": run_pipeline,
+               "ffwd": run_ffwd}
     return [runners[name](scale) for name in names]

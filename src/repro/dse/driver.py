@@ -37,6 +37,14 @@ class DSEConfig:
     workdir: str = "dse-work"
     budget_events: int = DEFAULT_BUDGET_EVENTS
     objectives: Sequence = OBJECTIVES
+    #: Fast-forward the first N frames functionally before detailed timing
+    #: (0 = full detail).  Part of the job identity — the cache never
+    #: aliases fast-forwarded and full-detail evaluations.
+    ffwd: int = 0
+    #: Periodic-sampling spec ``DETAIL:PERIOD[:WARMUP]`` (None = full
+    #: detail).  Mutually exclusive with ``ffwd``; sampled sweeps trade
+    #: exactness for wall clock and report error bars per point.
+    sample: Optional[str] = None
 
 
 @dataclass
@@ -96,8 +104,29 @@ def dse_jobs(topologies: Sequence[SoCTopology],
     return [JobSpec(name=topology.name, model=config.model,
                     width=config.width, height=config.height,
                     frames=config.frames, seed=config.seed,
-                    topology=topology.to_dict(), collect_metrics=True)
+                    topology=topology.to_dict(), collect_metrics=True,
+                    ffwd=config.ffwd, sample=config.sample)
             for topology in topologies]
+
+
+def _point_metrics(payload_metrics: Optional[dict]) -> Optional[dict]:
+    """Normalize a payload's metrics block to the objective keys.
+
+    Detailed jobs already report ``fps`` / ``dram_bandwidth`` /
+    ``energy_uj``; sampled jobs nest an extrapolation block, which is
+    flattened to the same keys (energy as the whole-run projection) so
+    the Pareto reduction works identically — with the full sampled block
+    kept alongside for the error bars.
+    """
+    if payload_metrics is None or "sampled" not in payload_metrics:
+        return payload_metrics
+    sampled = payload_metrics["sampled"]
+    return {
+        "fps": sampled["fps"],
+        "dram_bandwidth": sampled["dram_bandwidth"],
+        "energy_uj": sampled["energy_uj_total"],
+        "sampled": sampled,
+    }
 
 
 def run_dse(topologies: Sequence[SoCTopology],
@@ -114,7 +143,7 @@ def run_dse(topologies: Sequence[SoCTopology],
     for topology, record in zip(topologies, fleet_report.records):
         metrics = None
         if record.payload is not None:
-            metrics = record.payload.get("metrics")
+            metrics = _point_metrics(record.payload.get("metrics"))
         report.points.append(DSEPoint(
             name=topology.name, topology=topology,
             outcome=record.outcome, cache_hit=record.cache_hit,

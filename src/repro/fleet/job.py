@@ -78,6 +78,14 @@ class JobSpec:
     or channel count never alias.  ``collect_metrics`` asks the worker
     to fold DSE metrics (FPS, DRAM bandwidth, energy) into the payload;
     it is also identity because it changes the payload bytes.
+
+    ``ffwd`` fast-forwards the first N frames functionally before
+    entering detailed timing (gem5 idiom, DESIGN.md §13); ``sample`` is
+    a ``DETAIL:PERIOD[:WARMUP]`` periodic-sampling spec
+    (:func:`repro.sampling.windows.parse_sample_spec`).  Both are
+    identity — a sampled or fast-forwarded run produces different
+    payload bytes than a full-detail run of the same workload, so they
+    must never share a cache entry.  They are mutually exclusive.
     """
 
     name: str
@@ -91,6 +99,8 @@ class JobSpec:
     retries: bool = False
     topology: Optional[dict] = None
     collect_metrics: bool = False
+    ffwd: int = 0
+    sample: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -129,6 +139,37 @@ class JobSpec:
             raise JobSpecError(
                 f"collect_metrics must be a boolean, got "
                 f"{self.collect_metrics!r}")
+        if not isinstance(self.ffwd, int) or isinstance(self.ffwd, bool) \
+                or self.ffwd < 0:
+            raise JobSpecError(
+                f"ffwd must be a non-negative integer, got {self.ffwd!r}")
+        if self.ffwd >= self.frames:
+            raise JobSpecError(
+                f"ffwd must leave at least one detailed frame "
+                f"(ffwd {self.ffwd} >= frames {self.frames})")
+        if self.sample is not None:
+            if not isinstance(self.sample, str):
+                raise JobSpecError(
+                    f"sample must be a DETAIL:PERIOD[:WARMUP] string, got "
+                    f"{self.sample!r}")
+            if self.ffwd:
+                raise JobSpecError(
+                    "ffwd and sample are mutually exclusive")
+            # Late import: windows is dependency-free; validating here
+            # keeps a bad schedule a submit-time JobSpecError rather
+            # than a per-attempt runtime failure.
+            from repro.sampling.windows import (WindowScheduleError,
+                                                parse_sample_spec)
+            try:
+                schedule = parse_sample_spec(self.sample, self.frames)
+            except WindowScheduleError as exc:
+                raise JobSpecError(f"invalid sample spec: {exc}") from exc
+            if schedule.measured_windows() < 2:
+                raise JobSpecError(
+                    f"sample spec {self.sample!r} yields "
+                    f"{schedule.measured_windows()} measured window(s) "
+                    f"over {self.frames} frames; extrapolation needs at "
+                    f"least 2")
 
     def to_dict(self) -> dict:
         return {
@@ -144,6 +185,8 @@ class JobSpec:
             "topology": (dict(self.topology) if self.topology is not None
                          else None),
             "collect_metrics": self.collect_metrics,
+            "ffwd": self.ffwd,
+            "sample": self.sample,
         }
 
     @classmethod
@@ -153,7 +196,7 @@ class JobSpec:
                 f"job spec must be an object, got {type(doc).__name__}")
         known = {"name", "model", "width", "height", "frames",
                  "memory_config", "seed", "faults", "retries",
-                 "topology", "collect_metrics"}
+                 "topology", "collect_metrics", "ffwd", "sample"}
         unknown = set(doc) - known
         if unknown:
             raise JobSpecError(

@@ -182,6 +182,59 @@ def _metrics(soc, results) -> dict:
     }
 
 
+def _run_sampled_job(spec: JobSpec, jobdir: str, config, base: dict,
+                     job_key: str) -> dict:
+    """The sampled-job attempt: alternate windows, extrapolate, publish.
+
+    Sampled runs own their window checkpointing in memory (no
+    ``checkpoint.json``, no crash-resume — a retried attempt restarts
+    from scratch; the run is a fraction of a full-detail one, so the
+    resume machinery would cost more than it saves).  Heartbeats and the
+    kill/hang controls still ride the frame hook inside detailed
+    windows.  The cached payload carries only deterministic facts — the
+    estimates, the schedule, the last detailed framebuffer CRC — never
+    wall-clock times (those go in the result doc outside the payload).
+    """
+    from repro.common.events import SimulationError
+    from repro.harness.scenes import SceneSession
+    from repro.sampling.sampler import run_sampled
+    from repro.sampling.stats import ExtrapolationError
+    from repro.sampling.windows import parse_sample_spec
+    from repro.sanitize.violations import SanitizerViolation
+
+    schedule = parse_sample_spec(spec.sample, spec.frames)
+
+    def factory():
+        return SceneSession(spec.model, spec.width, spec.height)
+
+    try:
+        sampled = run_sampled(config, factory, schedule, job=job_key)
+    except SanitizerViolation as violation:
+        return _write_result(jobdir, {
+            **base, "outcome": "violation", "detail": str(violation),
+            "bundle": violation.bundle_path})
+    except (SimulationError, ExtrapolationError) as error:
+        return _write_result(jobdir, {
+            **base, "outcome": "detected",
+            "detail": f"{type(error).__name__}: {error}"})
+    except Exception as exc:                    # loud-death contract
+        return _write_result(jobdir, {
+            **base, "outcome": "error",
+            "detail": f"{type(exc).__name__}: {exc}"})
+    doc = sampled.as_dict()
+    for volatile in ("wall_functional", "wall_detailed", "wall_total"):
+        doc.pop(volatile, None)
+    payload = result_payload(spec, sampled.final_detailed_fb_crc,
+                             metrics={"sampled": doc})
+    return _write_result(jobdir, {
+        **base, "outcome": "ok", "detail": "",
+        "payload": payload,
+        "wall_functional": sampled.wall_functional,
+        "wall_detailed": sampled.wall_detailed,
+        "frames_functional": sampled.frames_functional,
+        "frames_detailed": sampled.frames_detailed})
+
+
 def _write_result(jobdir: str, doc: dict) -> dict:
     """Publish the attempt's verdict atomically."""
     path = os.path.join(jobdir, RESULT_FILE)
@@ -237,7 +290,19 @@ def run_job(spec: JobSpec, jobdir: str,
 
     config = _run_config(spec, jobdir, frame_hook, preempt_check,
                          job_key=job_key)
+    if spec.sample is not None:
+        return _run_sampled_job(spec, jobdir, config, base, job_key)
     try:
+        if spec.ffwd and resumed_from < spec.ffwd:
+            # Fast-forward jobs skip the warm-up frames functionally
+            # (zero timing events) and enter detailed timing from the
+            # snapshot — unless an on-disk checkpoint already sits past
+            # the switch point, in which case the normal resume wins.
+            from repro.sampling.functional import FunctionalSim
+            sim = FunctionalSim(config, session.frame, render="none")
+            sim.run(spec.ffwd)
+            checkpoint = sim.checkpoint(job=job_key)
+            session = SceneSession(spec.model, spec.width, spec.height)
         if checkpoint is not None:
             soc, results = resume_run(checkpoint, config, session.frame,
                                       session.framebuffer_address,

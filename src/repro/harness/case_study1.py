@@ -69,22 +69,26 @@ class CS1Config:
     seed: int = 7
 
 
-def make_cs1_soc(model: str, config_name: str, load: str = "regular",
-                 config: Optional[CS1Config] = None,
-                 health=None, trace=None, sanitize=None) -> EmeraldSoC:
-    """Assemble (but do not run) the case-study-I SoC for one grid cell.
+def make_cs1_setup(model: str, config_name: str, load: str = "regular",
+                   config: Optional[CS1Config] = None,
+                   health=None, trace=None, sanitize=None):
+    """(run config, session factory) for one case-study-I grid cell.
 
-    Split out of :func:`run_cs1` so callers that need the live system —
-    the benchmark harness reads ``soc.events.events_fired`` and hashes
-    ``soc.gpu.fb`` after the run — can hold the SoC object instead of
-    just the reduced :class:`SoCResults`.
+    The fast-forward and sampling drivers (:mod:`repro.sampling`) need
+    the pieces rather than an assembled SoC: they build fresh
+    :class:`~repro.harness.scenes.SceneSession`\\ s at every mode switch
+    (the replay contract — both modes pull identical frame streams from
+    identical fresh sessions) and construct the simulators themselves.
     """
     config = config or CS1Config()
     if load not in LOADS:
         raise ValueError(f"load must be one of {LOADS}, got {load!r}")
     model_name = CASE_STUDY1_SCENES.get(model, model)
-    session = SceneSession(model_name, config.width, config.height,
-                           texture_size=config.texture_size)
+
+    def session_factory() -> SceneSession:
+        return SceneSession(model_name, config.width, config.height,
+                            texture_size=config.texture_size)
+
     rate = (config.regular_rate_mbps if load == "regular"
             else config.high_rate_mbps)
     run_config = SoCRunConfig(
@@ -104,6 +108,23 @@ def make_cs1_soc(model: str, config_name: str, load: str = "regular",
         trace=trace,
         sanitize=sanitize,
     )
+    return run_config, session_factory
+
+
+def make_cs1_soc(model: str, config_name: str, load: str = "regular",
+                 config: Optional[CS1Config] = None,
+                 health=None, trace=None, sanitize=None) -> EmeraldSoC:
+    """Assemble (but do not run) the case-study-I SoC for one grid cell.
+
+    Split out of :func:`run_cs1` so callers that need the live system —
+    the benchmark harness reads ``soc.events.events_fired`` and hashes
+    ``soc.gpu.fb`` after the run — can hold the SoC object instead of
+    just the reduced :class:`SoCResults`.
+    """
+    run_config, session_factory = make_cs1_setup(
+        model, config_name, load, config,
+        health=health, trace=trace, sanitize=sanitize)
+    session = session_factory()
     return EmeraldSoC(run_config, session.frame, session.framebuffer_address)
 
 

@@ -108,18 +108,48 @@ def run_static(workload: str, wt_size: int, frames: int,
                config: Optional[CS2Config] = None,
                warmup: int = 1,
                stats_path: Optional[str] = None,
-               trace=None, sanitize=None) -> list[FrameResult]:
+               trace=None, sanitize=None,
+               ffwd: int = 0) -> list[FrameResult]:
     """Render ``frames`` animated frames at a fixed WT size.
 
     The first ``warmup`` frames are rendered but dropped from the results
-    (cold caches).  ``stats_path`` dumps every GPU component's statistics
-    to one JSON file after the run.  ``trace`` (a
+    (cold caches).  ``ffwd`` fast-forwards the first N frames
+    *functionally*: the frames are pulled from the scene session — GL
+    architectural state advances exactly as in a full run, so later
+    frames are bit-identical — but never submitted to the timing GPU
+    (the gem5 idiom, DESIGN.md §13).  Results are collected from index
+    ``max(warmup, ffwd)`` on; the detailed portion starts
+    microarchitecturally cold, so ``ffwd`` beyond ``warmup`` trades
+    measured frames for wall clock.  ``stats_path`` dumps every GPU
+    component's statistics to one JSON file after the run.  ``trace`` (a
     :class:`repro.trace.TraceConfig`) records the run as Chrome-trace JSON
     and/or prints a cycle-attribution report.  ``sanitize`` (a
     :class:`repro.sanitize.SanitizeConfig`) arms runtime invariant
     checking over the GPU's ports, caches and DRAM queues for the run.
     """
+    _, results = run_static_gpu(workload, wt_size, frames, config=config,
+                                warmup=warmup, stats_path=stats_path,
+                                trace=trace, sanitize=sanitize, ffwd=ffwd)
+    return results
+
+
+def run_static_gpu(workload: str, wt_size: int, frames: int,
+                   config: Optional[CS2Config] = None,
+                   warmup: int = 1,
+                   stats_path: Optional[str] = None,
+                   trace=None, sanitize=None,
+                   ffwd: int = 0) -> tuple[EmeraldGPU, list[FrameResult]]:
+    """:func:`run_static` returning the live GPU too.
+
+    The equivalence tests hash ``gpu.fb`` after the run — the
+    fast-forwarded and full-detail paths must end on the same pixels.
+    """
     config = config or CS2Config()
+    total = frames + warmup
+    if not 0 <= ffwd < total:
+        raise ValueError(
+            f"ffwd must leave at least one detailed frame: need "
+            f"0 <= ffwd < {total}, got {ffwd}")
     model = CASE_STUDY2_SCENES.get(workload, workload)
     session = SceneSession(model, config.width, config.height,
                            detail=config.detail,
@@ -141,9 +171,14 @@ def run_static(workload: str, wt_size: int, frames: int,
         sanitizer.install()
     try:
         results = []
-        for index in range(frames + warmup):
+        for index in range(total):
+            if index < ffwd:
+                # Functional fast-forward: advance the session's GL state
+                # (allocator, frame counter, uniforms) without timing.
+                session.frame(index)
+                continue
             stats = gpu.run_frame(session.frame(index))
-            if index >= warmup:
+            if index >= max(warmup, ffwd):
                 results.append(FrameResult(wt_size, stats))
     finally:
         if sanitizer is not None:
@@ -157,7 +192,7 @@ def run_static(workload: str, wt_size: int, frames: int,
         if trace.profile:
             from repro.trace import summarize
             print(summarize(tracer).format())
-    return results
+    return gpu, results
 
 
 def wt_sweep(workload: str, wt_sizes: Optional[range] = None,

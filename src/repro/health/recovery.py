@@ -102,7 +102,8 @@ class CheckpointManager:
                if self.injector is not None else None)
         self.last = capture(list(self._frames), tick=tick,
                             frame_index=frame_index + 1, rng=rng,
-                            job=self.job, topology=self.topology)
+                            job=self.job, topology=self.topology,
+                            mode="detailed")
         self.checkpoints_taken += 1
         if self.path is not None:
             # Write-then-rename: a process SIGKILL'd mid-serialize leaves

@@ -81,6 +81,10 @@ class CheckpointCorruptError(CheckpointError):
 
 CHECKPOINT_VERSION = 1
 
+# Execution engines that can stamp a snapshot (provenance, not payload —
+# snapshots restore across modes; see GraphicsCheckpoint docstring).
+CHECKPOINT_MODES = frozenset({"functional", "detailed"})
+
 
 def _payload_crc(doc: dict) -> int:
     """CRC32 over the canonical serialization of everything but ``crc``.
@@ -114,6 +118,14 @@ class GraphicsCheckpoint:
     a differently-assembled SoC raises :class:`CheckpointTopologyError`
     instead of replaying state into mismatched hardware.  Absent (None)
     in pre-topology snapshots, which resume unchecked.
+
+    ``mode`` (optional) records which execution engine produced the
+    snapshot: ``"detailed"`` (the full timing model) or ``"functional"``
+    (the zero-event replay mode, :mod:`repro.sampling.functional`).  It is
+    provenance only — the snapshot payload is the *architectural* state
+    both engines agree on, so either mode restores a snapshot the other
+    wrote (the fast-forward contract, DESIGN.md §13).  Absent (None) in
+    pre-sampling snapshots.
     """
 
     trace_json: str
@@ -122,6 +134,7 @@ class GraphicsCheckpoint:
     rng: Optional[dict] = None
     job: Optional[str] = None
     topology: Optional[str] = None
+    mode: Optional[str] = None
 
     def to_json(self) -> str:
         doc = {
@@ -136,6 +149,8 @@ class GraphicsCheckpoint:
             doc["job"] = self.job
         if self.topology is not None:
             doc["topology"] = self.topology
+        if self.mode is not None:
+            doc["mode"] = self.mode
         doc["crc"] = _payload_crc(doc)
         return json.dumps(doc)
 
@@ -196,9 +211,14 @@ class GraphicsCheckpoint:
             raise CheckpointError(
                 f"expected a string, got {type(topology).__name__}",
                 field="topology")
+        mode = doc.get("mode")
+        if mode is not None and mode not in CHECKPOINT_MODES:
+            raise CheckpointError(
+                f"expected one of {sorted(CHECKPOINT_MODES)}, got {mode!r}",
+                field="mode")
         return cls(trace_json=json.dumps(trace), tick=tick,
                    frame_index=frame_index, rng=rng, job=job,
-                   topology=topology)
+                   topology=topology, mode=mode)
 
     def restore_frames(self) -> list[Frame]:
         """Replay the recorded draw calls through a fresh GL context."""
@@ -221,11 +241,16 @@ def _require_int(doc: dict, key: str) -> int:
 def capture(frames: list[Frame], tick: int, frame_index: int,
             rng: Optional[dict] = None,
             job: Optional[str] = None,
-            topology: Optional[str] = None) -> GraphicsCheckpoint:
+            topology: Optional[str] = None,
+            mode: Optional[str] = None) -> GraphicsCheckpoint:
     """Record rendered frames into a checkpoint."""
+    if mode is not None and mode not in CHECKPOINT_MODES:
+        raise CheckpointError(
+            f"expected one of {sorted(CHECKPOINT_MODES)}, got {mode!r}",
+            field="mode")
     recorder = TraceRecorder()
     for frame in frames:
         recorder.record_frame(frame)
     return GraphicsCheckpoint(trace_json=recorder.to_json(), tick=tick,
                               frame_index=frame_index, rng=rng, job=job,
-                              topology=topology)
+                              topology=topology, mode=mode)

@@ -78,3 +78,47 @@ class TestJobRecord:
         doc = json.loads(json.dumps(record.to_dict()))
         assert doc["outcome"] == "failed"
         assert doc["attempts"][0]["outcome"] == "hung"
+
+
+class TestSamplingFields:
+    """ffwd/sample job knobs: validation, round trip, cache identity."""
+
+    def test_ffwd_round_trips(self):
+        spec = JobSpec(name="j", frames=8, ffwd=4)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_sample_round_trips(self):
+        spec = JobSpec(name="j", frames=16, sample="2:8:1")
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_both_are_identity_fields(self):
+        plain = JobSpec(name="j", frames=16)
+        ffwd = JobSpec(name="j", frames=16, ffwd=8)
+        sampled = JobSpec(name="j", frames=16, sample="2:8:1")
+        identities = {str(sorted(s.identity().items()))
+                      for s in (plain, ffwd, sampled)}
+        assert len(identities) == 3    # distinct cache keys
+
+    @pytest.mark.parametrize("ffwd", [-1, True, 1.5, "2"])
+    def test_ffwd_must_be_a_non_negative_integer(self, ffwd):
+        with pytest.raises(JobSpecError):
+            JobSpec(name="j", frames=8, ffwd=ffwd)
+
+    def test_ffwd_must_leave_a_detailed_frame(self):
+        with pytest.raises(JobSpecError):
+            JobSpec(name="j", frames=8, ffwd=8)
+
+    def test_ffwd_and_sample_are_mutually_exclusive(self):
+        with pytest.raises(JobSpecError):
+            JobSpec(name="j", frames=16, ffwd=4, sample="2:8:1")
+
+    @pytest.mark.parametrize("sample", [7, "nope", "0:8", "9:8"])
+    def test_bad_sample_specs_rejected(self, sample):
+        with pytest.raises(JobSpecError):
+            JobSpec(name="j", frames=16, sample=sample)
+
+    def test_sample_needs_two_measured_windows(self):
+        # 8 frames with period 8 yields a single detailed window — not
+        # enough for an error bar, rejected up front at spec time.
+        with pytest.raises(JobSpecError):
+            JobSpec(name="j", frames=8, sample="2:8:1")

@@ -127,3 +127,51 @@ class TestRunJob:
         doc = read_result(jobdir)
         assert doc["outcome"] == "error"
         assert "JobSpecError" in doc["detail"]
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestSampledJobs:
+    """ffwd/sampled jobs through the worker: equivalence + determinism."""
+
+    def test_ffwd_job_matches_full_detail_fb_crc(self, tmp_path):
+        full = run_job(JobSpec(name="full", frames=3),
+                       str(tmp_path / "full"))
+        ffwd = run_job(JobSpec(name="ffwd", frames=3, ffwd=2),
+                       str(tmp_path / "ffwd"))
+        assert full["outcome"] == ffwd["outcome"] == "ok"
+        # The fleet-level form of the equivalence contract: skipping
+        # frames functionally must not change the published pixels.
+        assert ffwd["payload"]["fb_crc"] == full["payload"]["fb_crc"]
+        # But the runs are distinct cache identities.
+        assert ffwd["payload"] != full["payload"]
+
+    def test_sampled_job_publishes_extrapolated_metrics(self, tmp_path):
+        spec = JobSpec(name="sampled", frames=10, sample="2:5:1")
+        doc = run_job(spec, str(tmp_path))
+        assert doc["outcome"] == "ok"
+        sampled = doc["payload"]["metrics"]["sampled"]
+        assert sampled["total_frames"] == 10
+        assert len(sampled["windows"]) == 2
+        for est in sampled["estimates"].values():
+            assert est["windows"] == 2
+        # Wall times live outside the deterministic payload.
+        assert "wall_total" not in sampled
+        assert doc["wall_functional"] >= 0
+        assert doc["wall_detailed"] >= 0
+        assert doc["frames_functional"] + doc["frames_detailed"] == 10
+
+    def test_sampled_payload_is_deterministic(self, tmp_path):
+        from repro.fleet.manifest import payload_bytes
+        spec = JobSpec(name="det", frames=10, sample="2:5:1")
+        first = run_job(spec, str(tmp_path / "a"))
+        second = run_job(spec, str(tmp_path / "b"))
+        assert payload_bytes(first["payload"]) \
+            == payload_bytes(second["payload"])
+
+    def test_bad_sample_spec_is_a_typed_error_result(self, tmp_path):
+        worker_entry({"name": "bad", "frames": 8, "sample": "2:8:1"},
+                     str(tmp_path))
+        doc = read_result(str(tmp_path))
+        assert doc["outcome"] == "error"
+        assert "JobSpecError" in doc["detail"]

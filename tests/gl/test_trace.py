@@ -113,3 +113,140 @@ class TestRegionOfInterest:
     def test_bad_version_rejected(self):
         with pytest.raises(ValueError):
             replay('{"version": 99, "frames": []}')
+
+
+def inline_v1(trace_json: str) -> str:
+    """Down-convert a v2 trace to the v1 inline format (test helper)."""
+    import json
+    doc = json.loads(trace_json)
+    assert doc["version"] == 2
+    buffers, textures = doc.pop("buffers"), doc.pop("textures")
+    for frame_doc in doc["frames"]:
+        for call_doc in frame_doc["draw_calls"]:
+            call_doc["attributes"] = {
+                k: buffers[ref] for k, ref in call_doc["attributes"].items()
+            }
+            call_doc["indices"] = buffers[call_doc["indices"]]
+            call_doc["textures"] = {
+                k: textures[ref] for k, ref in call_doc["textures"].items()
+            }
+    doc["version"] = 1
+    return json.dumps(doc)
+
+
+class TestTraceFormatV2:
+    """Content-interned trace format: dedupe, determinism, v1 compat."""
+
+    def test_recorder_emits_v2_with_resolvable_tables(self):
+        import json
+        doc = json.loads(record_two_frames().to_json())
+        assert doc["version"] == 2
+        for frame_doc in doc["frames"]:
+            for call_doc in frame_doc["draw_calls"]:
+                for ref in call_doc["attributes"].values():
+                    assert ref in doc["buffers"]
+                assert call_doc["indices"] in doc["buffers"]
+                for ref in call_doc["textures"].values():
+                    assert ref in doc["textures"]
+
+    def test_repeated_assets_intern_once(self):
+        # The cube is drawn in both frames: its attribute and index
+        # arrays must appear in the table once, referenced twice.
+        import json
+        doc = json.loads(record_two_frames().to_json())
+        cube_calls = [call for frame_doc in doc["frames"]
+                      for call in frame_doc["draw_calls"]
+                      if call["name"].startswith("c")]
+        assert len(cube_calls) == 2
+        assert cube_calls[0]["attributes"] == cube_calls[1]["attributes"]
+        assert cube_calls[0]["indices"] == cube_calls[1]["indices"]
+        # And the trace grows with distinct assets, not with draw calls:
+        # 2 meshes x (position/normal/uv/color slices + indices) bounds
+        # the buffer table.
+        assert len(doc["buffers"]) <= 10
+
+    def test_capture_is_deterministic(self):
+        from repro.gl.trace import trace_digest
+        first = record_two_frames().to_json()
+        second = record_two_frames().to_json()
+        assert first == second
+        assert trace_digest(first) == trace_digest(second)
+
+    def test_replay_recapture_is_a_digest_fixed_point(self):
+        from repro.gl.trace import trace_digest
+        trace = record_two_frames().to_json()
+        recorder = TraceRecorder()
+        for frame in replay(trace):
+            recorder.record_frame(frame)
+        assert trace_digest(recorder.to_json()) == trace_digest(trace)
+
+    def test_v1_inline_documents_still_replay(self):
+        trace = record_two_frames().to_json()
+        frames_v2 = replay(trace)
+        frames_v1 = replay(inline_v1(trace))
+        assert [len(f.draw_calls) for f in frames_v1] \
+            == [len(f.draw_calls) for f in frames_v2]
+        call_v1 = frames_v1[0].draw_calls[0]
+        call_v2 = frames_v2[0].draw_calls[0]
+        assert np.array_equal(call_v1.vbo.data, call_v2.vbo.data)
+        assert np.array_equal(call_v1.ibo.indices, call_v2.ibo.indices)
+        assert np.array_equal(call_v1.textures["albedo"].data,
+                              call_v2.textures["albedo"].data)
+
+
+class TestTraceDecodeErrors:
+    """Corrupt or truncated traces die with one typed error."""
+
+    def decode_error(self):
+        from repro.gl.trace import TraceDecodeError
+        return TraceDecodeError
+
+    def test_truncated_json_rejected(self):
+        trace = record_two_frames().to_json()
+        with pytest.raises(self.decode_error()):
+            replay(trace[:len(trace) // 2])
+
+    def test_non_object_root_rejected(self):
+        with pytest.raises(self.decode_error()):
+            replay('[1, 2, 3]')
+
+    @pytest.mark.parametrize("table", ["buffers", "textures"])
+    def test_v2_requires_intern_tables(self, table):
+        import json
+        doc = json.loads(record_two_frames().to_json())
+        del doc[table]
+        with pytest.raises(self.decode_error()) as excinfo:
+            replay(json.dumps(doc))
+        assert excinfo.value.detail == table
+
+    def test_unknown_buffer_ref_names_its_location(self):
+        import json
+        doc = json.loads(record_two_frames().to_json())
+        doc["frames"][0]["draw_calls"][0]["indices"] = "feedfacedeadbeef"
+        with pytest.raises(self.decode_error()) as excinfo:
+            replay(json.dumps(doc))
+        assert excinfo.value.detail == "frames[0].draw_calls[0].indices"
+
+    def test_unknown_texture_ref_names_its_location(self):
+        import json
+        doc = json.loads(record_two_frames().to_json())
+        doc["frames"][0]["draw_calls"][0]["textures"]["albedo"] = "nope"
+        with pytest.raises(self.decode_error()) as excinfo:
+            replay(json.dumps(doc))
+        assert excinfo.value.detail \
+            == "frames[0].draw_calls[0].textures.albedo"
+
+    def test_missing_frame_fields_rejected(self):
+        import json
+        doc = json.loads(record_two_frames().to_json())
+        del doc["frames"][1]["draw_calls"]
+        with pytest.raises(self.decode_error()) as excinfo:
+            replay(json.dumps(doc))
+        assert "frames[1]" in excinfo.value.detail
+
+    def test_non_call_object_rejected(self):
+        import json
+        doc = json.loads(record_two_frames().to_json())
+        doc["frames"][0]["draw_calls"][0] = 17
+        with pytest.raises(self.decode_error()):
+            replay(json.dumps(doc))

@@ -1,0 +1,50 @@
+"""Case-study-II fast-forward: functional skip ends on identical pixels.
+
+cs2's ``ffwd`` pulls the first N frames from the scene session without
+submitting them to the timing GPU; because frame content is a pure
+function of the frame index, the detailed frames that follow — and the
+final framebuffer — must be bit-identical to a run that simulated every
+frame in detail.
+"""
+
+import zlib
+
+import pytest
+
+from repro.harness.case_study2 import CS2Config, run_static_gpu
+
+TINY = CS2Config(width=48, height=36, texture_size=64)
+
+
+def final_crc(gpu) -> int:
+    return zlib.crc32(gpu.fb.color.tobytes())
+
+
+@pytest.mark.slow
+@pytest.mark.full_system
+class TestCS2FastForward:
+    def test_ffwd_run_ends_on_the_full_detail_framebuffer(self):
+        # 3 total frames (1 warmup + 2 measured); ffwd skips the warmup
+        # frame functionally.
+        gpu_full, full = run_static_gpu("W3", wt_size=4, frames=2,
+                                        config=TINY)
+        gpu_ffwd, ffwd = run_static_gpu("W3", wt_size=4, frames=2,
+                                        config=TINY, ffwd=1)
+        assert final_crc(gpu_ffwd) == final_crc(gpu_full)
+        # The measured (post-warmup) frame count is the same either way;
+        # timings may differ (the ffwd run's first detailed frame starts
+        # cold), but the pixels may not.
+        assert len(ffwd) == len(full) == 2
+
+    def test_ffwd_beyond_warmup_trades_measured_frames(self):
+        _, results = run_static_gpu("W3", wt_size=4, frames=2,
+                                    config=TINY, ffwd=2)
+        # warmup 1, ffwd 2: collection starts at max(warmup, ffwd) = 2,
+        # leaving a single measured frame out of the 3 total.
+        assert len(results) == 1
+
+    @pytest.mark.parametrize("ffwd", [-1, 3, 99])
+    def test_ffwd_must_leave_a_detailed_frame(self, ffwd):
+        with pytest.raises(ValueError):
+            run_static_gpu("W3", wt_size=4, frames=2, config=TINY,
+                           ffwd=ffwd)

@@ -1,0 +1,143 @@
+"""Property-style tests for sampling window schedules.
+
+The invariants :meth:`WindowSchedule.windows` documents — exact tiling,
+alternation, warmup handling under truncation — hold over a grid of
+(total, period, detail, warmup, offset) shapes, not just the shipped
+operating points.
+"""
+
+import pytest
+
+from repro.sampling.windows import (Window, WindowSchedule,
+                                    WindowScheduleError, parse_sample_spec)
+
+# A grid wide enough to hit every boundary case: detail == period (no
+# functional windows), offset > 0 (leading functional window), truncated
+# final windows of both kinds, warmup 0.
+GRID = [
+    (total, period, detail, warmup, offset)
+    for total in (1, 5, 8, 24, 37)
+    for period in (1, 3, 8, 12)
+    for detail in (1, 2, 3)
+    for warmup in (0, 1, 2)
+    for offset in (0, 1, 5)
+    if detail <= period and warmup < detail and offset < period
+]
+
+
+@pytest.mark.parametrize("total,period,detail,warmup,offset", GRID)
+def test_windows_tile_the_run_exactly(total, period, detail, warmup, offset):
+    schedule = WindowSchedule(total_frames=total, period=period,
+                              detail=detail, warmup=warmup, offset=offset)
+    windows = schedule.windows()
+    assert windows, "every run has at least one window"
+    # Gap-free, sorted, non-overlapping tiling of [0, total).
+    assert windows[0].start == 0
+    assert windows[-1].end == total
+    for left, right in zip(windows, windows[1:]):
+        assert left.end == right.start
+    # Modes alternate (when the schedule has functional frames at all —
+    # detail == period packs back-to-back detailed windows, one per cycle).
+    if detail < period:
+        for left, right in zip(windows, windows[1:]):
+            assert left.kind != right.kind
+    # Every window is non-empty and of a known kind.
+    for window in windows:
+        assert window.frames > 0
+        assert window.kind in ("functional", "detailed")
+
+
+@pytest.mark.parametrize("total,period,detail,warmup,offset", GRID)
+def test_detailed_windows_land_on_the_period_grid(total, period, detail,
+                                                  warmup, offset):
+    schedule = WindowSchedule(total_frames=total, period=period,
+                              detail=detail, warmup=warmup, offset=offset)
+    for window in schedule.windows():
+        if window.kind != "detailed":
+            continue
+        assert (window.start - offset) % period == 0
+        assert window.frames <= detail
+        # Warmup prefix survives truncation; measured_frames may be 0.
+        assert window.measure_from == min(window.start + warmup, window.end)
+        assert window.measured_frames == window.end - window.measure_from
+
+
+@pytest.mark.parametrize("total,period,detail,warmup,offset", GRID)
+def test_derived_counts_are_consistent(total, period, detail, warmup, offset):
+    schedule = WindowSchedule(total_frames=total, period=period,
+                              detail=detail, warmup=warmup, offset=offset)
+    assert (schedule.detailed_frames() + schedule.functional_frames()
+            == total)
+    assert schedule.coverage == schedule.detailed_frames() / total
+    assert schedule.measured_windows() == sum(
+        1 for w in schedule.windows()
+        if w.kind == "detailed" and w.measured_frames > 0)
+
+
+class TestTruncation:
+    def test_final_window_truncated_below_warmup_measures_nothing(self):
+        # Windows [0,3) and [8,9): the second has 1 frame but warmup 2,
+        # so its warmup prefix swallows the whole window.
+        schedule = WindowSchedule(total_frames=9, period=8, detail=3,
+                                  warmup=2)
+        last = schedule.windows()[-1]
+        assert last == Window(start=8, end=9, kind="detailed",
+                              measure_from=9)
+        assert last.measured_frames == 0
+        assert schedule.measured_windows() == 1
+
+    def test_offset_creates_leading_functional_window(self):
+        schedule = WindowSchedule(total_frames=10, period=4, detail=2,
+                                  warmup=1, offset=1)
+        first = schedule.windows()[0]
+        assert first.kind == "functional"
+        assert (first.start, first.end) == (0, 1)
+
+    def test_all_detail_has_no_functional_windows(self):
+        schedule = WindowSchedule(total_frames=6, period=2, detail=2,
+                                  warmup=1)
+        kinds = {w.kind for w in schedule.windows()}
+        assert kinds == {"detailed"}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(total_frames=0, period=4, detail=2),
+        dict(total_frames=-3, period=4, detail=2),
+        dict(total_frames=8, period=0, detail=1),
+        dict(total_frames=8, period=4, detail=0),
+        dict(total_frames=8, period=4, detail=5),      # detail > period
+        dict(total_frames=8, period=4, detail=2, warmup=2),   # no measured
+        dict(total_frames=8, period=4, detail=2, warmup=-1),
+        dict(total_frames=8, period=4, detail=2, offset=4),   # >= period
+        dict(total_frames=8, period=4, detail=2, offset=-1),
+    ])
+    def test_bad_shapes_raise_typed_errors(self, kwargs):
+        with pytest.raises(WindowScheduleError):
+            WindowSchedule(**kwargs)
+
+
+class TestSpecParsing:
+    def test_round_trip(self):
+        schedule = parse_sample_spec("2:8:1", 24)
+        assert (schedule.detail, schedule.period, schedule.warmup) == (2, 8, 1)
+        assert schedule.spec() == "2:8:1"
+
+    def test_warmup_defaults_to_one_when_window_allows(self):
+        assert parse_sample_spec("2:8", 24).warmup == 1
+
+    def test_warmup_defaults_to_zero_for_single_frame_windows(self):
+        assert parse_sample_spec("1:4", 24).warmup == 0
+
+    @pytest.mark.parametrize("spec", [
+        "2", "2:8:1:4", "", "a:b", "2:8:x", "2.5:8", ":8", "2:",
+    ])
+    def test_malformed_specs_raise_typed_errors(self, spec):
+        with pytest.raises(WindowScheduleError):
+            parse_sample_spec(spec, 24)
+
+    def test_spec_validation_goes_through_schedule_rules(self):
+        with pytest.raises(WindowScheduleError):
+            parse_sample_spec("9:8", 24)       # detail > period
+        with pytest.raises(WindowScheduleError):
+            parse_sample_spec("2:8:2", 24)     # warmup swallows the window
