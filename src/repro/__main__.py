@@ -10,8 +10,13 @@ Commands:
 * ``models``      — list the workload model zoo
 * ``selftest``    — smoke-run one tiny frame with the health watchdog armed
 * ``chaos``       — seeded fault sweep with the runtime sanitizer armed
-* ``fleet``       — fault-tolerant sharded sweep across a supervised
-  worker pool (retry/backoff, checkpoint resume, result cache)
+  (``--server-drill`` runs the fleet-server kill -9 recovery drill)
+* ``fleet``       — the fault-tolerant fleet.  ``fleet sweep`` (the
+  default when flags follow directly) runs a one-shot sharded sweep
+  across a supervised worker pool (retry/backoff, checkpoint resume,
+  result cache); ``fleet serve`` starts the durable journal-backed
+  server; ``fleet submit|status|drain`` talk to it; ``fleet gc``
+  applies the cache/bundle retention caps
 * ``ffwd``        — replay-driven fast-forward / sampled simulation,
   with the functional-vs-detailed equivalence verifier (``--verify``)
 
@@ -451,6 +456,9 @@ def _cmd_chaos(args) -> int:
     """
     import json
 
+    if args.server_drill:
+        return _server_drill(args)
+
     from repro.sanitize.chaos import (SCENARIOS, format_report, run_chaos)
 
     scenarios = SCENARIOS
@@ -486,6 +494,46 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _server_drill(args) -> int:
+    """``chaos --server-drill``: kill -9 the fleet server, prove recovery.
+
+    Runs the sweep once uninterrupted, then again under a server that is
+    SIGKILL'd at ``--kills`` randomized points and restarted; passes iff
+    the journal replays clean (no completed job ever re-claimed) and the
+    drill's cached payloads are byte-identical to the baseline's.
+    """
+    import json
+
+    from repro.fleet.drill import run_server_drill
+
+    seed = int(args.seeds.split(",")[0])
+    print(f"server drill: {args.server_jobs} jobs x {args.frames} frames, "
+          f"{args.kills} kill(s), seed {seed}", flush=True)
+    report = run_server_drill(
+        kills=args.kills, jobs=args.server_jobs, frames=args.frames,
+        workers=args.server_workers, seed=seed, workdir=args.workdir)
+    for name, verdict in sorted(report.jobs.items()):
+        print(f"  {name:<16} {verdict['outcome']:<4} "
+              f"claims={verdict['claims']} "
+              f"cache_hit={'y' if verdict['cache_hit'] else 'n'} "
+              f"payload={'match' if verdict['match'] else 'MISMATCH'}")
+    print(f"  {report.kills} kills over {report.rounds} incarnations; "
+          f"journal: {report.journal.get('records', 0)} records, "
+          f"{report.executed_claims} claims, "
+          f"{report.cache_hits} cache-hit completions")
+    if args.summary:
+        with open(args.summary, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2)
+        print(f"summary written to {args.summary}")
+    if not report.ok:
+        for failure in report.failures:
+            print(f"DRILL FAILURE: {failure}")
+        return 1
+    print("server drill OK: byte-identical to the uninterrupted run, "
+          "no completed job re-executed")
+    return 0
+
+
 def _parse_kill_specs(specs) -> dict:
     """``--kill NAME:FRAME`` flags -> the supervisor's inject mapping.
 
@@ -508,18 +556,22 @@ def _parse_kill_specs(specs) -> dict:
     return inject
 
 
-def _cmd_fleet(args) -> int:
+def _cmd_fleet_sweep(args) -> int:
     """Run a sharded sweep under the fault-tolerant fleet (DESIGN.md §10).
 
     Jobs come from ``--jobs specs.json`` (a list of JobSpec objects) or
     are generated as the cross product of ``--models`` x ``--seeds``.
     Exit 0 when every job ends ``ok`` (and, with ``--expect-cached``,
-    every job was served from the cache); exit 1 otherwise.
+    every job was served from the cache); exit 1 otherwise.  Signals get
+    the graceful-shutdown ladder: the first SIGTERM/SIGINT drains
+    (in-flight jobs stop at a checkpoint boundary, queued jobs are
+    cancelled; exit 4), a second aborts (workers SIGKILLed; exit 5).
     """
     import json
+    import signal as signallib
 
-    from repro.fleet import (BackoffPolicy, FleetConfig, JobSpec,
-                             JobSpecError, run_sweep)
+    from repro.fleet import (BackoffPolicy, FleetConfig, FleetSupervisor,
+                             JobSpec, JobSpecError)
 
     try:
         if args.jobs:
@@ -561,20 +613,46 @@ def _cmd_fleet(args) -> int:
         cache_dir=args.cache_dir,
         inject=inject,
     )
-    report = run_sweep(specs, config, workdir=args.workdir)
+    supervisor = FleetSupervisor(config, args.workdir)
+    supervisor.submit_sweep(specs)
+
+    signals_seen = 0
+
+    def _on_signal(signum, frame) -> None:
+        nonlocal signals_seen
+        signals_seen += 1
+        if signals_seen == 1:
+            supervisor.request_drain()
+        else:
+            supervisor.request_abort()
+
+    previous = {}
+    for signum in (signallib.SIGTERM, signallib.SIGINT):
+        try:
+            previous[signum] = signallib.signal(signum, _on_signal)
+        except (ValueError, OSError):        # non-main thread (tests)
+            pass
+    try:
+        report = supervisor.run()
+    finally:
+        for signum, handler in previous.items():
+            signallib.signal(signum, handler)
 
     rows = []
     for record in report.records:
         source = ("cache" if record.cache_hit
                   else f"{len(record.attempts)} attempt(s)")
         detail = ""
-        if record.attempts:
+        if record.cancel_reason:
+            detail = record.cancel_reason[:60]
+        elif record.attempts:
             last = record.attempts[-1]
             detail = last.detail[:60]
-            if any(a.resumed_from for a in record.attempts):
-                source += (", resumed@f"
-                           + str(max(a.resumed_from
-                                     for a in record.attempts)))
+        if record.attempts \
+                and any(a.resumed_from for a in record.attempts):
+            source += (", resumed@f"
+                       + str(max(a.resumed_from
+                                 for a in record.attempts)))
         rows.append([record.spec.name, record.outcome, source,
                      (record.payload or {}).get("fb_crc", "-"), detail])
     print(format_table(["job", "outcome", "via", "fb_crc", "detail"], rows,
@@ -592,12 +670,228 @@ def _cmd_fleet(args) -> int:
         with open(args.summary, "w") as handle:
             json.dump(report.to_dict(), handle, indent=2)
         print(f"summary written to {args.summary}")
+    if supervisor.aborted:
+        print("fleet sweep ABORTED (second signal); "
+              "checkpoints survive for a resume")
+        return 5
+    if supervisor.draining:
+        print("fleet sweep drained (first signal); "
+              "cancelled jobs resume from their checkpoints")
+        return 4
     if not report.ok:
         return 1
     if args.expect_cached and report.cached != len(report.records):
         print(f"EXPECTED CACHE-ONLY RERUN: {report.cached}/"
               f"{len(report.records)} jobs served from cache")
         return 1
+    return 0
+
+
+def _socket_request(workdir: str, doc: dict, timeout: float = 10.0) -> dict:
+    """One request/response round trip on the server's Unix socket."""
+    import json
+    import socket as socketlib
+
+    from repro.fleet.server import SOCKET_NAME
+
+    path = f"{workdir}/{SOCKET_NAME}"
+    with socketlib.socket(socketlib.AF_UNIX,
+                          socketlib.SOCK_STREAM) as sock:
+        sock.settimeout(timeout)
+        sock.connect(path)
+        sock.sendall((json.dumps(doc) + "\n").encode())
+        buffer = b""
+        while not buffer.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            buffer += chunk
+    return json.loads(buffer)
+
+
+def _cmd_fleet_serve(args) -> int:
+    """Start the durable fleet server (DESIGN.md §14).
+
+    Recovers from the write-ahead journal, then serves the file-drop
+    spool and the Unix socket until drained.  Exit 0 = drained clean
+    with nothing pending, 4 = drained with pending jobs (the journal
+    resumes them next start), 5 = aborted on a second signal.
+    """
+    from repro.fleet import FleetConfig, FleetServer, ServerConfig
+    from repro.sanitize import SanitizerViolation
+
+    cache_dir = args.cache or f"{args.workdir}/cache"
+    fleet = FleetConfig(
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        max_attempts=args.max_attempts,
+        heartbeat_timeout=args.heartbeat_timeout,
+        poll_interval=args.poll_interval,
+        budget_events=args.budget_events,
+        cache_dir=cache_dir,
+    )
+    config = ServerConfig(
+        fleet=fleet,
+        spool_poll=args.spool_poll,
+        segment_records=args.segment_records,
+        unhealthy_after=args.unhealthy_after,
+        expect=args.expect,
+        enable_socket=not args.no_socket,
+    )
+    try:
+        server = FleetServer(config, args.workdir)
+    except SanitizerViolation as violation:
+        print(f"REFUSING TO START: {violation}")
+        return 1
+    print(f"fleet server {server.server_id}: workdir={args.workdir} "
+          f"cache={cache_dir}", flush=True)
+    print(f"  spool: {args.workdir}/spool   "
+          f"socket: {'off' if args.no_socket else server.socket_path}",
+          flush=True)
+    recovered = len(server.replay.pending)
+    if recovered:
+        print(f"  recovered {recovered} pending job(s) from the journal",
+              flush=True)
+    code = server.serve()
+    status = server.status()
+    print(f"fleet server exit {code}: jobs={status['jobs']} "
+          f"executed={status['executed']}", flush=True)
+    return code
+
+
+def _cmd_fleet_submit(args) -> int:
+    """Submit jobs to a running (or future) fleet server.
+
+    Reads a spec file (one spec object, a submission envelope, or a
+    list of either) and submits each via the Unix socket when the
+    server is up, else as spool drop files the server consumes on its
+    next scan.  Exit 0 when everything was accepted (dedup counts as
+    accepted), 1 otherwise.
+    """
+    import json
+    import os
+
+    from repro.fleet.server import SOCKET_NAME, SPOOL_DIR
+
+    try:
+        with open(args.specfile) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"bad spec file: {exc}")
+        return 2
+    docs = doc if isinstance(doc, list) else [doc]
+    if args.priority or args.owner or args.deadline:
+        docs = [{"spec": item if "spec" not in item else item["spec"],
+                 "priority": args.priority,
+                 "owner": args.owner or "anonymous",
+                 "deadline": args.deadline}
+                for item in docs]
+        for item in docs:
+            if item["deadline"] is None:
+                del item["deadline"]
+    via_socket = (not args.spool
+                  and os.path.exists(os.path.join(args.workdir,
+                                                  SOCKET_NAME)))
+    failures = 0
+    for index, item in enumerate(docs):
+        if via_socket:
+            try:
+                ack = _socket_request(args.workdir,
+                                      {"op": "submit", "job": item})
+            except OSError as exc:
+                print(f"socket submit failed ({exc}); falling back to "
+                      f"the spool")
+                via_socket = False
+                ack = None
+            if ack is not None:
+                name = ack.get("name", "?")
+                if ack.get("ok"):
+                    state = "dedup" if ack.get("dedup") else "accepted"
+                    print(f"  {name}: {state} ({ack.get('outcome')})")
+                else:
+                    failures += 1
+                    print(f"  job[{index}]: REJECTED "
+                          f"{ack.get('error')}: {ack.get('detail')}")
+                continue
+        spool = os.path.join(args.workdir, SPOOL_DIR)
+        os.makedirs(spool, exist_ok=True)
+        spec = item.get("spec", item) if isinstance(item, dict) else {}
+        name = spec.get("name", f"job{index}") if isinstance(spec, dict) \
+            else f"job{index}"
+        drop = os.path.join(spool, f"{name}.json")
+        with open(drop + ".tmp", "w") as handle:
+            json.dump(item, handle, indent=2)
+        os.replace(drop + ".tmp", drop)
+        print(f"  {name}: spooled -> {drop}")
+    return 1 if failures else 0
+
+
+def _cmd_fleet_status(args) -> int:
+    """Server status: live over the socket, offline from the journal."""
+    import json
+    import os
+
+    from repro.fleet.server import SOCKET_NAME, journal_status
+    from repro.sanitize import SanitizerViolation
+
+    if os.path.exists(os.path.join(args.workdir, SOCKET_NAME)):
+        try:
+            status = _socket_request(args.workdir, {"op": "status"})
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0 if status.get("ok") else 1
+        except OSError:
+            pass                         # stale socket: fall back
+    try:
+        status = journal_status(args.workdir)
+    except SanitizerViolation as violation:
+        print(f"JOURNAL INCONSISTENT: {violation}")
+        return 1
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_fleet_drain(args) -> int:
+    """Ask a running server to drain (finish/checkpoint, then exit)."""
+    try:
+        ack = _socket_request(args.workdir, {"op": "drain"})
+    except OSError as exc:
+        print(f"no server reachable at {args.workdir}: {exc}")
+        return 1
+    print("drain requested" if ack.get("ok") else f"drain refused: {ack}")
+    return 0 if ack.get("ok") else 1
+
+
+def _cmd_fleet_gc(args) -> int:
+    """Apply the retention caps: result cache LRU + triage bundles."""
+    import json
+
+    from repro.fleet import ResultCache, sweep_triage_bundles
+
+    doc: dict = {}
+    if args.cache:
+        cache = ResultCache(args.cache)
+        report = cache.gc(max_entries=args.max_entries,
+                          max_bytes=args.max_bytes,
+                          stale_staging_age=args.stale_staging_age)
+        doc["cache"] = report.to_dict()
+        print(f"cache {args.cache}: kept {report.entries} entries "
+              f"({report.bytes} bytes), evicted {report.evicted_entries} "
+              f"({report.evicted_bytes} bytes), removed "
+              f"{report.quarantined_removed} quarantined + "
+              f"{report.staging_removed} stale staging")
+    if args.workdir:
+        swept = sweep_triage_bundles(args.workdir,
+                                     max_bundles=args.max_bundles)
+        doc["bundles"] = swept
+        print(f"bundles under {args.workdir}: kept {swept['kept']}, "
+              f"removed {swept['removed']}")
+    if not doc:
+        print("nothing to do: give --cache and/or --workdir")
+        return 2
+    if args.summary:
+        with open(args.summary, "w") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+        print(f"summary written to {args.summary}")
     return 0
 
 
@@ -796,11 +1090,30 @@ def main(argv=None) -> int:
     p.add_argument("--summary", metavar="PATH",
                    help="write the machine-readable sweep summary "
                         "(per-scenario outcomes, bundle paths) as JSON")
+    p.add_argument("--server-drill", action="store_true",
+                   help="run the fleet-server chaos drill instead: "
+                        "kill -9 the server at randomized points "
+                        "mid-sweep, restart, assert byte-identical "
+                        "results and zero re-executed jobs")
+    p.add_argument("--kills", type=int, default=3,
+                   help="server drill: SIGKILLs to deliver (default: 3)")
+    p.add_argument("--server-jobs", type=int, default=4,
+                   help="server drill: jobs in the sweep (default: 4)")
+    p.add_argument("--server-workers", type=int, default=2,
+                   help="server drill: worker pool size (default: 2)")
+    p.add_argument("--workdir", default="server-drill-work",
+                   help="server drill: scratch root")
     p.set_defaults(func=_cmd_chaos)
 
     p = sub.add_parser("fleet",
-                       help="fault-tolerant sharded sweep across a "
-                            "supervised worker pool")
+                       help="the fault-tolerant fleet: one-shot sweeps "
+                            "(sweep) and the durable journal-backed "
+                            "server (serve/submit/status/drain/gc)")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    p = fleet_sub.add_parser(
+        "sweep", help="one-shot sharded sweep across a supervised "
+                      "worker pool (the historic `repro fleet` flags)")
     p.add_argument("--models", default="cube",
                    help="comma-separated workload models (default: cube)")
     p.add_argument("--seeds", default="1,2,3",
@@ -845,7 +1158,84 @@ def main(argv=None) -> int:
     p.add_argument("--expect-cached", action="store_true",
                    help="also fail unless every job was served from the "
                         "cache (CI determinism check)")
-    p.set_defaults(func=_cmd_fleet)
+    p.set_defaults(func=_cmd_fleet_sweep)
+
+    p = fleet_sub.add_parser(
+        "serve", help="start the durable fleet server (write-ahead "
+                      "journal, spool + socket intake, priority/"
+                      "fair-share/deadline scheduling)")
+    p.add_argument("--workdir", default="fleet-server",
+                   help="server root (journal, spool, jobs, socket)")
+    p.add_argument("--cache", metavar="DIR",
+                   help="result cache root (default: WORKDIR/cache)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--queue-limit", type=int, default=1024,
+                   help="pending-job bound; beyond it submissions shed")
+    p.add_argument("--max-attempts", type=int, default=3)
+    p.add_argument("--heartbeat-timeout", type=float, default=60.0)
+    p.add_argument("--poll-interval", type=float, default=0.05)
+    p.add_argument("--spool-poll", type=float, default=0.1,
+                   help="seconds between file-drop spool scans")
+    p.add_argument("--segment-records", type=int, default=256,
+                   help="journal records per segment before rotation")
+    p.add_argument("--unhealthy-after", type=int, default=5,
+                   help="consecutive worker infra failures before the "
+                        "server degrades to cache-only serving")
+    p.add_argument("--budget-events", type=int, default=5_000_000)
+    p.add_argument("--expect", type=int, metavar="N",
+                   help="drain automatically once N jobs are terminal "
+                        "(CI / drill mode)")
+    p.add_argument("--no-socket", action="store_true",
+                   help="file-drop spool intake only")
+    p.set_defaults(func=_cmd_fleet_serve)
+
+    p = fleet_sub.add_parser(
+        "submit", help="submit job specs to a fleet server (socket when "
+                       "live, spool drop files otherwise)")
+    p.add_argument("specfile",
+                   help="JSON: a spec, a {spec, priority, owner, "
+                        "deadline} envelope, or a list of either")
+    p.add_argument("--workdir", default="fleet-server",
+                   help="the server's root")
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (applied to every spec)")
+    p.add_argument("--owner", default="",
+                   help="fair-share bucket (applied to every spec)")
+    p.add_argument("--deadline", type=float,
+                   help="cancel after this many wall seconds")
+    p.add_argument("--spool", action="store_true",
+                   help="always use the file-drop spool, skip the socket")
+    p.set_defaults(func=_cmd_fleet_submit)
+
+    p = fleet_sub.add_parser(
+        "status", help="server status (socket when live, journal replay "
+                       "otherwise)")
+    p.add_argument("--workdir", default="fleet-server")
+    p.set_defaults(func=_cmd_fleet_status)
+
+    p = fleet_sub.add_parser(
+        "drain", help="ask a running server to drain and exit cleanly")
+    p.add_argument("--workdir", default="fleet-server")
+    p.set_defaults(func=_cmd_fleet_drain)
+
+    p = fleet_sub.add_parser(
+        "gc", help="apply retention caps: result-cache LRU eviction, "
+                   "quarantined entries, stale staging, triage bundles")
+    p.add_argument("--cache", metavar="DIR",
+                   help="result cache root to collect")
+    p.add_argument("--max-entries", type=int,
+                   help="keep at most this many cache entries (LRU)")
+    p.add_argument("--max-bytes", type=int,
+                   help="keep at most this many cache bytes (LRU)")
+    p.add_argument("--stale-staging-age", type=float, default=3600.0,
+                   help="remove staging dirs older than this (seconds)")
+    p.add_argument("--workdir", metavar="DIR",
+                   help="fleet workdir whose triage bundles to cap")
+    p.add_argument("--max-bundles", type=int, default=32,
+                   help="bundles to keep across the workdir (newest)")
+    p.add_argument("--summary", metavar="PATH",
+                   help="write the machine-readable GC report as JSON")
+    p.set_defaults(func=_cmd_fleet_gc)
 
     p = sub.add_parser("dse",
                        help="design-space exploration: a topology grid "
@@ -894,6 +1284,14 @@ def main(argv=None) -> int:
     p.add_argument("--run-frames", type=int, default=20)
     p.set_defaults(func=_cmd_dfsl)
 
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # Back-compat: `repro fleet --seeds ...` (the historic one-shot form)
+    # means `repro fleet sweep --seeds ...`.
+    if argv and argv[0] == "fleet" \
+            and (len(argv) == 1 or argv[1].startswith("-")):
+        argv.insert(1, "sweep")
     args = parser.parse_args(argv)
     return args.func(args)
 

@@ -1,10 +1,10 @@
-"""Fault-tolerant simulation fleet (DESIGN.md §10).
+"""Fault-tolerant simulation fleet (DESIGN.md §10, server mode §14).
 
 ``repro.fleet`` turns the single-run simulator into a supervised,
 crash-tolerant service: an asyncio :class:`FleetSupervisor` shards
 benchmark sweeps, chaos seeds and user-submitted configs across a
 multiprocess worker pool, detects crashed and hung workers by heartbeat
-deadline (the :mod:`repro.health.watchdog` idiom in wall-clock time),
+staleness (a monotonic attempt-progress counter, immune to clock jumps),
 requeues them with capped exponential backoff, resumes retried jobs from
 their last :class:`~repro.soc.checkpoint.GraphicsCheckpoint`, and caches
 deterministic results content-addressed on (config hash, seed, code
@@ -12,7 +12,15 @@ version) with gem5-style manifests.  Failures surface as typed outcomes
 with PR 4 triage bundles attached — the chaos loud-death contract
 extended to the process-pool layer.
 
-Quickstart::
+On top of the one-shot supervisor sits the **durable fleet server**
+(:mod:`repro.fleet.server`): a long-lived service whose entire state is
+reconstructible after ``kill -9`` from its write-ahead job journal
+(:mod:`repro.fleet.journal`), with file-drop + Unix-socket intake,
+priority / fair-share / deadline scheduling, and graceful SIGTERM
+drains.  :mod:`repro.fleet.drill` is the server-level chaos drill that
+SIGKILLs the server mid-sweep and asserts byte-identical results.
+
+Quickstart (one-shot sweep)::
 
     from repro.fleet import FleetConfig, JobSpec, run_sweep
 
@@ -23,18 +31,24 @@ Quickstart::
                        workdir="fleet-work")
     assert report.ok        # rerun: served entirely from cache
 
-CLI: ``python -m repro fleet --seeds 1,2,3 --workers 2``.
+CLI: ``python -m repro fleet sweep --seeds 1,2,3 --workers 2``; the
+server is ``python -m repro fleet serve|submit|status|drain|gc``.
 """
 
 from __future__ import annotations
 
-from repro.fleet.cache import CachedResult, ResultCache
+from repro.fleet.cache import (CacheGCReport, CachedResult, ResultCache,
+                               sweep_triage_bundles)
 from repro.fleet.heartbeat import HeartbeatMonitor
 from repro.fleet.job import (ATTEMPT_OUTCOMES, JOB_OUTCOMES, JobAttempt,
                              JobRecord, JobSpec, JobSpecError)
+from repro.fleet.journal import (JobJournal, JournalReplay, ReplayedJob,
+                                 replay_journal)
 from repro.fleet.manifest import (ManifestError, build_manifest, cache_key,
                                   code_version, config_hash,
                                   validate_manifest)
+from repro.fleet.server import (FleetServer, JobSubmission, ServerConfig,
+                                SubmissionError, journal_status)
 from repro.fleet.supervisor import (BackoffPolicy, FleetConfig, FleetReport,
                                     FleetSaturated, FleetSupervisor,
                                     FleetWorkerFailure, run_sweep)
@@ -43,26 +57,37 @@ from repro.fleet.worker import run_job, worker_entry
 __all__ = [
     "ATTEMPT_OUTCOMES",
     "BackoffPolicy",
+    "CacheGCReport",
     "CachedResult",
     "FleetConfig",
     "FleetReport",
     "FleetSaturated",
+    "FleetServer",
     "FleetSupervisor",
     "FleetWorkerFailure",
     "HeartbeatMonitor",
     "JOB_OUTCOMES",
     "JobAttempt",
+    "JobJournal",
     "JobRecord",
     "JobSpec",
     "JobSpecError",
+    "JobSubmission",
+    "JournalReplay",
     "ManifestError",
+    "ReplayedJob",
     "ResultCache",
+    "ServerConfig",
+    "SubmissionError",
     "build_manifest",
     "cache_key",
     "code_version",
     "config_hash",
+    "journal_status",
+    "replay_journal",
     "run_job",
     "run_sweep",
+    "sweep_triage_bundles",
     "validate_manifest",
     "worker_entry",
 ]

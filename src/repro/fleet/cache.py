@@ -13,24 +13,36 @@ Robustness contract:
 
 * **Atomic publish** — an entry is staged in a scratch directory and
   renamed into place; readers never observe a half-written entry.  Two
-  workers racing to publish the same key both succeed (the loser's
-  staging directory is discarded — determinism means the bytes agree).
+  workers racing to publish the same key both succeed; the loser *checks*
+  that the winner's bytes equal its own (determinism makes them equal by
+  construction), and a divergence quarantines the winner with both
+  digests logged instead of silently trusting either side.
 * **Corrupt entries are misses** — a damaged manifest or unreadable
   payload quarantines the entry (renamed to ``*.corrupt-N``) and reports
   a miss, so one bad disk block costs a re-run, not a crash or a wrong
   answer.
+* **Bounded growth** — :meth:`ResultCache.gc` applies size/count caps
+  with LRU eviction (hits refresh recency); quarantined entries and
+  orphaned staging directories are swept first.  ``python -m repro fleet
+  gc`` drives it from the CLI.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.fleet.manifest import (MANIFEST_NAME, RESULT_NAME, ManifestError,
                                   payload_bytes, validate_manifest)
+
+#: Orphaned ``*.staging-<pid>`` directories older than this many seconds
+#: (a publisher SIGKILL'd mid-store) are reclaimed by :meth:`gc`.
+STALE_STAGING_AGE = 3600.0
 
 
 @dataclass
@@ -44,6 +56,46 @@ class CachedResult:
     path: str
 
 
+@dataclass
+class CacheGCReport:
+    """What one retention sweep found and removed."""
+
+    entries: int = 0                 # valid entries surviving the sweep
+    bytes: int = 0                   # bytes surviving the sweep
+    evicted_entries: int = 0
+    evicted_bytes: int = 0
+    quarantined_removed: int = 0
+    staging_removed: int = 0
+    evicted: list = field(default_factory=list)   # entry basenames, oldest first
+
+    def to_dict(self) -> dict:
+        return {
+            "entries": self.entries, "bytes": self.bytes,
+            "evicted_entries": self.evicted_entries,
+            "evicted_bytes": self.evicted_bytes,
+            "quarantined_removed": self.quarantined_removed,
+            "staging_removed": self.staging_removed,
+            "evicted": list(self.evicted),
+        }
+
+
+def _tree_size(path: str) -> int:
+    total = 0
+    for dirpath, _dirnames, filenames in os.walk(path):
+        for name in filenames:
+            try:
+                total += os.path.getsize(os.path.join(dirpath, name))
+            except OSError:
+                pass
+    return total
+
+
+def _sha256(raw: Optional[bytes]) -> str:
+    if raw is None:
+        return "<unreadable>"
+    return hashlib.sha256(raw).hexdigest()[:16]
+
+
 class ResultCache:
     """The on-disk store; safe for concurrent writers on one filesystem."""
 
@@ -53,6 +105,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.quarantined = 0
+        self.race_divergences = 0
 
     def entry_dir(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key)
@@ -62,7 +115,8 @@ class ResultCache:
 
         Anything wrong with the entry — missing files, truncated JSON, a
         manifest that disagrees with its address — quarantines it and
-        counts as a miss.
+        counts as a miss.  A hit refreshes the entry's mtime so the GC's
+        LRU order tracks actual use, not publish time.
         """
         path = self.entry_dir(key)
         if not os.path.isdir(path):
@@ -81,36 +135,77 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
+        try:
+            os.utime(path)                     # LRU recency for gc()
+        except OSError:
+            pass
         return CachedResult(key=key, manifest=manifest, payload=payload,
                             result_bytes=raw, path=path)
 
     def store(self, key: str, manifest: dict, payload: dict) -> str:
-        """Publish an entry atomically; returns its final path."""
+        """Publish an entry atomically; returns its final path.
+
+        Losing a concurrent-publish race is success *only if* the
+        winner's payload bytes equal ours — determinism guarantees they
+        do, so a divergence means a real defect (code-version aliasing,
+        bit rot mid-flight) and the winner is quarantined with both
+        digests logged before we retry our own publish.
+        """
         final = self.entry_dir(key)
         os.makedirs(os.path.dirname(final), exist_ok=True)
         staging = f"{final}.staging-{os.getpid()}"
         os.makedirs(staging, exist_ok=True)
+        raw = payload_bytes(payload)
         try:
             with open(os.path.join(staging, RESULT_NAME), "wb") as handle:
-                handle.write(payload_bytes(payload))
+                handle.write(raw)
             with open(os.path.join(staging, MANIFEST_NAME), "w") as handle:
                 json.dump(manifest, handle, indent=2, sort_keys=True)
                 handle.write("\n")
-            try:
-                os.rename(staging, final)
-            except OSError:
-                if not os.path.isdir(final):
-                    # Not the publish race — a genuine failure
-                    # (permissions, a file squatting at the entry path).
-                    # Swallowing it would silently never cache.
-                    raise
-                # A concurrent worker published first; deterministic
-                # results mean the winner's bytes equal ours.
-                shutil.rmtree(staging, ignore_errors=True)
+            # Two tries: losing the race once is expected; after
+            # quarantining a divergent winner our own rename must land.
+            for _ in range(2):
+                try:
+                    os.rename(staging, final)
+                    return final
+                except OSError:
+                    if not os.path.isdir(final):
+                        # Not the publish race — a genuine failure
+                        # (permissions, a file squatting at the entry
+                        # path).  Swallowing it would silently never
+                        # cache.
+                        raise
+                    winner = self._published_bytes(final)
+                    if winner == raw:
+                        # A concurrent worker published identical bytes
+                        # first; discard our staging copy.
+                        shutil.rmtree(staging, ignore_errors=True)
+                        return final
+                    # Divergence (or an unreadable winner): quarantine
+                    # the occupant, recording both sides' digests so the
+                    # loser — us — is identifiable from the quarantine
+                    # record alone.
+                    self.race_divergences += 1
+                    self._quarantine(final, reason=(
+                        "concurrent publish divergence: winner sha256 "
+                        f"{_sha256(winner)} != loser sha256 {_sha256(raw)} "
+                        f"(loser pid {os.getpid()}, key {key})"))
+            # Both tries lost to divergent winners: give up loudly-ish —
+            # the entry on disk will be re-validated (and quarantined if
+            # bad) at lookup time.
+            shutil.rmtree(staging, ignore_errors=True)
+            return final
         except BaseException:
             shutil.rmtree(staging, ignore_errors=True)
             raise
-        return final
+
+    @staticmethod
+    def _published_bytes(final: str) -> Optional[bytes]:
+        try:
+            with open(os.path.join(final, RESULT_NAME), "rb") as handle:
+                return handle.read()
+        except OSError:
+            return None
 
     def _quarantine(self, path: str, reason: str) -> None:
         target, suffix = f"{path}.corrupt", 1
@@ -125,6 +220,115 @@ class ResultCache:
             pass                               # best effort; still a miss
         self.quarantined += 1
 
+    # -- retention ----------------------------------------------------------
+
+    def _scan(self):
+        """(valid, quarantined, staging) directory listings under root."""
+        valid, quarantined, staging = [], [], []
+        try:
+            fanouts = sorted(os.listdir(self.root))
+        except OSError:
+            return valid, quarantined, staging
+        for fanout in fanouts:
+            fan_dir = os.path.join(self.root, fanout)
+            if not os.path.isdir(fan_dir):
+                continue
+            for name in sorted(os.listdir(fan_dir)):
+                path = os.path.join(fan_dir, name)
+                if not os.path.isdir(path):
+                    continue
+                if ".staging-" in name:
+                    staging.append(path)
+                elif ".corrupt" in name:
+                    quarantined.append(path)
+                else:
+                    valid.append(path)
+        return valid, quarantined, staging
+
+    def gc(self, max_entries: Optional[int] = None,
+           max_bytes: Optional[int] = None,
+           stale_staging_age: float = STALE_STAGING_AGE) -> CacheGCReport:
+        """Apply retention caps; returns what was swept.
+
+        Quarantined entries and orphaned staging directories go first
+        (they serve no lookup), then valid entries are evicted oldest-
+        mtime-first until both caps hold.  ``None`` disables a cap.
+        """
+        report = CacheGCReport()
+        valid, quarantined, staging = self._scan()
+        now = time.time()
+        for path in staging:
+            try:
+                if now - os.path.getmtime(path) < stale_staging_age:
+                    continue
+            except OSError:
+                pass
+            shutil.rmtree(path, ignore_errors=True)
+            report.staging_removed += 1
+        for path in quarantined:
+            shutil.rmtree(path, ignore_errors=True)
+            report.quarantined_removed += 1
+
+        def mtime(path: str) -> float:
+            try:
+                return os.path.getmtime(path)
+            except OSError:
+                return 0.0
+
+        survivors = sorted(valid, key=mtime)         # oldest first
+        sizes = {path: _tree_size(path) for path in survivors}
+        total = sum(sizes.values())
+        while survivors and (
+                (max_entries is not None and len(survivors) > max_entries)
+                or (max_bytes is not None and total > max_bytes)):
+            victim = survivors.pop(0)
+            shutil.rmtree(victim, ignore_errors=True)
+            total -= sizes[victim]
+            report.evicted_entries += 1
+            report.evicted_bytes += sizes[victim]
+            report.evicted.append(os.path.basename(victim))
+        report.entries = len(survivors)
+        report.bytes = total
+        return report
+
     def stats(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "quarantined": self.quarantined}
+                "quarantined": self.quarantined,
+                "race_divergences": self.race_divergences}
+
+
+def sweep_triage_bundles(workdir: str,
+                         max_bundles: Optional[int] = None) -> dict:
+    """Cap the triage-bundle population under a fleet workdir.
+
+    Bundles live at ``<workdir>/jobs/<job>/triage/<bundle>``; the oldest
+    (by mtime) beyond ``max_bundles`` are removed.  Returns a summary
+    dict (``kept`` / ``removed`` counts and the removed paths).
+    """
+    bundles = []
+    jobs_root = os.path.join(workdir, "jobs")
+    if os.path.isdir(jobs_root):
+        for job in sorted(os.listdir(jobs_root)):
+            triage = os.path.join(jobs_root, job, "triage")
+            if not os.path.isdir(triage):
+                continue
+            for name in sorted(os.listdir(triage)):
+                path = os.path.join(triage, name)
+                if os.path.isdir(path):
+                    bundles.append(path)
+
+    def mtime(path: str) -> float:
+        try:
+            return os.path.getmtime(path)
+        except OSError:
+            return 0.0
+
+    bundles.sort(key=mtime)
+    removed = []
+    if max_bundles is not None and len(bundles) > max_bundles:
+        for victim in bundles[:len(bundles) - max_bundles]:
+            shutil.rmtree(victim, ignore_errors=True)
+            removed.append(victim)
+        bundles = bundles[len(removed):]
+    return {"kept": len(bundles), "removed": len(removed),
+            "removed_paths": removed}

@@ -3,11 +3,23 @@
 Workers beat by atomically rewriting a small JSON file at every frame
 boundary (the same cadence as checkpoints).  The supervisor polls the
 file and applies the watchdog's deadline idiom (``repro.health.watchdog``)
-in wall-clock time: a worker whose process is alive but whose heartbeat
-has not changed within the timeout is *hung* — killed and requeued — while
-a dead process with no result is *crashed*.  Files survive SIGKILL, so a
+to it: a worker whose process is alive but whose heartbeat has made no
+*progress* within the timeout is *hung* — killed and requeued — while a
+dead process with no result is *crashed*.  Files survive SIGKILL, so a
 violently killed worker leaves its last observed progress behind for the
 triage bundle.
+
+Clock discipline (ISSUE 10): staleness must survive system clock jumps
+in both directions.  Two rules enforce that:
+
+* the monitor measures elapsed time with ``time.monotonic()`` only — a
+  wall-clock step (NTP slew, suspend/resume, a VM migration) can neither
+  mass-expire every healthy worker nor rewind a deadline;
+* "alive" means the **monotonic attempt-progress counter** advanced, not
+  "the file changed".  Heartbeats carry a wall-clock ``time`` field for
+  humans and triage bundles, but a worker that keeps rewriting its file
+  with a fresh timestamp and a frozen ``progress`` counter is hung and
+  times out on schedule.
 """
 
 from __future__ import annotations
@@ -18,11 +30,20 @@ import time
 from typing import Optional
 
 
-def write_heartbeat(path: str, *, frame: int, tick: int, beats: int) -> None:
-    """Atomically publish one heartbeat (write-then-rename)."""
+def write_heartbeat(path: str, *, frame: int, tick: int, beats: int,
+                    progress: Optional[int] = None) -> None:
+    """Atomically publish one heartbeat (write-then-rename).
+
+    ``progress`` is the monotonic attempt-progress counter the staleness
+    verdict keys on; it defaults to ``beats`` (which the worker's frame
+    hook increments every call).  ``time`` is wall-clock provenance for
+    humans reading a triage bundle — the monitor never consults it.
+    """
     tmp = f"{path}.tmp-{os.getpid()}"
     with open(tmp, "w") as handle:
         json.dump({"frame": frame, "tick": tick, "beats": beats,
+                   "progress": beats if progress is None else progress,
+                   "time": time.time(),
                    "pid": os.getpid()}, handle)
     os.replace(tmp, path)
 
@@ -37,12 +58,27 @@ def read_heartbeat(path: str) -> Optional[dict]:
     return doc if isinstance(doc, dict) else None
 
 
+def _progress_of(doc: dict):
+    """The doc's progress marker.
+
+    Current-format heartbeats carry an explicit monotonic ``progress``
+    counter.  Legacy docs (pre-ISSUE-10) fall back to the volatile-free
+    remainder of the document, so a heartbeat whose only change is its
+    wall-clock ``time`` field never counts as progress either way.
+    """
+    if "progress" in doc:
+        return ("counter", doc["progress"])
+    volatile_free = {k: v for k, v in doc.items() if k != "time"}
+    return ("doc", volatile_free)
+
+
 class HeartbeatMonitor:
     """Tracks one worker's heartbeat file; answers "is it stale?".
 
-    ``timeout`` is wall-clock seconds without an observed change before
-    the worker counts as hung.  The clock starts at construction (process
-    launch), so a worker that never beats at all also times out.
+    ``timeout`` is seconds (measured monotonically) without observed
+    *progress* before the worker counts as hung.  The clock starts at
+    construction (process launch), so a worker that never beats at all
+    also times out.
     """
 
     def __init__(self, path: str, timeout: float) -> None:
@@ -51,14 +87,18 @@ class HeartbeatMonitor:
         self.path = path
         self.timeout = timeout
         self._last_seen: Optional[dict] = None
+        self._last_progress = None
         self._changed_at = time.monotonic()
 
     def poll(self) -> Optional[dict]:
         """Re-read the file; returns the latest heartbeat (or None)."""
         doc = read_heartbeat(self.path)
-        if doc is not None and doc != self._last_seen:
+        if doc is not None:
+            progress = _progress_of(doc)
+            if progress != self._last_progress:
+                self._last_progress = progress
+                self._changed_at = time.monotonic()
             self._last_seen = doc
-            self._changed_at = time.monotonic()
         return self._last_seen
 
     @property
@@ -66,7 +106,7 @@ class HeartbeatMonitor:
         return self._last_seen
 
     def age(self) -> float:
-        """Seconds since the heartbeat last changed (or since launch)."""
+        """Seconds since progress was last observed (or since launch)."""
         return time.monotonic() - self._changed_at
 
     def stale(self) -> bool:

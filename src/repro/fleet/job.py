@@ -29,9 +29,13 @@ attempt outcome  meaning
 Job outcomes are ``ok`` (possibly via cache), ``failed`` (crash/hang
 retries exhausted), ``violation`` / ``detected`` / ``error`` (typed
 deterministic failures — retrying a deterministic simulation reproduces
-the same failure, so these are terminal on the first attempt), and
+the same failure, so these are terminal on the first attempt),
 ``shed`` (rejected at submit time by the bounded queue —
-:class:`~repro.fleet.supervisor.FleetSaturated`).
+:class:`~repro.fleet.supervisor.FleetSaturated`), and ``cancelled``
+(stopped by policy, not by failure: a drain signal before the job ran,
+or a fleet-server deadline cancel through the cooperative-preemption
+path — the job's checkpoint survives, so a resubmission resumes rather
+than restarts).
 """
 
 from __future__ import annotations
@@ -45,7 +49,8 @@ from repro.common.config import ConfigError, SoCTopology
 ATTEMPT_OUTCOMES = ("ok", "preempted", "crashed", "hung", "violation",
                     "detected", "error")
 #: Job-level outcomes (after the supervisor's retry policy).
-JOB_OUTCOMES = ("ok", "failed", "violation", "detected", "error", "shed")
+JOB_OUTCOMES = ("ok", "failed", "violation", "detected", "error", "shed",
+                "cancelled")
 #: Attempt outcomes the supervisor retries (infrastructure failures, not
 #: deterministic simulation verdicts).
 RETRYABLE = ("crashed", "hung")
@@ -243,6 +248,7 @@ class JobRecord:
     key: Optional[str] = None            # cache key, once computed
     next_backoff: float = 0.0            # delay applied to the next attempt
     cache_error: Optional[str] = None    # publish failed (job still ok)
+    cancel_reason: Optional[str] = None  # why a cancelled job stopped
 
     @property
     def ok(self) -> bool:
@@ -262,4 +268,5 @@ class JobRecord:
             "preemptions": self.preemptions,
             "key": self.key,
             "cache_error": self.cache_error,
+            "cancel_reason": self.cancel_reason,
         }

@@ -1,0 +1,853 @@
+"""The durable fleet server: a crash-recoverable, long-lived job service.
+
+:class:`FleetServer` wraps the one-shot :class:`~repro.fleet.supervisor.
+FleetSupervisor` pool in a service whose entire state is reconstructible
+after ``kill -9``:
+
+* every scheduling transition — submit, claim, attempt end, terminal
+  outcome, cancel — is appended to the write-ahead
+  :mod:`~repro.fleet.journal` *before* the server acts on it;
+* a restarted server replays the journal, reconciles against the result
+  cache and any ``result.json`` a worker published before the crash, and
+  resumes the pending jobs from their on-disk checkpoints — completed
+  work is never executed twice (the journal's replay validator raises a
+  :class:`~repro.sanitize.violations.JournalConsistencyViolation` on a
+  ``claim`` after ``done``, so the no-rework guarantee is checkable from
+  the journal alone);
+* intake is a **file-drop spool** (drop a JSON spec into
+  ``<workdir>/spool/``) and a **Unix socket** (line-delimited JSON ops:
+  submit / status / drain / cancel / ping).  Submission is idempotent —
+  jobs deduplicate on their content-addressed cache key — and rejection
+  is typed: a saturated queue sheds with
+  :class:`~repro.fleet.supervisor.FleetSaturated`, a malformed spec is
+  quarantined to ``spool/quarantine/`` with a reason file, never a
+  server crash;
+* scheduling honors per-job **priority**, **fair share** across sweep
+  owners (the owner with the fewest claims goes first within a priority
+  band), and per-job **deadlines** that cancel overdue jobs through the
+  cooperative-preemption path, leaving a triage bundle explaining the
+  cancellation;
+* degradation is graceful: SIGTERM drains (in-flight attempts stop at a
+  checkpoint boundary, the journal gets a ``clean-shutdown`` record),
+  a second signal aborts, and a pool that keeps crashing flips the
+  server to **cache-only serving** (degraded mode) instead of burning
+  retries.
+
+Exit codes (pinned; the drill and CI assert them):
+
+====  ====================================================================
+ 0    drained cleanly, no pending jobs left
+ 4    drained cleanly, pending jobs remain (journal resumes them)
+ 5    aborted (second signal); no clean-shutdown record, next start
+      crash-recovers
+====  ====================================================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fleet.cache import ResultCache
+from repro.fleet.job import (RETRYABLE, JobRecord, JobSpec, JobSpecError)
+from repro.fleet.journal import JobJournal, JournalReplay, ReplayedJob
+from repro.fleet.manifest import (build_manifest, cache_key, payload_bytes)
+from repro.fleet.supervisor import (FleetConfig, FleetSaturated,
+                                    FleetSupervisor, FleetWorkerFailure,
+                                    _job_dirname)
+from repro.fleet.worker import CLAIM_FILE, PREEMPT_FLAG
+
+SERVER_STATUS_SCHEMA = "repro-fleet-server-status/1"
+
+SOCKET_NAME = "server.sock"
+SPOOL_DIR = "spool"
+QUARANTINE_DIR = "quarantine"
+ACK_DIR = "ack"
+JOURNAL_DIR = "journal"
+
+EXIT_DRAINED = 0
+EXIT_DRAINED_PENDING = 4
+EXIT_ABORTED = 5
+
+
+class SubmissionError(ValueError):
+    """A submission document failed validation (quarantined, not run)."""
+
+
+@dataclass(frozen=True)
+class JobSubmission:
+    """One intake request: a spec plus scheduling policy.
+
+    Policy fields are deliberately *not* part of the job's identity —
+    the same simulation submitted at a different priority must still hit
+    the same cache entry.
+    """
+
+    spec: JobSpec
+    priority: int = 0                    # higher runs first
+    owner: str = "anonymous"             # fair-share bucket
+    deadline: Optional[float] = None     # wall seconds from admission
+
+    @classmethod
+    def from_dict(cls, doc) -> "JobSubmission":
+        """Parse either a bare spec or a ``{"spec": ..., ...}`` envelope."""
+        if not isinstance(doc, dict):
+            raise SubmissionError(
+                f"submission must be an object, got {type(doc).__name__}")
+        if "spec" not in doc:
+            return cls(spec=_spec_of(doc))
+        known = {"spec", "priority", "owner", "deadline"}
+        unknown = set(doc) - known
+        if unknown:
+            raise SubmissionError(
+                f"unknown submission fields: {', '.join(sorted(unknown))}")
+        priority = doc.get("priority", 0)
+        if not isinstance(priority, int) or isinstance(priority, bool):
+            raise SubmissionError(
+                f"priority must be an integer, got {priority!r}")
+        owner = doc.get("owner", "anonymous")
+        if not isinstance(owner, str) or not owner:
+            raise SubmissionError(
+                f"owner must be a non-empty string, got {owner!r}")
+        deadline = doc.get("deadline")
+        if deadline is not None:
+            if not isinstance(deadline, (int, float)) \
+                    or isinstance(deadline, bool) or deadline <= 0:
+                raise SubmissionError(
+                    f"deadline must be a positive number of seconds, "
+                    f"got {deadline!r}")
+            deadline = float(deadline)
+        return cls(spec=_spec_of(doc["spec"]), priority=priority,
+                   owner=owner, deadline=deadline)
+
+
+def _spec_of(doc) -> JobSpec:
+    try:
+        return JobSpec.from_dict(doc)
+    except JobSpecError as exc:
+        raise SubmissionError(str(exc)) from exc
+
+
+@dataclass
+class ServerConfig:
+    """Server knobs on top of the pool's :class:`FleetConfig`."""
+
+    fleet: FleetConfig = field(default_factory=FleetConfig)
+    spool_poll: float = 0.1          # seconds between spool scans
+    segment_records: int = 256       # journal rotation threshold
+    unhealthy_after: int = 5         # consecutive infra failures -> degraded
+    expect: Optional[int] = None     # drain once N jobs are terminal
+    enable_socket: bool = True
+
+    def __post_init__(self) -> None:
+        if self.unhealthy_after <= 0:
+            raise ValueError(
+                f"unhealthy_after must be positive, "
+                f"got {self.unhealthy_after}")
+        if self.expect is not None and self.expect <= 0:
+            raise ValueError(
+                f"expect must be positive, got {self.expect}")
+
+
+@dataclass
+class _ServerJob:
+    """Server-side job state wrapping the pool's :class:`JobRecord`."""
+
+    record: JobRecord
+    seq: int                             # admission order (tie-break)
+    priority: int = 0
+    owner: str = "anonymous"
+    deadline: Optional[float] = None     # seconds from admission
+    deadline_at: Optional[float] = None  # loop.time() cutoff
+    recovered: bool = False
+    prior_claims: int = 0                # claims journaled pre-crash
+    failures: int = 0                    # retryable failures, all time
+    running: bool = False
+    cancel_requested: bool = False
+    source: str = "api"
+
+    @property
+    def name(self) -> str:
+        return self.record.spec.name
+
+    @property
+    def terminal(self) -> bool:
+        return self.record.outcome != "pending"
+
+
+def _payload_sha(payload: Optional[dict]) -> Optional[str]:
+    if payload is None:
+        return None
+    return hashlib.sha256(payload_bytes(payload)).hexdigest()[:16]
+
+
+class FleetServer:
+    """A long-lived fleet service; all state lives in the journal."""
+
+    def __init__(self, config: ServerConfig, workdir: str) -> None:
+        self.config = config
+        self.workdir = workdir
+        os.makedirs(workdir, exist_ok=True)
+        for sub in (SPOOL_DIR,
+                    os.path.join(SPOOL_DIR, QUARANTINE_DIR),
+                    os.path.join(SPOOL_DIR, ACK_DIR)):
+            os.makedirs(os.path.join(workdir, sub), exist_ok=True)
+        self.sup = FleetSupervisor(config.fleet, workdir)
+        self.cache: Optional[ResultCache] = self.sup.cache
+        self.journal, self.replay = JobJournal.open(
+            os.path.join(workdir, JOURNAL_DIR),
+            segment_records=config.segment_records)
+        self.server_id = (f"srv-{os.getpid():x}"
+                         f"-i{self.replay.incarnations + 1}")
+        self._jobs: dict = {}            # name -> _ServerJob
+        self._by_key: dict = {}          # cache key -> _ServerJob
+        self._ready: list = []
+        self._seq = 0
+        self._claim_seq = 0
+        self._owner_share: dict = {}     # owner -> claims consumed
+        self._running = 0
+        self._terminal = 0
+        self._infra_failures = 0         # consecutive, across the pool
+        self.degraded = False
+        self._wake = asyncio.Event()
+        self._timers: set = set()        # backoff / deadline tasks
+        self._signals = 0
+        self._started = time.monotonic()
+        self.journal.append(
+            "server-start", server=self.server_id, pid=os.getpid(),
+            workdir=os.path.abspath(workdir))
+        self._recover(self.replay)
+
+    # -- recovery -----------------------------------------------------------
+
+    def _recover(self, replay: JournalReplay) -> None:
+        """Rebuild the job table a killed incarnation left behind."""
+        for replayed in replay.jobs.values():
+            if replayed.terminal:
+                # Register terminal jobs so idempotent resubmission of
+                # an already-finished spec dedups instead of re-running.
+                job = self._register(replayed, outcome=replayed.outcome)
+                self._terminal += 1
+                continue
+            job = self._register(replayed, outcome=None)
+            if self._reconcile(job):
+                continue
+            self._ready.append(job)
+
+    def _register(self, replayed: ReplayedJob,
+                  outcome: Optional[str]) -> _ServerJob:
+        spec = JobSpec.from_dict(replayed.spec)
+        record = JobRecord(spec=spec, key=replayed.key or cache_key(spec))
+        if outcome is not None:
+            record.outcome = outcome
+            record.cache_hit = replayed.cache_hit
+        self._seq += 1
+        job = _ServerJob(
+            record=record, seq=self._seq, priority=replayed.priority,
+            owner=replayed.owner, deadline=replayed.deadline,
+            recovered=True, prior_claims=replayed.claims,
+            failures=replayed.failures, source="recovery")
+        self._jobs[job.name] = job
+        if record.outcome != "shed":
+            # Shed is a load verdict, not a result: the same spec may be
+            # resubmitted once the queue has room, so it must not dedup.
+            self._by_key[record.key] = job
+        return job
+
+    def _reconcile(self, job: _ServerJob) -> bool:
+        """Salvage work finished before the crash; True if now terminal.
+
+        Two sources of truth beyond the journal: the result cache (the
+        job — or an identical sibling — already published), and the job
+        directory's ``result.json`` (the worker finished but the old
+        server died before publishing).  Either way the job completes
+        here without a worker process, and the journal records how.
+        """
+        record = job.record
+        if self.cache is not None:
+            cached = self.cache.lookup(record.key)
+            if cached is not None:
+                self._finish(job, "ok", cache_hit=True,
+                             payload=cached.payload,
+                             detail="recovered from result cache")
+                return True
+        if job.prior_claims > 0:
+            jobdir = self._jobdir(job)
+            result = self.sup._read_result(jobdir)
+            if result and result.get("outcome") == "ok":
+                payload = result.get("payload")
+                identity = record.spec.identity()
+                if isinstance(payload, dict) and all(
+                        payload.get(field) == value
+                        for field, value in identity.items()):
+                    self._publish(job, payload)
+                    self._finish(job, "ok", payload=payload,
+                                 detail="recovered from worker result")
+                    return True
+        return False
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, submission: JobSubmission,
+               source: str = "api") -> dict:
+        """Admit a job (idempotently) or raise a typed rejection.
+
+        Raises :class:`SubmissionError` for a name colliding with a
+        different spec, :class:`FleetSaturated` when the pending table
+        is full.  Returns an ack document either way work was accepted.
+        """
+        spec = submission.spec
+        key = cache_key(spec)
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return {"ok": True, "name": existing.name, "key": key,
+                    "dedup": True, "outcome": existing.record.outcome}
+        named = self._jobs.get(spec.name)
+        if named is not None and named.record.outcome != "shed":
+            raise SubmissionError(
+                f"job name {spec.name!r} already taken by a different "
+                f"spec (key {named.record.key})")
+        if named is not None:
+            self._terminal -= 1          # replacing a shed placeholder
+        pending = sum(1 for job in self._jobs.values() if not job.terminal)
+        if pending >= self.config.fleet.queue_limit:
+            self.journal.append(
+                "shed", name=spec.name, key=key, spec=spec.to_dict(),
+                detail=f"{pending} pending (limit "
+                       f"{self.config.fleet.queue_limit})")
+            shed = _ServerJob(record=JobRecord(spec=spec, key=key),
+                              seq=self._next_seq(), source=source)
+            shed.record.outcome = "shed"
+            self._jobs[spec.name] = shed
+            self._terminal += 1
+            raise FleetSaturated(pending, self.config.fleet.queue_limit)
+        self.journal.append(
+            "submit", name=spec.name, key=key, spec=spec.to_dict(),
+            priority=submission.priority, owner=submission.owner,
+            deadline=submission.deadline, source=source)
+        record = JobRecord(spec=spec, key=key)
+        job = _ServerJob(record=record, seq=self._next_seq(),
+                         priority=submission.priority,
+                         owner=submission.owner,
+                         deadline=submission.deadline, source=source)
+        if submission.deadline is not None and self._loop_running():
+            job.deadline_at = (asyncio.get_running_loop().time()
+                               + submission.deadline)
+        self._jobs[spec.name] = job
+        self._by_key[key] = job
+        self._ready.append(job)
+        self._wake.set()
+        return {"ok": True, "name": spec.name, "key": key,
+                "dedup": False, "outcome": "pending"}
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @staticmethod
+    def _loop_running() -> bool:
+        try:
+            asyncio.get_running_loop()
+            return True
+        except RuntimeError:
+            return False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _pick(self) -> Optional[_ServerJob]:
+        """Highest priority first; fair share by owner; FIFO tie-break."""
+        if not self._ready:
+            return None
+        job = min(self._ready, key=lambda j: (
+            -j.priority, self._owner_share.get(j.owner, 0), j.seq))
+        self._ready.remove(job)
+        return job
+
+    def _jobdir(self, job: _ServerJob) -> str:
+        return os.path.join(self.workdir, "jobs", _job_dirname(job.name))
+
+    async def _slot(self) -> None:
+        while not self.sup.draining:
+            job = self._pick()
+            if job is None:
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._wake.wait(),
+                        timeout=self.config.fleet.poll_interval)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            await self._drive(job)
+
+    async def _drive(self, job: _ServerJob) -> None:
+        record = job.record
+        loop = asyncio.get_running_loop()
+        if job.deadline is not None and job.deadline_at is None:
+            # Deadline admitted before the loop started (recovery, or a
+            # pre-serve submit): the clock starts now.
+            job.deadline_at = loop.time() + job.deadline
+        if job.cancel_requested:
+            self._cancel(job, "cancelled by operator request")
+            return
+        if job.deadline_at is not None and loop.time() >= job.deadline_at:
+            self._cancel(
+                job, f"deadline ({job.deadline:.1f}s) passed while queued",
+                bundle=True)
+            return
+        if self.cache is not None:
+            # Unlike the one-shot supervisor, the server consults the
+            # cache on *every* claim — this is what lets a restarted
+            # incarnation serve work completed before the kill.
+            cached = self.cache.lookup(record.key)
+            if cached is not None:
+                self._finish(job, "ok", cache_hit=True,
+                             payload=cached.payload)
+                return
+        if self.degraded:
+            self._finish(
+                job, "shed",
+                detail=f"pool unhealthy ({self._infra_failures} "
+                       f"consecutive worker failures): cache-only serving")
+            return
+
+        self._claim_seq += 1
+        claim = f"{self.server_id}#{self._claim_seq}"
+        self.journal.append("claim", name=job.name, key=record.key,
+                            claim=claim,
+                            attempt=job.prior_claims
+                            + len(record.attempts) + record.preemptions + 1)
+        jobdir = self._jobdir(job)
+        os.makedirs(jobdir, exist_ok=True)
+        tmp = os.path.join(jobdir, CLAIM_FILE + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(claim + "\n")
+        os.replace(tmp, os.path.join(jobdir, CLAIM_FILE))
+        self._owner_share[job.owner] = \
+            self._owner_share.get(job.owner, 0) + 1
+        watchdog = None
+        if job.deadline_at is not None:
+            watchdog = loop.create_task(
+                self._deadline_watchdog(job, jobdir))
+            self._timers.add(watchdog)
+            watchdog.add_done_callback(self._timers.discard)
+
+        job.running = True
+        self._running += 1
+        try:
+            fresh = False if (job.recovered and job.prior_claims > 0) \
+                else None
+            attempt = await self.sup._run_attempt(record, fresh=fresh)
+        finally:
+            job.running = False
+            self._running -= 1
+            if watchdog is not None:
+                watchdog.cancel()
+            try:
+                os.remove(os.path.join(jobdir, CLAIM_FILE))
+            except OSError:
+                pass
+        record.attempts.append(attempt)
+        self.journal.append("attempt-end", name=job.name,
+                            outcome=attempt.outcome, detail=attempt.detail,
+                            claim=claim)
+
+        if attempt.outcome == "ok":
+            self._infra_failures = 0
+            self._publish(job, attempt.payload_doc)
+            self._finish(job, "ok", payload=attempt.payload_doc)
+            return
+        if attempt.outcome == "preempted":
+            record.attempts.pop()        # cooperative, not a failure
+            record.preemptions += 1
+            deadline_hit = (job.deadline_at is not None
+                            and loop.time() >= job.deadline_at)
+            if job.cancel_requested:
+                self._cancel(job, "cancelled by operator request "
+                                  f"({attempt.detail})")
+                return
+            if deadline_hit:
+                self._cancel(
+                    job,
+                    f"deadline ({job.deadline:.1f}s) exceeded; stopped "
+                    f"at a checkpoint boundary ({attempt.detail})",
+                    bundle=True)
+                return
+            if self.sup.draining:
+                return                   # stays pending; journal resumes it
+            self._ready.append(job)
+            self._wake.set()
+            return
+        if attempt.outcome in RETRYABLE:
+            if self.sup.draining:
+                return                   # stays pending for the restart
+            job.failures += 1
+            self._infra_failures += 1
+            if self._infra_failures >= self.config.unhealthy_after:
+                self.degraded = True
+            if job.failures < self.config.fleet.max_attempts:
+                delay = self.config.fleet.backoff.delay_for(
+                    job.failures - 1)
+                record.next_backoff = delay
+                timer = loop.create_task(self._requeue_later(job, delay))
+                self._timers.add(timer)
+                timer.add_done_callback(self._timers.discard)
+                return
+            self._finish(job, "failed", detail=attempt.detail)
+            return
+        # violation | detected | error: deterministic, terminal.
+        self._finish(job, attempt.outcome, detail=attempt.detail)
+
+    async def _requeue_later(self, job: _ServerJob, delay: float) -> None:
+        await asyncio.sleep(delay)
+        self._ready.append(job)
+        self._wake.set()
+
+    async def _deadline_watchdog(self, job: _ServerJob,
+                                 jobdir: str) -> None:
+        loop = asyncio.get_running_loop()
+        await asyncio.sleep(max(0.0, job.deadline_at - loop.time()))
+        try:
+            with open(os.path.join(jobdir, PREEMPT_FLAG), "w") as flag:
+                flag.write(f"deadline cancel: {job.deadline:.1f}s "
+                           f"budget exhausted\n")
+        except OSError:
+            pass
+
+    # -- terminal transitions -----------------------------------------------
+
+    def _publish(self, job: _ServerJob, payload: Optional[dict]) -> None:
+        record = job.record
+        if self.cache is None or payload is None:
+            return
+        try:
+            manifest = build_manifest(
+                record.spec, record.key, outcome="ok",
+                provenance={
+                    "attempts": len(record.attempts),
+                    "preemptions": record.preemptions,
+                    "server": self.server_id,
+                })
+            self.cache.store(record.key, manifest, payload)
+        except OSError as exc:
+            record.cache_error = f"{type(exc).__name__}: {exc}"
+
+    def _finish(self, job: _ServerJob, outcome: str, *,
+                cache_hit: bool = False, payload: Optional[dict] = None,
+                detail: str = "") -> None:
+        record = job.record
+        self.journal.append(
+            "done", name=job.name, key=record.key, outcome=outcome,
+            cache_hit=cache_hit, payload_sha=_payload_sha(payload),
+            detail=detail)
+        record.outcome = outcome
+        record.cache_hit = cache_hit
+        if payload is not None:
+            record.payload = payload
+        self._terminal += 1
+        self._wake.set()
+
+    def _cancel(self, job: _ServerJob, reason: str, *,
+                bundle: bool = False) -> None:
+        record = job.record
+        bundle_path = None
+        if bundle:
+            failure = FleetWorkerFailure("deadline-cancel", reason)
+            bundle_path = self.sup._write_attempt_bundle(
+                record, self._jobdir(job), failure)
+        self.journal.append("cancel", name=job.name, reason=reason,
+                            bundle=bundle_path)
+        record.outcome = "cancelled"
+        record.cancel_reason = reason
+        self._terminal += 1
+        self._wake.set()
+
+    # -- intake: file-drop spool --------------------------------------------
+
+    def _spool_path(self, *parts: str) -> str:
+        return os.path.join(self.workdir, SPOOL_DIR, *parts)
+
+    def poll_spool(self) -> int:
+        """One spool scan; returns how many drop files were consumed."""
+        spool = self._spool_path()
+        try:
+            names = sorted(os.listdir(spool))
+        except OSError:
+            return 0
+        consumed = 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(spool, name)
+            if not os.path.isfile(path):
+                continue
+            self._consume_drop(path, name)
+            consumed += 1
+        return consumed
+
+    def _consume_drop(self, path: str, name: str) -> None:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+            submission = JobSubmission.from_dict(doc)
+        except (OSError, ValueError) as exc:
+            self._quarantine_drop(path, name, exc)
+            return
+        try:
+            ack = self.submit(submission, source=f"spool:{name}")
+        except FleetSaturated as exc:
+            ack = {"ok": False, "error": "FleetSaturated",
+                   "detail": str(exc), "pending": exc.pending,
+                   "limit": exc.limit}
+        except SubmissionError as exc:
+            self._quarantine_drop(path, name, exc)
+            return
+        self._ack_drop(name, ack)
+        try:
+            os.remove(path)
+        except OSError:
+            pass
+
+    def _quarantine_drop(self, path: str, name: str, exc: Exception) -> None:
+        """A malformed drop is set aside with a reason — never a crash."""
+        reason = f"{type(exc).__name__}: {exc}"
+        self.journal.append("quarantine", source=name, reason=reason)
+        quarantined = self._spool_path(QUARANTINE_DIR, name)
+        try:
+            os.replace(path, quarantined)
+        except OSError:
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        self._write_json(self._spool_path(QUARANTINE_DIR,
+                                          name + ".reason.json"),
+                         {"source": name, "reason": reason})
+        self._ack_drop(name, {"ok": False, "error": "quarantined",
+                              "detail": reason})
+
+    def _ack_drop(self, name: str, ack: dict) -> None:
+        self._write_json(self._spool_path(ACK_DIR, name), ack)
+
+    @staticmethod
+    def _write_json(path: str, doc: dict) -> None:
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    async def _spool_loop(self) -> None:
+        while not self.sup.draining:
+            self.poll_spool()
+            await asyncio.sleep(self.config.spool_poll)
+
+    # -- intake: unix socket ------------------------------------------------
+
+    @property
+    def socket_path(self) -> str:
+        return os.path.join(self.workdir, SOCKET_NAME)
+
+    async def _handle_client(self, reader, writer) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = self._dispatch(line)
+                writer.write((json.dumps(response, sort_keys=True)
+                              + "\n").encode())
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    def _dispatch(self, raw: bytes) -> dict:
+        try:
+            request = json.loads(raw)
+        except ValueError as exc:
+            return {"ok": False, "error": "malformed",
+                    "detail": f"bad JSON: {exc}"}
+        if not isinstance(request, dict):
+            return {"ok": False, "error": "malformed",
+                    "detail": "request must be a JSON object"}
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "server": self.server_id}
+        if op == "status":
+            return self.status()
+        if op == "drain":
+            self.request_drain()
+            return {"ok": True, "draining": True}
+        if op == "submit":
+            try:
+                submission = JobSubmission.from_dict(
+                    request.get("job", request.get("spec")))
+                return self.submit(submission, source="socket")
+            except SubmissionError as exc:
+                return {"ok": False, "error": "SubmissionError",
+                        "detail": str(exc)}
+            except FleetSaturated as exc:
+                return {"ok": False, "error": "FleetSaturated",
+                        "detail": str(exc), "pending": exc.pending,
+                        "limit": exc.limit}
+        if op == "cancel":
+            return self._cancel_request(request.get("name"))
+        return {"ok": False, "error": "unknown-op",
+                "detail": f"unknown op {op!r}"}
+
+    def _cancel_request(self, name) -> dict:
+        job = self._jobs.get(name) if isinstance(name, str) else None
+        if job is None:
+            return {"ok": False, "error": "unknown-job",
+                    "detail": f"no job named {name!r}"}
+        if job.terminal:
+            return {"ok": False, "error": "already-terminal",
+                    "detail": f"job {name!r} is {job.record.outcome}"}
+        job.cancel_requested = True
+        if job.running:
+            # Cooperative: the worker stops at the next checkpoint
+            # boundary and the slot finalizes the cancellation.
+            try:
+                with open(os.path.join(self._jobdir(job), PREEMPT_FLAG),
+                          "w") as flag:
+                    flag.write("cancel requested by operator\n")
+            except OSError:
+                pass
+            return {"ok": True, "name": name, "state": "preempting"}
+        if job in self._ready:
+            self._ready.remove(job)
+            self._cancel(job, "cancelled by operator request")
+            return {"ok": True, "name": name, "state": "cancelled"}
+        return {"ok": True, "name": name, "state": "pending-cancel"}
+
+    # -- introspection ------------------------------------------------------
+
+    def status(self) -> dict:
+        counts: dict = {}
+        for job in self._jobs.values():
+            counts[job.record.outcome] = \
+                counts.get(job.record.outcome, 0) + 1
+        pending = sum(1 for job in self._jobs.values() if not job.terminal)
+        return {
+            "schema": SERVER_STATUS_SCHEMA,
+            "ok": True,
+            "server": self.server_id,
+            "ready": not self.sup.draining and not self.degraded,
+            "draining": self.sup.draining,
+            "degraded": self.degraded,
+            "uptime": round(time.monotonic() - self._started, 3),
+            "jobs": counts,
+            "pending": pending,
+            "running": self._running,
+            "terminal": self._terminal,
+            "executed": self.sup.executed,
+            "expect": self.config.expect,
+            "cache": self.cache.stats() if self.cache else {},
+            "journal": {"root": self.journal.root,
+                        "incarnation": self.replay.incarnations + 1},
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def request_drain(self) -> None:
+        """First signal: stop intake, preempt in-flight, shut down clean."""
+        if not self.sup.draining:
+            self.journal.append("drain", server=self.server_id)
+        self.sup.request_drain()
+        self._wake.set()
+
+    def request_abort(self) -> None:
+        """Second signal: SIGKILL workers, exit without a clean record."""
+        self.sup.request_abort()
+        self._wake.set()
+
+    def _on_signal(self) -> None:
+        self._signals += 1
+        if self._signals == 1:
+            self.request_drain()
+        else:
+            self.request_abort()
+
+    async def serve_async(self, *,
+                          install_signals: bool = True) -> int:
+        """Run until drained (or aborted); returns the exit code."""
+        loop = asyncio.get_running_loop()
+        # Deadlines admitted before the loop existed start ticking now.
+        for job in self._jobs.values():
+            if job.deadline is not None and job.deadline_at is None \
+                    and not job.terminal:
+                job.deadline_at = loop.time() + job.deadline
+        if install_signals:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self._on_signal)
+                except (NotImplementedError, RuntimeError):
+                    pass
+        socket_server = None
+        if self.config.enable_socket:
+            try:
+                os.remove(self.socket_path)
+            except OSError:
+                pass
+            socket_server = await asyncio.start_unix_server(
+                self._handle_client, path=self.socket_path)
+        spool_task = loop.create_task(self._spool_loop())
+        slots = [loop.create_task(self._slot())
+                 for _ in range(self.config.fleet.workers)]
+        try:
+            while True:
+                await asyncio.sleep(self.config.fleet.poll_interval)
+                if self.config.expect is not None \
+                        and self._terminal >= self.config.expect \
+                        and not self.sup.draining:
+                    self.request_drain()
+                if self.sup.draining and self._running == 0:
+                    break
+        finally:
+            spool_task.cancel()
+            for timer in list(self._timers):
+                timer.cancel()
+            if socket_server is not None:
+                socket_server.close()
+                await socket_server.wait_closed()
+                try:
+                    os.remove(self.socket_path)
+                except OSError:
+                    pass
+            await asyncio.gather(*slots, return_exceptions=True)
+        pending = sum(1 for job in self._jobs.values() if not job.terminal)
+        if self.sup.aborted:
+            # No clean-shutdown record on purpose: the next incarnation
+            # must treat this exactly like a crash and recover.
+            self.journal.close()
+            return EXIT_ABORTED
+        self.journal.append("clean-shutdown", server=self.server_id,
+                            terminal=self._terminal, pending=pending)
+        self.journal.close()
+        return EXIT_DRAINED if pending == 0 else EXIT_DRAINED_PENDING
+
+    def serve(self, *, install_signals: bool = True) -> int:
+        return asyncio.run(
+            self.serve_async(install_signals=install_signals))
+
+
+def journal_status(workdir: str) -> dict:
+    """Offline status from the journal alone (server not running)."""
+    from repro.fleet.journal import replay_journal
+    replay = replay_journal(os.path.join(workdir, JOURNAL_DIR))
+    doc = replay.summary()
+    doc["schema"] = SERVER_STATUS_SCHEMA
+    doc["ok"] = True
+    doc["offline"] = True
+    return doc

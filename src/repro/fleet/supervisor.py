@@ -196,6 +196,37 @@ class FleetSupervisor:
         self._submitted: list[JobRecord] = []
         self._requeues: set = set()          # live backoff timers
         self._ctx = _spawn_context()
+        self._draining = False               # first signal: drain
+        self._aborting = False               # second signal: abort
+
+    # -- graceful shutdown (SIGTERM/SIGINT ladder) --------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborting
+
+    def request_drain(self) -> None:
+        """First-signal behavior: stop starting work, finish in flight.
+
+        Queued jobs finalize as ``cancelled`` without running; running
+        attempts get a preempt flag so they stop at the next checkpoint
+        boundary (or simply finish).  Safe to call from a signal handler —
+        it only sets a flag the async loops poll.
+        """
+        self._draining = True
+
+    def request_abort(self) -> None:
+        """Second-signal behavior: SIGKILL running workers, stop now.
+
+        Killed attempts finalize as ``cancelled`` (their checkpoints
+        survive on disk for a later resume), never as retried failures.
+        """
+        self._draining = True
+        self._aborting = True
 
     # -- submission (bounded; sheds under load) -----------------------------
 
@@ -251,7 +282,15 @@ class FleetSupervisor:
                     return
                 finished.cancel()
                 record = get.result()
-                await self._drive(record, queue)
+                if self._draining:
+                    # Drained before a worker ever started this pass:
+                    # policy stop, not failure (checkpoints, if any,
+                    # survive for a later resume).
+                    record.outcome = "cancelled"
+                    record.cancel_reason = (record.cancel_reason
+                                            or "drained before running")
+                else:
+                    await self._drive(record, queue)
                 if record.outcome != "pending":
                     self._pending -= 1
                     if self._pending == 0:
@@ -303,12 +342,25 @@ class FleetSupervisor:
         if attempt.outcome == "preempted":
             record.preemptions += 1
             record.attempts.pop()            # cooperative, not a failure
+            if self._draining:
+                record.outcome = "cancelled"
+                record.cancel_reason = (
+                    "drained: stopped at a checkpoint boundary "
+                    f"({attempt.detail})")
+                return
             if record.preemptions >= MAX_PREEMPTIONS:
                 record.outcome = "failed"
                 return
             queue.put_nowait(record)         # resume immediately
             return
         if attempt.outcome in RETRYABLE:
+            if self._draining:
+                record.outcome = "cancelled"
+                record.cancel_reason = (
+                    "aborted by supervisor (worker killed)"
+                    if self._aborting else
+                    "drained: retryable failure not retried")
+                return
             failures = sum(1 for a in record.attempts
                            if a.outcome in RETRYABLE)
             if failures < self.config.max_attempts:
@@ -331,17 +383,22 @@ class FleetSupervisor:
 
     # -- one worker process -------------------------------------------------
 
-    async def _run_attempt(self, record: JobRecord) -> JobAttempt:
+    async def _run_attempt(self, record: JobRecord,
+                           fresh: Optional[bool] = None) -> JobAttempt:
         spec = record.spec
         jobdir = os.path.join(self.workdir, "jobs",
                               _job_dirname(spec.name))
         os.makedirs(jobdir, exist_ok=True)
         self._arm_controls(record, jobdir)
-        if not record.attempts and record.preemptions == 0:
+        if fresh is None:
+            fresh = not record.attempts and record.preemptions == 0
+        if fresh:
             # First attempt: a checkpoint or heartbeat left behind by a
             # previous sweep in a reused workdir belongs to a different
             # job — resuming it would publish a wrong payload under this
-            # job's cache key.
+            # job's cache key.  The fleet server passes ``fresh=False``
+            # for journal-recovered jobs, whose checkpoints are exactly
+            # what a restart must resume from.
             self._clear(os.path.join(jobdir, CHECKPOINT_FILE))
             self._clear(os.path.join(jobdir, HEARTBEAT_FILE))
         self._clear(os.path.join(jobdir, RESULT_FILE))
@@ -367,9 +424,13 @@ class FleetSupervisor:
         while process.is_alive():
             await asyncio.sleep(self.config.poll_interval)
             monitor.poll()
-            if (self.config.preempt_after is not None
-                    and not preempt_flagged
-                    and loop.time() - started > self.config.preempt_after):
+            if self._aborting:
+                process.kill()               # second signal: stop now
+                break
+            over_deadline = (
+                self.config.preempt_after is not None
+                and loop.time() - started > self.config.preempt_after)
+            if (self._draining or over_deadline) and not preempt_flagged:
                 with open(os.path.join(jobdir, PREEMPT_FLAG), "w") as flag:
                     flag.write("preempt requested by supervisor\n")
                 preempt_flagged = True

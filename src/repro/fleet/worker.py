@@ -49,6 +49,7 @@ CHECKPOINT_FILE = "checkpoint.json"
 HEARTBEAT_FILE = "heartbeat.json"
 CONTROL_FILE = "control.json"
 PREEMPT_FLAG = "PREEMPT"
+CLAIM_FILE = "CLAIM"
 TRIAGE_DIR = "triage"
 
 DEFAULT_BUDGET_EVENTS = 5_000_000
@@ -69,6 +70,22 @@ def _read_control(jobdir: str) -> dict:
     except (OSError, ValueError):
         return {}
     return doc if isinstance(doc, dict) else {}
+
+
+def _read_claim(jobdir: str) -> Optional[str]:
+    """The supervisor's claim token for this attempt, if one was issued.
+
+    The fleet server writes ``CLAIM`` (one line: server incarnation +
+    attempt sequence) before spawning the worker; the token is stamped
+    into every snapshot as provenance (:class:`GraphicsCheckpoint.claim`).
+    One-shot sweeps issue no claims and the field stays None.
+    """
+    try:
+        with open(os.path.join(jobdir, CLAIM_FILE)) as handle:
+            token = handle.readline().strip()
+    except OSError:
+        return None
+    return token or None
 
 
 def _load_resume_checkpoint(jobdir: str, expected_job: Optional[str]):
@@ -119,7 +136,8 @@ def _sanitize_config(jobdir: str, spec: JobSpec):
 
 
 def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check,
-                job_key: Optional[str] = None):
+                job_key: Optional[str] = None,
+                claim: Optional[str] = None):
     from repro.common.config import (DRAMConfig, GPUConfig, SoCTopology,
                                      scaled_gpu)
     from repro.soc.soc import SoCRunConfig
@@ -148,6 +166,7 @@ def _run_config(spec: JobSpec, jobdir: str, frame_hook, preempt_check,
             checkpoint_every=1,
             checkpoint_path=os.path.join(jobdir, CHECKPOINT_FILE),
             checkpoint_job=job_key,
+            checkpoint_claim=claim,
             preempt_check=preempt_check,
             error_policy="wrap"),
         sanitize=_sanitize_config(jobdir, spec),
@@ -280,6 +299,18 @@ def run_job(spec: JobSpec, jobdir: str,
 
     job_key = cache_key(spec)
     checkpoint, fallback = _load_resume_checkpoint(jobdir, job_key)
+    if checkpoint is not None and checkpoint.frame_index >= spec.frames:
+        # The previous attempt snapshotted *after* its final frame and
+        # died before its result was consumed (e.g. a worker orphaned by
+        # a server SIGKILL).  Nothing is left to simulate, but the final
+        # framebuffer lived only in the dead process — rewind so the
+        # resume re-renders the last frame and republishes the identical
+        # payload instead of hashing a never-drawn framebuffer.
+        try:
+            checkpoint = checkpoint.rewind(
+                checkpoint.frame_index - spec.frames + 1)
+        except ValueError as exc:
+            checkpoint, fallback = None, f"unrewindable snapshot: {exc}"
     resumed_from = checkpoint.frame_index if checkpoint is not None else 0
     base = {"name": spec.name, "resumed_from": resumed_from,
             "fallback": fallback}
@@ -289,7 +320,7 @@ def run_job(spec: JobSpec, jobdir: str,
     write_heartbeat(heartbeat_path, frame=-1, tick=0, beats=0)
 
     config = _run_config(spec, jobdir, frame_hook, preempt_check,
-                         job_key=job_key)
+                         job_key=job_key, claim=_read_claim(jobdir))
     if spec.sample is not None:
         return _run_sampled_job(spec, jobdir, config, base, job_key)
     try:

@@ -77,6 +77,11 @@ class HealthConfig:
     # fleet sets the job's cache key so a resume refuses snapshots a
     # different job left behind in a reused directory.
     checkpoint_job: Optional[str] = None
+    # Claim provenance stamped alongside the ownership token: the fleet
+    # server records which incarnation + attempt wrote each snapshot.
+    # Never consulted by the resume path (crash recovery *requires* a new
+    # incarnation to resume an old claim's snapshot) — triage only.
+    checkpoint_claim: Optional[str] = None
     # Cooperative preemption: consulted (with the completed-frame count)
     # right after each snapshot; True raises PreemptionRequested so the
     # run stops holding a fresh resume point.  The fleet worker polls its

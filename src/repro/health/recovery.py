@@ -56,7 +56,8 @@ class CheckpointManager:
                  injector=None,
                  preempt_check: Optional[Callable[[int], bool]] = None,
                  job: Optional[str] = None,
-                 topology: Optional[str] = None) -> None:
+                 topology: Optional[str] = None,
+                 claim: Optional[str] = None) -> None:
         if every <= 0:
             raise ValueError(f"checkpoint interval must be positive, "
                              f"got {every}")
@@ -66,6 +67,10 @@ class CheckpointManager:
         # the job's cache key) so a resume in a reused directory can tell
         # this job's snapshots from a previous occupant's.
         self.job = job
+        # Claim provenance (fleet-server incarnation + attempt sequence):
+        # recorded in every snapshot for triage, never consulted for
+        # ownership — any later claim of the same job may resume it.
+        self.claim = claim
         # Topology hash of the producing system, stamped at snapshot time
         # so a resume onto differently-assembled hardware can be refused.
         self.topology = topology
@@ -103,7 +108,7 @@ class CheckpointManager:
         self.last = capture(list(self._frames), tick=tick,
                             frame_index=frame_index + 1, rng=rng,
                             job=self.job, topology=self.topology,
-                            mode="detailed")
+                            mode="detailed", claim=self.claim)
         self.checkpoints_taken += 1
         if self.path is not None:
             # Write-then-rename: a process SIGKILL'd mid-serialize leaves

@@ -22,6 +22,7 @@ from repro.sanitize.sanitizer import (
 from repro.sanitize.violations import (
     CheckpointMismatchViolation,
     DoubleDeliveryViolation,
+    JournalConsistencyViolation,
     LivenessViolation,
     LostRetryViolation,
     PortProtocolViolation,
@@ -40,4 +41,5 @@ __all__ = [
     "ResourceLeakViolation",
     "LivenessViolation",
     "CheckpointMismatchViolation",
+    "JournalConsistencyViolation",
 ]

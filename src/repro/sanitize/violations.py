@@ -22,7 +22,13 @@ The catalog (DESIGN.md §9 lists the invariants in full):
 * :class:`LivenessViolation` — ticks advance but nothing completes while
   work is outstanding (model-level livelock);
 * :class:`CheckpointMismatchViolation` — a checkpoint did not survive a
-  serialize → restore → shadow-replay round trip.
+  serialize → restore → shadow-replay round trip;
+* :class:`JournalConsistencyViolation` — the fleet server's write-ahead
+  job journal failed replay validation (CRC mismatch or corruption
+  anywhere but the torn tail, a sequence-number gap, an impossible state
+  transition).  Raised by :mod:`repro.fleet.journal` during recovery —
+  the journal is the server's source of truth, so inconsistency is loud,
+  never silently "repaired".
 """
 
 from __future__ import annotations
@@ -95,3 +101,16 @@ class CheckpointMismatchViolation(SanitizerViolation):
     """A checkpoint failed the serialize/restore/shadow-replay diff."""
 
     kind = "checkpoint-roundtrip"
+
+
+class JournalConsistencyViolation(SanitizerViolation):
+    """The fleet job journal failed replay validation.
+
+    ``details`` carries the segment path, the offending line number, and
+    the specific check that failed (``crc``, ``seq``, ``transition``).
+    A torn final record in the active segment is *not* a violation — a
+    SIGKILL mid-append legitimately leaves one — but damage anywhere
+    else means the journal cannot be trusted as a source of truth.
+    """
+
+    kind = "journal-consistency"

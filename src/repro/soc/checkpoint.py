@@ -126,6 +126,16 @@ class GraphicsCheckpoint:
     both engines agree on, so either mode restores a snapshot the other
     wrote (the fast-forward contract, DESIGN.md §13).  Absent (None) in
     pre-sampling snapshots.
+
+    ``claim`` (optional) names the *supervisor incarnation* that owned
+    the attempt which wrote the snapshot — the fleet server stamps its
+    journaled claim token (server id + attempt sequence) here.  Unlike
+    ``job`` it is pure provenance: ownership decisions key on ``job``
+    alone (any incarnation of the same job may resume the snapshot —
+    that is exactly what server crash-recovery does), but a triage
+    bundle can attribute the snapshot to the exact server process and
+    claim that produced it.  Absent (None) outside server-claimed jobs
+    and in pre-existing snapshots.
     """
 
     trace_json: str
@@ -135,6 +145,7 @@ class GraphicsCheckpoint:
     job: Optional[str] = None
     topology: Optional[str] = None
     mode: Optional[str] = None
+    claim: Optional[str] = None
 
     def to_json(self) -> str:
         doc = {
@@ -151,6 +162,8 @@ class GraphicsCheckpoint:
             doc["topology"] = self.topology
         if self.mode is not None:
             doc["mode"] = self.mode
+        if self.claim is not None:
+            doc["claim"] = self.claim
         doc["crc"] = _payload_crc(doc)
         return json.dumps(doc)
 
@@ -216,13 +229,51 @@ class GraphicsCheckpoint:
             raise CheckpointError(
                 f"expected one of {sorted(CHECKPOINT_MODES)}, got {mode!r}",
                 field="mode")
+        claim = doc.get("claim")
+        if claim is not None and not isinstance(claim, str):
+            raise CheckpointError(
+                f"expected a string, got {type(claim).__name__}",
+                field="claim")
         return cls(trace_json=json.dumps(trace), tick=tick,
                    frame_index=frame_index, rng=rng, job=job,
-                   topology=topology, mode=mode)
+                   topology=topology, mode=mode, claim=claim)
 
     def restore_frames(self) -> list[Frame]:
         """Replay the recorded draw calls through a fresh GL context."""
         return replay(self.trace_json)
+
+    def rewind(self, count: int) -> "GraphicsCheckpoint":
+        """A copy with the last ``count`` frames dropped from the trace.
+
+        A snapshot whose ``frame_index`` already covers a run's *final*
+        frame cannot be resumed as-is: the render loop would have zero
+        frames left, and the framebuffer pixels — which live only in the
+        process that wrote the snapshot — would never be redrawn.
+        Rewinding re-enters the run one (or more) frames earlier so the
+        resume re-renders them; frame content is a pure function of the
+        frame index, so the re-rendered framebuffer is bit-identical to
+        the one the dead process held.
+
+        The snapshot ``tick`` is kept: pixels do not depend on when a
+        frame starts in simulated time, and keeping it preserves tick
+        monotonicity for the resumed event clock.  Timing results of the
+        re-rendered frames are therefore not comparable to the original
+        run's — only the architectural state (and the payload derived
+        from it) is.
+        """
+        if count <= 0:
+            raise ValueError(f"rewind count must be positive, got {count}")
+        trace = json.loads(self.trace_json)
+        frames = trace.get("frames", [])
+        if count > self.frame_index or count > len(frames):
+            raise ValueError(
+                f"cannot rewind {count} frame(s): snapshot holds "
+                f"{len(frames)} recorded frame(s) at frame_index "
+                f"{self.frame_index}")
+        trace["frames"] = frames[:-count]
+        from dataclasses import replace as _replace
+        return _replace(self, trace_json=json.dumps(trace),
+                        frame_index=self.frame_index - count)
 
 
 def _require_int(doc: dict, key: str) -> int:
@@ -242,7 +293,8 @@ def capture(frames: list[Frame], tick: int, frame_index: int,
             rng: Optional[dict] = None,
             job: Optional[str] = None,
             topology: Optional[str] = None,
-            mode: Optional[str] = None) -> GraphicsCheckpoint:
+            mode: Optional[str] = None,
+            claim: Optional[str] = None) -> GraphicsCheckpoint:
     """Record rendered frames into a checkpoint."""
     if mode is not None and mode not in CHECKPOINT_MODES:
         raise CheckpointError(
@@ -253,4 +305,4 @@ def capture(frames: list[Frame], tick: int, frame_index: int,
         recorder.record_frame(frame)
     return GraphicsCheckpoint(trace_json=recorder.to_json(), tick=tick,
                               frame_index=frame_index, rng=rng, job=job,
-                              topology=topology, mode=mode)
+                              topology=topology, mode=mode, claim=claim)

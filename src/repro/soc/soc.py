@@ -212,7 +212,8 @@ class EmeraldSoC:
                     injector=self.injector,
                     preempt_check=health.preempt_check,
                     job=health.checkpoint_job,
-                    topology=self.topology.topology_hash())
+                    topology=self.topology.topology_hash(),
+                    claim=health.checkpoint_claim)
                 frame_source = self.checkpoints.wrap_source(frame_source)
         return frame_source
 

@@ -1,0 +1,154 @@
+"""Retention caps: result-cache LRU GC and triage-bundle sweeps."""
+
+import json
+import os
+import time
+
+from repro.__main__ import main
+from repro.fleet import JobSpec, ResultCache, sweep_triage_bundles
+from repro.fleet.manifest import (MANIFEST_NAME, build_manifest, cache_key,
+                                  result_payload)
+
+
+def store_entry(cache, seed, *, age=None):
+    """Publish one deterministic entry; optionally back-date its mtime."""
+    spec = JobSpec(name=f"gc-s{seed}", seed=seed)
+    key = cache_key(spec)
+    cache.store(key, build_manifest(spec, key, outcome="ok"),
+                result_payload(spec, 0x1000 + seed))
+    if age is not None:
+        stamp = time.time() - age
+        os.utime(cache.entry_dir(key), (stamp, stamp))
+    return spec, key
+
+
+class TestCacheGC:
+    def test_entry_cap_evicts_oldest_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        keys = {}
+        for seed in (1, 2, 3, 4):
+            _, keys[seed] = store_entry(cache, seed, age=100 - seed * 10)
+        report = cache.gc(max_entries=2)
+        assert report.entries == 2 and report.evicted_entries == 2
+        # Oldest (largest age) go first: seeds 1 and 2.
+        assert cache.lookup(keys[1]) is None
+        assert cache.lookup(keys[2]) is None
+        assert cache.lookup(keys[3]) is not None
+        assert cache.lookup(keys[4]) is not None
+
+    def test_byte_cap_holds(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        for seed in (1, 2, 3):
+            store_entry(cache, seed, age=50 - seed * 10)
+        full = cache.gc()
+        per_entry = full.bytes // 3
+        report = cache.gc(max_bytes=per_entry * 2)
+        assert report.entries == 2
+        assert report.bytes <= per_entry * 2 + 2   # rounding slack
+
+    def test_lookup_refreshes_recency(self, tmp_path):
+        """An entry the server keeps serving must survive the LRU pass."""
+        cache = ResultCache(str(tmp_path))
+        _, hot = store_entry(cache, 1, age=1000)    # oldest by mtime...
+        _, cold = store_entry(cache, 2, age=500)
+        assert cache.lookup(hot) is not None        # ...but just served
+        report = cache.gc(max_entries=1)
+        assert report.evicted_entries == 1
+        assert cache.lookup(hot) is not None
+        assert cache.lookup(cold) is None
+
+    def test_quarantined_and_stale_staging_swept_first(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        _, key = store_entry(cache, 1)
+        # Corrupt a second entry so lookup quarantines it.
+        _, victim = store_entry(cache, 2)
+        manifest = os.path.join(cache.entry_dir(victim), MANIFEST_NAME)
+        with open(manifest, "w") as handle:
+            handle.write("{broken")
+        assert cache.lookup(victim) is None
+        # And fake an abandoned staging dir from a killed publisher.
+        fanout = os.path.dirname(cache.entry_dir(key))
+        stale = os.path.join(fanout, "deadbeef.staging-666")
+        os.makedirs(stale)
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+        report = cache.gc()
+        assert report.quarantined_removed == 1
+        assert report.staging_removed == 1
+        assert report.entries == 1
+        assert cache.lookup(key) is not None       # survivor still serves
+
+    def test_fresh_staging_is_left_alone(self, tmp_path):
+        """A publisher mid-flight must not have its staging swept."""
+        cache = ResultCache(str(tmp_path))
+        _, key = store_entry(cache, 1)
+        fanout = os.path.dirname(cache.entry_dir(key))
+        fresh = os.path.join(fanout, "cafef00d.staging-1")
+        os.makedirs(fresh)
+        report = cache.gc()
+        assert report.staging_removed == 0
+        assert os.path.isdir(fresh)
+
+
+class TestTriageBundleSweep:
+    def _bundle(self, workdir, job, name, age):
+        path = os.path.join(workdir, "jobs", job, "triage", name)
+        os.makedirs(path)
+        with open(os.path.join(path, "report.json"), "w") as handle:
+            handle.write("{}")
+        stamp = time.time() - age
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_oldest_bundles_beyond_cap_removed(self, tmp_path):
+        workdir = str(tmp_path)
+        old = self._bundle(workdir, "job-a", "attempt-1", age=300)
+        mid = self._bundle(workdir, "job-a", "attempt-2", age=200)
+        new = self._bundle(workdir, "job-b", "attempt-1", age=100)
+        swept = sweep_triage_bundles(workdir, max_bundles=2)
+        assert swept["kept"] == 2 and swept["removed"] == 1
+        assert swept["removed_paths"] == [old]
+        assert not os.path.isdir(old)
+        assert os.path.isdir(mid) and os.path.isdir(new)
+
+    def test_no_cap_counts_only(self, tmp_path):
+        workdir = str(tmp_path)
+        self._bundle(workdir, "job-a", "attempt-1", age=10)
+        swept = sweep_triage_bundles(workdir, max_bundles=None)
+        assert swept == {"kept": 1, "removed": 0, "removed_paths": []}
+
+
+class TestFleetGcCli:
+    def test_gc_subcommand_caps_cache_and_bundles(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        cache = ResultCache(cache_dir)
+        survivors = []
+        for seed in (1, 2, 3):
+            spec, key = store_entry(cache, seed, age=40 - seed * 10)
+            if seed != 1:
+                survivors.append((spec, key))
+        workdir = str(tmp_path / "work")
+        bundle = os.path.join(workdir, "jobs", "j", "triage", "b1")
+        os.makedirs(bundle)
+        summary = str(tmp_path / "gc.json")
+
+        code = main(["fleet", "gc", "--cache", cache_dir,
+                     "--max-entries", "2", "--workdir", workdir,
+                     "--max-bundles", "0", "--summary", summary])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "evicted 1" in out
+        with open(summary) as handle:
+            doc = json.load(handle)
+        assert doc["cache"]["entries"] == 2
+        assert doc["bundles"]["removed"] == 1
+        assert not os.path.isdir(bundle)
+        # Satellite contract: the capped cache still serves what it kept
+        # (the fleet's --expect-cached path depends on these lookups).
+        fresh = ResultCache(cache_dir)
+        for _spec, key in survivors:
+            assert fresh.lookup(key) is not None
+
+    def test_gc_without_targets_is_exit_2(self, tmp_path, capsys):
+        assert main(["fleet", "gc"]) == 2
+        assert "nothing to do" in capsys.readouterr().out

@@ -88,7 +88,8 @@ class TestResultCache:
     def test_empty_cache_misses(self, tmp_path):
         cache = ResultCache(str(tmp_path))
         assert cache.lookup(cache_key(SPEC)) is None
-        assert cache.stats() == {"hits": 0, "misses": 1, "quarantined": 0}
+        assert cache.stats() == {"hits": 0, "misses": 1, "quarantined": 0,
+                                 "race_divergences": 0}
 
     def test_store_then_lookup(self, tmp_path):
         cache = ResultCache(str(tmp_path))
@@ -151,3 +152,75 @@ class TestResultCache:
         leftovers = [name for name in os.listdir(tmp_path / key[:2])
                      if "staging" in name]
         assert leftovers == []                 # staging cleaned on the way out
+
+
+def _publish_winner(final, manifest, payload):
+    """Simulate a concurrent worker landing its entry at ``final``."""
+    os.makedirs(final)
+    with open(os.path.join(final, RESULT_NAME), "wb") as handle:
+        handle.write(payload_bytes(payload))
+    with open(os.path.join(final, MANIFEST_NAME), "w") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+class TestInjectedPublishRace:
+    """The concurrent-publish race, deterministically injected: the
+    first rename fails with EEXIST after a 'winner' materializes."""
+
+    def _arm(self, monkeypatch, final, manifest, winner_payload):
+        real_rename = os.rename
+        fired = []
+
+        def racing_rename(src, dst):
+            if dst == final and not fired:
+                fired.append(dst)
+                _publish_winner(final, manifest, winner_payload)
+                raise OSError(17, "File exists", dst)
+            return real_rename(src, dst)
+
+        monkeypatch.setattr(os, "rename", racing_rename)
+        return fired
+
+    def test_identical_winner_is_a_silent_discard(self, tmp_path,
+                                                  monkeypatch):
+        cache = ResultCache(str(tmp_path))
+        key = cache_key(SPEC)
+        manifest = build_manifest(SPEC, key, outcome="ok")
+        payload = result_payload(SPEC, 0x12345678)
+        final = cache.entry_dir(key)
+        fired = self._arm(monkeypatch, final, manifest, payload)
+
+        assert cache.store(key, manifest, payload) == final
+        assert fired                           # the race really happened
+        assert cache.stats()["race_divergences"] == 0
+        assert cache.lookup(key).payload == payload
+        leftovers = [name for name in os.listdir(os.path.dirname(final))
+                     if "staging" in name or "corrupt" in name]
+        assert leftovers == []
+
+    def test_divergent_winner_is_quarantined_with_both_digests(
+            self, tmp_path, monkeypatch):
+        import hashlib
+        cache = ResultCache(str(tmp_path))
+        key = cache_key(SPEC)
+        manifest = build_manifest(SPEC, key, outcome="ok")
+        payload = result_payload(SPEC, 0x12345678)
+        divergent = result_payload(SPEC, 0xBAD0BAD)    # impossible bytes
+        final = cache.entry_dir(key)
+        self._arm(monkeypatch, final, manifest, divergent)
+
+        assert cache.store(key, manifest, payload) == final
+        assert cache.stats()["race_divergences"] == 1
+        # Our publish landed on the retry; the divergent occupant is in
+        # quarantine with enough forensics to identify both sides.
+        assert cache.lookup(key).payload == payload
+        with open(os.path.join(final + ".corrupt", "QUARANTINE")) as h:
+            reason = h.read()
+        winner_sha = hashlib.sha256(
+            payload_bytes(divergent)).hexdigest()[:16]
+        loser_sha = hashlib.sha256(
+            payload_bytes(payload)).hexdigest()[:16]
+        assert winner_sha in reason and loser_sha in reason
+        assert f"loser pid {os.getpid()}" in reason
+        assert key in reason

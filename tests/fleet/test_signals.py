@@ -1,0 +1,63 @@
+"""Signal-driven drain/abort for the one-shot sweep (pinned exit codes).
+
+``python -m repro fleet sweep`` installs SIGTERM/SIGINT handlers: the
+first signal drains (in-flight attempts stop at a checkpoint boundary,
+exit 4), a second aborts (workers SIGKILL'd, exit 5).  Both codes are
+part of the CLI contract — operators and CI scripts branch on them.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+
+
+def _sweep_process(tmp_path, *, seeds="1,2", frames=300):
+    env = dict(os.environ)
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-m", "repro", "fleet", "sweep",
+            "--seeds", seeds, "--frames", str(frames),
+            "--workers", "1", "--workdir", str(tmp_path / "work"),
+            "--cache-dir", str(tmp_path / "cache")]
+    return subprocess.Popen(argv, env=env, cwd=str(tmp_path),
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+
+
+def _wait_for_worker_start(process, deadline=60.0):
+    """Give the sweep time to actually claim a job before signalling."""
+    time.sleep(1.0)
+    assert process.poll() is None, \
+        f"sweep finished before the signal: {process.stdout.read()}"
+
+
+@pytest.mark.slow
+class TestSweepSignals:
+    def test_sigterm_drains_with_exit_4(self, tmp_path):
+        process = _sweep_process(tmp_path)
+        _wait_for_worker_start(process)
+        process.send_signal(signal.SIGTERM)
+        out, _ = process.communicate(timeout=120)
+        assert process.returncode == 4, out
+        assert "drained" in out
+
+    def test_second_signal_aborts_with_exit_5(self, tmp_path):
+        process = _sweep_process(tmp_path)
+        _wait_for_worker_start(process)
+        process.send_signal(signal.SIGTERM)
+        time.sleep(0.4)
+        if process.poll() is None:
+            process.send_signal(signal.SIGTERM)
+            out, _ = process.communicate(timeout=120)
+            assert process.returncode == 5, out
+            assert "ABORTED" in out
+        else:
+            # Drained before the second signal landed (fast machine):
+            # the drain contract still must hold.
+            assert process.returncode == 4

@@ -285,3 +285,86 @@ class TestFleetEndToEnd:
         assert doc["schema"] == "repro-fleet-report/1"
         assert doc["ok"] is True
         assert doc["jobs"][0]["spec"]["name"] == "one"
+
+
+class TestMonotonicProgressClock:
+    """Staleness keys on the monotonic progress counter under a mocked
+    clock: wall-clock rewrites without progress still time out, and
+    wall-clock jumps never expire a worker that is making progress."""
+
+    def _clock(self, monkeypatch):
+        import repro.fleet.heartbeat as hb
+
+        class Clock:
+            mono = 1_000.0
+            wall = 5_000_000.0
+
+            @classmethod
+            def monotonic(cls):
+                return cls.mono
+
+            @classmethod
+            def time(cls):
+                return cls.wall
+
+        monkeypatch.setattr(hb, "time", Clock)
+        return Clock
+
+    def test_frozen_progress_with_fresh_timestamps_times_out(
+            self, tmp_path, monkeypatch):
+        clock = self._clock(monkeypatch)
+        path = str(tmp_path / "hb.json")
+        monitor = HeartbeatMonitor(path, timeout=10.0)
+        write_heartbeat(path, frame=3, tick=30, beats=7)
+        monitor.poll()
+        assert monitor.age() == 0.0
+        for _ in range(5):
+            clock.mono += 4.0
+            clock.wall += 4.0
+            write_heartbeat(path, frame=3, tick=30, beats=7)
+            monitor.poll()
+        # The file is fresh by wall clock, but the counter never moved.
+        assert monitor.last["time"] == clock.wall
+        assert monitor.age() == 20.0
+        assert monitor.stale()
+
+    def test_progress_advance_resets_the_deadline(self, tmp_path,
+                                                  monkeypatch):
+        clock = self._clock(monkeypatch)
+        path = str(tmp_path / "hb.json")
+        monitor = HeartbeatMonitor(path, timeout=10.0)
+        for beat in range(4):
+            clock.mono += 8.0
+            write_heartbeat(path, frame=beat, tick=beat * 10,
+                            beats=beat + 1)
+            monitor.poll()
+            assert monitor.age() == 0.0
+        clock.mono += 9.9
+        assert not monitor.stale()
+        clock.mono += 0.2
+        assert monitor.stale()
+
+    def test_wall_clock_jumps_cannot_expire_a_live_worker(
+            self, tmp_path, monkeypatch):
+        clock = self._clock(monkeypatch)
+        path = str(tmp_path / "hb.json")
+        monitor = HeartbeatMonitor(path, timeout=10.0)
+        for beat in range(3):
+            clock.mono += 5.0
+            clock.wall -= 40_000.0           # NTP step / suspend-resume
+            write_heartbeat(path, frame=0, tick=0, beats=beat + 1)
+            monitor.poll()
+        assert not monitor.stale()
+
+    def test_explicit_progress_counter_overrides_beats(self, tmp_path,
+                                                       monkeypatch):
+        clock = self._clock(monkeypatch)
+        path = str(tmp_path / "hb.json")
+        monitor = HeartbeatMonitor(path, timeout=10.0)
+        write_heartbeat(path, frame=0, tick=0, beats=1, progress=5)
+        monitor.poll()
+        clock.mono += 6.0
+        # beats moved but the declared progress counter did not: hung.
+        write_heartbeat(path, frame=0, tick=0, beats=2, progress=5)
+        monitor.poll()
+        assert monitor.age() == 6.0

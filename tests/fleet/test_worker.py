@@ -113,6 +113,28 @@ class TestRunJob:
         assert doc["resumed_from"] == 0
         assert "does not match" in doc["fallback"]
 
+    def test_final_frame_snapshot_resumes_to_the_identical_payload(
+            self, tmp_path):
+        """A worker orphaned by a server SIGKILL can die after writing
+        its final per-frame snapshot but before its result is consumed.
+        The next attempt then resumes with zero frames left to render —
+        it must rewind and re-render the last frame, not hash a
+        never-drawn framebuffer (the server-drill divergence bug)."""
+        jobdir = str(tmp_path)
+        spec = JobSpec(name="lastframe", frames=2)
+        clean = run_job(spec, jobdir)
+        assert clean["outcome"] == "ok"
+        # The final snapshot covers the whole run...
+        from repro.health import load_checkpoint
+        snap = load_checkpoint(os.path.join(jobdir, CHECKPOINT_FILE))
+        assert snap.frame_index == spec.frames
+        # ...and the result vanishes with the dead server's bookkeeping.
+        os.remove(os.path.join(jobdir, RESULT_FILE))
+        resumed = run_job(spec, jobdir)
+        assert resumed["outcome"] == "ok"
+        assert resumed["resumed_from"] == spec.frames - 1
+        assert resumed["payload"] == clean["payload"]
+
     def test_event_budget_exhaustion_is_detected(self, tmp_path):
         doc = run_job(JobSpec(name="tiny-budget", frames=1),
                       str(tmp_path), budget_events=2_000)

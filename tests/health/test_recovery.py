@@ -302,3 +302,107 @@ class TestCrashRecovery:
         # The final snapshot's trace replays *all* frames, including the
         # ones rendered before the crash.
         assert len(final.restore_frames()) == frames
+
+
+class TestCheckpointClaimProvenance:
+    """Snapshots carry the fleet server's claim token (incarnation +
+    attempt) as pure provenance: it round-trips through the on-disk
+    format, but ownership decisions still key on ``job`` alone — a new
+    incarnation resuming an old claim's snapshot is the crash-recovery
+    contract, not a conflict."""
+
+    def _snapshot(self, claim=None, job=None):
+        manager = CheckpointManager(every=1, job=job, claim=claim)
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        source(0)
+        manager.on_frame_done(0, tick=500)
+        return manager.last
+
+    def test_claim_token_survives_the_on_disk_format(self):
+        snapshot = self._snapshot(claim="srv-1a2b-i3#7", job="cafe0123")
+        assert snapshot.claim == "srv-1a2b-i3#7"
+        restored = GraphicsCheckpoint.from_json(snapshot.to_json())
+        assert restored.claim == "srv-1a2b-i3#7"
+        assert restored.job == "cafe0123"
+
+    def test_unclaimed_snapshots_omit_the_field(self):
+        snapshot = self._snapshot()
+        assert snapshot.claim is None
+        assert "claim" not in snapshot.to_json()
+
+    def test_non_string_claim_rejected(self):
+        import json
+
+        from repro.soc.checkpoint import CheckpointError, _payload_crc
+        doc = json.loads(self._snapshot(claim="srv-1#1").to_json())
+        doc["claim"] = 11
+        doc["crc"] = _payload_crc(doc)
+        with pytest.raises(CheckpointError, match="claim"):
+            GraphicsCheckpoint.from_json(json.dumps(doc))
+
+    def test_resume_accepts_a_foreign_claims_snapshot(self):
+        """Same job, different claim: exactly what a restarted server
+        produces. The resume path must not treat it as foreign state."""
+        from repro.health import resume_run
+
+        source = SceneSession("cube", WIDTH, HEIGHT)
+        manager = CheckpointManager(every=1, job="cafe0123",
+                                    claim="srv-dead-i1#4")
+        wrapped = manager.wrap_source(source.frame)
+        wrapped(0)
+        manager.on_frame_done(0, tick=500)
+        health = HealthConfig(checkpoint_every=1,
+                              checkpoint_job="cafe0123",
+                              checkpoint_claim="srv-rebirth-i2#1")
+        soc, results = resume_run(manager.last,
+                                  tiny_config(num_frames=2, health=health),
+                                  source.frame,
+                                  source.framebuffer_address)
+        assert soc.loop.finished
+        assert len(results.frames) == 1          # resumed past frame 0
+        # And the snapshots the resumed run writes carry the *new*
+        # incarnation's claim.
+        assert soc.checkpoints.last.claim == "srv-rebirth-i2#1"
+
+
+class TestCheckpointRewind:
+    """Rewinding a final-frame snapshot so a resume re-renders pixels."""
+
+    def _snapshot(self, frames=3, tick=9_000, job="jk"):
+        manager = CheckpointManager(every=frames, job=job)
+        source = manager.wrap_source(
+            SceneSession("cube", WIDTH, HEIGHT).frame)
+        for index in range(frames):
+            source(index)
+        manager.on_frame_done(frames - 1, tick=tick)
+        return manager.last
+
+    def test_rewind_drops_trace_frames_and_backs_up_the_index(self):
+        snapshot = self._snapshot(frames=3)
+        rewound = snapshot.rewind(1)
+        assert rewound.frame_index == 2
+        assert len(rewound.restore_frames()) == 2
+        # Everything else is preserved — tick monotonicity, ownership.
+        assert rewound.tick == snapshot.tick
+        assert rewound.job == snapshot.job
+        # The original is untouched (rewind returns a copy).
+        assert snapshot.frame_index == 3
+        assert len(snapshot.restore_frames()) == 3
+
+    def test_rewound_snapshot_survives_the_json_roundtrip(self):
+        rewound = self._snapshot(frames=2).rewind(1)
+        restored = GraphicsCheckpoint.from_json(rewound.to_json())
+        assert restored.frame_index == 1
+        assert len(restored.restore_frames()) == 1
+
+    def test_rewind_count_must_be_positive(self):
+        snapshot = self._snapshot(frames=2)
+        for count in (0, -1):
+            with pytest.raises(ValueError, match="must be positive"):
+                snapshot.rewind(count)
+
+    def test_rewind_past_the_recorded_trace_is_refused(self):
+        snapshot = self._snapshot(frames=2)
+        with pytest.raises(ValueError, match="cannot rewind 3"):
+            snapshot.rewind(3)
